@@ -1,0 +1,143 @@
+//! Criterion microbenches for the protocol building blocks: the
+//! coordination overhead the framework pays on top of the allocation
+//! algorithm (the "emulation overhead" the paper's §6 argues is small).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dauctioneer_core::blocks::{encode_fixed, BidAgreement, CommonCoin, InputValidation};
+use dauctioneer_core::{Block, Distribution, OutboxCtx};
+use dauctioneer_crypto::sha256;
+use dauctioneer_types::ProviderId;
+use dauctioneer_workload::DoubleAuctionWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Drive a set of per-provider blocks to quiescence with synchronous
+/// delivery; panics if any block fails to decide.
+fn drive<B: Block>(blocks: &mut [B]) {
+    let m = blocks.len();
+    let mut ctxs: Vec<OutboxCtx> =
+        (0..m).map(|i| OutboxCtx::new(ProviderId(i as u32), m)).collect();
+    for (b, c) in blocks.iter_mut().zip(&mut ctxs) {
+        b.start(c);
+    }
+    loop {
+        let mut moved = false;
+        for i in 0..m {
+            for (to, payload) in ctxs[i].drain() {
+                moved = true;
+                let mut ctx = OutboxCtx::new(to, m);
+                blocks[to.index()].on_message(ProviderId(i as u32), &payload, &mut ctx);
+                ctxs[to.index()].outbox.extend(ctx.drain());
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    for b in blocks.iter() {
+        assert!(b.result().is_some(), "block failed to decide");
+    }
+}
+
+fn bench_bid_agreement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bid_agreement");
+    group.sample_size(10);
+    for n in [10usize, 100, 1000] {
+        let bids = DoubleAuctionWorkload::new(n, 8, 1).generate();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &bids, |b, bids| {
+            b.iter(|| {
+                let m = 3;
+                let mut blocks: Vec<BidAgreement> = (0..m)
+                    .map(|i| {
+                        BidAgreement::new(
+                            ProviderId(i as u32),
+                            m,
+                            bids,
+                            &mut StdRng::seed_from_u64(i as u64),
+                        )
+                    })
+                    .collect();
+                drive(&mut blocks);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_common_coin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("common_coin");
+    group.sample_size(20);
+    for m in [3usize, 5, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                let mut blocks: Vec<CommonCoin> = (0..m)
+                    .map(|i| {
+                        CommonCoin::new(
+                            ProviderId(i as u32),
+                            m,
+                            Distribution::UniformUnit,
+                            &mut StdRng::seed_from_u64(i as u64),
+                        )
+                    })
+                    .collect();
+                drive(&mut blocks);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_input_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("input_validation");
+    group.sample_size(20);
+    let bids = DoubleAuctionWorkload::new(1000, 8, 1).generate();
+    let input = encode_fixed(&bids);
+    for (label, hash_only) in [("full", false), ("hash", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &input, |b, input| {
+            b.iter(|| {
+                let m = 8;
+                let mut blocks: Vec<InputValidation> = (0..m)
+                    .map(|i| {
+                        InputValidation::new(ProviderId(i as u32), m, input.clone(), hash_only)
+                    })
+                    .collect();
+                drive(&mut blocks);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 4096, 65536] {
+        let data = vec![0xA5u8; size];
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fixed_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bid_stream_codec");
+    for n in [100usize, 1000] {
+        let bids = DoubleAuctionWorkload::new(n, 8, 1).generate();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &bids, |b, bids| {
+            b.iter(|| -> Bytes { encode_fixed(bids) });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bid_agreement,
+    bench_common_coin,
+    bench_input_validation,
+    bench_sha256,
+    bench_fixed_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Criterion microbenches for the allocation mechanisms: the
+//! computational profile behind Figures 4 and 5.
+//!
+//! * the double auction is `O((n+m) log(n+m))` — microseconds even at
+//!   n = 1000, which is why Fig. 4 is communication-dominated;
+//! * the standard auction's allocation and per-winner VCG payment solves
+//!   are the expensive parts that Fig. 5's parallelisation targets;
+//! * the greedy baseline shows what the expensive solver buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dauctioneer_mechanisms::solver::{
+    solve_branch_bound, solve_greedy, BranchBoundConfig, Instance,
+};
+use dauctioneer_mechanisms::{
+    DoubleAuction, Mechanism, SharedRng, StandardAuction, StandardAuctionConfig,
+};
+use dauctioneer_types::UserId;
+use dauctioneer_workload::{DoubleAuctionWorkload, StandardAuctionWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_double_auction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("double_auction");
+    group.sample_size(20);
+    let shared = SharedRng::from_material(b"bench");
+    for n in [100usize, 500, 1000] {
+        let bids = DoubleAuctionWorkload::new(n, 8, 42).generate();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &bids, |b, bids| {
+            b.iter(|| DoubleAuction::new().run(bids, &shared));
+        });
+    }
+    group.finish();
+}
+
+fn bench_standard_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("standard_allocation_solve");
+    group.sample_size(10);
+    let config = BranchBoundConfig {
+        epsilon_ppm: 10_000,
+        max_nodes: 100_000,
+        shuffle_providers: true,
+    };
+    for n in [25usize, 50, 100] {
+        let (bids, capacities) = StandardAuctionWorkload::new(n, 8, 42).generate();
+        let instance = Instance::from_bids(&bids, &capacities);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, instance| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                solve_branch_bound(instance, config, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_vcg_payment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vcg_single_payment");
+    group.sample_size(10);
+    for n in [25usize, 50] {
+        let (bids, capacities) = StandardAuctionWorkload::new(n, 8, 42).generate();
+        let auction = StandardAuction::new(StandardAuctionConfig {
+            capacities,
+            solver: BranchBoundConfig {
+                epsilon_ppm: 10_000,
+                max_nodes: 100_000,
+                shuffle_providers: true,
+            },
+        });
+        let shared = SharedRng::from_material(b"bench");
+        let allocation = auction.solve_allocation(&bids, &shared);
+        let winner = *allocation.winners().first().expect("at least one winner");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(auction, bids, allocation, winner),
+            |b, (auction, bids, allocation, winner)| {
+                b.iter(|| auction.payment_for_user(*winner, bids, allocation, &shared));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_greedy_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_baseline");
+    group.sample_size(30);
+    for n in [100usize, 1000] {
+        let (bids, capacities) = StandardAuctionWorkload::new(n, 8, 42).generate();
+        let instance = Instance::from_bids(&bids, &capacities);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, instance| {
+            b.iter(|| solve_greedy(instance));
+        });
+    }
+    group.finish();
+}
+
+fn bench_payment_slice_scaling(c: &mut Criterion) {
+    // How Task 2 cost scales with slice size — the quantity Fig. 5's
+    // parallelisation divides by p.
+    let mut group = c.benchmark_group("payment_slice");
+    group.sample_size(10);
+    let n = 40usize;
+    let (bids, capacities) = StandardAuctionWorkload::new(n, 8, 42).generate();
+    let auction = StandardAuction::new(StandardAuctionConfig {
+        capacities,
+        solver: BranchBoundConfig {
+            epsilon_ppm: 10_000,
+            max_nodes: 50_000,
+            shuffle_providers: true,
+        },
+    });
+    let shared = SharedRng::from_material(b"bench");
+    let allocation = auction.solve_allocation(&bids, &shared);
+    let winners = allocation.winners();
+    for slice in [1usize, 2, 4] {
+        let mine: Vec<UserId> =
+            winners.iter().copied().take(winners.len() / slice.max(1)).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("1/{slice}")),
+            &mine,
+            |b, mine| {
+                b.iter(|| {
+                    mine.iter()
+                        .map(|u| auction.payment_for_user(*u, &bids, &allocation, &shared))
+                        .collect::<Vec<_>>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_double_auction,
+    bench_standard_allocation,
+    bench_vcg_payment,
+    bench_greedy_baseline,
+    bench_payment_slice_scaling
+);
+criterion_main!(benches);

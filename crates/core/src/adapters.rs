@@ -1,0 +1,179 @@
+//! Allocator programs for the two case-study mechanisms (§5.2 of the
+//! paper).
+//!
+//! * [`DoubleAuctionProgram`] — §5.2.1: the double auction's dominant cost
+//!   is sorting, so its "decomposition" is a single task replicated on all
+//!   providers and the data-transfer block is never invoked.
+//! * [`StandardAuctionProgram`] — §5.2.2 / Algorithm 1: Task 1 computes
+//!   the allocation on every provider; Task 2 is split into
+//!   `c = ⌊m/(k+1)⌋` groups, each computing the VCG payments of an `n/c`
+//!   slice of the users; Task 3 gathers the payment slices (via data
+//!   transfer) and assembles the result on every provider.
+
+use bytes::Bytes;
+use dauctioneer_mechanisms::{DoubleAuction, Mechanism, SharedRng, StandardAuction};
+use dauctioneer_types::{
+    Allocation, AuctionResult, BidVector, Decode, Encode, Money, UserId, Writer,
+};
+
+use crate::allocator::AllocatorProgram;
+use crate::config::FrameworkConfig;
+use crate::task_graph::{TaskGraphSpec, TaskId, TaskSpec};
+
+/// The single-task program for the double auction.
+#[derive(Debug, Clone, Default)]
+pub struct DoubleAuctionProgram {
+    mechanism: DoubleAuction,
+}
+
+impl DoubleAuctionProgram {
+    /// Create the program.
+    pub fn new() -> DoubleAuctionProgram {
+        DoubleAuctionProgram { mechanism: DoubleAuction::new() }
+    }
+}
+
+impl AllocatorProgram for DoubleAuctionProgram {
+    fn task_graph(&self, cfg: &FrameworkConfig) -> TaskGraphSpec {
+        // One task executed by everyone; no transfers (§5.2.1).
+        TaskGraphSpec::new(
+            vec![TaskSpec { deps: vec![], executors: cfg.providers().collect() }],
+            cfg.m,
+            cfg.k,
+        )
+        .expect("single global task is always valid")
+    }
+
+    fn run_task(
+        &self,
+        _task: TaskId,
+        _spec: &TaskGraphSpec,
+        bids: &BidVector,
+        _dep_values: &[Bytes],
+        shared: &SharedRng,
+    ) -> Bytes {
+        self.mechanism.run(bids, shared).encode_to_bytes()
+    }
+
+    fn finish(&self, _bids: &BidVector, final_value: &Bytes) -> Option<AuctionResult> {
+        AuctionResult::decode_all(final_value).ok()
+    }
+}
+
+/// The Algorithm-1 program for the standard auction.
+#[derive(Debug, Clone)]
+pub struct StandardAuctionProgram {
+    mechanism: StandardAuction,
+}
+
+impl StandardAuctionProgram {
+    /// Create the program around a configured [`StandardAuction`].
+    pub fn new(mechanism: StandardAuction) -> StandardAuctionProgram {
+        StandardAuctionProgram { mechanism }
+    }
+
+    /// The mechanism (e.g. for a centralised baseline run).
+    pub fn mechanism(&self) -> &StandardAuction {
+        &self.mechanism
+    }
+
+    /// The contiguous user-id slice `[lo, hi)` assigned to payment group
+    /// `g` of `c`.
+    fn user_slice(n_users: usize, g: usize, c: usize) -> (usize, usize) {
+        let lo = g * n_users / c;
+        let hi = (g + 1) * n_users / c;
+        (lo, hi)
+    }
+
+    /// Encode a payment slice.
+    fn encode_payments(payments: &[(UserId, Money)]) -> Bytes {
+        let mut w = Writer::new();
+        w.put_u64(payments.len() as u64);
+        for (user, amount) in payments {
+            user.encode(&mut w);
+            amount.encode(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Decode a payment slice.
+    fn decode_payments(bytes: &Bytes) -> Option<Vec<(UserId, Money)>> {
+        let mut r = dauctioneer_types::Reader::new(bytes);
+        let len = r.get_u64().ok()?;
+        let mut out = Vec::with_capacity(len.min(4096) as usize);
+        for _ in 0..len {
+            let user = UserId::decode(&mut r).ok()?;
+            let amount = Money::decode(&mut r).ok()?;
+            out.push((user, amount));
+        }
+        (r.remaining() == 0).then_some(out)
+    }
+}
+
+impl AllocatorProgram for StandardAuctionProgram {
+    fn task_graph(&self, cfg: &FrameworkConfig) -> TaskGraphSpec {
+        let all: Vec<_> = cfg.providers().collect();
+        let groups = cfg.payment_groups();
+        let c = groups.len();
+        let mut tasks = Vec::with_capacity(c + 2);
+        // Task 1: allocation, replicated everywhere.
+        tasks.push(TaskSpec { deps: vec![], executors: all.clone() });
+        // Task 2.g: payments of slice g, on group g.
+        for group in groups {
+            tasks.push(TaskSpec { deps: vec![TaskId(0)], executors: group });
+        }
+        // Task 3: gather everything, everywhere.
+        let deps = (0..=c as u32).map(TaskId).collect();
+        tasks.push(TaskSpec { deps, executors: all });
+        TaskGraphSpec::new(tasks, cfg.m, cfg.k).expect("algorithm-1 decomposition is valid")
+    }
+
+    fn run_task(
+        &self,
+        task: TaskId,
+        spec: &TaskGraphSpec,
+        bids: &BidVector,
+        dep_values: &[Bytes],
+        shared: &SharedRng,
+    ) -> Bytes {
+        // Graph shape: task 0 = allocation, tasks 1..=c = payment slices,
+        // last task = gather; hence c = len − 2.
+        let c = spec.len() - 2;
+        if task.index() == 0 {
+            // Task 1: the allocation.
+            return self.mechanism.solve_allocation(bids, shared).encode_to_bytes();
+        }
+        if task == spec.final_task() {
+            // Task 3: gather allocation + every payment slice, assemble.
+            let Ok(allocation) = Allocation::decode_all(&dep_values[0]) else {
+                return Bytes::new(); // malformed → finish() will reject
+            };
+            let mut all_payments: Vec<(UserId, Money)> = Vec::new();
+            for slice in &dep_values[1..] {
+                match Self::decode_payments(slice) {
+                    Some(mut p) => all_payments.append(&mut p),
+                    None => return Bytes::new(),
+                }
+            }
+            return self.mechanism.assemble(bids, allocation, &all_payments).encode_to_bytes();
+        }
+        // Task 2.g: VCG payments of the g-th user slice.
+        let g = task.index() - 1;
+        let Ok(allocation) = Allocation::decode_all(&dep_values[0]) else {
+            return Bytes::new();
+        };
+        let n = bids.num_users();
+        let (lo, hi) = Self::user_slice(n, g, c);
+        let payments: Vec<(UserId, Money)> = (lo..hi)
+            .map(|u| UserId(u as u32))
+            .filter(|u| !allocation.user_total(*u).is_zero())
+            .map(|u| (u, self.mechanism.payment_for_user(u, bids, &allocation, shared)))
+            .collect();
+        Self::encode_payments(&payments)
+    }
+
+    fn finish(&self, bids: &BidVector, final_value: &Bytes) -> Option<AuctionResult> {
+        let result = AuctionResult::decode_all(final_value).ok()?;
+        (result.allocation.num_users() == bids.num_users()).then_some(result)
+    }
+}

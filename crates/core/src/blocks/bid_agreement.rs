@@ -1,0 +1,321 @@
+//! The Bid Agreement building block (§4.1 of the paper).
+//!
+//! Each provider `j` inputs the vector `b̄ⱼ` of bids *it* received from the
+//! bidders; the block makes all providers agree on one vector `b̄`
+//! satisfying **validity**: a bidder that sent the same bid to every
+//! provider keeps exactly that bid. Bidders that equivocated, skipped
+//! providers, or sent garbage resolve — via the per-bit rational consensus
+//! — to whatever the coin assembles, which is then *normalised*: anything
+//! that does not decode to a valid bid becomes the neutral bid ⊥,
+//! excluding that bidder from the auction (the "pre-determined valid bid"
+//! of §4.1 is the neutral bid in this implementation).
+//!
+//! Bids are serialised with a **fixed-width** per-bidder layout so that
+//! every provider's input stream has the same length and bit positions
+//! align across providers — the prerequisite for running per-bit consensus
+//! on the streams.
+
+use bytes::Bytes;
+use dauctioneer_types::{
+    BidEntry, BidVector, Bw, Money, ProviderAsk, ProviderId, UserBid,
+};
+use rand::RngCore;
+
+use crate::block::{Block, BlockResult, Ctx};
+use crate::blocks::consensus::RationalConsensus;
+
+/// Bytes per user slot: tag(1) + valuation(8) + demand(8).
+pub const USER_SLOT_BYTES: usize = 17;
+/// Bytes per provider-ask slot: unit cost(8) + capacity(8).
+pub const ASK_SLOT_BYTES: usize = 16;
+
+/// Length of the fixed-width stream for `n` users and `a` asks.
+pub fn stream_len(n_users: usize, n_asks: usize) -> usize {
+    n_users * USER_SLOT_BYTES + n_asks * ASK_SLOT_BYTES
+}
+
+/// Serialise a bid vector into the fixed-width stream. Entries are
+/// normalised first (invalid bids become neutral).
+pub fn encode_fixed(bids: &BidVector) -> Bytes {
+    let mut out = Vec::with_capacity(stream_len(bids.num_users(), bids.num_asks()));
+    for entry in bids.user_entries() {
+        match entry.normalized() {
+            BidEntry::Valid(bid) => {
+                out.push(1);
+                out.extend_from_slice(&bid.valuation().micro().to_le_bytes());
+                out.extend_from_slice(&bid.demand().micro().to_le_bytes());
+            }
+            BidEntry::Neutral => {
+                out.push(0);
+                out.extend_from_slice(&[0u8; 16]);
+            }
+        }
+    }
+    for ask in bids.asks() {
+        out.extend_from_slice(&ask.unit_cost().micro().to_le_bytes());
+        out.extend_from_slice(&ask.capacity().micro().to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Decode a fixed-width stream back into a bid vector, normalising
+/// anything invalid to neutral. Total: never fails — coin-assembled bytes
+/// always decode to *some* (possibly neutral) vector.
+///
+/// # Panics
+///
+/// Panics if `bytes.len() != stream_len(n_users, n_asks)`; the consensus
+/// block guarantees the agreed stream has the configured length.
+pub fn decode_fixed(bytes: &[u8], n_users: usize, n_asks: usize) -> BidVector {
+    assert_eq!(bytes.len(), stream_len(n_users, n_asks), "stream length mismatch");
+    let mut users = Vec::with_capacity(n_users);
+    let mut off = 0;
+    for _ in 0..n_users {
+        let tag = bytes[off];
+        let valuation = i64::from_le_bytes(bytes[off + 1..off + 9].try_into().expect("8 bytes"));
+        let demand = u64::from_le_bytes(bytes[off + 9..off + 17].try_into().expect("8 bytes"));
+        off += USER_SLOT_BYTES;
+        let entry = if tag == 1 {
+            BidEntry::Valid(UserBid::new(Money::from_micro(valuation), Bw::from_micro(demand)))
+                .normalized()
+        } else {
+            // Any tag other than exactly 1 — including coin-noise — is ⊥.
+            BidEntry::Neutral
+        };
+        users.push(entry);
+    }
+    let mut asks = Vec::with_capacity(n_asks);
+    for _ in 0..n_asks {
+        let cost = i64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+        let capacity = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().expect("8 bytes"));
+        off += ASK_SLOT_BYTES;
+        let ask = ProviderAsk::new(Money::from_micro(cost), Bw::from_micro(capacity));
+        // Invalid asks (negative cost / zero capacity) become a
+        // zero-capacity ask, which every mechanism skips.
+        asks.push(if ask.is_valid() { ask } else { ProviderAsk::new(Money::ZERO, Bw::ZERO) });
+    }
+    BidVector::from_parts(users, asks)
+}
+
+/// The bid-agreement block: per-bit consensus over the fixed-width bid
+/// streams.
+#[derive(Debug)]
+pub struct BidAgreement {
+    n_users: usize,
+    n_asks: usize,
+    consensus: RationalConsensus,
+    result: Option<BlockResult<BidVector>>,
+}
+
+impl BidAgreement {
+    /// Create the block for provider `me` of `m`, proposing the bids this
+    /// provider collected.
+    pub fn new(
+        me: ProviderId,
+        m: usize,
+        collected: &BidVector,
+        rng: &mut dyn RngCore,
+    ) -> BidAgreement {
+        let n_users = collected.num_users();
+        let n_asks = collected.num_asks();
+        let stream = encode_fixed(collected);
+        let consensus = RationalConsensus::new(me, m, stream, stream_len(n_users, n_asks), rng);
+        BidAgreement { n_users, n_asks, consensus, result: None }
+    }
+
+    fn poll(&mut self) {
+        if self.result.is_some() {
+            return;
+        }
+        match self.consensus.result() {
+            Some(BlockResult::Value(stream)) => {
+                self.result = Some(BlockResult::Value(decode_fixed(
+                    stream,
+                    self.n_users,
+                    self.n_asks,
+                )));
+            }
+            Some(BlockResult::Abort) => self.result = Some(BlockResult::Abort),
+            None => {}
+        }
+    }
+}
+
+impl Block for BidAgreement {
+    type Output = BidVector;
+
+    fn start(&mut self, ctx: &mut dyn Ctx) {
+        self.consensus.start(ctx);
+        self.poll();
+    }
+
+    fn on_message(&mut self, from: ProviderId, payload: &[u8], ctx: &mut dyn Ctx) {
+        if self.result.is_some() {
+            return;
+        }
+        self.consensus.on_message(from, payload, ctx);
+        self.poll();
+    }
+
+    fn result(&self) -> Option<&BlockResult<BidVector>> {
+        self.result.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::OutboxCtx;
+    use dauctioneer_types::UserId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_all(blocks: &mut [BidAgreement]) -> Vec<Option<BlockResult<BidVector>>> {
+        let m = blocks.len();
+        let mut ctxs: Vec<OutboxCtx> =
+            (0..m).map(|i| OutboxCtx::new(ProviderId(i as u32), m)).collect();
+        for (b, c) in blocks.iter_mut().zip(&mut ctxs) {
+            b.start(c);
+        }
+        loop {
+            let mut moved = false;
+            for i in 0..m {
+                for (to, payload) in ctxs[i].drain() {
+                    moved = true;
+                    let mut ctx = OutboxCtx::new(to, m);
+                    blocks[to.index()].on_message(ProviderId(i as u32), &payload, &mut ctx);
+                    ctxs[to.index()].outbox.extend(ctx.drain());
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        blocks.iter().map(|b| b.result().cloned()).collect()
+    }
+
+    fn bid(v: f64, d: f64) -> UserBid {
+        UserBid::new(Money::from_f64(v), Bw::from_f64(d))
+    }
+
+    #[test]
+    fn fixed_codec_roundtrips() {
+        let bids = BidVector::builder(3, 2)
+            .user_bid(0, bid(1.25, 0.5))
+            .neutral(1)
+            .user_bid(2, bid(0.8, 0.33))
+            .provider_ask(0, ProviderAsk::new(Money::from_f64(0.2), Bw::from_f64(1.5)))
+            .provider_ask(1, ProviderAsk::new(Money::from_f64(0.7), Bw::from_f64(0.5)))
+            .build();
+        let encoded = encode_fixed(&bids);
+        assert_eq!(encoded.len(), stream_len(3, 2));
+        assert_eq!(decode_fixed(&encoded, 3, 2), bids);
+    }
+
+    #[test]
+    fn fixed_codec_normalises_invalid_entries() {
+        // An invalid bid (zero demand) encodes as neutral.
+        let bids = BidVector::builder(1, 1)
+            .user_bid(0, UserBid::new(Money::from_f64(1.0), Bw::ZERO))
+            .provider_ask(0, ProviderAsk::new(Money::from_f64(-0.5), Bw::from_f64(1.0)))
+            .build();
+        let decoded = decode_fixed(&encode_fixed(&bids), 1, 1);
+        assert!(!decoded.user_bid(UserId(0)).is_valid());
+        assert!(!decoded.provider_ask(ProviderId(0)).is_valid());
+    }
+
+    #[test]
+    fn decode_treats_garbage_tags_as_neutral() {
+        let mut bytes = vec![0u8; stream_len(1, 0)];
+        bytes[0] = 77; // not a valid tag
+        bytes[1] = 1; // nonzero valuation
+        bytes[9] = 1; // nonzero demand
+        let decoded = decode_fixed(&bytes, 1, 0);
+        assert_eq!(*decoded.user_bid(UserId(0)), BidEntry::Neutral);
+    }
+
+    #[test]
+    fn decode_treats_negative_valuation_as_neutral() {
+        let bids = BidVector::builder(1, 0).user_bid(0, bid(1.0, 0.5)).build();
+        let mut bytes = encode_fixed(&bids).to_vec();
+        // Overwrite valuation with -1.
+        bytes[1..9].copy_from_slice(&(-1i64).to_le_bytes());
+        let decoded = decode_fixed(&bytes, 1, 0);
+        assert_eq!(*decoded.user_bid(UserId(0)), BidEntry::Neutral);
+    }
+
+    #[test]
+    fn agreement_on_identical_collections() {
+        let m = 3;
+        let bids = BidVector::builder(2, 1)
+            .user_bid(0, bid(1.1, 0.4))
+            .user_bid(1, bid(0.9, 0.6))
+            .provider_ask(0, ProviderAsk::new(Money::from_f64(0.3), Bw::from_f64(1.0)))
+            .build();
+        let mut blocks: Vec<BidAgreement> = (0..m)
+            .map(|i| {
+                BidAgreement::new(
+                    ProviderId(i as u32),
+                    m,
+                    &bids,
+                    &mut StdRng::seed_from_u64(i as u64),
+                )
+            })
+            .collect();
+        for r in run_all(&mut blocks) {
+            assert_eq!(r.unwrap().as_value().unwrap(), &bids);
+        }
+    }
+
+    #[test]
+    fn validity_preserves_consistent_bidders_despite_equivocator() {
+        // User 0 sent the same bid everywhere; user 1 equivocated. All
+        // providers must agree, and user 0's bid must survive verbatim.
+        let m = 3;
+        let honest = bid(1.2, 0.5);
+        let views: Vec<BidVector> = (0..m)
+            .map(|j| {
+                BidVector::builder(2, 0)
+                    .user_bid(0, honest)
+                    .user_bid(1, bid(0.5 + j as f64 * 0.1, 0.3))
+                    .build()
+            })
+            .collect();
+        let mut blocks: Vec<BidAgreement> = views
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                BidAgreement::new(ProviderId(i as u32), m, v, &mut StdRng::seed_from_u64(i as u64))
+            })
+            .collect();
+        let results = run_all(&mut blocks);
+        let agreed = results[0].clone().unwrap().as_value().unwrap().clone();
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap().as_value().unwrap(), &agreed);
+        }
+        assert_eq!(agreed.user_bid(UserId(0)), &BidEntry::Valid(honest));
+        // User 1 resolves to *something* agreed — either a valid bid
+        // (coin-assembled) or neutral; both are acceptable per §4.1.
+    }
+
+    #[test]
+    fn missing_bid_resolves_consistently() {
+        // User 0 bid only at provider 0; providers 1 and 2 hold ⊥.
+        let m = 3;
+        let with_bid = BidVector::builder(1, 0).user_bid(0, bid(1.0, 0.5)).build();
+        let without = BidVector::all_neutral(1);
+        let views = [with_bid, without.clone(), without];
+        let mut blocks: Vec<BidAgreement> = views
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                BidAgreement::new(ProviderId(i as u32), m, v, &mut StdRng::seed_from_u64(9 + i as u64))
+            })
+            .collect();
+        let results = run_all(&mut blocks);
+        let agreed = results[0].clone().unwrap().as_value().unwrap().clone();
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap().as_value().unwrap(), &agreed);
+        }
+    }
+}

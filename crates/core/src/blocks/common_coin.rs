@@ -1,0 +1,240 @@
+//! The Common Coin building block (§4.2, Property 4), after the scheme of
+//! Abraham, Dolev and Halpern's leader-election protocols (the paper's
+//! reference \[19\]).
+//!
+//! Every provider commits to a private random value, then — only after
+//! holding all `m` commitments and matching echoes — reveals it. The coin
+//! output combines all contributions, so as long as at least one
+//! contributor's randomness is uniform and independent (guaranteed when
+//! any provider outside the coalition is honest) the output is uniform,
+//! and nobody can bias it without producing a detectable violation (⊥).
+//!
+//! The block's *input* is the distribution Π the callers want to sample;
+//! Π travels as the public part of the commit, so providers that disagree
+//! about the distribution abort rather than sample from different laws.
+//! Besides the sample, the block outputs 32 bytes of agreed **material**
+//! from which replicated algorithms derive all further deterministic
+//! randomness (`dauctioneer-mechanisms::SharedRng`).
+
+use bytes::Bytes;
+use dauctioneer_crypto::Sha256;
+use dauctioneer_types::{Encode, ProviderId};
+use rand::RngCore;
+
+use crate::block::{Block, BlockResult, Ctx};
+use crate::distribution::Distribution;
+use crate::exchange::{CommitReveal, Contribution};
+
+/// Bytes of randomness each provider contributes.
+const CONTRIBUTION_BYTES: usize = 32;
+
+/// The coin's output: a sample of Π plus agreed seed material.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoinValue {
+    /// A number distributed according to the input distribution Π.
+    pub sample: f64,
+    /// 32 bytes of agreed randomness for seeding replicated algorithms.
+    pub material: [u8; 32],
+}
+
+/// The common-coin block.
+#[derive(Debug)]
+pub struct CommonCoin {
+    distribution: Distribution,
+    exchange: CommitReveal,
+    result: Option<BlockResult<CoinValue>>,
+}
+
+impl CommonCoin {
+    /// Create the block for provider `me` of `m`, sampling `distribution`.
+    /// Local randomness comes from `rng`.
+    pub fn new(
+        me: ProviderId,
+        m: usize,
+        distribution: Distribution,
+        rng: &mut dyn RngCore,
+    ) -> CommonCoin {
+        let mut random = [0u8; CONTRIBUTION_BYTES];
+        rng.fill_bytes(&mut random);
+        let mut nonce = [0u8; 32];
+        rng.fill_bytes(&mut nonce);
+        let public = distribution.encode_to_bytes();
+        let exchange = CommitReveal::new(
+            me,
+            m,
+            public,
+            Bytes::copy_from_slice(&random),
+            nonce,
+            CONTRIBUTION_BYTES,
+        );
+        CommonCoin { distribution, exchange, result: None }
+    }
+
+    fn decide(&self, contributions: &[Contribution]) -> BlockResult<CoinValue> {
+        // All providers must have asked for the same distribution.
+        let my_public = self.distribution.encode_to_bytes();
+        for c in contributions {
+            if c.public != my_public || c.random.len() != CONTRIBUTION_BYTES {
+                return BlockResult::Abort;
+            }
+        }
+        // Combine: hash the concatenation (order is provider-id order,
+        // identical everywhere). Any single uniform contribution makes the
+        // digest uniform.
+        let mut h = Sha256::new();
+        h.update(b"dauctioneer/common-coin/v1");
+        for c in contributions {
+            h.update(&c.random);
+        }
+        let digest = h.finalize();
+        let material = digest.0;
+        // Map the first 8 bytes to u ∈ [0,1), then through Π.
+        let u = digest.prefix_u64() as f64 / (u64::MAX as f64 + 1.0);
+        let sample = self.distribution.transform(u);
+        BlockResult::Value(CoinValue { sample, material })
+    }
+
+    fn poll(&mut self) {
+        if self.result.is_some() {
+            return;
+        }
+        match self.exchange.result() {
+            Some(BlockResult::Value(contributions)) => {
+                self.result = Some(self.decide(contributions));
+            }
+            Some(BlockResult::Abort) => self.result = Some(BlockResult::Abort),
+            None => {}
+        }
+    }
+}
+
+impl Block for CommonCoin {
+    type Output = CoinValue;
+
+    fn start(&mut self, ctx: &mut dyn Ctx) {
+        self.exchange.start(ctx);
+        self.poll();
+    }
+
+    fn on_message(&mut self, from: ProviderId, payload: &[u8], ctx: &mut dyn Ctx) {
+        if self.result.is_some() {
+            return;
+        }
+        self.exchange.on_message(from, payload, ctx);
+        self.poll();
+    }
+
+    fn result(&self) -> Option<&BlockResult<CoinValue>> {
+        self.result.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::OutboxCtx;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_all(blocks: &mut [CommonCoin]) -> Vec<Option<BlockResult<CoinValue>>> {
+        let m = blocks.len();
+        let mut ctxs: Vec<OutboxCtx> =
+            (0..m).map(|i| OutboxCtx::new(ProviderId(i as u32), m)).collect();
+        for (b, c) in blocks.iter_mut().zip(&mut ctxs) {
+            b.start(c);
+        }
+        loop {
+            let mut moved = false;
+            for i in 0..m {
+                for (to, payload) in ctxs[i].drain() {
+                    moved = true;
+                    let mut ctx = OutboxCtx::new(to, m);
+                    blocks[to.index()].on_message(ProviderId(i as u32), &payload, &mut ctx);
+                    ctxs[to.index()].outbox.extend(ctx.drain());
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        blocks.iter().map(|b| b.result().cloned()).collect()
+    }
+
+    fn coins(m: usize, dist: Distribution, seed_base: u64) -> Vec<CommonCoin> {
+        (0..m)
+            .map(|i| {
+                CommonCoin::new(
+                    ProviderId(i as u32),
+                    m,
+                    dist,
+                    &mut StdRng::seed_from_u64(seed_base + i as u64),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_providers_output_the_same_coin() {
+        let mut blocks = coins(4, Distribution::UniformUnit, 1);
+        let results = run_all(&mut blocks);
+        let first = results[0].clone().unwrap().as_value().unwrap().clone();
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap().as_value().unwrap(), &first);
+        }
+        assert!((0.0..1.0).contains(&first.sample));
+    }
+
+    #[test]
+    fn sample_respects_distribution_support() {
+        let mut blocks = coins(3, Distribution::UniformRange { lo: 5.0, hi: 6.0 }, 2);
+        let results = run_all(&mut blocks);
+        let v = results[0].clone().unwrap().as_value().unwrap().clone();
+        assert!((5.0..6.0).contains(&v.sample));
+    }
+
+    #[test]
+    fn different_seeds_give_different_material() {
+        let run = |seed| {
+            let mut blocks = coins(3, Distribution::UniformUnit, seed);
+            run_all(&mut blocks)[0].clone().unwrap().as_value().unwrap().clone()
+        };
+        assert_ne!(run(10).material, run(20).material);
+    }
+
+    #[test]
+    fn mismatched_distributions_abort() {
+        let m = 2;
+        let mut blocks = vec![
+            CommonCoin::new(
+                ProviderId(0),
+                m,
+                Distribution::UniformUnit,
+                &mut StdRng::seed_from_u64(1),
+            ),
+            CommonCoin::new(
+                ProviderId(1),
+                m,
+                Distribution::Bernoulli { p: 0.5 },
+                &mut StdRng::seed_from_u64(2),
+            ),
+        ];
+        let results = run_all(&mut blocks);
+        for r in results {
+            assert!(r.unwrap().is_abort());
+        }
+    }
+
+    #[test]
+    fn garbage_aborts() {
+        let mut block = CommonCoin::new(
+            ProviderId(0),
+            2,
+            Distribution::UniformUnit,
+            &mut StdRng::seed_from_u64(1),
+        );
+        let mut ctx = OutboxCtx::new(ProviderId(0), 2);
+        block.start(&mut ctx);
+        block.on_message(ProviderId(1), &dauctioneer_net::frame(99, b"zz"), &mut ctx);
+        assert!(block.result().unwrap().is_abort());
+    }
+}

@@ -1,0 +1,266 @@
+//! Rational consensus over bit streams (the paper's reference \[24\],
+//! Afek et al., *Distributed Computing Building Blocks for Rational
+//! Agents*).
+//!
+//! Each provider inputs a fixed-length byte vector; the block decides one
+//! agreed vector such that
+//!
+//! * **eventual agreement** — all honest providers output the same vector;
+//! * **validity** — every *bit position* where all inputs agree keeps that
+//!   value (so a correct bidder's bid, which every provider received
+//!   identically, survives untouched);
+//! * disagreeing positions are settled by the **shared coin** produced by
+//!   the commit–reveal exchange, which no coalition of `k < m/2` providers
+//!   can bias (they commit to their randomness before seeing `m − k ≥ k+1`
+//!   honest contributions).
+//!
+//! The paper runs one consensus instance per bid *bit*; this
+//! implementation batches all positions of all bidders into one exchange —
+//! the per-bit decision rule is unchanged, only the packaging differs
+//! (DESIGN.md §2). `m > 2k` is required, as in the paper's §6.
+
+use bytes::Bytes;
+use dauctioneer_types::ProviderId;
+use rand::RngCore;
+
+use crate::block::{Block, BlockResult, Ctx};
+use crate::exchange::{CommitReveal, Contribution};
+
+/// Batched rational consensus on a `stream_len`-byte input vector.
+#[derive(Debug)]
+pub struct RationalConsensus {
+    stream_len: usize,
+    exchange: CommitReveal,
+    result: Option<BlockResult<Bytes>>,
+}
+
+impl RationalConsensus {
+    /// Create an instance for provider `me` of `m`, proposing `input`
+    /// (exactly `stream_len` bytes). Local randomness for the coin
+    /// contribution and the commitment nonce is drawn from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != stream_len` — honest callers always
+    /// propose correctly-sized inputs; sizes are fixed by configuration.
+    pub fn new(
+        me: ProviderId,
+        m: usize,
+        input: Bytes,
+        stream_len: usize,
+        rng: &mut dyn RngCore,
+    ) -> RationalConsensus {
+        assert_eq!(input.len(), stream_len, "consensus input must be stream_len bytes");
+        let mut random = vec![0u8; stream_len];
+        rng.fill_bytes(&mut random);
+        let mut nonce = [0u8; 32];
+        rng.fill_bytes(&mut nonce);
+        let exchange = CommitReveal::new(me, m, input, Bytes::from(random), nonce, stream_len);
+        RationalConsensus { stream_len, exchange, result: None }
+    }
+
+    /// Combine the contributions: per bit, keep unanimous values and let
+    /// the XOR-coin settle the rest.
+    fn decide(&self, contributions: &[Contribution]) -> BlockResult<Bytes> {
+        // A provider that proposed a wrong-sized vector deviated from the
+        // protocol; the block aborts (solution preference makes this
+        // self-defeating for the deviator).
+        for c in contributions {
+            if c.public.len() != self.stream_len || c.random.len() != self.stream_len {
+                return BlockResult::Abort;
+            }
+        }
+        let mut agreed = Vec::with_capacity(self.stream_len);
+        for i in 0..self.stream_len {
+            let mut and = 0xFFu8;
+            let mut or = 0x00u8;
+            let mut coin = 0x00u8;
+            for c in contributions {
+                and &= c.public[i];
+                or |= c.public[i];
+                coin ^= c.random[i];
+            }
+            // Bits where AND == OR are unanimous; the rest come from the
+            // coin.
+            let unanimous_mask = !(and ^ or);
+            agreed.push((and & unanimous_mask) | (coin & !unanimous_mask));
+        }
+        BlockResult::Value(Bytes::from(agreed))
+    }
+}
+
+impl Block for RationalConsensus {
+    type Output = Bytes;
+
+    fn start(&mut self, ctx: &mut dyn Ctx) {
+        self.exchange.start(ctx);
+        self.poll();
+    }
+
+    fn on_message(&mut self, from: ProviderId, payload: &[u8], ctx: &mut dyn Ctx) {
+        if self.result.is_some() {
+            return;
+        }
+        self.exchange.on_message(from, payload, ctx);
+        self.poll();
+    }
+
+    fn result(&self) -> Option<&BlockResult<Bytes>> {
+        self.result.as_ref()
+    }
+}
+
+impl RationalConsensus {
+    fn poll(&mut self) {
+        if self.result.is_some() {
+            return;
+        }
+        match self.exchange.result() {
+            Some(BlockResult::Value(contributions)) => {
+                self.result = Some(self.decide(contributions));
+            }
+            Some(BlockResult::Abort) => self.result = Some(BlockResult::Abort),
+            None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::OutboxCtx;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Synchronously run a set of consensus blocks to quiescence.
+    fn run_all(blocks: &mut [RationalConsensus]) -> Vec<Option<BlockResult<Bytes>>> {
+        let m = blocks.len();
+        let mut ctxs: Vec<OutboxCtx> =
+            (0..m).map(|i| OutboxCtx::new(ProviderId(i as u32), m)).collect();
+        for (b, c) in blocks.iter_mut().zip(&mut ctxs) {
+            b.start(c);
+        }
+        loop {
+            let mut moved = false;
+            for i in 0..m {
+                for (to, payload) in ctxs[i].drain() {
+                    moved = true;
+                    let mut ctx = OutboxCtx::new(to, m);
+                    blocks[to.index()].on_message(ProviderId(i as u32), &payload, &mut ctx);
+                    ctxs[to.index()].outbox.extend(ctx.drain());
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        blocks.iter().map(|b| b.result().cloned()).collect()
+    }
+
+    fn consensus(me: u32, m: usize, input: &[u8], seed: u64) -> RationalConsensus {
+        RationalConsensus::new(
+            ProviderId(me),
+            m,
+            Bytes::copy_from_slice(input),
+            input.len(),
+            &mut StdRng::seed_from_u64(seed),
+        )
+    }
+
+    #[test]
+    fn unanimous_inputs_are_decided_verbatim() {
+        let m = 4;
+        let input = b"identical bids!!";
+        let mut blocks: Vec<RationalConsensus> =
+            (0..m).map(|i| consensus(i as u32, m, input, i as u64)).collect();
+        for r in run_all(&mut blocks) {
+            assert_eq!(r.unwrap().as_value().unwrap().as_ref(), input);
+        }
+    }
+
+    #[test]
+    fn all_providers_agree_even_with_mixed_inputs() {
+        let m = 5;
+        let inputs: Vec<&[u8; 4]> = vec![b"aaaa", b"aaab", b"aaaa", b"abaa", b"aaaa"];
+        let mut blocks: Vec<RationalConsensus> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, inp)| consensus(i as u32, m, *inp, 100 + i as u64))
+            .collect();
+        let results = run_all(&mut blocks);
+        let first = results[0].clone().unwrap();
+        let agreed = first.as_value().unwrap().clone();
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap().as_value().unwrap(), &agreed, "agreement violated");
+        }
+        // Validity at the bit level: positions where all inputs agree must
+        // survive. Bytes 0 and 3 are 'a' in some inputs but differ in
+        // others; check byte 2, unanimous 'a'... byte index 2 differs in
+        // input 3 ("abaa" has 'b' at index 1). Unanimous positions: index 0
+        // ('a' everywhere) and index 2 ('a' everywhere).
+        assert_eq!(agreed[0], b'a');
+        assert_eq!(agreed[2], b'a');
+    }
+
+    #[test]
+    fn bitwise_validity_within_disagreeing_bytes() {
+        // 'a' = 0x61, 'c' = 0x63: they differ only in bit 1. All other bits
+        // of the byte are unanimous and must be preserved, whatever the
+        // coin does.
+        let m = 3;
+        let inputs: Vec<&[u8; 1]> = vec![b"a", b"c", b"a"];
+        let mut blocks: Vec<RationalConsensus> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, inp)| consensus(i as u32, m, *inp, 7 + i as u64))
+            .collect();
+        let results = run_all(&mut blocks);
+        let agreed = results[0].clone().unwrap().as_value().unwrap().clone();
+        assert!(
+            agreed[0] == b'a' || agreed[0] == b'c',
+            "only the contested bit may vary: {:#x}",
+            agreed[0]
+        );
+    }
+
+    #[test]
+    fn coin_settles_fully_contested_positions_deterministically() {
+        // Two providers with fully-opposite bytes: the outcome is
+        // coin-driven but identical across providers and across re-runs
+        // with the same seeds.
+        let m = 3;
+        let inputs: Vec<&[u8; 2]> = vec![&[0x00, 0xFF], &[0xFF, 0x00], &[0x0F, 0xF0]];
+        let run = || {
+            let mut blocks: Vec<RationalConsensus> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, inp)| consensus(i as u32, m, *inp, 55 + i as u64))
+                .collect();
+            run_all(&mut blocks)[0].clone().unwrap().as_value().unwrap().clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wrong_sized_proposal_panics_locally() {
+        let r = std::panic::catch_unwind(|| {
+            RationalConsensus::new(
+                ProviderId(0),
+                2,
+                Bytes::from_static(b"xy"),
+                3,
+                &mut StdRng::seed_from_u64(0),
+            )
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn garbage_message_aborts() {
+        let mut block = consensus(0, 2, b"abcd", 1);
+        let mut ctx = OutboxCtx::new(ProviderId(0), 2);
+        block.start(&mut ctx);
+        block.on_message(ProviderId(1), b"junk-that-does-not-unframe", &mut ctx);
+        assert_eq!(block.result(), Some(&BlockResult::Abort));
+    }
+}

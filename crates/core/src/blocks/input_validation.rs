@@ -1,0 +1,190 @@
+//! The Input Validation building block (§4.2, Property 3).
+//!
+//! Before the allocator runs, every provider broadcasts its input vector
+//! and outputs ⊥ the moment it sees a vector different from its own. This
+//! is what gives providers "preference for a solution at the bid
+//! agreement": diverging there guarantees the allocator voids the auction,
+//! so no coalition gains by making bid agreement output different vectors
+//! at different providers.
+//!
+//! Faithful mode broadcasts the full vector (as the paper describes); the
+//! `hash_only` ablation broadcasts a SHA-256 digest instead, trading a
+//! collision-resistance assumption for bandwidth — the benchmark harness
+//! measures the difference.
+
+use bytes::Bytes;
+use dauctioneer_crypto::sha256;
+use dauctioneer_types::ProviderId;
+
+use crate::block::{Block, BlockResult, Ctx};
+
+/// The input-validation block.
+#[derive(Debug)]
+pub struct InputValidation {
+    me: ProviderId,
+    m: usize,
+    input: Bytes,
+    /// What we broadcast and compare: the input itself or its digest.
+    comparand: Bytes,
+    seen: Vec<bool>,
+    received: usize,
+    result: Option<BlockResult<Bytes>>,
+}
+
+impl InputValidation {
+    /// Create the block for provider `me` of `m` with the given input
+    /// bytes. With `hash_only`, only a 32-byte digest travels.
+    pub fn new(me: ProviderId, m: usize, input: Bytes, hash_only: bool) -> InputValidation {
+        let comparand = if hash_only {
+            Bytes::copy_from_slice(sha256(&input).as_bytes())
+        } else {
+            input.clone()
+        };
+        InputValidation {
+            me,
+            m,
+            input,
+            comparand,
+            seen: vec![false; m],
+            received: 0,
+            result: None,
+        }
+    }
+
+    fn abort(&mut self) {
+        if self.result.is_none() {
+            self.result = Some(BlockResult::Abort);
+        }
+    }
+}
+
+impl Block for InputValidation {
+    type Output = Bytes;
+
+    fn start(&mut self, ctx: &mut dyn Ctx) {
+        if self.m == 1 {
+            // Degenerate single-provider run: nothing to validate against.
+            self.result = Some(BlockResult::Value(self.input.clone()));
+            return;
+        }
+        ctx.broadcast(self.comparand.clone());
+    }
+
+    fn on_message(&mut self, from: ProviderId, payload: &[u8], _ctx: &mut dyn Ctx) {
+        if self.result.is_some() {
+            return;
+        }
+        if from == self.me || from.index() >= self.m {
+            self.abort();
+            return;
+        }
+        if self.seen[from.index()] {
+            // Duplicate: protocol violation.
+            self.abort();
+            return;
+        }
+        self.seen[from.index()] = true;
+        if payload != self.comparand.as_ref() {
+            // Two providers hold different inputs: both will detect it and
+            // output ⊥, which is condition (1) of Property 3.
+            self.abort();
+            return;
+        }
+        self.received += 1;
+        if self.received == self.m - 1 {
+            self.result = Some(BlockResult::Value(self.input.clone()));
+        }
+    }
+
+    fn result(&self) -> Option<&BlockResult<Bytes>> {
+        self.result.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::OutboxCtx;
+
+    fn deliver_all(blocks: &mut [InputValidation]) {
+        let m = blocks.len();
+        let mut ctxs: Vec<OutboxCtx> =
+            (0..m).map(|i| OutboxCtx::new(ProviderId(i as u32), m)).collect();
+        for (b, c) in blocks.iter_mut().zip(&mut ctxs) {
+            b.start(c);
+        }
+        for i in 0..m {
+            for (to, payload) in ctxs[i].drain() {
+                let mut ctx = OutboxCtx::new(to, m);
+                blocks[to.index()].on_message(ProviderId(i as u32), &payload, &mut ctx);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_inputs_validate() {
+        let input = Bytes::from_static(b"the agreed bid vector");
+        let mut blocks: Vec<InputValidation> = (0..3)
+            .map(|i| InputValidation::new(ProviderId(i), 3, input.clone(), false))
+            .collect();
+        deliver_all(&mut blocks);
+        for b in &blocks {
+            assert_eq!(b.result(), Some(&BlockResult::Value(input.clone())));
+        }
+    }
+
+    #[test]
+    fn differing_input_aborts_both_parties() {
+        let mut blocks = vec![
+            InputValidation::new(ProviderId(0), 2, Bytes::from_static(b"AAA"), false),
+            InputValidation::new(ProviderId(1), 2, Bytes::from_static(b"BBB"), false),
+        ];
+        deliver_all(&mut blocks);
+        assert_eq!(blocks[0].result(), Some(&BlockResult::Abort));
+        assert_eq!(blocks[1].result(), Some(&BlockResult::Abort));
+    }
+
+    #[test]
+    fn hash_only_mode_validates_equal_inputs() {
+        let input = Bytes::from_static(b"long vector that we hash");
+        let mut blocks: Vec<InputValidation> = (0..3)
+            .map(|i| InputValidation::new(ProviderId(i), 3, input.clone(), true))
+            .collect();
+        deliver_all(&mut blocks);
+        for b in &blocks {
+            assert_eq!(b.result(), Some(&BlockResult::Value(input.clone())));
+        }
+    }
+
+    #[test]
+    fn hash_only_mode_detects_mismatch() {
+        let mut blocks = vec![
+            InputValidation::new(ProviderId(0), 2, Bytes::from_static(b"AAA"), true),
+            InputValidation::new(ProviderId(1), 2, Bytes::from_static(b"BBB"), true),
+        ];
+        deliver_all(&mut blocks);
+        assert!(blocks[0].result().unwrap().is_abort());
+        assert!(blocks[1].result().unwrap().is_abort());
+    }
+
+    #[test]
+    fn duplicate_message_aborts() {
+        let input = Bytes::from_static(b"x");
+        let mut b = InputValidation::new(ProviderId(0), 3, input.clone(), false);
+        let mut ctx = OutboxCtx::new(ProviderId(0), 3);
+        b.start(&mut ctx);
+        b.on_message(ProviderId(1), &input, &mut ctx);
+        assert!(b.result().is_none());
+        b.on_message(ProviderId(1), &input, &mut ctx);
+        assert_eq!(b.result(), Some(&BlockResult::Abort));
+    }
+
+    #[test]
+    fn single_provider_validates_immediately() {
+        let input = Bytes::from_static(b"solo");
+        let mut b = InputValidation::new(ProviderId(0), 1, input.clone(), false);
+        let mut ctx = OutboxCtx::new(ProviderId(0), 1);
+        b.start(&mut ctx);
+        assert_eq!(b.result(), Some(&BlockResult::Value(input)));
+    }
+}

@@ -1,0 +1,15 @@
+//! The four building blocks of the framework (§4 of the paper): bid
+//! agreement, input validation, common coin, and data transfer, plus the
+//! rational-consensus primitive that bid agreement builds on.
+
+pub mod bid_agreement;
+pub mod common_coin;
+pub mod consensus;
+pub mod data_transfer;
+pub mod input_validation;
+
+pub use bid_agreement::{decode_fixed, encode_fixed, stream_len, BidAgreement};
+pub use common_coin::{CoinValue, CommonCoin};
+pub use consensus::RationalConsensus;
+pub use data_transfer::DataTransfer;
+pub use input_validation::InputValidation;

@@ -1,0 +1,169 @@
+//! Probability distributions Π for the common coin.
+//!
+//! The paper's common coin is invoked "with input Π" and must output a
+//! value distributed according to Π (§4.2, Property 4). The protocol
+//! produces a uniform value in [0,1) from the combined commit–reveal
+//! randomness; [`Distribution::transform`] maps it to the target
+//! distribution by inverse-CDF, identically on every replica.
+
+use dauctioneer_types::{CodecError, Decode, Encode, Reader, Writer};
+
+/// A target distribution for the common coin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Uniform on `[0, 1)`.
+    UniformUnit,
+    /// Uniform on `[lo, hi)`.
+    UniformRange {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// `1.0` with probability `p`, else `0.0`.
+    Bernoulli {
+        /// Success probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Uniform over the integers `0..n`, returned as `f64`.
+    DiscreteUniform {
+        /// Number of outcomes (must be ≥ 1).
+        n: u64,
+    },
+    /// Exponential with the given rate λ.
+    Exponential {
+        /// Rate parameter λ > 0.
+        rate: f64,
+    },
+}
+
+impl Distribution {
+    /// Map a uniform `u ∈ [0, 1)` to this distribution by inverse CDF.
+    ///
+    /// Deterministic: every replica computing `transform` on the same `u`
+    /// gets bit-identical results (pure IEEE-754 arithmetic, no
+    /// platform-dependent intrinsics beyond `ln`, which is deterministic
+    /// for a fixed target).
+    pub fn transform(&self, u: f64) -> f64 {
+        debug_assert!((0.0..1.0).contains(&u), "u must be in [0,1): {u}");
+        match self {
+            Distribution::UniformUnit => u,
+            Distribution::UniformRange { lo, hi } => lo + (hi - lo) * u,
+            Distribution::Bernoulli { p } => {
+                if u < *p {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Distribution::DiscreteUniform { n } => {
+                let k = (u * *n as f64) as u64;
+                k.min(n.saturating_sub(1)) as f64
+            }
+            Distribution::Exponential { rate } => -(1.0 - u).ln() / rate,
+        }
+    }
+}
+
+impl Encode for Distribution {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Distribution::UniformUnit => w.put_u8(0),
+            Distribution::UniformRange { lo, hi } => {
+                w.put_u8(1);
+                w.put_u64(lo.to_bits());
+                w.put_u64(hi.to_bits());
+            }
+            Distribution::Bernoulli { p } => {
+                w.put_u8(2);
+                w.put_u64(p.to_bits());
+            }
+            Distribution::DiscreteUniform { n } => {
+                w.put_u8(3);
+                w.put_u64(*n);
+            }
+            Distribution::Exponential { rate } => {
+                w.put_u8(4);
+                w.put_u64(rate.to_bits());
+            }
+        }
+    }
+}
+
+impl Decode for Distribution {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(Distribution::UniformUnit),
+            1 => Ok(Distribution::UniformRange {
+                lo: f64::from_bits(r.get_u64()?),
+                hi: f64::from_bits(r.get_u64()?),
+            }),
+            2 => Ok(Distribution::Bernoulli { p: f64::from_bits(r.get_u64()?) }),
+            3 => Ok(Distribution::DiscreteUniform { n: r.get_u64()? }),
+            4 => Ok(Distribution::Exponential { rate: f64::from_bits(r.get_u64()?) }),
+            tag => Err(CodecError::InvalidTag { what: "Distribution", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dauctioneer_types::codec::roundtrip;
+
+    #[test]
+    fn uniform_unit_is_identity() {
+        assert_eq!(Distribution::UniformUnit.transform(0.25), 0.25);
+    }
+
+    #[test]
+    fn uniform_range_scales() {
+        let d = Distribution::UniformRange { lo: 10.0, hi: 20.0 };
+        assert_eq!(d.transform(0.0), 10.0);
+        assert_eq!(d.transform(0.5), 15.0);
+        assert!(d.transform(0.999) < 20.0);
+    }
+
+    #[test]
+    fn bernoulli_thresholds() {
+        let d = Distribution::Bernoulli { p: 0.3 };
+        assert_eq!(d.transform(0.1), 1.0);
+        assert_eq!(d.transform(0.3), 0.0);
+        assert_eq!(d.transform(0.9), 0.0);
+    }
+
+    #[test]
+    fn discrete_uniform_covers_support() {
+        let d = Distribution::DiscreteUniform { n: 4 };
+        assert_eq!(d.transform(0.0), 0.0);
+        assert_eq!(d.transform(0.26), 1.0);
+        assert_eq!(d.transform(0.99), 3.0);
+    }
+
+    #[test]
+    fn exponential_quantiles() {
+        let d = Distribution::Exponential { rate: 2.0 };
+        assert_eq!(d.transform(0.0), 0.0);
+        // Median of Exp(2) is ln(2)/2.
+        let median = d.transform(0.5);
+        assert!((median - 0.5f64.ln().abs() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn codec_roundtrips_all_variants() {
+        for d in [
+            Distribution::UniformUnit,
+            Distribution::UniformRange { lo: -1.5, hi: 2.5 },
+            Distribution::Bernoulli { p: 0.75 },
+            Distribution::DiscreteUniform { n: 9 },
+            Distribution::Exponential { rate: 0.1 },
+        ] {
+            assert_eq!(roundtrip(&d).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        assert!(Distribution::decode_all(&[9]).is_err());
+    }
+}

@@ -1,0 +1,333 @@
+//! Task graphs: the decomposition of the allocation algorithm `A` into
+//! parallelisable tasks (§4.2, Fig. 2 of the paper).
+//!
+//! Nodes are tasks executed by *groups of at least k+1 providers* (so no
+//! coalition of k can corrupt a task's replicated result); edges are data
+//! dependencies, realised by the data-transfer block when the consuming
+//! task's executors don't all hold the produced value. The final task must
+//! be executed by every provider — it is where all providers gather the
+//! data to produce the output (§4.2).
+
+use std::error::Error;
+use std::fmt;
+
+use dauctioneer_types::ProviderId;
+
+/// Identifier of a task: its index in the graph's task list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// One task: what it depends on and who executes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Tasks whose outputs this task consumes (must precede it in the
+    /// list).
+    pub deps: Vec<TaskId>,
+    /// The providers that execute this task, sorted ascending.
+    pub executors: Vec<ProviderId>,
+}
+
+/// A validated decomposition of `A`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskGraphSpec {
+    tasks: Vec<TaskSpec>,
+}
+
+/// Why a task graph is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskGraphError {
+    /// The graph has no tasks.
+    Empty,
+    /// A dependency points at the task itself or a later task.
+    BadDependency {
+        /// The dependent task.
+        task: TaskId,
+        /// The offending dependency.
+        dep: TaskId,
+    },
+    /// A task's executor list is unsorted, has duplicates, or references a
+    /// provider ≥ m.
+    BadExecutors {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// A task is replicated on fewer than k+1 providers.
+    GroupTooSmall {
+        /// The offending task.
+        task: TaskId,
+        /// Its group size.
+        size: usize,
+        /// The required minimum, k+1.
+        required: usize,
+    },
+    /// The final task is not executed by all m providers.
+    FinalNotGlobal,
+}
+
+impl fmt::Display for TaskGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskGraphError::Empty => write!(f, "task graph has no tasks"),
+            TaskGraphError::BadDependency { task, dep } => {
+                write!(f, "task {task} depends on {dep}, which does not precede it")
+            }
+            TaskGraphError::BadExecutors { task } => {
+                write!(f, "task {task} has an invalid executor list")
+            }
+            TaskGraphError::GroupTooSmall { task, size, required } => {
+                write!(f, "task {task} runs on {size} providers, need at least {required}")
+            }
+            TaskGraphError::FinalNotGlobal => {
+                write!(f, "the final task must be executed by all providers")
+            }
+        }
+    }
+}
+
+impl Error for TaskGraphError {}
+
+/// A transfer edge derived from the graph: executors of `from` ship the
+/// task's output to the consumers that don't already hold it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferEdge {
+    /// The producing task.
+    pub from: TaskId,
+    /// The consuming task.
+    pub to: TaskId,
+    /// Senders: the executors of `from`.
+    pub senders: Vec<ProviderId>,
+    /// Receivers: executors of `to` that are not executors of `from`.
+    pub receivers: Vec<ProviderId>,
+}
+
+impl TaskGraphSpec {
+    /// Validate and build a graph for `m` providers tolerating coalitions
+    /// of size `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TaskGraphError`] found.
+    pub fn new(tasks: Vec<TaskSpec>, m: usize, k: usize) -> Result<TaskGraphSpec, TaskGraphError> {
+        if tasks.is_empty() {
+            return Err(TaskGraphError::Empty);
+        }
+        for (i, task) in tasks.iter().enumerate() {
+            let id = TaskId(i as u32);
+            for dep in &task.deps {
+                if dep.index() >= i {
+                    return Err(TaskGraphError::BadDependency { task: id, dep: *dep });
+                }
+            }
+            let sorted_unique = task.executors.windows(2).all(|w| w[0] < w[1]);
+            let in_range = task.executors.iter().all(|p| p.index() < m);
+            if task.executors.is_empty() || !sorted_unique || !in_range {
+                return Err(TaskGraphError::BadExecutors { task: id });
+            }
+            if task.executors.len() < k + 1 {
+                return Err(TaskGraphError::GroupTooSmall {
+                    task: id,
+                    size: task.executors.len(),
+                    required: k + 1,
+                });
+            }
+        }
+        let final_task = tasks.last().expect("non-empty");
+        if final_task.executors.len() != m {
+            return Err(TaskGraphError::FinalNotGlobal);
+        }
+        Ok(TaskGraphSpec { tasks })
+    }
+
+    /// The tasks, in topological (list) order.
+    pub fn tasks(&self) -> &[TaskSpec] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `false` always (validated graphs are non-empty); provided for API
+    /// completeness.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The final (gather) task's id.
+    pub fn final_task(&self) -> TaskId {
+        TaskId((self.tasks.len() - 1) as u32)
+    }
+
+    /// Is `provider` an executor of `task`?
+    pub fn executes(&self, provider: ProviderId, task: TaskId) -> bool {
+        self.tasks[task.index()].executors.binary_search(&provider).is_ok()
+    }
+
+    /// Derive the transfer edges: one per (dep, task) pair where some
+    /// executor of the consuming task lacks the produced value. Edge order
+    /// is deterministic (task list order), which the allocator uses as the
+    /// channel-tag namespace.
+    pub fn transfer_edges(&self) -> Vec<TransferEdge> {
+        let mut edges = Vec::new();
+        for (i, task) in self.tasks.iter().enumerate() {
+            for dep in &task.deps {
+                let producers = &self.tasks[dep.index()].executors;
+                let receivers: Vec<ProviderId> = task
+                    .executors
+                    .iter()
+                    .copied()
+                    .filter(|p| producers.binary_search(p).is_err())
+                    .collect();
+                if !receivers.is_empty() {
+                    edges.push(TransferEdge {
+                        from: *dep,
+                        to: TaskId(i as u32),
+                        senders: producers.clone(),
+                        receivers,
+                    });
+                }
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(ids: &[u32]) -> Vec<ProviderId> {
+        ids.iter().map(|&i| ProviderId(i)).collect()
+    }
+
+    fn all(m: u32) -> Vec<ProviderId> {
+        (0..m).map(ProviderId).collect()
+    }
+
+    #[test]
+    fn valid_single_task_graph() {
+        let g = TaskGraphSpec::new(vec![TaskSpec { deps: vec![], executors: all(3) }], 3, 1)
+            .unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.final_task(), TaskId(0));
+        assert!(g.transfer_edges().is_empty());
+        assert!(g.executes(ProviderId(2), TaskId(0)));
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn algorithm_1_shape_produces_expected_edges() {
+        // T0: allocation by all; T1, T2: payments by groups; T3: gather by
+        // all (m = 4, k = 1, two groups of 2).
+        let g = TaskGraphSpec::new(
+            vec![
+                TaskSpec { deps: vec![], executors: all(4) },
+                TaskSpec { deps: vec![TaskId(0)], executors: p(&[0, 1]) },
+                TaskSpec { deps: vec![TaskId(0)], executors: p(&[2, 3]) },
+                TaskSpec {
+                    deps: vec![TaskId(0), TaskId(1), TaskId(2)],
+                    executors: all(4),
+                },
+            ],
+            4,
+            1,
+        )
+        .unwrap();
+        let edges = g.transfer_edges();
+        // T1 and T2 executors all hold T0 (they executed it); the gather
+        // needs T1's output at {2,3} and T2's at {0,1}.
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].from, TaskId(1));
+        assert_eq!(edges[0].to, TaskId(3));
+        assert_eq!(edges[0].senders, p(&[0, 1]));
+        assert_eq!(edges[0].receivers, p(&[2, 3]));
+        assert_eq!(edges[1].from, TaskId(2));
+        assert_eq!(edges[1].receivers, p(&[0, 1]));
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert_eq!(TaskGraphSpec::new(vec![], 3, 1), Err(TaskGraphError::Empty));
+    }
+
+    #[test]
+    fn rejects_forward_dependency() {
+        let err = TaskGraphSpec::new(
+            vec![
+                TaskSpec { deps: vec![TaskId(1)], executors: all(3) },
+                TaskSpec { deps: vec![], executors: all(3) },
+            ],
+            3,
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TaskGraphError::BadDependency { .. }));
+    }
+
+    #[test]
+    fn rejects_small_group() {
+        let err = TaskGraphSpec::new(
+            vec![
+                TaskSpec { deps: vec![], executors: p(&[0]) },
+                TaskSpec { deps: vec![TaskId(0)], executors: all(3) },
+            ],
+            3,
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TaskGraphError::GroupTooSmall { task: TaskId(0), size: 1, required: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_non_global_final_task() {
+        let err = TaskGraphSpec::new(
+            vec![TaskSpec { deps: vec![], executors: p(&[0, 1]) }],
+            3,
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(err, TaskGraphError::FinalNotGlobal);
+    }
+
+    #[test]
+    fn rejects_unsorted_or_out_of_range_executors() {
+        let err = TaskGraphSpec::new(
+            vec![TaskSpec { deps: vec![], executors: p(&[1, 0, 2]) }],
+            3,
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TaskGraphError::BadExecutors { .. }));
+        let err = TaskGraphSpec::new(
+            vec![TaskSpec { deps: vec![], executors: p(&[0, 5]) }],
+            3,
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TaskGraphError::BadExecutors { .. }));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = TaskGraphError::GroupTooSmall { task: TaskId(2), size: 1, required: 3 };
+        assert!(e.to_string().contains("T2"));
+        assert!(TaskGraphError::FinalNotGlobal.to_string().contains("final task"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Edge-path tests for the top-level auctioneer block and the coin's
+//! distributional behaviour.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use dauctioneer_core::blocks::{CoinValue, CommonCoin};
+use dauctioneer_core::{
+    Auctioneer, Block, BlockResult, Distribution, DoubleAuctionProgram, FrameworkConfig,
+    OutboxCtx,
+};
+use dauctioneer_net::frame;
+use dauctioneer_types::{BidVector, Outcome, ProviderId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn auctioneer(me: u32) -> Auctioneer<DoubleAuctionProgram> {
+    Auctioneer::new_seeded(
+        FrameworkConfig::new(3, 1, 2, 1),
+        ProviderId(me),
+        Arc::new(DoubleAuctionProgram::new()),
+        BidVector::all_neutral_with_asks(2, 1),
+        7,
+    )
+}
+
+#[test]
+fn unknown_top_level_tag_aborts() {
+    let mut a = auctioneer(0);
+    let mut ctx = OutboxCtx::new(ProviderId(0), 3);
+    a.start(&mut ctx);
+    a.on_message(ProviderId(1), &frame(99, b"?"), &mut ctx);
+    assert_eq!(a.outcome(), Some(Outcome::Abort));
+}
+
+#[test]
+fn unframeable_message_aborts() {
+    let mut a = auctioneer(0);
+    let mut ctx = OutboxCtx::new(ProviderId(0), 3);
+    a.start(&mut ctx);
+    a.on_message(ProviderId(1), b"abc", &mut ctx); // < 8 bytes: no frame
+    assert_eq!(a.outcome(), Some(Outcome::Abort));
+}
+
+#[test]
+fn garbage_inside_bid_agreement_aborts() {
+    let mut a = auctioneer(0);
+    let mut ctx = OutboxCtx::new(ProviderId(0), 3);
+    a.start(&mut ctx);
+    // Tag 1 = bid agreement; inner garbage that unframes to an unknown round.
+    a.on_message(ProviderId(1), &frame(1, &frame(77, b"junk")), &mut ctx);
+    assert_eq!(a.outcome(), Some(Outcome::Abort));
+}
+
+#[test]
+fn outcome_is_none_until_decided() {
+    let a = auctioneer(0);
+    assert!(a.outcome().is_none());
+    assert_eq!(a.me(), ProviderId(0));
+    assert_eq!(a.config().m, 3);
+}
+
+#[test]
+#[should_panic(expected = "invalid framework configuration")]
+fn invalid_config_is_rejected_at_construction() {
+    let _ = Auctioneer::new_seeded(
+        FrameworkConfig::new(2, 1, 2, 1), // m ≤ 2k
+        ProviderId(0),
+        Arc::new(DoubleAuctionProgram::new()),
+        BidVector::all_neutral_with_asks(2, 1),
+        7,
+    );
+}
+
+/// Drive m coins synchronously and return the agreed sample.
+fn coin_sample(m: usize, dist: Distribution, seed: u64) -> f64 {
+    let mut blocks: Vec<CommonCoin> = (0..m)
+        .map(|i| {
+            CommonCoin::new(
+                ProviderId(i as u32),
+                m,
+                dist,
+                &mut StdRng::seed_from_u64(seed * 31 + i as u64),
+            )
+        })
+        .collect();
+    let mut ctxs: Vec<OutboxCtx> =
+        (0..m).map(|i| OutboxCtx::new(ProviderId(i as u32), m)).collect();
+    for (b, c) in blocks.iter_mut().zip(&mut ctxs) {
+        b.start(c);
+    }
+    loop {
+        let mut moved = false;
+        for i in 0..m {
+            let drained: Vec<(ProviderId, Bytes)> = ctxs[i].drain();
+            for (to, payload) in drained {
+                moved = true;
+                let mut ctx = OutboxCtx::new(to, m);
+                blocks[to.index()].on_message(ProviderId(i as u32), &payload, &mut ctx);
+                ctxs[to.index()].outbox.extend(ctx.drain());
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    match blocks[0].result() {
+        Some(BlockResult::Value(CoinValue { sample, .. })) => *sample,
+        other => panic!("coin failed: {other:?}"),
+    }
+}
+
+/// The coin's uniform samples should spread across the unit interval —
+/// a coarse distributional sanity check (each quartile populated over 80
+/// independent sessions).
+#[test]
+fn coin_samples_cover_the_unit_interval() {
+    let mut quartiles = [0usize; 4];
+    let sessions = 80;
+    for seed in 0..sessions {
+        let sample = coin_sample(3, Distribution::UniformUnit, seed);
+        assert!((0.0..1.0).contains(&sample));
+        quartiles[(sample * 4.0) as usize % 4] += 1;
+    }
+    for (i, count) in quartiles.iter().enumerate() {
+        assert!(
+            *count >= sessions as usize / 10,
+            "quartile {i} underpopulated: {quartiles:?}"
+        );
+    }
+}
+
+/// Bernoulli coins land on both sides with a plausible frequency.
+#[test]
+fn bernoulli_coin_hits_both_outcomes() {
+    let mut ones = 0;
+    let sessions = 40;
+    for seed in 0..sessions {
+        let sample = coin_sample(3, Distribution::Bernoulli { p: 0.5 }, 1000 + seed);
+        assert!(sample == 0.0 || sample == 1.0);
+        if sample == 1.0 {
+            ones += 1;
+        }
+    }
+    assert!(ones > 5 && ones < 35, "suspicious Bernoulli frequency: {ones}/{sessions}");
+}

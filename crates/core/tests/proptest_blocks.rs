@@ -1,0 +1,140 @@
+//! Property tests for the protocol building blocks: the §4 properties
+//! hold on arbitrary inputs and arrival orders.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use dauctioneer_core::blocks::{decode_fixed, encode_fixed, stream_len, RationalConsensus};
+use dauctioneer_core::{Block, BlockResult, OutboxCtx};
+use dauctioneer_types::{BidEntry, BidVector, Bw, Money, ProviderAsk, ProviderId, UserBid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Synchronously drive blocks to quiescence, delivering in an order
+/// permuted by `order_seed` (poor-man's schedule exploration).
+fn drive<B: Block>(blocks: &mut [B], order_seed: u64) {
+    use rand::seq::SliceRandom;
+    let m = blocks.len();
+    let mut rng = StdRng::seed_from_u64(order_seed);
+    let mut pending: Vec<(usize, ProviderId, Bytes)> = Vec::new();
+    let mut ctxs: Vec<OutboxCtx> =
+        (0..m).map(|i| OutboxCtx::new(ProviderId(i as u32), m)).collect();
+    for (b, c) in blocks.iter_mut().zip(&mut ctxs) {
+        b.start(c);
+    }
+    for (i, c) in ctxs.iter_mut().enumerate() {
+        for (to, payload) in c.drain() {
+            pending.push((to.index(), ProviderId(i as u32), payload));
+        }
+    }
+    while !pending.is_empty() {
+        pending.shuffle(&mut rng);
+        let (to, from, payload) = pending.pop().expect("non-empty");
+        let mut ctx = OutboxCtx::new(ProviderId(to as u32), m);
+        blocks[to].on_message(from, &payload, &mut ctx);
+        for (dest, payload) in ctx.drain() {
+            pending.push((dest.index(), ProviderId(to as u32), payload));
+        }
+    }
+}
+
+fn arb_stream(len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Rational consensus: agreement under arbitrary inputs and delivery
+    /// orders; bit-level validity (unanimous bits survive).
+    #[test]
+    fn consensus_agreement_and_validity(
+        inputs in proptest::collection::vec(arb_stream(6), 3..=5),
+        order_seed in any::<u64>(),
+    ) {
+        let m = inputs.len();
+        let mut blocks: Vec<RationalConsensus> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| {
+                RationalConsensus::new(
+                    ProviderId(i as u32),
+                    m,
+                    Bytes::copy_from_slice(input),
+                    input.len(),
+                    &mut StdRng::seed_from_u64(order_seed ^ i as u64),
+                )
+            })
+            .collect();
+        drive(&mut blocks, order_seed);
+        let first = blocks[0].result().cloned().expect("decided");
+        let agreed = match &first {
+            BlockResult::Value(v) => v.clone(),
+            BlockResult::Abort => panic!("honest run aborted"),
+        };
+        for b in &blocks {
+            prop_assert_eq!(b.result(), Some(&first));
+        }
+        // Bit-level validity: wherever all inputs agree, the agreed stream
+        // carries that bit.
+        for pos in 0..agreed.len() {
+            let and = inputs.iter().fold(0xFFu8, |acc, i| acc & i[pos]);
+            let or = inputs.iter().fold(0x00u8, |acc, i| acc | i[pos]);
+            let unanimous = !(and ^ or);
+            prop_assert_eq!(
+                agreed[pos] & unanimous,
+                and & unanimous,
+                "validity violated at byte {}", pos
+            );
+        }
+    }
+
+    /// The fixed-width bid codec round-trips every normalised vector and
+    /// never panics on arbitrary streams.
+    #[test]
+    fn fixed_codec_roundtrip(
+        users in proptest::collection::vec(
+            proptest::option::of((1i64..2_000_000, 1u64..2_000_000)), 0..10),
+        asks in proptest::collection::vec((0i64..1_000_000, 1u64..2_000_000), 0..5),
+    ) {
+        let entries: Vec<BidEntry> = users
+            .iter()
+            .map(|u| match u {
+                Some((v, d)) => BidEntry::Valid(
+                    UserBid::new(Money::from_micro(*v), Bw::from_micro(*d))),
+                None => BidEntry::Neutral,
+            })
+            .collect();
+        let asks: Vec<ProviderAsk> = asks
+            .iter()
+            .map(|(c, cap)| ProviderAsk::new(Money::from_micro(*c), Bw::from_micro(*cap)))
+            .collect();
+        let bids = BidVector::from_parts(entries, asks);
+        let encoded = encode_fixed(&bids);
+        prop_assert_eq!(encoded.len(), stream_len(bids.num_users(), bids.num_asks()));
+        let decoded = decode_fixed(&encoded, bids.num_users(), bids.num_asks());
+        prop_assert_eq!(decoded, bids);
+    }
+
+    /// Arbitrary (coin-mixed) streams decode to *some* well-formed vector:
+    /// totality of decode_fixed.
+    #[test]
+    fn fixed_decode_is_total(
+        n in 0usize..8,
+        a in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        use rand::RngCore;
+        let mut bytes = vec![0u8; stream_len(n, a)];
+        StdRng::seed_from_u64(seed).fill_bytes(&mut bytes);
+        let decoded = decode_fixed(&bytes, n, a);
+        prop_assert_eq!(decoded.num_users(), n);
+        prop_assert_eq!(decoded.num_asks(), a);
+        // Every decoded entry is valid-or-neutral (normalised).
+        for entry in decoded.user_entries() {
+            if let BidEntry::Valid(bid) = entry {
+                prop_assert!(bid.is_valid());
+            }
+        }
+    }
+}

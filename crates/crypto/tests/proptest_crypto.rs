@@ -1,0 +1,81 @@
+//! Property tests for the cryptographic substrate.
+
+use proptest::prelude::*;
+
+use dauctioneer_crypto::{derive_seed, sha256, Commitment, CommitmentOpening, SeedDomain, Sha256};
+
+proptest! {
+    /// Incremental hashing equals one-shot hashing for every chunking.
+    #[test]
+    fn incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        splits in proptest::collection::vec(0usize..512, 0..6),
+    ) {
+        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut h = Sha256::new();
+        let mut prev = 0;
+        for cut in cuts {
+            h.update(&data[prev..cut]);
+            prev = cut;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// Commitments verify with the right opening and fail with any
+    /// tampered payload or nonce.
+    #[test]
+    fn commitment_binding(
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        nonce in any::<[u8; 32]>(),
+        tamper_at in any::<usize>(),
+    ) {
+        let (commitment, opening) = Commitment::commit(&payload, nonce);
+        prop_assert!(commitment.verify(&opening));
+
+        // Tamper with one payload byte (when non-empty).
+        if !payload.is_empty() {
+            let mut bad = payload.clone();
+            let i = tamper_at % bad.len();
+            bad[i] ^= 0x01;
+            let forged = CommitmentOpening::from_parts(nonce, bad);
+            prop_assert!(!commitment.verify(&forged));
+        }
+
+        // Tamper with the nonce.
+        let mut bad_nonce = nonce;
+        bad_nonce[tamper_at % 32] ^= 0x01;
+        let forged = CommitmentOpening::from_parts(bad_nonce, payload.clone());
+        prop_assert!(!commitment.verify(&forged));
+    }
+
+    /// Distinct payloads give distinct digests (collision sanity over the
+    /// sampled space).
+    #[test]
+    fn distinct_inputs_distinct_digests(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(sha256(&a), sha256(&b));
+    }
+
+    /// Seed derivation separates domains, materials and contexts.
+    #[test]
+    fn seed_derivation_separates(
+        material in proptest::collection::vec(any::<u8>(), 0..32),
+        context in proptest::collection::vec(any::<u8>(), 0..32),
+        extra in 1u8..255,
+    ) {
+        let base = derive_seed(SeedDomain::Allocator, &material, &context);
+        // Same inputs: same seed.
+        prop_assert_eq!(base, derive_seed(SeedDomain::Allocator, &material, &context));
+        // Different domain: different seed.
+        prop_assert_ne!(base, derive_seed(SeedDomain::Workload, &material, &context));
+        // Extended material: different seed.
+        let mut material2 = material.clone();
+        material2.push(extra);
+        prop_assert_ne!(base, derive_seed(SeedDomain::Allocator, &material2, &context));
+    }
+}

@@ -1,0 +1,427 @@
+//! The truthful, budget-balanced double auction (§5.2.1 of the paper).
+//!
+//! Following Zheng et al.'s *STAR* mechanism (the algorithm the paper
+//! plugs into the framework for Fig. 4), providers are sorted by ascending
+//! unit cost and users by descending unit value; demand is *water-filled*
+//! into capacity while trades remain profitable; then a McAfee-style
+//! **trade reduction** excludes the marginal user block and the marginal
+//! provider block, whose declared prices become the uniform buyer and
+//! seller clearing prices. Because every included participant trades at a
+//! price set by an *excluded* participant's bid, no included participant
+//! can influence its own price (truthfulness), and because the buyer price
+//! is at least the seller price at the crossing, the auction never runs a
+//! deficit (budget balance). The welfare lost by excluding the marginal
+//! blocks is the classic McAfee sacrifice the paper alludes to ("at the
+//! expense of social welfare").
+//!
+//! When the included sides are unbalanced (total included demand ≠ total
+//! included capacity), the long side is rationed **pro-rata**: every
+//! included block trades the same fraction of its quantity. Rationing by
+//! value order would let a rationed-out participant profit by exaggerating
+//! its bid to jump the queue; pro-rata shares depend only on *declared
+//! quantities* and the inclusion boundary, so truthfulness over valuations
+//! is preserved (quantities are taken as verifiable, the standard
+//! assumption in this literature).
+//!
+//! The algorithm is `O((n+m) log(n+m))` — sorting dominates — which is why
+//! §5.2.1 concludes it is not worth parallelising and the framework runs
+//! it as a single task replicated on every provider.
+
+use dauctioneer_types::{
+    Allocation, AuctionResult, BidVector, Bw, Money, Payments, ProviderId, UserId,
+};
+
+use crate::shared::SharedRng;
+use crate::traits::Mechanism;
+
+/// The double-auction mechanism. Stateless; construct once and reuse.
+///
+/// # Example
+///
+/// ```
+/// use dauctioneer_mechanisms::{DoubleAuction, Mechanism, SharedRng};
+/// use dauctioneer_types::{BidVector, UserBid, ProviderAsk, Money, Bw, UserId};
+///
+/// // Two high-value users, one low-value user, two providers.
+/// let bids = BidVector::builder(3, 2)
+///     .user_bid(0, UserBid::new(Money::from_f64(1.2), Bw::from_f64(0.6)))
+///     .user_bid(1, UserBid::new(Money::from_f64(1.0), Bw::from_f64(0.6)))
+///     .user_bid(2, UserBid::new(Money::from_f64(0.2), Bw::from_f64(0.6)))
+///     .provider_ask(0, ProviderAsk::new(Money::from_f64(0.1), Bw::from_f64(1.0)))
+///     .provider_ask(1, ProviderAsk::new(Money::from_f64(0.5), Bw::from_f64(1.0)))
+///     .build();
+/// let result = DoubleAuction::new().run(&bids, &SharedRng::from_material(b""));
+/// // The marginal blocks are excluded; the top user trades.
+/// assert!(!result.allocation.user_total(UserId(0)).is_zero());
+/// assert!(result.payments.is_budget_balanced());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DoubleAuction {
+    _private: (),
+}
+
+/// `amount · quantity / total`, floored, in 128-bit intermediates.
+fn prorate(amount: Bw, quantity: Bw, total: Bw) -> Bw {
+    debug_assert!(!total.is_zero());
+    Bw((amount.micro() as u128 * quantity.micro() as u128 / total.micro() as u128) as u64)
+}
+
+/// A user block in the sorted demand curve.
+#[derive(Debug, Clone, Copy)]
+struct DemandBlock {
+    user: UserId,
+    value: Money,
+    demand: Bw,
+}
+
+/// A provider block in the sorted supply curve.
+#[derive(Debug, Clone, Copy)]
+struct SupplyBlock {
+    provider: ProviderId,
+    cost: Money,
+    capacity: Bw,
+}
+
+/// Outcome of the crossing walk: the *last blocks that traded* on each
+/// side. These are the marginal blocks, which the trade reduction excludes
+/// and whose declared prices clear the market. Because the final
+/// water-filling step paired them profitably, the buyer price (marginal
+/// user's value) is always at least the seller price (marginal provider's
+/// cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Crossing {
+    /// Sorted index of the marginal user block (last that traded).
+    marginal_user: usize,
+    /// Sorted index of the marginal provider block (last that traded).
+    marginal_provider: usize,
+}
+
+impl DoubleAuction {
+    /// Create the mechanism.
+    pub fn new() -> DoubleAuction {
+        DoubleAuction { _private: () }
+    }
+
+    /// Sorted demand curve: users by descending value, ties by ascending id
+    /// (deterministic across replicas).
+    fn demand_curve(bids: &BidVector) -> Vec<DemandBlock> {
+        let mut blocks: Vec<DemandBlock> = bids
+            .valid_user_bids()
+            .map(|(user, b)| DemandBlock { user, value: b.valuation(), demand: b.demand() })
+            .collect();
+        blocks.sort_by(|a, b| b.value.cmp(&a.value).then(a.user.cmp(&b.user)));
+        blocks
+    }
+
+    /// Sorted supply curve: providers by ascending cost, ties by ascending
+    /// id.
+    fn supply_curve(bids: &BidVector) -> Vec<SupplyBlock> {
+        let mut blocks: Vec<SupplyBlock> = bids
+            .asks()
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_valid())
+            .map(|(j, a)| SupplyBlock {
+                provider: ProviderId(j as u32),
+                cost: a.unit_cost(),
+                capacity: a.capacity(),
+            })
+            .collect();
+        blocks.sort_by(|a, b| a.cost.cmp(&b.cost).then(a.provider.cmp(&b.provider)));
+        blocks
+    }
+
+    /// Walk the two curves, water-filling demand into capacity while the
+    /// marginal trade is profitable (`value ≥ cost`), and report the
+    /// marginal block on each side.
+    fn crossing(demand: &[DemandBlock], supply: &[SupplyBlock]) -> Option<Crossing> {
+        if demand.is_empty() || supply.is_empty() {
+            return None;
+        }
+        let mut u = 0usize;
+        let mut p = 0usize;
+        let mut u_left = demand[0].demand;
+        let mut p_left = supply[0].capacity;
+        let mut last_trade: Option<(usize, usize)> = None;
+        while u < demand.len() && p < supply.len() {
+            if demand[u].value < supply[p].cost {
+                break; // no longer profitable
+            }
+            let step = u_left.min(p_left);
+            // Invalid (zero-quantity) blocks are filtered out before the
+            // walk, so every step trades a positive amount.
+            debug_assert!(!step.is_zero());
+            last_trade = Some((u, p));
+            u_left = u_left.saturating_sub(step);
+            p_left = p_left.saturating_sub(step);
+            if u_left.is_zero() {
+                u += 1;
+                if u < demand.len() {
+                    u_left = demand[u].demand;
+                }
+            }
+            if p_left.is_zero() {
+                p += 1;
+                if p < supply.len() {
+                    p_left = supply[p].capacity;
+                }
+            }
+        }
+        last_trade.map(|(marginal_user, marginal_provider)| Crossing {
+            marginal_user,
+            marginal_provider,
+        })
+    }
+}
+
+impl Mechanism for DoubleAuction {
+    fn run(&self, bids: &BidVector, _shared: &SharedRng) -> AuctionResult {
+        let n = bids.num_users();
+        let m = bids.num_asks();
+        let mut allocation = Allocation::new(n, m);
+        let mut payments = Payments::zero(n, m);
+
+        let demand = Self::demand_curve(bids);
+        let supply = Self::supply_curve(bids);
+        let Some(crossing) = Self::crossing(&demand, &supply) else {
+            return AuctionResult::new(allocation, payments);
+        };
+
+        // Trade reduction: the marginal blocks are excluded and price the
+        // rest. Their declared value/cost become the uniform clearing
+        // prices.
+        let buyer_price = demand[crossing.marginal_user].value;
+        let seller_price = supply[crossing.marginal_provider].cost;
+        debug_assert!(
+            buyer_price >= seller_price,
+            "crossing invariant: buyer price {buyer_price} >= seller price {seller_price}"
+        );
+        let included_users = &demand[..crossing.marginal_user];
+        let included_providers = &supply[..crossing.marginal_provider];
+        if included_users.is_empty() || included_providers.is_empty() {
+            return AuctionResult::new(allocation, payments);
+        }
+
+        // Pro-rata rationing of the long side: every included block trades
+        // the same fraction of its quantity (integer floor; the sub-micro
+        // dust stays untraded).
+        let total_demand: Bw = included_users.iter().map(|b| b.demand).sum();
+        let total_supply: Bw = included_providers.iter().map(|b| b.capacity).sum();
+        let quantity = total_demand.min(total_supply);
+        let buyer_shares: Vec<Bw> =
+            included_users.iter().map(|b| prorate(b.demand, quantity, total_demand)).collect();
+        let seller_shares: Vec<Bw> = included_providers
+            .iter()
+            .map(|b| prorate(b.capacity, quantity, total_supply))
+            .collect();
+
+        // Water-fill the rationed shares into each other; the pairing does
+        // not affect prices or utilities.
+        let mut p = 0usize;
+        let mut p_left = seller_shares[0];
+        'users: for (user_block, share) in included_users.iter().zip(&buyer_shares) {
+            let mut want = *share;
+            while !want.is_zero() {
+                while p_left.is_zero() {
+                    p += 1;
+                    if p >= included_providers.len() {
+                        break 'users; // rounding dust exhausted the sellers
+                    }
+                    p_left = seller_shares[p];
+                }
+                let step = want.min(p_left);
+                allocation.add(user_block.user, included_providers[p].provider, step);
+                want = want.saturating_sub(step);
+                p_left = p_left.saturating_sub(step);
+            }
+        }
+
+        // Uniform clearing prices; quantities traded set the totals.
+        for user_block in included_users {
+            let got = allocation.user_total(user_block.user);
+            payments.set_user_payment(user_block.user, buyer_price.per_unit(got));
+        }
+        for provider_block in included_providers {
+            let sold = allocation.provider_total(provider_block.provider);
+            payments.set_provider_revenue(provider_block.provider, seller_price.per_unit(sold));
+        }
+
+        AuctionResult::new(allocation, payments)
+    }
+
+    fn name(&self) -> &'static str {
+        "double-auction"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dauctioneer_types::{ProviderAsk, UserBid};
+
+    fn shared() -> SharedRng {
+        SharedRng::from_material(b"test")
+    }
+
+    fn user(v: f64, d: f64) -> UserBid {
+        UserBid::new(Money::from_f64(v), Bw::from_f64(d))
+    }
+
+    fn ask(c: f64, cap: f64) -> ProviderAsk {
+        ProviderAsk::new(Money::from_f64(c), Bw::from_f64(cap))
+    }
+
+    #[test]
+    fn empty_auction_allocates_nothing() {
+        let bids = BidVector::all_neutral(3);
+        let r = DoubleAuction::new().run(&bids, &shared());
+        assert!(r.allocation.is_empty());
+        assert_eq!(r.payments.total_user_payments(), Money::ZERO);
+    }
+
+    #[test]
+    fn no_profitable_trade_allocates_nothing() {
+        // User values below provider costs.
+        let bids = BidVector::builder(1, 1)
+            .user_bid(0, user(0.2, 0.5))
+            .provider_ask(0, ask(0.9, 1.0))
+            .build();
+        let r = DoubleAuction::new().run(&bids, &shared());
+        assert!(r.allocation.is_empty());
+    }
+
+    #[test]
+    fn marginal_blocks_are_excluded() {
+        // Three users, two providers; the cheapest provider covers the two
+        // top users; the marginal user (lowest value still profitable) and
+        // the marginal provider must not trade.
+        let bids = BidVector::builder(3, 2)
+            .user_bid(0, user(1.2, 0.5))
+            .user_bid(1, user(1.0, 0.5))
+            .user_bid(2, user(0.8, 0.5))
+            .provider_ask(0, ask(0.1, 1.0))
+            .provider_ask(1, ask(0.5, 1.0))
+            .build();
+        let r = DoubleAuction::new().run(&bids, &shared());
+        // Users 0 and 1 fill provider 0 exactly; the walk then moves to
+        // user 2 / provider 1, making them the marginal blocks.
+        assert_eq!(r.allocation.user_total(UserId(0)), Bw::from_f64(0.5));
+        assert_eq!(r.allocation.user_total(UserId(1)), Bw::from_f64(0.5));
+        assert_eq!(r.allocation.user_total(UserId(2)), Bw::ZERO);
+        assert_eq!(r.allocation.provider_total(ProviderId(1)), Bw::ZERO);
+        // Buyer price is the marginal user's value (0.8), seller price the
+        // marginal provider's cost (0.5).
+        assert_eq!(r.payments.user_payment(UserId(0)), Money::from_f64(0.4));
+        assert_eq!(r.payments.user_payment(UserId(1)), Money::from_f64(0.4));
+        assert_eq!(r.payments.provider_revenue(ProviderId(0)), Money::from_f64(0.5));
+        assert!(r.payments.is_budget_balanced());
+    }
+
+    #[test]
+    fn prices_are_independent_of_included_bids() {
+        // Raising an included user's bid (while staying included) must not
+        // change what it pays per unit.
+        let base = BidVector::builder(3, 2)
+            .user_bid(0, user(1.2, 0.5))
+            .user_bid(1, user(1.0, 0.5))
+            .user_bid(2, user(0.8, 0.5))
+            .provider_ask(0, ask(0.1, 1.0))
+            .provider_ask(1, ask(0.5, 1.0))
+            .build();
+        let bumped = base.with_user_entry(UserId(0), user(5.0, 0.5).into());
+        let r1 = DoubleAuction::new().run(&base, &shared());
+        let r2 = DoubleAuction::new().run(&bumped, &shared());
+        assert_eq!(
+            r1.payments.user_payment(UserId(0)),
+            r2.payments.user_payment(UserId(0)),
+            "clearing price must not depend on the winner's own bid"
+        );
+    }
+
+    #[test]
+    fn budget_balance_on_asymmetric_instance() {
+        let bids = BidVector::builder(4, 3)
+            .user_bid(0, user(1.25, 0.9))
+            .user_bid(1, user(1.1, 0.3))
+            .user_bid(2, user(0.9, 0.7))
+            .user_bid(3, user(0.76, 0.2))
+            .provider_ask(0, ask(0.05, 0.4))
+            .provider_ask(1, ask(0.35, 0.8))
+            .provider_ask(2, ask(0.6, 1.2))
+            .build();
+        let r = DoubleAuction::new().run(&bids, &shared());
+        assert!(r.payments.is_budget_balanced(), "surplus: {}", r.payments.budget_surplus());
+        // Bought quantity equals sold quantity.
+        let bought: Bw = UserId::all(4).map(|u| r.allocation.user_total(u)).sum();
+        let sold: Bw = ProviderId::all(3).map(|p| r.allocation.provider_total(p)).sum();
+        assert_eq!(bought, sold);
+    }
+
+    #[test]
+    fn neutral_users_never_trade() {
+        let bids = BidVector::builder(2, 1)
+            .user_bid(0, user(1.0, 0.5))
+            .neutral(1)
+            .provider_ask(0, ask(0.1, 3.0))
+            .build();
+        let r = DoubleAuction::new().run(&bids, &shared());
+        assert_eq!(r.allocation.user_total(UserId(1)), Bw::ZERO);
+        assert_eq!(r.payments.user_payment(UserId(1)), Money::ZERO);
+    }
+
+    #[test]
+    fn invalid_asks_are_skipped() {
+        let bids = BidVector::builder(1, 2)
+            .user_bid(0, user(1.0, 0.5))
+            .provider_ask(0, ProviderAsk::new(Money::from_f64(0.2), Bw::ZERO)) // invalid
+            .provider_ask(1, ask(0.1, 2.0))
+            .build();
+        let r = DoubleAuction::new().run(&bids, &shared());
+        assert_eq!(r.allocation.provider_total(ProviderId(0)), Bw::ZERO);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let bids = BidVector::builder(3, 2)
+            .user_bid(0, user(1.2, 0.4))
+            .user_bid(1, user(1.0, 0.6))
+            .user_bid(2, user(0.8, 0.3))
+            .provider_ask(0, ask(0.2, 0.7))
+            .provider_ask(1, ask(0.4, 0.5))
+            .build();
+        let r1 = DoubleAuction::new().run(&bids, &shared());
+        let r2 = DoubleAuction::new().run(&bids, &SharedRng::from_material(b"other"));
+        // The double auction draws no randomness: results are identical
+        // even under different shared material.
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        // Two identical users compete for capacity that fits only one.
+        // The lower id sorts first and wins.
+        let bids = BidVector::builder(3, 1)
+            .user_bid(0, user(1.0, 0.5))
+            .user_bid(1, user(1.0, 0.5))
+            .user_bid(2, user(0.5, 0.5))
+            .provider_ask(0, ask(0.1, 0.5))
+            .build();
+        let r = DoubleAuction::new().run(&bids, &shared());
+        // Provider 0 is the only (hence marginal) provider — excluded, so
+        // nothing trades; but the crossing walk is still deterministic.
+        // With one provider the trade reduction voids the auction.
+        assert!(r.allocation.is_empty());
+    }
+
+    #[test]
+    fn single_marginal_sides_yield_empty_but_consistent_results() {
+        // One user, one provider: both are marginal, both excluded.
+        let bids = BidVector::builder(1, 1)
+            .user_bid(0, user(1.0, 0.5))
+            .provider_ask(0, ask(0.1, 1.0))
+            .build();
+        let r = DoubleAuction::new().run(&bids, &shared());
+        assert!(r.allocation.is_empty());
+        assert!(r.payments.is_budget_balanced());
+    }
+}

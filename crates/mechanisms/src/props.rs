@@ -1,0 +1,296 @@
+//! Mechanism-property checkers used by tests, property tests and the
+//! deviation experiments.
+//!
+//! Each function checks one of the guarantees §3.1 of the paper demands of
+//! the allocation algorithm `A`: feasibility, budget balance, individual
+//! rationality, and (empirical) truthfulness.
+
+use dauctioneer_types::{AuctionResult, BidVector, Bw, Money, ProviderId, UserId};
+
+use crate::shared::SharedRng;
+use crate::traits::Mechanism;
+
+/// Why a result violates feasibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A provider allocated more than its capacity.
+    CapacityExceeded {
+        /// The overloaded provider.
+        provider: ProviderId,
+        /// Amount allocated.
+        allocated: Bw,
+        /// Its capacity.
+        capacity: Bw,
+    },
+    /// A user received more than it demanded.
+    OverAllocated {
+        /// The over-served user.
+        user: UserId,
+        /// Amount received.
+        allocated: Bw,
+        /// Its demand.
+        demand: Bw,
+    },
+    /// A neutral (excluded) user received bandwidth.
+    NeutralAllocated {
+        /// The excluded user.
+        user: UserId,
+    },
+    /// A user paid more than the value it received (individual
+    /// rationality).
+    PaysAboveValue {
+        /// The over-charged user.
+        user: UserId,
+        /// What it paid.
+        paid: Money,
+        /// The value it received.
+        value: Money,
+    },
+}
+
+/// Check feasibility of a result against provider capacities (standard
+/// auction) or the asks in the bid vector (double auction, pass `None`).
+///
+/// Returns every violation found (empty means feasible).
+pub fn feasibility_violations(
+    bids: &BidVector,
+    result: &AuctionResult,
+    capacities: Option<&[Bw]>,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let allocation = &result.allocation;
+
+    let m = allocation.num_providers();
+    for provider in ProviderId::all(m) {
+        let allocated = allocation.provider_total(provider);
+        let capacity = match capacities {
+            Some(caps) => caps.get(provider.index()).copied().unwrap_or(Bw::ZERO),
+            None => bids.asks().get(provider.index()).map(|a| a.capacity()).unwrap_or(Bw::ZERO),
+        };
+        if allocated > capacity {
+            violations.push(Violation::CapacityExceeded { provider, allocated, capacity });
+        }
+    }
+
+    for user in UserId::all(allocation.num_users()) {
+        let allocated = allocation.user_total(user);
+        match bids.user_bid(user).as_bid() {
+            Some(bid) => {
+                if allocated > bid.demand() {
+                    violations.push(Violation::OverAllocated {
+                        user,
+                        allocated,
+                        demand: bid.demand(),
+                    });
+                }
+            }
+            None => {
+                if !allocated.is_zero() {
+                    violations.push(Violation::NeutralAllocated { user });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Check individual rationality: no user pays more than the value of what
+/// it received (at its declared valuation).
+pub fn rationality_violations(bids: &BidVector, result: &AuctionResult) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (user, bid) in bids.valid_user_bids() {
+        let value = bid.valuation().per_unit(result.allocation.user_total(user));
+        let paid = result.payments.user_payment(user);
+        if paid > value {
+            violations.push(Violation::PaysAboveValue { user, paid, value });
+        }
+    }
+    violations
+}
+
+/// Utility of `user` with true per-unit valuation `true_value`, under the
+/// given result: value received minus payment. Zero on abort by
+/// definition (§3.3) — callers handle ⊥ before calling this.
+pub fn user_utility(user: UserId, true_value: Money, result: &AuctionResult) -> Money {
+    true_value.per_unit(result.allocation.user_total(user)) - result.payments.user_payment(user)
+}
+
+/// Utility of `provider` with true per-unit cost `true_cost`: payment
+/// received minus cost of what it served.
+pub fn provider_utility(provider: ProviderId, true_cost: Money, result: &AuctionResult) -> Money {
+    result.payments.provider_revenue(provider)
+        - true_cost.per_unit(result.allocation.provider_total(provider))
+}
+
+/// Empirical truthfulness check: for every user, try each lie factor on
+/// its valuation and verify the lie never increases utility (computed at
+/// the *true* valuation) by more than `tolerance`. Returns the first
+/// profitable deviation found.
+///
+/// `tolerance` accounts for integer rounding: the double auction's
+/// pro-rata rationing floors each share to a micro-unit, so a lie can
+/// shuffle up to one micro-unit of allocation dust per participant
+/// without any real incentive being present. Pass [`Money::ZERO`] for
+/// mechanisms with exact arithmetic (e.g. the VCG standard auction).
+///
+/// This is a sampled check, not a proof — it is how the test-suite
+/// exercises the truthfulness claims on generated workloads.
+pub fn find_profitable_lie<M: Mechanism>(
+    mechanism: &M,
+    true_bids: &BidVector,
+    shared: &SharedRng,
+    lie_factors: &[f64],
+    tolerance: Money,
+) -> Option<(UserId, f64, Money, Money)> {
+    let honest = mechanism.run(true_bids, shared);
+    for (user, bid) in true_bids.valid_user_bids() {
+        let honest_utility = user_utility(user, bid.valuation(), &honest);
+        for &factor in lie_factors {
+            let lie_value = Money::from_f64(bid.valuation().as_f64() * factor);
+            if !lie_value.is_positive() {
+                continue;
+            }
+            let lied_bids = true_bids.with_user_entry(user, bid.with_valuation(lie_value).into());
+            let lied = mechanism.run(&lied_bids, shared);
+            let lied_utility = user_utility(user, bid.valuation(), &lied);
+            if lied_utility > honest_utility + tolerance {
+                return Some((user, factor, honest_utility, lied_utility));
+            }
+        }
+    }
+    None
+}
+
+/// Rounding-dust tolerance for pro-rata mechanisms: one micro-unit of
+/// bandwidth (valued at the maximum unit price of 2 units to be safe) per
+/// participant.
+pub fn prorata_dust_tolerance(bids: &BidVector) -> Money {
+    Money::from_micro(2 * (bids.num_users() + bids.num_asks()) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::double::DoubleAuction;
+    use crate::standard::{StandardAuction, StandardAuctionConfig};
+    use dauctioneer_types::{Allocation, Payments, ProviderAsk, UserBid};
+
+    fn shared() -> SharedRng {
+        SharedRng::from_material(b"props")
+    }
+
+    #[test]
+    fn feasible_result_has_no_violations() {
+        let bids = BidVector::builder(1, 1)
+            .user_bid(0, UserBid::new(Money::from_f64(1.0), Bw::from_f64(0.5)))
+            .provider_ask(0, ProviderAsk::new(Money::from_f64(0.1), Bw::from_f64(1.0)))
+            .build();
+        let mut alloc = Allocation::new(1, 1);
+        alloc.add(UserId(0), ProviderId(0), Bw::from_f64(0.5));
+        let r = AuctionResult::new(alloc, Payments::zero(1, 1));
+        assert!(feasibility_violations(&bids, &r, None).is_empty());
+        assert!(rationality_violations(&bids, &r).is_empty());
+    }
+
+    #[test]
+    fn detects_capacity_violation() {
+        let bids = BidVector::builder(1, 1)
+            .user_bid(0, UserBid::new(Money::from_f64(1.0), Bw::from_f64(5.0)))
+            .provider_ask(0, ProviderAsk::new(Money::from_f64(0.1), Bw::from_f64(1.0)))
+            .build();
+        let mut alloc = Allocation::new(1, 1);
+        alloc.add(UserId(0), ProviderId(0), Bw::from_f64(2.0));
+        let r = AuctionResult::new(alloc, Payments::zero(1, 1));
+        let v = feasibility_violations(&bids, &r, None);
+        assert!(matches!(v[0], Violation::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn detects_over_allocation_and_neutral_allocation() {
+        let bids = BidVector::builder(2, 1)
+            .user_bid(0, UserBid::new(Money::from_f64(1.0), Bw::from_f64(0.2)))
+            .neutral(1)
+            .provider_ask(0, ProviderAsk::new(Money::from_f64(0.1), Bw::from_f64(9.0)))
+            .build();
+        let mut alloc = Allocation::new(2, 1);
+        alloc.add(UserId(0), ProviderId(0), Bw::from_f64(0.5)); // > demand
+        alloc.add(UserId(1), ProviderId(0), Bw::from_f64(0.1)); // neutral user
+        let r = AuctionResult::new(alloc, Payments::zero(2, 1));
+        let v = feasibility_violations(&bids, &r, None);
+        assert!(v.iter().any(|x| matches!(x, Violation::OverAllocated { .. })));
+        assert!(v.iter().any(|x| matches!(x, Violation::NeutralAllocated { .. })));
+    }
+
+    #[test]
+    fn detects_individual_rationality_violation() {
+        let bids = BidVector::builder(1, 1)
+            .user_bid(0, UserBid::new(Money::from_f64(1.0), Bw::from_f64(0.5)))
+            .provider_ask(0, ProviderAsk::new(Money::from_f64(0.1), Bw::from_f64(1.0)))
+            .build();
+        let mut alloc = Allocation::new(1, 1);
+        alloc.add(UserId(0), ProviderId(0), Bw::from_f64(0.5));
+        let mut pay = Payments::zero(1, 1);
+        pay.set_user_payment(UserId(0), Money::from_f64(2.0)); // pays 2.0 for value 0.5
+        let r = AuctionResult::new(alloc, pay);
+        let v = rationality_violations(&bids, &r);
+        assert!(matches!(v[0], Violation::PaysAboveValue { .. }));
+    }
+
+    #[test]
+    fn utilities_compute_differences() {
+        let mut alloc = Allocation::new(1, 1);
+        alloc.add(UserId(0), ProviderId(0), Bw::from_f64(1.0));
+        let mut pay = Payments::zero(1, 1);
+        pay.set_user_payment(UserId(0), Money::from_f64(0.3));
+        pay.set_provider_revenue(ProviderId(0), Money::from_f64(0.3));
+        let r = AuctionResult::new(alloc, pay);
+        assert_eq!(user_utility(UserId(0), Money::from_f64(1.0), &r), Money::from_f64(0.7));
+        assert_eq!(
+            provider_utility(ProviderId(0), Money::from_f64(0.1), &r),
+            Money::from_f64(0.2)
+        );
+    }
+
+    #[test]
+    fn no_profitable_lie_in_double_auction() {
+        let bids = BidVector::builder(4, 3)
+            .user_bid(0, UserBid::new(Money::from_f64(1.25), Bw::from_f64(0.9)))
+            .user_bid(1, UserBid::new(Money::from_f64(1.1), Bw::from_f64(0.3)))
+            .user_bid(2, UserBid::new(Money::from_f64(0.9), Bw::from_f64(0.7)))
+            .user_bid(3, UserBid::new(Money::from_f64(0.76), Bw::from_f64(0.2)))
+            .provider_ask(0, ProviderAsk::new(Money::from_f64(0.05), Bw::from_f64(0.4)))
+            .provider_ask(1, ProviderAsk::new(Money::from_f64(0.35), Bw::from_f64(0.8)))
+            .provider_ask(2, ProviderAsk::new(Money::from_f64(0.6), Bw::from_f64(1.2)))
+            .build();
+        let lie = find_profitable_lie(
+            &DoubleAuction::new(),
+            &bids,
+            &shared(),
+            &[0.5, 0.8, 0.95, 1.05, 1.3, 2.0],
+            prorata_dust_tolerance(&bids),
+        );
+        assert_eq!(lie, None, "double auction should be truthful: {lie:?}");
+    }
+
+    #[test]
+    fn no_profitable_lie_in_exact_standard_auction() {
+        let mech = StandardAuction::new(StandardAuctionConfig::exact(vec![
+            Bw::from_f64(0.8),
+            Bw::from_f64(0.5),
+        ]));
+        let bids = BidVector::builder(4, 0)
+            .user_bid(0, UserBid::new(Money::from_f64(1.2), Bw::from_f64(0.5)))
+            .user_bid(1, UserBid::new(Money::from_f64(1.0), Bw::from_f64(0.4)))
+            .user_bid(2, UserBid::new(Money::from_f64(0.9), Bw::from_f64(0.6)))
+            .user_bid(3, UserBid::new(Money::from_f64(0.8), Bw::from_f64(0.3)))
+            .build();
+        let lie = find_profitable_lie(
+            &mech,
+            &bids,
+            &shared(),
+            &[0.5, 0.8, 0.95, 1.05, 1.3, 2.0, 5.0],
+            Money::ZERO,
+        );
+        assert_eq!(lie, None, "exact VCG should be truthful: {lie:?}");
+    }
+}

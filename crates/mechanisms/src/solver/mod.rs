@@ -1,0 +1,220 @@
+//! Welfare-maximisation solvers for the standard auction.
+//!
+//! With single-minded users (the whole demand at exactly one provider, or
+//! nothing), maximising social welfare is a **multiple-knapsack** problem:
+//! items are users with weight `dᵢ` and value `vᵢ·dᵢ`, knapsacks are
+//! providers with capacity `Cⱼ`. The paper's algorithm of choice (Zhang et
+//! al., INFOCOM 2015) trades exactness for time through a (1−ε) guarantee;
+//! [`branch_bound`] reproduces that dial with an ε early-stop on an exact
+//! branch-and-bound search, [`greedy`] provides the fast incumbent /
+//! baseline, and [`exhaustive`] the ground truth for small instances used
+//! by the property tests.
+
+pub mod branch_bound;
+pub mod exhaustive;
+pub mod greedy;
+
+use dauctioneer_types::{BidVector, Bw, Money, UserId};
+
+pub use branch_bound::{solve_branch_bound, BranchBoundConfig, SolveStats};
+pub use exhaustive::solve_exhaustive;
+pub use greedy::solve_greedy;
+
+/// One bidding user viewed as a knapsack item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Item {
+    /// The user this item represents.
+    pub user: UserId,
+    /// Per-unit declared valuation.
+    pub unit_value: Money,
+    /// Total value if fully allocated (`unit_value · demand`).
+    pub value: Money,
+    /// Demand (knapsack weight).
+    pub demand: Bw,
+}
+
+/// A multiple-knapsack instance: items sorted by descending per-unit value
+/// (ties by ascending user id, so every replica sorts identically).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Items in canonical (density-descending) order.
+    pub items: Vec<Item>,
+    /// Provider capacities by provider index.
+    pub capacities: Vec<Bw>,
+}
+
+impl Instance {
+    /// Build the canonical instance from a bid vector and the public
+    /// provider capacities. Neutral and invalid bids are skipped; items
+    /// whose demand exceeds every capacity can never be placed but are kept
+    /// (the solvers skip them naturally).
+    pub fn from_bids(bids: &BidVector, capacities: &[Bw]) -> Instance {
+        let mut items: Vec<Item> = bids
+            .valid_user_bids()
+            .map(|(user, b)| Item {
+                user,
+                unit_value: b.valuation(),
+                value: b.valuation().per_unit(b.demand()),
+                demand: b.demand(),
+            })
+            .collect();
+        items.sort_by(|a, b| b.unit_value.cmp(&a.unit_value).then(a.user.cmp(&b.user)));
+        Instance { items, capacities: capacities.to_vec() }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The instance with one user's item removed — the `b̄₋ᵢ` sub-instance
+    /// VCG payments are computed on.
+    pub fn without_user(&self, user: UserId) -> Instance {
+        Instance {
+            items: self.items.iter().copied().filter(|it| it.user != user).collect(),
+            capacities: self.capacities.clone(),
+        }
+    }
+
+    /// Fractional-relaxation upper bound on the welfare achievable with
+    /// the given per-item start index and pooled residual capacity.
+    ///
+    /// Relaxing multiple knapsacks to a single pooled knapsack and allowing
+    /// fractional placement can only increase the optimum, so this is an
+    /// admissible bound for branch-and-bound pruning. Items are already in
+    /// density order, which makes the fractional fill greedy-optimal.
+    pub fn fractional_bound(&self, from: usize, pooled_residual: Bw) -> Money {
+        let mut left = pooled_residual;
+        let mut bound = Money::ZERO;
+        for item in &self.items[from..] {
+            if left.is_zero() {
+                break;
+            }
+            let take = item.demand.min(left);
+            bound += item.unit_value.per_unit(take);
+            left = left.saturating_sub(take);
+        }
+        bound
+    }
+}
+
+/// A solution to an [`Instance`]: for each item (in instance order) the
+/// provider index it is assigned to, or `None` for losers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// Assignment per item, in the instance's item order.
+    pub assignment: Vec<Option<usize>>,
+    /// Total welfare of the assignment.
+    pub welfare: Money,
+}
+
+impl Solution {
+    /// The empty (all-losers) solution.
+    pub fn empty(n_items: usize) -> Solution {
+        Solution { assignment: vec![None; n_items], welfare: Money::ZERO }
+    }
+
+    /// Recompute welfare from an instance (sanity check in tests).
+    pub fn compute_welfare(&self, instance: &Instance) -> Money {
+        self.assignment
+            .iter()
+            .zip(&instance.items)
+            .filter_map(|(a, it)| a.map(|_| it.value))
+            .sum()
+    }
+
+    /// Verify capacity feasibility against an instance.
+    pub fn is_feasible(&self, instance: &Instance) -> bool {
+        let mut used = vec![Bw::ZERO; instance.capacities.len()];
+        for (a, item) in self.assignment.iter().zip(&instance.items) {
+            if let Some(j) = a {
+                if *j >= used.len() {
+                    return false;
+                }
+                used[*j] += item.demand;
+            }
+        }
+        used.iter().zip(&instance.capacities).all(|(u, c)| u <= c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dauctioneer_types::UserBid;
+
+    fn bids_of(specs: &[(f64, f64)]) -> BidVector {
+        let mut b = BidVector::builder(specs.len(), 0);
+        for (i, (v, d)) in specs.iter().enumerate() {
+            b = b.user_bid(i, UserBid::new(Money::from_f64(*v), Bw::from_f64(*d)));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn instance_sorts_by_density_then_id() {
+        let bids = bids_of(&[(1.0, 0.5), (1.2, 0.3), (1.0, 0.2)]);
+        let inst = Instance::from_bids(&bids, &[Bw::from_f64(1.0)]);
+        let order: Vec<UserId> = inst.items.iter().map(|i| i.user).collect();
+        assert_eq!(order, vec![UserId(1), UserId(0), UserId(2)]);
+    }
+
+    #[test]
+    fn instance_skips_neutral_bids() {
+        let bids = BidVector::builder(2, 0)
+            .user_bid(0, UserBid::new(Money::from_f64(1.0), Bw::from_f64(0.5)))
+            .neutral(1)
+            .build();
+        let inst = Instance::from_bids(&bids, &[Bw::from_f64(1.0)]);
+        assert_eq!(inst.len(), 1);
+    }
+
+    #[test]
+    fn without_user_removes_one_item() {
+        let bids = bids_of(&[(1.0, 0.5), (0.9, 0.3)]);
+        let inst = Instance::from_bids(&bids, &[Bw::from_f64(1.0)]);
+        let sub = inst.without_user(UserId(0));
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub.items[0].user, UserId(1));
+        assert_eq!(sub.capacities, inst.capacities);
+    }
+
+    #[test]
+    fn fractional_bound_is_admissible_on_small_instance() {
+        let bids = bids_of(&[(1.0, 0.6), (0.8, 0.6)]);
+        let inst = Instance::from_bids(&bids, &[Bw::from_f64(0.6), Bw::from_f64(0.6)]);
+        // Both users fit exactly; bound with pooled capacity 1.2 covers both.
+        let bound = inst.fractional_bound(0, Bw::from_f64(1.2));
+        let total = Money::from_f64(1.0 * 0.6 + 0.8 * 0.6);
+        assert_eq!(bound, total);
+        // Tighter pool truncates fractionally.
+        let bound = inst.fractional_bound(0, Bw::from_f64(0.9));
+        assert_eq!(bound, Money::from_f64(1.0 * 0.6 + 0.8 * 0.3));
+    }
+
+    #[test]
+    fn solution_welfare_and_feasibility() {
+        let bids = bids_of(&[(1.0, 0.5), (0.9, 0.6)]);
+        let inst = Instance::from_bids(&bids, &[Bw::from_f64(0.5), Bw::from_f64(0.6)]);
+        let sol = Solution {
+            assignment: vec![Some(0), Some(1)],
+            welfare: Money::from_f64(1.0 * 0.5 + 0.9 * 0.6),
+        };
+        assert!(sol.is_feasible(&inst));
+        assert_eq!(sol.compute_welfare(&inst), sol.welfare);
+        let bad = Solution { assignment: vec![Some(1), Some(1)], welfare: Money::ZERO };
+        assert!(!bad.is_feasible(&inst));
+    }
+
+    #[test]
+    fn empty_solution_has_zero_welfare() {
+        let s = Solution::empty(3);
+        assert_eq!(s.welfare, Money::ZERO);
+        assert_eq!(s.assignment, vec![None, None, None]);
+    }
+}

@@ -1,0 +1,54 @@
+//! The interface every allocation algorithm `A` implements.
+
+use dauctioneer_types::{AuctionResult, BidVector};
+
+use crate::shared::SharedRng;
+
+/// An allocation algorithm `A` in the sense of §3.1 of the paper: given the
+/// agreed vector of bids it returns a feasible allocation and the payments.
+///
+/// Implementations must be **deterministic given the shared randomness**:
+/// two calls with equal `bids` and equal `shared` material must return
+/// identical results. The distributed auctioneer replicates `run` across
+/// providers and byte-compares the outputs, so any hidden nondeterminism
+/// (hash-map iteration order, wall-clock, thread scheduling) would make
+/// honest providers abort with ⊥.
+pub trait Mechanism {
+    /// Execute the auction on the agreed bid vector.
+    fn run(&self, bids: &BidVector, shared: &SharedRng) -> AuctionResult;
+
+    /// Short machine-readable name for reports and message domains.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dauctioneer_types::{Allocation, Payments};
+
+    /// A trivial mechanism used to check object safety.
+    #[derive(Debug)]
+    struct Null;
+
+    impl Mechanism for Null {
+        fn run(&self, bids: &BidVector, _shared: &SharedRng) -> AuctionResult {
+            AuctionResult::new(
+                Allocation::new(bids.num_users(), bids.num_asks()),
+                Payments::zero(bids.num_users(), bids.num_asks()),
+            )
+        }
+
+        fn name(&self) -> &'static str {
+            "null"
+        }
+    }
+
+    #[test]
+    fn mechanism_is_object_safe() {
+        let boxed: Box<dyn Mechanism> = Box::new(Null);
+        let bids = BidVector::all_neutral(2);
+        let r = boxed.run(&bids, &SharedRng::from_material(b""));
+        assert!(r.allocation.is_empty());
+        assert_eq!(boxed.name(), "null");
+    }
+}

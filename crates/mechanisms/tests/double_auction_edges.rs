@@ -1,0 +1,153 @@
+//! Edge-shape tests for the double auction's trade reduction and pro-rata
+//! rationing: the regimes where rounding, rationing and marginal-block
+//! exclusion interact.
+
+use dauctioneer_mechanisms::props::{feasibility_violations, rationality_violations};
+use dauctioneer_mechanisms::{DoubleAuction, Mechanism, SharedRng};
+use dauctioneer_types::{BidVector, Bw, Money, ProviderAsk, ProviderId, UserBid, UserId};
+
+fn shared() -> SharedRng {
+    SharedRng::from_material(b"edges")
+}
+
+fn user(v: f64, d: f64) -> UserBid {
+    UserBid::new(Money::from_f64(v), Bw::from_f64(d))
+}
+
+fn ask(c: f64, cap: f64) -> ProviderAsk {
+    ProviderAsk::new(Money::from_f64(c), Bw::from_f64(cap))
+}
+
+/// Demand far exceeding supply: buyers are rationed pro-rata; every
+/// included buyer receives the same fraction of its demand.
+#[test]
+fn buyers_rationed_pro_rata_when_demand_dominates() {
+    let bids = BidVector::builder(4, 2)
+        .user_bid(0, user(1.25, 0.8))
+        .user_bid(1, user(1.20, 0.4))
+        .user_bid(2, user(1.15, 0.6))
+        .user_bid(3, user(0.76, 0.5)) // marginal
+        .provider_ask(0, ask(0.1, 0.3))
+        .provider_ask(1, ask(0.7, 5.0)) // marginal (expensive, huge)
+        .build();
+    let r = DoubleAuction::new().run(&bids, &shared());
+    // Included: users 0–2, provider 0 only (capacity 0.3). Shares are
+    // demand × 0.3 / 1.8 each.
+    let total_demand = 0.8 + 0.4 + 0.6;
+    for (u, d) in [(0u32, 0.8f64), (1, 0.4), (2, 0.6)] {
+        let got = r.allocation.user_total(UserId(u)).as_f64();
+        let expected = d * 0.3 / total_demand;
+        assert!(
+            (got - expected).abs() < 2e-6,
+            "user {u}: got {got}, expected ≈{expected}"
+        );
+    }
+    assert_eq!(r.allocation.user_total(UserId(3)), Bw::ZERO);
+    assert!(r.payments.is_budget_balanced());
+}
+
+/// Supply exceeding included demand: sellers are rationed pro-rata. The
+/// shape that produces this is a huge *marginal* buyer that soaked up the
+/// included sellers' capacity during the crossing walk — after the trade
+/// reduction excludes it, the included sellers share the small remaining
+/// demand proportionally.
+#[test]
+fn sellers_rationed_pro_rata_when_supply_dominates() {
+    let bids = BidVector::builder(2, 3)
+        .user_bid(0, user(1.2, 0.1))
+        .user_bid(1, user(0.76, 3.0)) // huge marginal buyer, excluded
+        .provider_ask(0, ask(0.10, 1.0))
+        .provider_ask(1, ask(0.12, 1.0))
+        .provider_ask(2, ask(0.5, 1.5)) // marginal seller, excluded
+        .build();
+    let r = DoubleAuction::new().run(&bids, &shared());
+    // Included: user 0 (0.1 units of demand) vs providers 0 and 1 (2.0 of
+    // capacity): each sells 0.1 × cap/2.0 = 0.05.
+    let p0 = r.allocation.provider_total(ProviderId(0)).as_f64();
+    let p1 = r.allocation.provider_total(ProviderId(1)).as_f64();
+    assert!((p0 - 0.05).abs() < 2e-6, "p0 sold {p0}");
+    assert!((p1 - 0.05).abs() < 2e-6, "p1 sold {p1}");
+    assert_eq!(r.allocation.provider_total(ProviderId(2)), Bw::ZERO);
+    assert_eq!(r.allocation.user_total(UserId(1)), Bw::ZERO);
+    assert!(r.payments.is_budget_balanced());
+}
+
+/// Clearing prices must lie between included values and included costs:
+/// buyer price ≤ every included buyer's value, seller price ≥ every
+/// included seller's cost (individual rationality from both sides).
+#[test]
+fn clearing_prices_are_sandwiched() {
+    let bids = BidVector::builder(5, 3)
+        .user_bid(0, user(1.25, 0.3))
+        .user_bid(1, user(1.10, 0.5))
+        .user_bid(2, user(1.00, 0.4))
+        .user_bid(3, user(0.90, 0.6))
+        .user_bid(4, user(0.76, 0.2))
+        .provider_ask(0, ask(0.05, 0.5))
+        .provider_ask(1, ask(0.30, 0.6))
+        .provider_ask(2, ask(0.55, 0.7))
+        .build();
+    let r = DoubleAuction::new().run(&bids, &shared());
+    assert!(feasibility_violations(&bids, &r, None).is_empty());
+    assert!(rationality_violations(&bids, &r).is_empty());
+    // Unit prices recovered from payments (uniform across participants).
+    for (u, bid) in bids.valid_user_bids() {
+        let got = r.allocation.user_total(u);
+        if got.is_zero() {
+            continue;
+        }
+        let unit_price = r.payments.user_payment(u).as_f64() / got.as_f64();
+        assert!(
+            unit_price <= bid.valuation().as_f64() + 1e-6,
+            "{u} pays unit price {unit_price} above its value"
+        );
+    }
+    for p in 0..3u32 {
+        let sold = r.allocation.provider_total(ProviderId(p));
+        if sold.is_zero() {
+            continue;
+        }
+        let unit_revenue =
+            r.payments.provider_revenue(ProviderId(p)).as_f64() / sold.as_f64();
+        assert!(
+            unit_revenue >= bids.provider_ask(ProviderId(p)).unit_cost().as_f64() - 1e-6,
+            "P{p} receives unit revenue {unit_revenue} below its cost"
+        );
+    }
+}
+
+/// Tiny quantities exercise the rounding floor: dust may remain untraded,
+/// but never over-traded, and balance still holds.
+#[test]
+fn micro_quantities_round_safely() {
+    let bids = BidVector::builder(3, 2)
+        .user_bid(0, user(1.2, 0.000003))
+        .user_bid(1, user(1.1, 0.000005))
+        .user_bid(2, user(0.8, 0.000002))
+        .provider_ask(0, ask(0.1, 0.000004))
+        .provider_ask(1, ask(0.5, 0.000009))
+        .build();
+    let r = DoubleAuction::new().run(&bids, &shared());
+    assert!(feasibility_violations(&bids, &r, None).is_empty());
+    assert!(r.payments.is_budget_balanced());
+    let bought: Bw = (0..3).map(|u| r.allocation.user_total(UserId(u))).sum();
+    let sold: Bw = (0..2).map(|p| r.allocation.provider_total(ProviderId(p))).sum();
+    assert_eq!(bought, sold);
+}
+
+/// With every participant identical, determinism and id tie-breaks keep
+/// the outcome stable and fair-by-rule.
+#[test]
+fn identical_participants_resolve_deterministically() {
+    let mut builder = BidVector::builder(4, 2);
+    for i in 0..4 {
+        builder = builder.user_bid(i, user(1.0, 0.5));
+    }
+    let bids = builder
+        .provider_ask(0, ask(0.2, 1.0))
+        .provider_ask(1, ask(0.2, 1.0))
+        .build();
+    let r1 = DoubleAuction::new().run(&bids, &shared());
+    let r2 = DoubleAuction::new().run(&bids, &SharedRng::from_material(b"other"));
+    assert_eq!(r1, r2, "no hidden randomness");
+}

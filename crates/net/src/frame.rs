@@ -1,0 +1,83 @@
+//! Tag framing: multiplexing protocol channels over one link.
+//!
+//! The distributed auctioneer runs many building-block instances at once
+//! (one consensus instance per bid chunk, coin rounds, data transfers…).
+//! Each message is framed with a `u64` channel tag so the receiving router
+//! can dispatch it; the protocol layer defines the tag namespace.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::error::Error;
+use std::fmt;
+
+/// Error unframing a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError {
+    len: usize,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "message too short for frame header: {} bytes", self.len)
+    }
+}
+
+impl Error for FrameError {}
+
+/// Prefix `payload` with the little-endian channel `tag`.
+///
+/// # Example
+///
+/// ```
+/// use dauctioneer_net::{frame, unframe};
+/// let msg = frame(7, b"data");
+/// let (tag, payload) = unframe(&msg)?;
+/// assert_eq!(tag, 7);
+/// assert_eq!(payload, b"data");
+/// # Ok::<(), dauctioneer_net::FrameError>(())
+/// ```
+pub fn frame(tag: u64, payload: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + payload.len());
+    buf.put_u64_le(tag);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Split a framed message into its channel tag and payload.
+///
+/// # Errors
+///
+/// Fails if the message is shorter than the 8-byte tag header.
+pub fn unframe(message: &[u8]) -> Result<(u64, &[u8]), FrameError> {
+    if message.len() < 8 {
+        return Err(FrameError { len: message.len() });
+    }
+    let tag = u64::from_le_bytes(message[..8].try_into().unwrap());
+    Ok((tag, &message[8..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let msg = frame(u64::MAX, b"abc");
+        let (tag, payload) = unframe(&msg).unwrap();
+        assert_eq!(tag, u64::MAX);
+        assert_eq!(payload, b"abc");
+    }
+
+    #[test]
+    fn empty_payload_is_fine() {
+        let msg = frame(0, b"");
+        let (tag, payload) = unframe(&msg).unwrap();
+        assert_eq!(tag, 0);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn short_message_is_rejected() {
+        let err = unframe(&[1, 2, 3]).unwrap_err();
+        assert!(err.to_string().contains("3 bytes"));
+    }
+}

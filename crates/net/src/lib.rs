@@ -1,0 +1,48 @@
+//! Message-passing substrate for the distributed auctioneer.
+//!
+//! The paper evaluates its prototype on Guifi.net community-network nodes
+//! with ØMQ as the messaging layer. This crate is the workspace's
+//! substitute substrate (see `DESIGN.md` §4): an abstraction for reliable
+//! point-to-point messaging between the `m` providers, with two concerns
+//! pulled out so the rest of the system is transport-agnostic:
+//!
+//! * [`ThreadedHub`] / [`Endpoint`] — a real multi-threaded transport (one
+//!   OS thread per provider, crossbeam channels) with **injectable per-link
+//!   latency** from a [`LatencyModel`]. This is what the wall-clock
+//!   benchmarks run on: computation parallelises across threads (Fig. 5's
+//!   regime) while injected community-network latencies dominate cheap
+//!   computations (Fig. 4's regime).
+//! * [`frame()`] / [`unframe`] — tag-framing used by the protocol layer to
+//!   multiplex many building-block instances over one link.
+//! * [`TrafficMetrics`] — per-provider message/byte counters, reported by
+//!   the benchmark harness as the communication-overhead breakdown.
+//!
+//! Channels are reliable and FIFO per sender–receiver pair, matching the
+//! paper's model assumption of reliable channels (§3.3).
+//!
+//! # Example
+//!
+//! ```
+//! use dauctioneer_net::{ThreadedHub, LatencyModel};
+//! use bytes::Bytes;
+//! use std::time::Duration;
+//!
+//! let mut hub = ThreadedHub::new(2, LatencyModel::Zero, 42);
+//! let mut endpoints = hub.take_endpoints();
+//! let e1 = endpoints.remove(1);
+//! let e0 = endpoints.remove(0);
+//! e0.send(e1.me(), Bytes::from_static(b"hello"));
+//! let (from, payload) = e1.recv_timeout(Duration::from_secs(1)).unwrap();
+//! assert_eq!(from, e0.me());
+//! assert_eq!(&payload[..], b"hello");
+//! ```
+
+pub mod frame;
+pub mod hub;
+pub mod latency;
+pub mod metrics;
+
+pub use frame::{frame, unframe, FrameError};
+pub use hub::{Endpoint, RecvError, ThreadedHub};
+pub use latency::LatencyModel;
+pub use metrics::{ProviderTraffic, TrafficMetrics, TrafficSnapshot};

@@ -1,0 +1,161 @@
+//! Traffic accounting for the benchmark harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dauctioneer_types::ProviderId;
+
+/// Atomic per-provider counters, shared by all endpoints of a hub.
+#[derive(Debug, Default)]
+pub struct ProviderTraffic {
+    sent_messages: AtomicU64,
+    sent_bytes: AtomicU64,
+    received_messages: AtomicU64,
+    received_bytes: AtomicU64,
+}
+
+impl ProviderTraffic {
+    fn record_send(&self, bytes: usize) {
+        self.sent_messages.fetch_add(1, Ordering::Relaxed);
+        self.sent_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn record_recv(&self, bytes: usize) {
+        self.received_messages.fetch_add(1, Ordering::Relaxed);
+        self.received_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+/// Shared traffic metrics for one hub.
+///
+/// Cloning shares the same underlying counters.
+///
+/// # Example
+///
+/// ```
+/// use dauctioneer_net::{ThreadedHub, LatencyModel};
+/// use bytes::Bytes;
+/// use std::time::Duration;
+///
+/// let mut hub = ThreadedHub::new(2, LatencyModel::Zero, 1);
+/// let metrics = hub.metrics();
+/// let mut eps = hub.take_endpoints();
+/// let e1 = eps.remove(1);
+/// let e0 = eps.remove(0);
+/// e0.send(e1.me(), Bytes::from_static(b"xyz"));
+/// e1.recv_timeout(Duration::from_secs(1)).unwrap();
+/// let snap = metrics.snapshot();
+/// assert_eq!(snap.total_messages(), 1);
+/// assert_eq!(snap.total_bytes(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrafficMetrics {
+    providers: Arc<Vec<ProviderTraffic>>,
+}
+
+impl TrafficMetrics {
+    /// Fresh counters for `m` providers.
+    pub fn new(m: usize) -> TrafficMetrics {
+        TrafficMetrics {
+            providers: Arc::new((0..m).map(|_| ProviderTraffic::default()).collect()),
+        }
+    }
+
+    /// Record a send by `from` of `bytes` payload bytes.
+    pub fn record_send(&self, from: ProviderId, bytes: usize) {
+        if let Some(t) = self.providers.get(from.index()) {
+            t.record_send(bytes);
+        }
+    }
+
+    /// Record a receive by `to` of `bytes` payload bytes.
+    pub fn record_recv(&self, to: ProviderId, bytes: usize) {
+        if let Some(t) = self.providers.get(to.index()) {
+            t.record_recv(bytes);
+        }
+    }
+
+    /// Capture a consistent-enough snapshot (relaxed reads; exact once the
+    /// run has quiesced).
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            per_provider: self
+                .providers
+                .iter()
+                .map(|t| ProviderSnapshot {
+                    sent_messages: t.sent_messages.load(Ordering::Relaxed),
+                    sent_bytes: t.sent_bytes.load(Ordering::Relaxed),
+                    received_messages: t.received_messages.load(Ordering::Relaxed),
+                    received_bytes: t.received_bytes.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of one provider's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProviderSnapshot {
+    /// Messages sent.
+    pub sent_messages: u64,
+    /// Payload bytes sent.
+    pub sent_bytes: u64,
+    /// Messages received.
+    pub received_messages: u64,
+    /// Payload bytes received.
+    pub received_bytes: u64,
+}
+
+/// Point-in-time copy of a hub's counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TrafficSnapshot {
+    /// Counters by provider index.
+    pub per_provider: Vec<ProviderSnapshot>,
+}
+
+impl TrafficSnapshot {
+    /// Total messages sent across all providers.
+    pub fn total_messages(&self) -> u64 {
+        self.per_provider.iter().map(|p| p.sent_messages).sum()
+    }
+
+    /// Total payload bytes sent across all providers.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_provider.iter().map(|p| p.sent_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = TrafficMetrics::new(2);
+        m.record_send(ProviderId(0), 10);
+        m.record_send(ProviderId(0), 5);
+        m.record_recv(ProviderId(1), 15);
+        let snap = m.snapshot();
+        assert_eq!(snap.per_provider[0].sent_messages, 2);
+        assert_eq!(snap.per_provider[0].sent_bytes, 15);
+        assert_eq!(snap.per_provider[1].received_messages, 1);
+        assert_eq!(snap.per_provider[1].received_bytes, 15);
+        assert_eq!(snap.total_messages(), 2);
+        assert_eq!(snap.total_bytes(), 15);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_ignored() {
+        let m = TrafficMetrics::new(1);
+        m.record_send(ProviderId(5), 10);
+        assert_eq!(m.snapshot().total_messages(), 0);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let m = TrafficMetrics::new(1);
+        let c = m.clone();
+        m.record_send(ProviderId(0), 1);
+        assert_eq!(c.snapshot().total_messages(), 1);
+    }
+}

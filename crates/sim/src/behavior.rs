@@ -1,0 +1,185 @@
+//! Message-level deviation injection.
+//!
+//! A [`Behavior`] sits between a provider's protocol block and the
+//! network, transforming its outgoing messages. The honest behavior
+//! passes everything through; the deviant ones model the strategies the
+//! paper's k-resilience argument must defeat: equivocation (different
+//! messages to different peers), corruption (wrong computation results),
+//! muting (crashing / withholding), and selective drops.
+//!
+//! Deviations at this layer compose with *input*-level deviations (a
+//! provider lying about the bids it collected), which tests inject by
+//! simply constructing the deviator's block with a doctored input.
+
+use bytes::Bytes;
+use dauctioneer_types::ProviderId;
+
+/// Transforms a provider's outgoing messages.
+pub trait Behavior {
+    /// Given an outgoing `(to, payload)`, return the messages actually
+    /// sent (possibly none, possibly altered).
+    fn on_send(&mut self, to: ProviderId, payload: Bytes) -> Vec<(ProviderId, Bytes)>;
+}
+
+/// The protocol-following behavior.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Honest;
+
+impl Behavior for Honest {
+    fn on_send(&mut self, to: ProviderId, payload: Bytes) -> Vec<(ProviderId, Bytes)> {
+        vec![(to, payload)]
+    }
+}
+
+/// Equivocation: messages to the victim get their last byte flipped, so
+/// the victim's view of this provider diverges from everyone else's.
+#[derive(Debug, Clone, Copy)]
+pub struct Equivocate {
+    /// The peer that receives the altered copies.
+    pub victim: ProviderId,
+}
+
+impl Behavior for Equivocate {
+    fn on_send(&mut self, to: ProviderId, payload: Bytes) -> Vec<(ProviderId, Bytes)> {
+        if to == self.victim && !payload.is_empty() {
+            let mut altered = payload.to_vec();
+            let last = altered.len() - 1;
+            altered[last] ^= 0xFF;
+            vec![(to, Bytes::from(altered))]
+        } else {
+            vec![(to, payload)]
+        }
+    }
+}
+
+/// Corruption: every outgoing payload has a byte flipped — the shape a
+/// wrong (or dishonest) task computation takes on the wire.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CorruptPayloads {
+    sent: usize,
+}
+
+impl Behavior for CorruptPayloads {
+    fn on_send(&mut self, to: ProviderId, payload: Bytes) -> Vec<(ProviderId, Bytes)> {
+        self.sent += 1;
+        if payload.is_empty() {
+            return vec![(to, payload)];
+        }
+        let mut altered = payload.to_vec();
+        let last = altered.len() - 1;
+        altered[last] ^= 0x55;
+        vec![(to, Bytes::from(altered))]
+    }
+}
+
+/// Muting: stop sending after the first `after` messages (0 = crash from
+/// the start). Models withholding; under the paper's assumptions rational
+/// providers never do this (the outcome becomes ⊥ and their utility 0),
+/// and the tests verify exactly that consequence.
+#[derive(Debug, Clone, Copy)]
+pub struct Mute {
+    /// Messages allowed out before going silent.
+    pub after: usize,
+    sent: usize,
+}
+
+impl Mute {
+    /// Mute after `after` messages.
+    pub fn new(after: usize) -> Mute {
+        Mute { after, sent: 0 }
+    }
+}
+
+impl Behavior for Mute {
+    fn on_send(&mut self, to: ProviderId, payload: Bytes) -> Vec<(ProviderId, Bytes)> {
+        if self.sent >= self.after {
+            return Vec::new();
+        }
+        self.sent += 1;
+        vec![(to, payload)]
+    }
+}
+
+/// Selective withholding: never deliver anything to one peer.
+#[derive(Debug, Clone, Copy)]
+pub struct DropTo {
+    /// The starved peer.
+    pub victim: ProviderId,
+}
+
+impl Behavior for DropTo {
+    fn on_send(&mut self, to: ProviderId, payload: Bytes) -> Vec<(ProviderId, Bytes)> {
+        if to == self.victim {
+            Vec::new()
+        } else {
+            vec![(to, payload)]
+        }
+    }
+}
+
+/// Replay: every message is sent twice. The channels of the model deliver
+/// exactly once, so a duplicate can only come from a deviating sender —
+/// blocks detect it as a protocol violation and abort.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Replay;
+
+impl Behavior for Replay {
+    fn on_send(&mut self, to: ProviderId, payload: Bytes) -> Vec<(ProviderId, Bytes)> {
+        vec![(to, payload.clone()), (to, payload)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg() -> Bytes {
+        Bytes::from_static(b"payload")
+    }
+
+    #[test]
+    fn honest_passes_through() {
+        let out = Honest.on_send(ProviderId(1), msg());
+        assert_eq!(out, vec![(ProviderId(1), msg())]);
+    }
+
+    #[test]
+    fn equivocate_alters_only_victim_copies() {
+        let mut b = Equivocate { victim: ProviderId(2) };
+        let clean = b.on_send(ProviderId(1), msg());
+        assert_eq!(clean[0].1, msg());
+        let dirty = b.on_send(ProviderId(2), msg());
+        assert_ne!(dirty[0].1, msg());
+        assert_eq!(dirty[0].1.len(), msg().len());
+    }
+
+    #[test]
+    fn corrupt_alters_everything() {
+        let mut b = CorruptPayloads::default();
+        let out = b.on_send(ProviderId(1), msg());
+        assert_ne!(out[0].1, msg());
+    }
+
+    #[test]
+    fn mute_stops_after_budget() {
+        let mut b = Mute::new(2);
+        assert_eq!(b.on_send(ProviderId(1), msg()).len(), 1);
+        assert_eq!(b.on_send(ProviderId(1), msg()).len(), 1);
+        assert_eq!(b.on_send(ProviderId(1), msg()).len(), 0);
+        assert_eq!(b.on_send(ProviderId(1), msg()).len(), 0);
+    }
+
+    #[test]
+    fn drop_to_starves_victim_only() {
+        let mut b = DropTo { victim: ProviderId(0) };
+        assert!(b.on_send(ProviderId(0), msg()).is_empty());
+        assert_eq!(b.on_send(ProviderId(1), msg()).len(), 1);
+    }
+
+    #[test]
+    fn replay_duplicates_every_message() {
+        let out = Replay.on_send(ProviderId(1), msg());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], out[1]);
+    }
+}

@@ -1,0 +1,310 @@
+//! Discrete-event simulation with virtual provider clocks.
+//!
+//! The paper's testbed gives every provider its own CPU (§6.1: VMs pinned
+//! to distinct cores across Guifi nodes). A host with fewer cores than
+//! providers cannot reproduce that with real threads, so the benchmark
+//! harness uses this simulator instead: the protocol blocks execute for
+//! real (the CPU cost of every event is *measured*), but each provider
+//! owns a **virtual clock**, and message delivery advances clocks the way
+//! a real deployment would:
+//!
+//! * an event (start or message delivery) begins at
+//!   `max(receiver_clock, arrival_time)` and ends after its measured CPU
+//!   time — providers compute in parallel on their own clocks;
+//! * a message sent at the end of an event arrives after a link delay of
+//!   `propagation + bytes / bandwidth` drawn from the [`LinkModel`];
+//! * the session's *span* is the latest decision time across providers —
+//!   exactly the paper's client-observed completion time.
+//!
+//! Outcomes are bit-identical to the other runtimes (the protocol cannot
+//! observe the clock); only the reported times depend on the model.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use dauctioneer_core::{AllocatorProgram, Auctioneer, Block, FrameworkConfig, OutboxCtx};
+use dauctioneer_net::LatencyModel;
+use dauctioneer_types::{BidVector, Outcome, ProviderId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Link timing model: propagation latency plus optional serialisation
+/// (bandwidth) delay.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkModel {
+    /// Propagation delay distribution.
+    pub latency: LatencyModel,
+    /// Link bandwidth in bytes/second (`None` = infinite).
+    pub bytes_per_sec: Option<u64>,
+}
+
+impl LinkModel {
+    /// No delay at all (pure-computation studies).
+    pub fn instant() -> LinkModel {
+        LinkModel { latency: LatencyModel::Zero, bytes_per_sec: None }
+    }
+
+    /// The community-network profile used by the figure benches:
+    /// 1.5–6 ms one-way propagation and a 25 Mbit/s access link — the
+    /// regime of wireless community-network backhaul like the paper's
+    /// Guifi testbed.
+    pub fn community_net() -> LinkModel {
+        LinkModel { latency: LatencyModel::CommunityNet, bytes_per_sec: Some(3_125_000) }
+    }
+
+    /// Delay for one message of `bytes` payload bytes.
+    pub fn delay(&self, bytes: usize, rng: &mut StdRng) -> Duration {
+        let propagation = self.latency.sample(rng);
+        let serialisation = match self.bytes_per_sec {
+            Some(bps) if bps > 0 => Duration::from_secs_f64(bytes as f64 / bps as f64),
+            _ => Duration::ZERO,
+        };
+        propagation + serialisation
+    }
+}
+
+/// An in-flight message with its virtual arrival time.
+struct TimedMsg {
+    arrival: Duration,
+    seq: u64,
+    from: ProviderId,
+    to: ProviderId,
+    payload: Bytes,
+}
+
+impl PartialEq for TimedMsg {
+    fn eq(&self, other: &Self) -> bool {
+        self.arrival == other.arrival && self.seq == other.seq
+    }
+}
+impl Eq for TimedMsg {}
+impl PartialOrd for TimedMsg {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimedMsg {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.arrival.cmp(&other.arrival).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Result of a timed session.
+#[derive(Debug, Clone)]
+pub struct TimedReport {
+    /// Outcome at each provider (`None` = never decided).
+    pub outcomes: Vec<Option<Outcome>>,
+    /// Virtual time at which each provider decided.
+    pub decision_times: Vec<Option<Duration>>,
+    /// Latest decision time — the session's completion time as a client
+    /// would observe it. `None` if some provider never decided.
+    pub span: Option<Duration>,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total payload bytes delivered.
+    pub bytes: u64,
+}
+
+impl TimedReport {
+    /// The unanimous outcome per Definition 1 (pair iff all providers
+    /// agree, else ⊥).
+    pub fn unanimous(&self) -> Outcome {
+        let mut first: Option<&Outcome> = None;
+        for o in &self.outcomes {
+            match o {
+                None | Some(Outcome::Abort) => return Outcome::Abort,
+                Some(agreed) => match first {
+                    None => first = Some(agreed),
+                    Some(prev) if prev == agreed => {}
+                    Some(_) => return Outcome::Abort,
+                },
+            }
+        }
+        first.cloned().unwrap_or(Outcome::Abort)
+    }
+}
+
+/// Run a full auction session under virtual time.
+///
+/// The blocks' CPU cost is measured on the host; clocks compose it as if
+/// each provider had a dedicated CPU, which is the paper's deployment
+/// assumption.
+pub fn run_timed_auction<P: AllocatorProgram + 'static>(
+    cfg: &FrameworkConfig,
+    program: Arc<P>,
+    collected: Vec<BidVector>,
+    link: LinkModel,
+    seed: u64,
+) -> TimedReport {
+    assert_eq!(collected.len(), cfg.m);
+    let m = cfg.m;
+    let mut agents: Vec<Auctioneer<P>> = collected
+        .into_iter()
+        .enumerate()
+        .map(|(j, bids)| {
+            Auctioneer::new_seeded(
+                cfg.clone(),
+                ProviderId(j as u32),
+                Arc::clone(&program),
+                bids,
+                seed + j as u64 + 1,
+            )
+        })
+        .collect();
+
+    let mut link_rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut clocks: Vec<Duration> = vec![Duration::ZERO; m];
+    let mut decision_times: Vec<Option<Duration>> = vec![None; m];
+    let mut heap: BinaryHeap<Reverse<TimedMsg>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut messages = 0u64;
+    let mut bytes = 0u64;
+
+    let enqueue = |heap: &mut BinaryHeap<Reverse<TimedMsg>>,
+                       link_rng: &mut StdRng,
+                       seq: &mut u64,
+                       at: Duration,
+                       from: ProviderId,
+                       sends: Vec<(ProviderId, Bytes)>| {
+        for (to, payload) in sends {
+            if to.index() >= m || to == from {
+                continue;
+            }
+            let arrival = at + link.delay(payload.len(), link_rng);
+            heap.push(Reverse(TimedMsg { arrival, seq: *seq, from, to, payload }));
+            *seq += 1;
+        }
+    };
+
+    // Start events: all providers begin at t = 0 on their own clock.
+    for j in 0..m {
+        let mut ctx = OutboxCtx::new(ProviderId(j as u32), m);
+        let cpu_start = Instant::now();
+        agents[j].start(&mut ctx);
+        clocks[j] = cpu_start.elapsed();
+        if agents[j].result().is_some() && decision_times[j].is_none() {
+            decision_times[j] = Some(clocks[j]);
+        }
+        enqueue(&mut heap, &mut link_rng, &mut seq, clocks[j], ProviderId(j as u32), ctx.drain());
+    }
+
+    while let Some(Reverse(msg)) = heap.pop() {
+        let j = msg.to.index();
+        messages += 1;
+        bytes += msg.payload.len() as u64;
+        let begin = clocks[j].max(msg.arrival);
+        let mut ctx = OutboxCtx::new(msg.to, m);
+        let cpu_start = Instant::now();
+        agents[j].on_message(msg.from, &msg.payload, &mut ctx);
+        clocks[j] = begin + cpu_start.elapsed();
+        if agents[j].result().is_some() && decision_times[j].is_none() {
+            decision_times[j] = Some(clocks[j]);
+        }
+        enqueue(&mut heap, &mut link_rng, &mut seq, clocks[j], msg.to, ctx.drain());
+        if decision_times.iter().all(Option::is_some) {
+            break;
+        }
+    }
+
+    let outcomes: Vec<Option<Outcome>> = agents.iter().map(|a| a.outcome()).collect();
+    let span = decision_times.iter().copied().collect::<Option<Vec<_>>>().map(|v| {
+        v.into_iter().max().unwrap_or(Duration::ZERO)
+    });
+    TimedReport { outcomes, decision_times, span, messages, bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dauctioneer_core::DoubleAuctionProgram;
+    use dauctioneer_types::{Bw, Money, ProviderAsk, UserBid};
+
+    fn bids() -> BidVector {
+        BidVector::builder(2, 1)
+            .user_bid(0, UserBid::new(Money::from_f64(1.2), Bw::from_f64(0.5)))
+            .user_bid(1, UserBid::new(Money::from_f64(0.9), Bw::from_f64(0.5)))
+            .provider_ask(0, ProviderAsk::new(Money::from_f64(0.2), Bw::from_f64(2.0)))
+            .build()
+    }
+
+    #[test]
+    fn timed_session_agrees_and_reports_span() {
+        let cfg = FrameworkConfig::new(3, 1, 2, 1);
+        let report = run_timed_auction(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            vec![bids(); 3],
+            LinkModel::instant(),
+            5,
+        );
+        assert!(!report.unanimous().is_abort());
+        assert!(report.span.is_some());
+        assert!(report.messages > 0);
+        assert!(report.bytes > 0);
+    }
+
+    #[test]
+    fn latency_dominates_span_for_cheap_computation() {
+        let cfg = FrameworkConfig::new(3, 1, 2, 1);
+        let fast = run_timed_auction(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            vec![bids(); 3],
+            LinkModel::instant(),
+            5,
+        );
+        let slow = run_timed_auction(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            vec![bids(); 3],
+            LinkModel {
+                latency: LatencyModel::ConstantMicros(5_000),
+                bytes_per_sec: None,
+            },
+            5,
+        );
+        // Identical outcome, very different virtual span.
+        assert_eq!(fast.unanimous(), slow.unanimous());
+        let fast_span = fast.span.unwrap();
+        let slow_span = slow.span.unwrap();
+        // At least 3 protocol round trips of 5 ms each.
+        assert!(slow_span > fast_span + Duration::from_millis(10),
+            "latency must widen the span: fast {fast_span:?} slow {slow_span:?}");
+    }
+
+    #[test]
+    fn bandwidth_delay_scales_with_bytes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let link = LinkModel { latency: LatencyModel::Zero, bytes_per_sec: Some(1_000_000) };
+        let d_small = link.delay(1_000, &mut rng);
+        let d_large = link.delay(100_000, &mut rng);
+        assert_eq!(d_small, Duration::from_millis(1));
+        assert_eq!(d_large, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn outcome_matches_untimed_simulation() {
+        use crate::runner::run_auction_sim;
+        use crate::schedule::SchedulePolicy;
+        let cfg = FrameworkConfig::new(3, 1, 2, 1);
+        let timed = run_timed_auction(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            vec![bids(); 3],
+            LinkModel::community_net(),
+            9,
+        );
+        let untimed = run_auction_sim(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            vec![bids(); 3],
+            vec![None, None, None],
+            SchedulePolicy::Fifo,
+            9,
+        );
+        assert_eq!(timed.unanimous(), untimed.unanimous());
+    }
+}

@@ -1,0 +1,35 @@
+//! Game-theoretic execution harness for the distributed auctioneer.
+//!
+//! The paper analyses its protocols in the extensive-form game model of
+//! Abraham, Dolev and Halpern: time is divided into **turns**, a
+//! **schedule** decides which message is delivered next, channels are
+//! reliable, and every fair schedule must let every provider move
+//! infinitely often (§3.3). This crate implements that model as a
+//! deterministic single-threaded simulator so the equilibrium claims can
+//! be *tested*:
+//!
+//! * [`SimRunner`] — drives any set of protocol [`Block`]s to quiescence
+//!   under a chosen [`SchedulePolicy`] (FIFO, seeded-random, or
+//!   adversarial delay), deterministically.
+//! * [`Behavior`] — message-level deviation injection: equivocation,
+//!   corruption, muting (crash), selective drops. Wrapping a provider's
+//!   outgoing traffic lets tests check *k-resilience*: a deviating
+//!   coalition never improves its utility — every detectable deviation
+//!   collapses the outcome to ⊥ (utility 0), and no deviation can steer
+//!   the outcome to a different accepted pair (*resilience to collusive
+//!   influence*).
+//! * [`utility`] — the §3.3 utility functions: 0 on ⊥, value − payment
+//!   for users, payment − cost for providers.
+//!
+//! [`Block`]: dauctioneer_core::Block
+
+pub mod behavior;
+pub mod des;
+pub mod runner;
+pub mod schedule;
+pub mod utility;
+
+pub use behavior::{Behavior, CorruptPayloads, DropTo, Equivocate, Honest, Mute, Replay};
+pub use des::{run_timed_auction, LinkModel, TimedReport};
+pub use runner::{run_auction_sim, AuctionSimReport, SimRunner};
+pub use schedule::SchedulePolicy;

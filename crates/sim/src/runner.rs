@@ -1,0 +1,360 @@
+//! The deterministic turn-based simulator.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use dauctioneer_core::{
+    AllocatorProgram, Auctioneer, Block, BlockResult, FrameworkConfig, OutboxCtx,
+};
+use dauctioneer_types::{BidVector, Outcome, ProviderId};
+
+use crate::behavior::{Behavior, Honest};
+use crate::schedule::{SchedulePolicy, ScheduleState};
+
+/// One in-flight message.
+#[derive(Debug, Clone)]
+struct InFlight {
+    from: ProviderId,
+    to: ProviderId,
+    payload: Bytes,
+}
+
+/// Drives a set of protocol blocks (one per provider) under a schedule,
+/// with optional deviation behaviors, until every block decided, no
+/// message is pending, or the step budget is exhausted.
+///
+/// Everything is deterministic: same blocks + same policy ⇒ same
+/// execution, which is what lets the deviation tests make exact claims.
+pub struct SimRunner<B: Block> {
+    agents: Vec<B>,
+    behaviors: Vec<Box<dyn Behavior>>,
+    pending: VecDeque<InFlight>,
+    schedule: ScheduleState,
+    delivered: u64,
+    started: bool,
+}
+
+impl<B: Block> SimRunner<B> {
+    /// Create a runner over `agents` (index = provider id), all honest.
+    pub fn new(agents: Vec<B>, policy: SchedulePolicy) -> SimRunner<B> {
+        let m = agents.len();
+        SimRunner {
+            agents,
+            behaviors: (0..m).map(|_| Box::new(Honest) as Box<dyn Behavior>).collect(),
+            pending: VecDeque::new(),
+            schedule: ScheduleState::new(policy),
+            delivered: 0,
+            started: false,
+        }
+    }
+
+    /// Replace provider `i`'s behavior (deviation injection).
+    pub fn set_behavior(&mut self, i: usize, behavior: Box<dyn Behavior>) {
+        self.behaviors[i] = behavior;
+    }
+
+    /// Number of messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    fn m(&self) -> usize {
+        self.agents.len()
+    }
+
+    fn collect_sends(&mut self, from: usize, ctx: &mut OutboxCtx) {
+        for (to, payload) in ctx.drain() {
+            for (to, payload) in self.behaviors[from].on_send(to, payload) {
+                if to.index() < self.m() && to.index() != from {
+                    self.pending.push_back(InFlight { from: ProviderId(from as u32), to, payload });
+                }
+            }
+        }
+    }
+
+    /// Run until quiescence (or `max_steps` deliveries). Returns `true`
+    /// if the run quiesced (no pending messages or all agents decided).
+    pub fn run(&mut self, max_steps: u64) -> bool {
+        let m = self.m();
+        if !self.started {
+            self.started = true;
+            for i in 0..m {
+                let mut ctx = OutboxCtx::new(ProviderId(i as u32), m);
+                self.agents[i].start(&mut ctx);
+                self.collect_sends(i, &mut ctx);
+            }
+        }
+        while self.delivered < max_steps {
+            if self.pending.is_empty() {
+                return true;
+            }
+            if self.agents.iter().all(|a| a.result().is_some()) {
+                return true;
+            }
+            let pending = &self.pending;
+            let idx = self.schedule.pick(pending.len(), |i| pending[i].to);
+            let msg = self.pending.remove(idx).expect("index in range");
+            self.delivered += 1;
+            let to = msg.to.index();
+            let mut ctx = OutboxCtx::new(msg.to, m);
+            self.agents[to].on_message(msg.from, &msg.payload, &mut ctx);
+            self.collect_sends(to, &mut ctx);
+        }
+        self.pending.is_empty()
+    }
+
+    /// Per-agent results (None = undecided).
+    pub fn results(&self) -> Vec<Option<&BlockResult<B::Output>>> {
+        self.agents.iter().map(|a| a.result()).collect()
+    }
+
+    /// Access an agent.
+    pub fn agent(&self, i: usize) -> &B {
+        &self.agents[i]
+    }
+}
+
+/// Report of a simulated auction session.
+#[derive(Debug, Clone)]
+pub struct AuctionSimReport {
+    /// Outcome at each provider; `None` means the provider never decided
+    /// (possible only under deviations that withhold messages — the
+    /// external mechanism of §3.2 treats it as ⊥).
+    pub outcomes: Vec<Option<Outcome>>,
+    /// Messages delivered before quiescence.
+    pub delivered: u64,
+}
+
+impl AuctionSimReport {
+    /// The session outcome per Definition 1: the pair if *every* provider
+    /// decided on the same pair, otherwise ⊥.
+    pub fn unanimous(&self) -> Outcome {
+        let mut first: Option<&Outcome> = None;
+        for o in &self.outcomes {
+            match o {
+                None | Some(Outcome::Abort) => return Outcome::Abort,
+                Some(agreed) => match first {
+                    None => first = Some(agreed),
+                    Some(prev) if prev == agreed => {}
+                    Some(_) => return Outcome::Abort,
+                },
+            }
+        }
+        first.cloned().unwrap_or(Outcome::Abort)
+    }
+
+    /// Outcomes of the providers *not* in `coalition` — what the honest
+    /// majority observed.
+    pub fn honest_unanimous(&self, coalition: &[usize]) -> Outcome {
+        let honest: Vec<Option<Outcome>> = self
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !coalition.contains(i))
+            .map(|(_, o)| o.clone())
+            .collect();
+        AuctionSimReport { outcomes: honest, delivered: self.delivered }.unanimous()
+    }
+}
+
+/// Convenience: run a full auction session in the simulator.
+///
+/// `collected[j]` is provider `j`'s view of the bids; `behaviors[j]`
+/// (when provided) replaces provider `j`'s honest message behavior;
+/// `seeds[j]` seeds provider `j`'s local randomness.
+pub fn run_auction_sim<P: AllocatorProgram + 'static>(
+    cfg: &FrameworkConfig,
+    program: Arc<P>,
+    collected: Vec<BidVector>,
+    behaviors: Vec<Option<Box<dyn Behavior>>>,
+    policy: SchedulePolicy,
+    seed: u64,
+) -> AuctionSimReport {
+    assert_eq!(collected.len(), cfg.m);
+    let agents: Vec<Auctioneer<P>> = collected
+        .into_iter()
+        .enumerate()
+        .map(|(j, bids)| {
+            Auctioneer::new_seeded(
+                cfg.clone(),
+                ProviderId(j as u32),
+                Arc::clone(&program),
+                bids,
+                seed + j as u64 + 1,
+            )
+        })
+        .collect();
+    let mut runner = SimRunner::new(agents, policy);
+    for (j, behavior) in behaviors.into_iter().enumerate() {
+        if let Some(b) = behavior {
+            runner.set_behavior(j, b);
+        }
+    }
+    // Generous budget; protocol rounds are O(m² · blocks).
+    let quiesced = runner.run(10_000_000);
+    debug_assert!(quiesced, "step budget too small");
+    let outcomes = (0..runner.m()).map(|i| runner.agent(i).outcome()).collect();
+    AuctionSimReport { outcomes, delivered: runner.delivered() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{CorruptPayloads, Equivocate, Mute};
+    use dauctioneer_core::DoubleAuctionProgram;
+    use dauctioneer_types::{Bw, Money, ProviderAsk, UserBid};
+
+    fn cfg(m: usize, k: usize) -> FrameworkConfig {
+        FrameworkConfig::new(m, k, 3, 2)
+    }
+
+    fn bids() -> BidVector {
+        BidVector::builder(3, 2)
+            .user_bid(0, UserBid::new(Money::from_f64(1.2), Bw::from_f64(0.5)))
+            .user_bid(1, UserBid::new(Money::from_f64(1.0), Bw::from_f64(0.5)))
+            .user_bid(2, UserBid::new(Money::from_f64(0.8), Bw::from_f64(0.5)))
+            .provider_ask(0, ProviderAsk::new(Money::from_f64(0.1), Bw::from_f64(1.0)))
+            .provider_ask(1, ProviderAsk::new(Money::from_f64(0.5), Bw::from_f64(1.0)))
+            .build()
+    }
+
+    #[test]
+    fn honest_simulation_agrees() {
+        let cfg = cfg(3, 1);
+        let report = run_auction_sim(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            vec![bids(); 3],
+            vec![None, None, None],
+            SchedulePolicy::Fifo,
+            1,
+        );
+        let outcome = report.unanimous();
+        assert!(!outcome.is_abort());
+        assert!(report.delivered > 0);
+    }
+
+    #[test]
+    fn outcome_is_schedule_independent() {
+        // Ex post: the decided pair must be identical under every fair
+        // schedule (the coin material depends only on the providers'
+        // committed randomness, not on delivery order).
+        let cfg = cfg(3, 1);
+        let run = |policy| {
+            run_auction_sim(
+                &cfg,
+                Arc::new(DoubleAuctionProgram::new()),
+                vec![bids(); 3],
+                vec![None, None, None],
+                policy,
+                7,
+            )
+            .unanimous()
+        };
+        let fifo = run(SchedulePolicy::Fifo);
+        assert!(!fifo.is_abort());
+        for seed in 0..5 {
+            assert_eq!(run(SchedulePolicy::SeededRandom(seed)), fifo);
+        }
+        assert_eq!(
+            run(SchedulePolicy::DelayProvider { victim: ProviderId(2), seed: 3 }),
+            fifo
+        );
+    }
+
+    #[test]
+    fn equivocating_provider_forces_abort_not_divergence() {
+        let cfg = cfg(3, 1);
+        let mut behaviors: Vec<Option<Box<dyn Behavior>>> = vec![None, None, None];
+        behaviors[0] = Some(Box::new(Equivocate { victim: ProviderId(1) }));
+        let report = run_auction_sim(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            vec![bids(); 3],
+            behaviors,
+            SchedulePolicy::Fifo,
+            1,
+        );
+        // Resilience to collusive influence: honest providers output the
+        // honest pair or ⊥ — never a *different* accepted pair.
+        let honest_outcome = report.honest_unanimous(&[0]);
+        assert!(honest_outcome.is_abort(), "equivocation must not produce an accepted outcome");
+    }
+
+    #[test]
+    fn corrupting_provider_forces_abort() {
+        let cfg = cfg(3, 1);
+        let mut behaviors: Vec<Option<Box<dyn Behavior>>> = vec![None, None, None];
+        behaviors[2] = Some(Box::new(CorruptPayloads::default()));
+        let report = run_auction_sim(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            vec![bids(); 3],
+            behaviors,
+            SchedulePolicy::SeededRandom(4),
+            2,
+        );
+        assert!(report.unanimous().is_abort());
+    }
+
+    #[test]
+    fn replaying_provider_forces_abort() {
+        use crate::behavior::Replay;
+        let cfg = cfg(3, 1);
+        let mut behaviors: Vec<Option<Box<dyn Behavior>>> = vec![None, None, None];
+        behaviors[1] = Some(Box::new(Replay));
+        let report = run_auction_sim(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            vec![bids(); 3],
+            behaviors,
+            SchedulePolicy::Fifo,
+            6,
+        );
+        // Duplicate round messages are a detectable protocol violation.
+        assert!(report.unanimous().is_abort());
+    }
+
+    #[test]
+    fn full_paper_configuration_m8_k3() {
+        // The largest configuration of §6: eight providers tolerating a
+        // three-member coalition.
+        let cfg = FrameworkConfig::new(8, 3, 3, 2);
+        let report = run_auction_sim(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            vec![bids(); 8],
+            (0..8).map(|_| None).collect(),
+            SchedulePolicy::SeededRandom(4),
+            12,
+        );
+        assert!(!report.unanimous().is_abort());
+        assert_eq!(report.outcomes.len(), 8);
+    }
+
+    #[test]
+    fn muted_provider_stalls_but_never_diverges() {
+        let cfg = cfg(3, 1);
+        let mut behaviors: Vec<Option<Box<dyn Behavior>>> = vec![None, None, None];
+        behaviors[1] = Some(Box::new(Mute::new(0)));
+        let report = run_auction_sim(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            vec![bids(); 3],
+            behaviors,
+            SchedulePolicy::Fifo,
+            3,
+        );
+        // Nobody can decide a pair without the mute provider's messages;
+        // per §3.2 the external mechanism aborts. No provider may hold an
+        // accepted pair.
+        for o in &report.outcomes {
+            assert!(
+                !matches!(o, Some(Outcome::Agreed(_))),
+                "an accepted pair leaked through a muted run: {o:?}"
+            );
+        }
+        assert!(report.unanimous().is_abort());
+    }
+}

@@ -1,0 +1,82 @@
+//! The utility functions of the game model (§3.3 of the paper).
+//!
+//! Utilities are defined over the *outcome* of the simulation: if the
+//! outcome is ⊥ every participant's utility is zero; otherwise a user's
+//! utility is the value of its allocation (at its **true** valuation)
+//! minus its payment, and a provider's utility is the payment received
+//! minus the true cost of what it served. The deviation tests compare a
+//! deviator's utility against its utility under honesty — k-resilience
+//! predicts the former never exceeds the latter.
+
+use dauctioneer_mechanisms::props;
+use dauctioneer_types::{Money, Outcome, ProviderId, UserId};
+
+/// Utility of `user` with true per-unit valuation `true_value` under
+/// `outcome`; zero on ⊥.
+///
+/// # Example
+///
+/// ```
+/// use dauctioneer_sim::utility::user_utility;
+/// use dauctioneer_types::{Money, Outcome, UserId};
+///
+/// assert_eq!(
+///     user_utility(UserId(0), Money::from_f64(1.0), &Outcome::Abort),
+///     Money::ZERO
+/// );
+/// ```
+pub fn user_utility(user: UserId, true_value: Money, outcome: &Outcome) -> Money {
+    match outcome.as_result() {
+        None => Money::ZERO,
+        Some(result) => props::user_utility(user, true_value, result),
+    }
+}
+
+/// Utility of `provider` with true per-unit cost `true_cost` under
+/// `outcome`; zero on ⊥.
+pub fn provider_utility(provider: ProviderId, true_cost: Money, outcome: &Outcome) -> Money {
+    match outcome.as_result() {
+        None => Money::ZERO,
+        Some(result) => props::provider_utility(provider, true_cost, result),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dauctioneer_types::{Allocation, AuctionResult, Bw, Payments};
+
+    fn outcome_with(user_pay: f64, provider_rev: f64) -> Outcome {
+        let mut alloc = Allocation::new(1, 1);
+        alloc.add(UserId(0), ProviderId(0), Bw::from_f64(1.0));
+        let mut pay = Payments::zero(1, 1);
+        pay.set_user_payment(UserId(0), Money::from_f64(user_pay));
+        pay.set_provider_revenue(ProviderId(0), Money::from_f64(provider_rev));
+        Outcome::Agreed(AuctionResult::new(alloc, pay))
+    }
+
+    #[test]
+    fn abort_gives_zero_to_everyone() {
+        assert_eq!(user_utility(UserId(0), Money::from_f64(5.0), &Outcome::Abort), Money::ZERO);
+        assert_eq!(
+            provider_utility(ProviderId(0), Money::from_f64(0.1), &Outcome::Abort),
+            Money::ZERO
+        );
+    }
+
+    #[test]
+    fn agreed_outcome_gives_value_minus_payment() {
+        let o = outcome_with(0.4, 0.4);
+        assert_eq!(user_utility(UserId(0), Money::from_f64(1.0), &o), Money::from_f64(0.6));
+        assert_eq!(
+            provider_utility(ProviderId(0), Money::from_f64(0.1), &o),
+            Money::from_f64(0.3)
+        );
+    }
+
+    #[test]
+    fn utilities_can_be_negative_for_overpayment() {
+        let o = outcome_with(2.0, 0.0);
+        assert_eq!(user_utility(UserId(0), Money::from_f64(1.0), &o), Money::from_f64(-1.0));
+    }
+}

@@ -1,0 +1,243 @@
+//! Allocations of bandwidth from providers to users.
+
+use std::collections::BTreeMap;
+
+use crate::codec::{Decode, Encode, Reader, Writer};
+use crate::error::CodecError;
+use crate::ids::{ProviderId, UserId};
+use crate::quantity::Bw;
+
+/// A feasible assignment `x` of provider bandwidth to users.
+///
+/// Stored sparsely: only non-zero cells are kept, in a `BTreeMap` so that
+/// iteration order — and therefore the canonical encoding — is
+/// deterministic across replicas.
+///
+/// # Example
+///
+/// ```
+/// use dauctioneer_types::{Allocation, UserId, ProviderId, Bw};
+///
+/// let mut x = Allocation::new(2, 2);
+/// x.add(UserId(0), ProviderId(1), Bw::from_f64(0.5));
+/// assert_eq!(x.user_total(UserId(0)), Bw::from_f64(0.5));
+/// assert_eq!(x.provider_total(ProviderId(1)), Bw::from_f64(0.5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Allocation {
+    n_users: u32,
+    n_providers: u32,
+    cells: BTreeMap<(UserId, ProviderId), Bw>,
+}
+
+impl Allocation {
+    /// Empty allocation over `n_users × n_providers`.
+    pub fn new(n_users: usize, n_providers: usize) -> Allocation {
+        Allocation {
+            n_users: n_users as u32,
+            n_providers: n_providers as u32,
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// Number of user slots.
+    pub fn num_users(&self) -> usize {
+        self.n_users as usize
+    }
+
+    /// Number of provider slots.
+    pub fn num_providers(&self) -> usize {
+        self.n_providers as usize
+    }
+
+    /// Amount allocated to `user` at `provider` (zero if unallocated).
+    pub fn get(&self, user: UserId, provider: ProviderId) -> Bw {
+        self.cells.get(&(user, provider)).copied().unwrap_or(Bw::ZERO)
+    }
+
+    /// Add `amount` to the `(user, provider)` cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn add(&mut self, user: UserId, provider: ProviderId, amount: Bw) {
+        assert!(user.0 < self.n_users, "user {user} out of range");
+        assert!(provider.0 < self.n_providers, "provider {provider} out of range");
+        if amount.is_zero() {
+            return;
+        }
+        *self.cells.entry((user, provider)).or_insert(Bw::ZERO) += amount;
+    }
+
+    /// Total bandwidth allocated to `user` across all providers.
+    pub fn user_total(&self, user: UserId) -> Bw {
+        self.cells
+            .range((user, ProviderId(0))..=(user, ProviderId(u32::MAX)))
+            .map(|(_, bw)| *bw)
+            .sum()
+    }
+
+    /// Total bandwidth `provider` has allocated across all users.
+    pub fn provider_total(&self, provider: ProviderId) -> Bw {
+        self.cells.iter().filter(|((_, p), _)| *p == provider).map(|(_, bw)| *bw).sum()
+    }
+
+    /// Total bandwidth allocated overall.
+    pub fn total(&self) -> Bw {
+        self.cells.values().copied().sum()
+    }
+
+    /// Iterator over `(user, provider, amount)` in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, ProviderId, Bw)> + '_ {
+        self.cells.iter().map(|(&(u, p), &bw)| (u, p, bw))
+    }
+
+    /// Users with a non-zero total allocation, in id order.
+    pub fn winners(&self) -> Vec<UserId> {
+        let mut out: Vec<UserId> = Vec::new();
+        for (&(u, _), _) in &self.cells {
+            if out.last() != Some(&u) {
+                out.push(u);
+            }
+        }
+        out
+    }
+
+    /// `true` if nothing is allocated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of non-zero cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+impl Encode for Allocation {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.n_users);
+        w.put_u32(self.n_providers);
+        w.put_u64(self.cells.len() as u64);
+        // BTreeMap iteration is sorted, so the encoding is canonical.
+        for (&(u, p), &bw) in &self.cells {
+            u.encode(w);
+            p.encode(w);
+            bw.encode(w);
+        }
+    }
+}
+
+impl Decode for Allocation {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n_users = r.get_u32()?;
+        let n_providers = r.get_u32()?;
+        let len = r.get_u64()?;
+        if len > crate::codec::MAX_SEQ_LEN {
+            return Err(CodecError::LengthOverflow { what: "Allocation", len });
+        }
+        let mut cells = BTreeMap::new();
+        for _ in 0..len {
+            let u = UserId::decode(r)?;
+            let p = ProviderId::decode(r)?;
+            let bw = Bw::decode(r)?;
+            if u.0 >= n_users || p.0 >= n_providers {
+                return Err(CodecError::Invalid { what: "allocation cell out of range" });
+            }
+            if cells.insert((u, p), bw).is_some() {
+                return Err(CodecError::Invalid { what: "duplicate allocation cell" });
+            }
+        }
+        Ok(Allocation { n_users, n_providers, cells })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::roundtrip;
+
+    #[test]
+    fn empty_allocation() {
+        let x = Allocation::new(3, 2);
+        assert!(x.is_empty());
+        assert_eq!(x.len(), 0);
+        assert_eq!(x.total(), Bw::ZERO);
+        assert_eq!(x.get(UserId(0), ProviderId(0)), Bw::ZERO);
+        assert!(x.winners().is_empty());
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut x = Allocation::new(2, 2);
+        x.add(UserId(0), ProviderId(0), Bw::from_f64(0.25));
+        x.add(UserId(0), ProviderId(0), Bw::from_f64(0.25));
+        assert_eq!(x.get(UserId(0), ProviderId(0)), Bw::from_f64(0.5));
+        assert_eq!(x.len(), 1);
+    }
+
+    #[test]
+    fn add_zero_is_noop() {
+        let mut x = Allocation::new(1, 1);
+        x.add(UserId(0), ProviderId(0), Bw::ZERO);
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_out_of_range_panics() {
+        let mut x = Allocation::new(1, 1);
+        x.add(UserId(1), ProviderId(0), Bw::from_f64(0.1));
+    }
+
+    #[test]
+    fn totals_sum_correct_axes() {
+        let mut x = Allocation::new(2, 3);
+        x.add(UserId(0), ProviderId(0), Bw::from_f64(0.1));
+        x.add(UserId(0), ProviderId(2), Bw::from_f64(0.2));
+        x.add(UserId(1), ProviderId(2), Bw::from_f64(0.3));
+        assert_eq!(x.user_total(UserId(0)), Bw::from_f64(0.3));
+        assert_eq!(x.user_total(UserId(1)), Bw::from_f64(0.3));
+        assert_eq!(x.provider_total(ProviderId(2)), Bw::from_f64(0.5));
+        assert_eq!(x.provider_total(ProviderId(1)), Bw::ZERO);
+        assert_eq!(x.total(), Bw::from_f64(0.6));
+    }
+
+    #[test]
+    fn winners_are_unique_and_ordered() {
+        let mut x = Allocation::new(3, 2);
+        x.add(UserId(2), ProviderId(0), Bw::from_f64(0.1));
+        x.add(UserId(0), ProviderId(0), Bw::from_f64(0.1));
+        x.add(UserId(0), ProviderId(1), Bw::from_f64(0.1));
+        assert_eq!(x.winners(), vec![UserId(0), UserId(2)]);
+    }
+
+    #[test]
+    fn roundtrips_through_codec() {
+        let mut x = Allocation::new(4, 3);
+        x.add(UserId(1), ProviderId(2), Bw::from_f64(0.5));
+        x.add(UserId(3), ProviderId(0), Bw::from_f64(1.5));
+        assert_eq!(roundtrip(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_cells() {
+        let mut x = Allocation::new(1, 1);
+        x.add(UserId(0), ProviderId(0), Bw::from_f64(0.5));
+        let mut bytes = x.encode_to_bytes().to_vec();
+        // Corrupt the user id of the first cell (offset: 4+4+8 = 16).
+        bytes[16] = 9;
+        assert!(Allocation::decode_all(&bytes).is_err());
+    }
+
+    #[test]
+    fn encoding_is_canonical_regardless_of_insertion_order() {
+        let mut a = Allocation::new(2, 2);
+        a.add(UserId(1), ProviderId(1), Bw::from_f64(0.2));
+        a.add(UserId(0), ProviderId(0), Bw::from_f64(0.1));
+        let mut b = Allocation::new(2, 2);
+        b.add(UserId(0), ProviderId(0), Bw::from_f64(0.1));
+        b.add(UserId(1), ProviderId(1), Bw::from_f64(0.2));
+        assert_eq!(a.encode_to_bytes(), b.encode_to_bytes());
+    }
+}

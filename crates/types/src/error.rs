@@ -1,0 +1,96 @@
+//! Error types for decoding the deterministic wire format.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when decoding a value from the wire format fails.
+///
+/// The distributed auctioneer treats any message that fails to decode the
+/// same way it treats an invalid bid: the offending value is replaced by a
+/// neutral element or the protocol aborts with ⊥, so decode errors are
+/// expected, recoverable conditions rather than bugs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the value was fully decoded.
+    UnexpectedEnd {
+        /// What was being decoded.
+        what: &'static str,
+        /// How many bytes were needed.
+        needed: usize,
+        /// How many bytes remained.
+        remaining: usize,
+    },
+    /// An enum tag byte had no corresponding variant.
+    InvalidTag {
+        /// The type being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A length prefix exceeded the sanity limit.
+    LengthOverflow {
+        /// The type being decoded.
+        what: &'static str,
+        /// The declared length.
+        len: u64,
+    },
+    /// Trailing bytes remained after a value that must consume the whole
+    /// buffer.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// The decoded value violated a domain invariant.
+    Invalid {
+        /// Description of the violated invariant.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd { what, needed, remaining } => write!(
+                f,
+                "unexpected end of buffer while decoding {what}: needed {needed} bytes, {remaining} remaining"
+            ),
+            CodecError::InvalidTag { what, tag } => {
+                write!(f, "invalid tag {tag} while decoding {what}")
+            }
+            CodecError::LengthOverflow { what, len } => {
+                write!(f, "length prefix {len} too large while decoding {what}")
+            }
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decoded value")
+            }
+            CodecError::Invalid { what } => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CodecError::UnexpectedEnd { what: "u32", needed: 4, remaining: 1 };
+        assert!(e.to_string().contains("unexpected end"));
+        let e = CodecError::InvalidTag { what: "Outcome", tag: 7 };
+        assert!(e.to_string().contains("invalid tag 7"));
+        let e = CodecError::LengthOverflow { what: "Vec", len: u64::MAX };
+        assert!(e.to_string().contains("too large"));
+        let e = CodecError::TrailingBytes { remaining: 3 };
+        assert!(e.to_string().contains("3 trailing bytes"));
+        let e = CodecError::Invalid { what: "negative demand" };
+        assert!(e.to_string().contains("negative demand"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<CodecError>();
+    }
+}

@@ -1,0 +1,221 @@
+//! Identifiers for auction participants and protocol sessions.
+
+use std::fmt;
+
+use crate::codec::{Decode, Encode, Reader, Writer};
+use crate::error::CodecError;
+
+/// Identifier of a resource *provider* (a gateway owner in the community
+/// network case study). Providers jointly simulate the auctioneer.
+///
+/// Providers are numbered densely `0..m`; the paper assumes every provider
+/// has a unique identifier known to every other provider (§3.3).
+///
+/// # Example
+///
+/// ```
+/// use dauctioneer_types::ProviderId;
+/// let ids: Vec<ProviderId> = ProviderId::all(3).collect();
+/// assert_eq!(ids, vec![ProviderId(0), ProviderId(1), ProviderId(2)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProviderId(pub u32);
+
+impl ProviderId {
+    /// Iterator over all provider ids `0..m`.
+    pub fn all(m: usize) -> impl Iterator<Item = ProviderId> + Clone {
+        (0..m as u32).map(ProviderId)
+    }
+
+    /// Dense index into per-provider arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProviderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u32> for ProviderId {
+    fn from(v: u32) -> Self {
+        ProviderId(v)
+    }
+}
+
+/// Identifier of a *user* (bidder requesting resources).
+///
+/// Users are numbered densely `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserId(pub u32);
+
+impl UserId {
+    /// Iterator over all user ids `0..n`.
+    pub fn all(n: usize) -> impl Iterator<Item = UserId> + Clone {
+        (0..n as u32).map(UserId)
+    }
+
+    /// Dense index into per-user arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U{}", self.0)
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(v: u32) -> Self {
+        UserId(v)
+    }
+}
+
+/// Any entity that may submit a bid to the auctioneer.
+///
+/// In a *standard* auction only users bid; in a *double* auction providers
+/// submit asks as well (§3.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BidderId {
+    /// A resource consumer.
+    User(UserId),
+    /// A resource provider (double auctions only).
+    Provider(ProviderId),
+}
+
+impl fmt::Display for BidderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BidderId::User(u) => write!(f, "{u}"),
+            BidderId::Provider(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// Identifier of one full run of the distributed auctioneer.
+///
+/// Every message exchanged by the protocol carries the session id so that
+/// concurrent or successive auctions never interfere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+impl Encode for ProviderId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+}
+
+impl Decode for ProviderId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ProviderId(r.get_u32()?))
+    }
+}
+
+impl Encode for UserId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+}
+
+impl Decode for UserId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(UserId(r.get_u32()?))
+    }
+}
+
+impl Encode for SessionId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+}
+
+impl Decode for SessionId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(SessionId(r.get_u64()?))
+    }
+}
+
+impl Encode for BidderId {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            BidderId::User(u) => {
+                w.put_u8(0);
+                u.encode(w);
+            }
+            BidderId::Provider(p) => {
+                w.put_u8(1);
+                p.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for BidderId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(BidderId::User(UserId::decode(r)?)),
+            1 => Ok(BidderId::Provider(ProviderId::decode(r)?)),
+            tag => Err(CodecError::InvalidTag { what: "BidderId", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::roundtrip;
+
+    #[test]
+    fn provider_id_all_enumerates_densely() {
+        let ids: Vec<_> = ProviderId::all(4).collect();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[3], ProviderId(3));
+        assert_eq!(ids[3].index(), 3);
+    }
+
+    #[test]
+    fn user_id_all_enumerates_densely() {
+        let ids: Vec<_> = UserId::all(2).collect();
+        assert_eq!(ids, vec![UserId(0), UserId(1)]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProviderId(7).to_string(), "P7");
+        assert_eq!(UserId(3).to_string(), "U3");
+        assert_eq!(BidderId::User(UserId(1)).to_string(), "U1");
+        assert_eq!(BidderId::Provider(ProviderId(2)).to_string(), "P2");
+        assert_eq!(SessionId(9).to_string(), "session-9");
+    }
+
+    #[test]
+    fn ids_roundtrip_through_codec() {
+        assert_eq!(roundtrip(&ProviderId(42)).unwrap(), ProviderId(42));
+        assert_eq!(roundtrip(&UserId(17)).unwrap(), UserId(17));
+        assert_eq!(roundtrip(&SessionId(u64::MAX)).unwrap(), SessionId(u64::MAX));
+        let b = BidderId::Provider(ProviderId(5));
+        assert_eq!(roundtrip(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn bidder_id_rejects_bad_tag() {
+        let mut r = Reader::new(&[9, 0, 0, 0, 0]);
+        assert!(BidderId::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn ordering_is_by_numeric_id() {
+        assert!(ProviderId(1) < ProviderId(2));
+        assert!(UserId(0) < UserId(10));
+    }
+}

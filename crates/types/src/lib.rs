@@ -1,0 +1,50 @@
+//! Domain types for the distributed auctioneer.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: identifiers for the participants of a resource-allocation
+//! auction ([`ProviderId`], [`UserId`]), exact fixed-point quantities
+//! ([`Money`], [`Bw`]), the bids exchanged in standard and double auctions
+//! ([`UserBid`], [`ProviderAsk`], [`BidVector`]), the results produced by an
+//! allocation algorithm ([`Allocation`], [`Payments`], [`AuctionResult`],
+//! [`Outcome`]) and a deterministic binary wire format ([`codec`]).
+//!
+//! # Why fixed point?
+//!
+//! The distributed auctioneer replicates the allocation algorithm `A` on
+//! several providers and cross-validates the redundant results byte-for-byte
+//! (see the `dauctioneer-core` crate). Floating-point valuations would make
+//! that comparison fragile and, worse, the *bid agreement* building block of
+//! the paper runs consensus over the **bit stream** of each bid, which
+//! requires a canonical bit representation. All quantities are therefore
+//! integers in micro-units: [`Money`] is `i64` micro-currency, [`Bw`] is
+//! `u64` micro-bandwidth-units.
+//!
+//! # Example
+//!
+//! ```
+//! use dauctioneer_types::{Money, Bw, UserBid, BidVector, ProviderAsk};
+//!
+//! let bid = UserBid::new(Money::from_micro(1_100_000), Bw::from_micro(500_000));
+//! let ask = ProviderAsk::new(Money::from_micro(400_000), Bw::from_micro(2_000_000));
+//! let bids = BidVector::builder(1, 1).user_bid(0, bid).provider_ask(0, ask).build();
+//! assert_eq!(bids.num_users(), 1);
+//! assert!(bids.user_bid(dauctioneer_types::UserId(0)).is_valid());
+//! ```
+
+pub mod allocation;
+pub mod bids;
+pub mod codec;
+pub mod error;
+pub mod ids;
+pub mod outcome;
+pub mod payments;
+pub mod quantity;
+
+pub use allocation::Allocation;
+pub use bids::{BidEntry, BidVector, BidVectorBuilder, ProviderAsk, UserBid};
+pub use codec::{Decode, Encode, Reader, Writer};
+pub use error::CodecError;
+pub use ids::{BidderId, ProviderId, SessionId, UserId};
+pub use outcome::{AuctionResult, Outcome};
+pub use payments::Payments;
+pub use quantity::{Bw, Money, MICRO};

@@ -1,0 +1,150 @@
+//! The outcome of a (simulated) auction: a result or the abort value ⊥.
+
+use crate::allocation::Allocation;
+use crate::codec::{Decode, Encode, Reader, Writer};
+use crate::error::CodecError;
+use crate::payments::Payments;
+
+/// The pair `(x, p̄)` an allocation algorithm returns: an allocation plus
+/// the payment vector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AuctionResult {
+    /// The feasible allocation `x`.
+    pub allocation: Allocation,
+    /// The payments `p̄`.
+    pub payments: Payments,
+}
+
+impl AuctionResult {
+    /// Construct from parts.
+    pub fn new(allocation: Allocation, payments: Payments) -> AuctionResult {
+        AuctionResult { allocation, payments }
+    }
+
+    /// An empty result (nothing allocated, nothing paid).
+    pub fn empty(n_users: usize, n_providers: usize) -> AuctionResult {
+        AuctionResult {
+            allocation: Allocation::new(n_users, n_providers),
+            payments: Payments::zero(n_users, n_providers),
+        }
+    }
+}
+
+impl Encode for AuctionResult {
+    fn encode(&self, w: &mut Writer) {
+        self.allocation.encode(w);
+        self.payments.encode(w);
+    }
+}
+
+impl Decode for AuctionResult {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(AuctionResult { allocation: Allocation::decode(r)?, payments: Payments::decode(r)? })
+    }
+}
+
+/// Outcome of a distributed simulation of the auctioneer (§3.2 of the
+/// paper): either every provider output the same `(x, p̄)` pair, or the
+/// simulation aborted with the special value ⊥.
+///
+/// When the outcome is ⊥ the auction is void: nothing is allocated and
+/// nobody pays, so every participant's utility is zero. This is what gives
+/// providers "preference for a solution".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// All providers agreed on this result; it is enforced.
+    Agreed(AuctionResult),
+    /// The simulation aborted (⊥).
+    Abort,
+}
+
+impl Outcome {
+    /// `true` for ⊥.
+    pub fn is_abort(&self) -> bool {
+        matches!(self, Outcome::Abort)
+    }
+
+    /// The agreed result, if any.
+    pub fn as_result(&self) -> Option<&AuctionResult> {
+        match self {
+            Outcome::Agreed(r) => Some(r),
+            Outcome::Abort => None,
+        }
+    }
+
+    /// The agreed result, consuming the outcome.
+    pub fn into_result(self) -> Option<AuctionResult> {
+        match self {
+            Outcome::Agreed(r) => Some(r),
+            Outcome::Abort => None,
+        }
+    }
+}
+
+impl From<AuctionResult> for Outcome {
+    fn from(r: AuctionResult) -> Outcome {
+        Outcome::Agreed(r)
+    }
+}
+
+impl Encode for Outcome {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Outcome::Abort => w.put_u8(0),
+            Outcome::Agreed(r) => {
+                w.put_u8(1);
+                r.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Outcome {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(Outcome::Abort),
+            1 => Ok(Outcome::Agreed(AuctionResult::decode(r)?)),
+            tag => Err(CodecError::InvalidTag { what: "Outcome", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::roundtrip;
+    use crate::ids::{ProviderId, UserId};
+    use crate::quantity::{Bw, Money};
+
+    #[test]
+    fn abort_has_no_result() {
+        assert!(Outcome::Abort.is_abort());
+        assert!(Outcome::Abort.as_result().is_none());
+        assert!(Outcome::Abort.into_result().is_none());
+    }
+
+    #[test]
+    fn agreed_exposes_result() {
+        let r = AuctionResult::empty(1, 1);
+        let o = Outcome::from(r.clone());
+        assert!(!o.is_abort());
+        assert_eq!(o.as_result(), Some(&r));
+        assert_eq!(o.into_result(), Some(r));
+    }
+
+    #[test]
+    fn outcome_roundtrips() {
+        assert_eq!(roundtrip(&Outcome::Abort).unwrap(), Outcome::Abort);
+        let mut alloc = Allocation::new(2, 1);
+        alloc.add(UserId(0), ProviderId(0), Bw::from_f64(0.5));
+        let mut pay = Payments::zero(2, 1);
+        pay.set_user_payment(UserId(0), Money::from_f64(0.4));
+        let o = Outcome::Agreed(AuctionResult::new(alloc, pay));
+        assert_eq!(roundtrip(&o).unwrap(), o);
+    }
+
+    #[test]
+    fn outcome_rejects_bad_tag() {
+        assert!(Outcome::decode_all(&[7]).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the wire codec: every domain value round-trips, and
+//! encoding is canonical (equal values ⇒ identical bytes).
+
+use proptest::prelude::*;
+
+use dauctioneer_types::{
+    Allocation, AuctionResult, BidEntry, BidVector, Bw, Money, Outcome, Payments, ProviderAsk,
+    ProviderId, UserBid, UserId,
+};
+use dauctioneer_types::codec::roundtrip;
+use dauctioneer_types::Decode;
+
+fn arb_money() -> impl Strategy<Value = Money> {
+    any::<i64>().prop_map(Money::from_micro)
+}
+
+fn arb_bw() -> impl Strategy<Value = Bw> {
+    any::<u64>().prop_map(Bw::from_micro)
+}
+
+fn arb_user_bid() -> impl Strategy<Value = UserBid> {
+    (arb_money(), arb_bw()).prop_map(|(v, d)| UserBid::new(v, d))
+}
+
+fn arb_entry() -> impl Strategy<Value = BidEntry> {
+    prop_oneof![Just(BidEntry::Neutral), arb_user_bid().prop_map(BidEntry::Valid)]
+}
+
+fn arb_ask() -> impl Strategy<Value = ProviderAsk> {
+    (arb_money(), arb_bw()).prop_map(|(c, cap)| ProviderAsk::new(c, cap))
+}
+
+fn arb_bid_vector() -> impl Strategy<Value = BidVector> {
+    (
+        proptest::collection::vec(arb_entry(), 0..12),
+        proptest::collection::vec(arb_ask(), 0..6),
+    )
+        .prop_map(|(users, asks)| BidVector::from_parts(users, asks))
+}
+
+fn arb_allocation() -> impl Strategy<Value = Allocation> {
+    (1usize..6, 1usize..4).prop_flat_map(|(n, m)| {
+        proptest::collection::vec((0..n as u32, 0..m as u32, 1u64..1_000_000), 0..10).prop_map(
+            move |cells| {
+                let mut a = Allocation::new(n, m);
+                for (u, p, bw) in cells {
+                    a.add(UserId(u), ProviderId(p), Bw::from_micro(bw));
+                }
+                a
+            },
+        )
+    })
+}
+
+fn arb_payments() -> impl Strategy<Value = Payments> {
+    (
+        proptest::collection::vec(arb_money(), 0..8),
+        proptest::collection::vec(arb_money(), 0..4),
+    )
+        .prop_map(|(u, p)| Payments::from_parts(u, p))
+}
+
+proptest! {
+    #[test]
+    fn money_roundtrips(v in arb_money()) {
+        prop_assert_eq!(roundtrip(&v).unwrap(), v);
+    }
+
+    #[test]
+    fn bw_roundtrips(v in arb_bw()) {
+        prop_assert_eq!(roundtrip(&v).unwrap(), v);
+    }
+
+    #[test]
+    fn bid_vector_roundtrips(v in arb_bid_vector()) {
+        prop_assert_eq!(roundtrip(&v).unwrap(), v);
+    }
+
+    #[test]
+    fn bid_vector_encoding_is_canonical(v in arb_bid_vector()) {
+        use dauctioneer_types::Encode;
+        let clone = v.clone();
+        prop_assert_eq!(v.encode_to_bytes(), clone.encode_to_bytes());
+    }
+
+    #[test]
+    fn allocation_roundtrips(a in arb_allocation()) {
+        prop_assert_eq!(roundtrip(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn payments_roundtrip(p in arb_payments()) {
+        prop_assert_eq!(roundtrip(&p).unwrap(), p);
+    }
+
+    #[test]
+    fn outcome_roundtrips(a in arb_allocation(), p in arb_payments(), abort in any::<bool>()) {
+        let o = if abort {
+            Outcome::Abort
+        } else {
+            Outcome::Agreed(AuctionResult::new(a, p))
+        };
+        prop_assert_eq!(roundtrip(&o).unwrap(), o);
+    }
+
+    /// Decoding never panics on arbitrary bytes — it returns an error or a
+    /// value (fuzz-style robustness for everything the network can hand us).
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = BidVector::decode_all(&bytes);
+        let _ = Allocation::decode_all(&bytes);
+        let _ = Payments::decode_all(&bytes);
+        let _ = Outcome::decode_all(&bytes);
+    }
+
+    /// Money arithmetic respects basic algebraic laws at micro precision.
+    #[test]
+    fn money_addition_is_commutative_and_associative(
+        a in -1_000_000_000i64..1_000_000_000,
+        b in -1_000_000_000i64..1_000_000_000,
+        c in -1_000_000_000i64..1_000_000_000,
+    ) {
+        let (a, b, c) = (Money::from_micro(a), Money::from_micro(b), Money::from_micro(c));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a - a, Money::ZERO);
+    }
+
+    /// `per_unit` is monotone in both arguments for non-negative money.
+    #[test]
+    fn per_unit_is_monotone(
+        v1 in 0i64..2_000_000, v2 in 0i64..2_000_000,
+        d1 in 0u64..2_000_000, d2 in 0u64..2_000_000,
+    ) {
+        let (lo_v, hi_v) = (v1.min(v2), v1.max(v2));
+        let (lo_d, hi_d) = (d1.min(d2), d1.max(d2));
+        prop_assert!(
+            Money::from_micro(lo_v).per_unit(Bw::from_micro(lo_d))
+                <= Money::from_micro(hi_v).per_unit(Bw::from_micro(hi_d))
+        );
+    }
+}

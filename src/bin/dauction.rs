@@ -1,0 +1,197 @@
+//! `dauction` — command-line driver for one-off distributed auction runs.
+//!
+//! A small operational tool over the library: generates a paper-§6
+//! workload, runs the chosen auction under the chosen runtime, and prints
+//! the outcome summary. Useful for quick experiments without writing code.
+//!
+//! ```text
+//! dauction [--auction double|standard] [--n USERS] [--m PROVIDERS] [--k COALITION]
+//!          [--seed SEED] [--runtime threads|des] [--latency zero|community]
+//!          [--epsilon PPM] [--budget NODES]
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dauctioneer::core::{
+    run_session, DoubleAuctionProgram, FrameworkConfig, RunOptions, StandardAuctionProgram,
+};
+use dauctioneer::mechanisms::solver::BranchBoundConfig;
+use dauctioneer::mechanisms::{StandardAuction, StandardAuctionConfig};
+use dauctioneer::net::LatencyModel;
+use dauctioneer::sim::{run_timed_auction, LinkModel};
+use dauctioneer::types::{Outcome, ProviderId, UserId};
+use dauctioneer::workload::{DoubleAuctionWorkload, StandardAuctionWorkload};
+
+#[derive(Debug, Clone)]
+struct Args {
+    auction: String,
+    n: usize,
+    m: usize,
+    k: usize,
+    seed: u64,
+    runtime: String,
+    latency: String,
+    epsilon_ppm: u32,
+    budget: u64,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            auction: "double".into(),
+            n: 50,
+            m: 3,
+            k: 1,
+            seed: 42,
+            runtime: "threads".into(),
+            latency: "zero".into(),
+            epsilon_ppm: 10_000,
+            budget: 200_000,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let flag = argv[i].as_str();
+            if flag == "--help" || flag == "-h" {
+                return Err(HELP.to_string());
+            }
+            let value = argv.get(i + 1).ok_or_else(|| format!("missing value for {flag}"))?;
+            match flag {
+                "--auction" => args.auction = value.clone(),
+                "--n" => args.n = value.parse().map_err(|e| format!("--n: {e}"))?,
+                "--m" => args.m = value.parse().map_err(|e| format!("--m: {e}"))?,
+                "--k" => args.k = value.parse().map_err(|e| format!("--k: {e}"))?,
+                "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--runtime" => args.runtime = value.clone(),
+                "--latency" => args.latency = value.clone(),
+                "--epsilon" => {
+                    args.epsilon_ppm = value.parse().map_err(|e| format!("--epsilon: {e}"))?
+                }
+                "--budget" => args.budget = value.parse().map_err(|e| format!("--budget: {e}"))?,
+                other => return Err(format!("unknown flag {other}\n{HELP}")),
+            }
+            i += 2;
+        }
+        Ok(args)
+    }
+}
+
+const HELP: &str = "usage: dauction [--auction double|standard] [--n USERS] [--m PROVIDERS] \
+[--k COALITION] [--seed SEED] [--runtime threads|des] [--latency zero|community] \
+[--epsilon PPM] [--budget NODES]";
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "dauction: {} auction, n={} users, m={} providers, k={} (p={})",
+        args.auction,
+        args.n,
+        args.m,
+        args.k,
+        args.m / (args.k + 1)
+    );
+
+    let (outcome, elapsed_label, elapsed) = match args.auction.as_str() {
+        "double" => {
+            let bids = DoubleAuctionWorkload::new(args.n, args.m, args.seed).generate();
+            let cfg = FrameworkConfig::new(args.m, args.k, args.n, args.m);
+            run(&args, cfg, Arc::new(DoubleAuctionProgram::new()), vec![bids; args.m])
+        }
+        "standard" => {
+            let (bids, capacities) =
+                StandardAuctionWorkload::new(args.n, args.m, args.seed).generate();
+            let auction = StandardAuction::new(StandardAuctionConfig {
+                capacities,
+                solver: BranchBoundConfig {
+                    epsilon_ppm: args.epsilon_ppm,
+                    max_nodes: args.budget,
+                    shuffle_providers: true,
+                },
+            });
+            let cfg = FrameworkConfig::new(args.m, args.k, args.n, 0);
+            run(&args, cfg, Arc::new(StandardAuctionProgram::new(auction)), vec![bids; args.m])
+        }
+        other => {
+            eprintln!("unknown auction kind `{other}` (double|standard)");
+            std::process::exit(2);
+        }
+    };
+
+    println!("{elapsed_label}: {elapsed:?}");
+    match outcome {
+        Outcome::Abort => println!("outcome: ⊥ (aborted)"),
+        Outcome::Agreed(result) => {
+            let winners = result.allocation.winners();
+            println!(
+                "outcome: agreed — {} winners, total allocated {}, total payments {}",
+                winners.len(),
+                result.allocation.total(),
+                result.payments.total_user_payments()
+            );
+            for user in winners.iter().take(8) {
+                println!(
+                    "  {user}: {} units, pays {}",
+                    result.allocation.user_total(*user),
+                    result.payments.user_payment(*user)
+                );
+            }
+            if winners.len() > 8 {
+                println!("  … and {} more", winners.len() - 8);
+            }
+            for provider in ProviderId::all(result.allocation.num_providers()) {
+                let sold = result.allocation.provider_total(provider);
+                if !sold.is_zero() {
+                    println!(
+                        "  {provider}: serves {}, receives {}",
+                        sold,
+                        result.payments.provider_revenue(provider)
+                    );
+                }
+            }
+            let _ = UserId(0);
+        }
+    }
+}
+
+fn run<P: dauctioneer::core::AllocatorProgram + 'static>(
+    args: &Args,
+    cfg: FrameworkConfig,
+    program: Arc<P>,
+    collected: Vec<dauctioneer::types::BidVector>,
+) -> (Outcome, &'static str, Duration) {
+    match args.runtime.as_str() {
+        "des" => {
+            let link = match args.latency.as_str() {
+                "community" => LinkModel::community_net(),
+                _ => LinkModel::instant(),
+            };
+            let report = run_timed_auction(&cfg, program, collected, link, args.seed);
+            (
+                report.unanimous(),
+                "virtual span (discrete-event, one CPU per provider)",
+                report.span.unwrap_or(Duration::ZERO),
+            )
+        }
+        _ => {
+            let latency = match args.latency.as_str() {
+                "community" => LatencyModel::CommunityNet,
+                _ => LatencyModel::Zero,
+            };
+            let report = run_session(
+                &cfg,
+                program,
+                collected,
+                &RunOptions { deadline: Duration::from_secs(600), latency, seed: args.seed },
+            );
+            (report.unanimous(), "wall-clock (threaded)", report.elapsed)
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # dauctioneer — a distributed auctioneer for decentralized systems
+//!
+//! Umbrella crate for the reproduction of Khan, Vilaça, Rodrigues and
+//! Freitag, *A Distributed Auctioneer for Resource Allocation in
+//! Decentralized Systems* (ICDCS 2016). It re-exports the workspace
+//! crates under stable module names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `dauctioneer-types` | bids, allocations, payments, wire codec |
+//! | [`crypto`] | `dauctioneer-crypto` | SHA-256, commitments, seed derivation |
+//! | [`mechanisms`] | `dauctioneer-mechanisms` | double auction, (1−ε)-VCG standard auction |
+//! | [`net`] | `dauctioneer-net` | threaded transport, latency models, traffic metrics |
+//! | [`core`] | `dauctioneer-core` | the framework: bid agreement, coin, allocator, auctioneer |
+//! | [`sim`] | `dauctioneer-sim` | game-theoretic simulator, deviations, utilities |
+//! | [`workload`] | `dauctioneer-workload` | the paper's §6 workload generators |
+//!
+//! ## Quick start
+//!
+//! Run a fully distributed double auction among three providers:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dauctioneer::core::{run_session, DoubleAuctionProgram, FrameworkConfig, RunOptions};
+//! use dauctioneer::workload::DoubleAuctionWorkload;
+//!
+//! let cfg = FrameworkConfig::new(3, 1, 10, 3);
+//! let bids = DoubleAuctionWorkload::new(10, 3, 42).generate();
+//! let report = run_session(
+//!     &cfg,
+//!     Arc::new(DoubleAuctionProgram::new()),
+//!     vec![bids; 3],
+//!     &RunOptions::default(),
+//! );
+//! let outcome = report.unanimous();
+//! assert!(!outcome.is_abort());
+//! ```
+//!
+//! See the `examples/` directory for larger scenarios: the community-
+//! network bandwidth market of the paper's case study, the parallel VCG
+//! auction, and a session with Byzantine bidders and a deviating
+//! provider.
+
+pub use dauctioneer_core as core;
+pub use dauctioneer_crypto as crypto;
+pub use dauctioneer_mechanisms as mechanisms;
+pub use dauctioneer_net as net;
+pub use dauctioneer_sim as sim;
+pub use dauctioneer_types as types;
+pub use dauctioneer_workload as workload;

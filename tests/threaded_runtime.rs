@@ -1,0 +1,119 @@
+//! End-to-end sessions on the *threaded* runtime: real threads, real
+//! channels, injected latency — the deployment-shaped path.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dauctioneer::core::{
+    run_session, DoubleAuctionProgram, FrameworkConfig, RunOptions, StandardAuctionProgram,
+};
+use dauctioneer::mechanisms::props::{feasibility_violations, rationality_violations};
+use dauctioneer::mechanisms::{StandardAuction, StandardAuctionConfig};
+use dauctioneer::net::LatencyModel;
+use dauctioneer::workload::{DoubleAuctionWorkload, StandardAuctionWorkload};
+
+#[test]
+fn double_auction_over_threads_with_latency() {
+    let m = 3;
+    let n = 40;
+    let bids = DoubleAuctionWorkload::new(n, m, 5).generate();
+    let cfg = FrameworkConfig::new(m, 1, n, m);
+    let report = run_session(
+        &cfg,
+        Arc::new(DoubleAuctionProgram::new()),
+        vec![bids.clone(); m],
+        &RunOptions {
+            deadline: Duration::from_secs(30),
+            latency: LatencyModel::UniformMicros { min_micros: 100, max_micros: 2_000 },
+            seed: 3,
+        },
+    );
+    let outcome = report.unanimous();
+    let result = outcome.as_result().expect("threaded session must agree");
+    assert!(feasibility_violations(&bids, result, None).is_empty());
+    assert!(rationality_violations(&bids, result).is_empty());
+    assert!(result.payments.is_budget_balanced());
+    assert!(report.traffic.total_messages() > 0);
+}
+
+#[test]
+fn standard_auction_over_threads() {
+    let m = 3;
+    let n = 10;
+    let (bids, capacities) = StandardAuctionWorkload::new(n, 2, 8).generate();
+    let auction = StandardAuction::new(StandardAuctionConfig::exact(capacities.clone()));
+    let cfg = FrameworkConfig::new(m, 1, n, 0);
+    let report = run_session(
+        &cfg,
+        Arc::new(StandardAuctionProgram::new(auction)),
+        vec![bids.clone(); m],
+        &RunOptions::default(),
+    );
+    let outcome = report.unanimous();
+    let result = outcome.as_result().expect("threaded session must agree");
+    assert!(feasibility_violations(&bids, result, Some(&capacities)).is_empty());
+    assert!(rationality_violations(&bids, result).is_empty());
+}
+
+#[test]
+fn five_providers_tolerating_k2() {
+    let m = 5;
+    let n = 25;
+    let bids = DoubleAuctionWorkload::new(n, m, 11).generate();
+    let cfg = FrameworkConfig::new(m, 2, n, m);
+    let report = run_session(
+        &cfg,
+        Arc::new(DoubleAuctionProgram::new()),
+        vec![bids; m],
+        &RunOptions::default(),
+    );
+    assert!(!report.unanimous().is_abort());
+    // All five providers decided identically.
+    let first = &report.outcomes[0];
+    for o in &report.outcomes {
+        assert_eq!(o, first);
+    }
+}
+
+#[test]
+fn successive_sessions_are_isolated() {
+    use dauctioneer::types::SessionId;
+    // Three consecutive auction rounds with distinct session ids and
+    // evolving bids; each must clear independently.
+    let m = 3;
+    let n = 10;
+    let mut last = None;
+    for round in 0..3u64 {
+        let bids = DoubleAuctionWorkload::new(n, m, 100 + round).generate();
+        let cfg = FrameworkConfig::new(m, 1, n, m).with_session(SessionId(round));
+        let report = run_session(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            vec![bids; m],
+            &RunOptions { seed: round, ..Default::default() },
+        );
+        let outcome = report.unanimous();
+        assert!(!outcome.is_abort(), "round {round} aborted");
+        if let Some(prev) = &last {
+            assert_ne!(&outcome, prev, "rounds with different bids should differ");
+        }
+        last = Some(outcome);
+    }
+}
+
+#[test]
+fn deadline_produces_abort_not_hang() {
+    // One provider's collected bids are fine, but we give the session a
+    // zero deadline: providers must give up with ⊥ instead of blocking.
+    let m = 3;
+    let n = 5;
+    let bids = DoubleAuctionWorkload::new(n, m, 1).generate();
+    let cfg = FrameworkConfig::new(m, 1, n, m);
+    let report = run_session(
+        &cfg,
+        Arc::new(DoubleAuctionProgram::new()),
+        vec![bids; m],
+        &RunOptions { deadline: Duration::ZERO, ..Default::default() },
+    );
+    assert!(report.unanimous().is_abort());
+}
