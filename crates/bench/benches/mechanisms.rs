@@ -36,11 +36,8 @@ fn bench_double_auction(c: &mut Criterion) {
 fn bench_standard_allocation(c: &mut Criterion) {
     let mut group = c.benchmark_group("standard_allocation_solve");
     group.sample_size(10);
-    let config = BranchBoundConfig {
-        epsilon_ppm: 10_000,
-        max_nodes: 100_000,
-        shuffle_providers: true,
-    };
+    let config =
+        BranchBoundConfig { epsilon_ppm: 10_000, max_nodes: 100_000, shuffle_providers: true };
     for n in [25usize, 50, 100] {
         let (bids, capacities) = StandardAuctionWorkload::new(n, 8, 42).generate();
         let instance = Instance::from_bids(&bids, &capacities);

@@ -38,11 +38,13 @@ fn timed_drive<B: Block>(mut blocks: Vec<B>, link: LinkModel, seed: u64) -> Dura
     use std::collections::BinaryHeap;
     use std::time::Instant;
 
+    /// (arrival, sequence, from, to, payload) ordered by arrival time.
+    type InFlight = (Duration, u64, usize, usize, bytes::Bytes);
+
     let m = blocks.len();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut clocks = vec![Duration::ZERO; m];
-    let mut heap: BinaryHeap<Reverse<(Duration, u64, usize, usize, bytes::Bytes)>> =
-        BinaryHeap::new();
+    let mut heap: BinaryHeap<Reverse<InFlight>> = BinaryHeap::new();
     let mut seq = 0u64;
     for i in 0..m {
         let mut ctx = OutboxCtx::new(ProviderId(i as u32), m);
@@ -112,7 +114,9 @@ fn main() {
                 .map(|r| {
                     let input = encode_fixed(&bids);
                     let blocks: Vec<InputValidation> = (0..M)
-                        .map(|i| InputValidation::new(ProviderId(i as u32), M, input.clone(), false))
+                        .map(|i| {
+                            InputValidation::new(ProviderId(i as u32), M, input.clone(), false)
+                        })
                         .collect();
                     timed_drive(blocks, link, r as u64)
                 })

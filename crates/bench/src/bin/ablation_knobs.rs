@@ -15,7 +15,9 @@ use std::sync::Arc;
 
 use dauctioneer_bench::{fmt_secs, time_once, CommonArgs, Stats, Table};
 use dauctioneer_core::{DoubleAuctionProgram, FrameworkConfig};
-use dauctioneer_mechanisms::solver::{solve_branch_bound, solve_greedy, BranchBoundConfig, Instance};
+use dauctioneer_mechanisms::solver::{
+    solve_branch_bound, solve_greedy, BranchBoundConfig, Instance,
+};
 use dauctioneer_sim::{run_timed_auction, LinkModel};
 use dauctioneer_types::{BidVector, Bw, Money, UserBid};
 use dauctioneer_workload::{DoubleAuctionWorkload, StandardAuctionWorkload};
@@ -51,8 +53,8 @@ fn main() {
             let stats = Stats::of(
                 &(0..args.rounds)
                     .map(|r| {
-                        let cfg = FrameworkConfig::new(8, 3, n, 8)
-                            .with_hash_only_validation(hash_only);
+                        let cfg =
+                            FrameworkConfig::new(8, 3, n, 8).with_hash_only_validation(hash_only);
                         let report = run_timed_auction(
                             &cfg,
                             Arc::new(DoubleAuctionProgram::new()),
@@ -77,7 +79,8 @@ fn main() {
     eprintln!("ablation A2.2: epsilon sweep on a hard knapsack instance (n=24, m=2)");
     let mut t2 = Table::new(&["epsilon", "welfare fraction", "nodes", "time"], args.csv);
     let instance = hard_instance(24, 1);
-    let exact_cfg = BranchBoundConfig { epsilon_ppm: 0, max_nodes: u64::MAX, shuffle_providers: true };
+    let exact_cfg =
+        BranchBoundConfig { epsilon_ppm: 0, max_nodes: u64::MAX, shuffle_providers: true };
     let (exact, _) = solve_branch_bound(&instance, exact_cfg, &mut StdRng::seed_from_u64(1));
     for eps_ppm in [0u32, 10_000, 50_000, 100_000, 250_000] {
         let cfg = BranchBoundConfig { epsilon_ppm: eps_ppm, ..exact_cfg };

@@ -1,0 +1,98 @@
+//! `batch_throughput` — sessions/sec of multiplexed multi-session
+//! batches over one shared provider mesh.
+//!
+//! The paper measures the running time of *one* auction; a marketplace
+//! at scale clears many concurrently. This bench sweeps the number of
+//! concurrent sessions multiplexed over one `ThreadedHub` mesh
+//! (`run_batch`) and reports throughput, against a baseline that runs
+//! the same sessions back-to-back over per-session meshes
+//! (`run_session` in a loop).
+//!
+//! ```text
+//! batch_throughput [--csv] [--rounds N] [--quick] [--n USERS] [--m PROVIDERS]
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dauctioneer_bench::{fmt_secs, time_once, CommonArgs, Stats, Table};
+use dauctioneer_core::{
+    run_batch, run_session, BatchSession, DoubleAuctionProgram, FrameworkConfig, RunOptions,
+};
+use dauctioneer_types::SessionId;
+use dauctioneer_workload::DoubleAuctionWorkload;
+
+fn flag_value(name: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let common = CommonArgs::parse(3);
+    let n_users = flag_value("--n").unwrap_or(20);
+    let m = flag_value("--m").unwrap_or(3).max(1);
+    let k = (m - 1) / 2;
+    let cfg = FrameworkConfig::new(m, k, n_users, m);
+    let program = Arc::new(DoubleAuctionProgram::new());
+    let options = RunOptions { deadline: Duration::from_secs(600), ..RunOptions::default() };
+
+    let batch_sizes: &[usize] = if common.quick { &[1, 4, 8] } else { &[1, 2, 4, 8, 16, 32] };
+
+    println!(
+        "batch throughput: double auction, n={n_users} users/session, m={m} providers, k={k}, {} rounds",
+        common.rounds
+    );
+    let mut table = Table::new(
+        &["sessions", "batched", "batched/s", "sequential", "sequential/s", "speedup"],
+        common.csv,
+    );
+
+    for (size_idx, &batch) in batch_sizes.iter().enumerate() {
+        let sessions = |base: u64| -> Vec<BatchSession> {
+            (0..batch)
+                .map(|s| {
+                    let bids = DoubleAuctionWorkload::new(n_users, m, base + s as u64).generate();
+                    BatchSession::uniform(SessionId(base + s as u64), bids, m, base + 31 * s as u64)
+                })
+                .collect()
+        };
+
+        let mut batched = Vec::with_capacity(common.rounds);
+        let mut sequential = Vec::with_capacity(common.rounds);
+        for round in 0..common.rounds {
+            let base = (round * batch_sizes.len() + size_idx) as u64 * 1_000;
+
+            let (report, elapsed) =
+                time_once(|| run_batch(&cfg, Arc::clone(&program), sessions(base), &options));
+            assert!(report.all_agreed(), "batched session aborted");
+            batched.push(elapsed);
+
+            let (all_ok, elapsed) = time_once(|| {
+                sessions(base).into_iter().all(|spec| {
+                    let report = run_session(
+                        &cfg.clone().with_session(spec.session),
+                        Arc::clone(&program),
+                        spec.collected,
+                        &RunOptions { seed: spec.seed, ..options.clone() },
+                    );
+                    !report.unanimous().is_abort()
+                })
+            });
+            assert!(all_ok, "sequential session aborted");
+            sequential.push(elapsed);
+        }
+
+        let batched = Stats::of(&batched);
+        let sequential = Stats::of(&sequential);
+        table.row(vec![
+            batch.to_string(),
+            fmt_secs(batched.mean_s),
+            format!("{:.1}", batch as f64 / batched.mean_s),
+            fmt_secs(sequential.mean_s),
+            format!("{:.1}", batch as f64 / sequential.mean_s),
+            format!("{:.2}x", sequential.mean_s / batched.mean_s),
+        ]);
+    }
+
+    print!("{}", table.render());
+}

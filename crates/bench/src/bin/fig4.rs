@@ -34,11 +34,8 @@ const AUCTION_PROVIDERS: usize = 8;
 
 fn main() {
     let args = CommonArgs::parse(5);
-    let ns: Vec<usize> = if args.quick {
-        vec![100, 300, 500]
-    } else {
-        (1..=10).map(|i| i * 100).collect()
-    };
+    let ns: Vec<usize> =
+        if args.quick { vec![100, 300, 500] } else { (1..=10).map(|i| i * 100).collect() };
 
     eprintln!(
         "fig4: double auction, centralised vs distributed (m simulators over \
@@ -78,10 +75,7 @@ fn main() {
                         LinkModel::community_net(),
                         1000 + r as u64,
                     );
-                    assert!(
-                        !report.unanimous().is_abort(),
-                        "honest run aborted (n={n}, k={k})"
-                    );
+                    assert!(!report.unanimous().is_abort(), "honest run aborted (n={n}, k={k})");
                     last_msgs = report.messages;
                     last_bytes = report.bytes;
                     report.span.expect("all providers decided")

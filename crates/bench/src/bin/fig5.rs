@@ -94,10 +94,7 @@ fn main() {
                         LinkModel::community_net(),
                         2000 + r as u64,
                     );
-                    assert!(
-                        !report.unanimous().is_abort(),
-                        "honest run aborted (n={n}, k={k})"
-                    );
+                    assert!(!report.unanimous().is_abort(), "honest run aborted (n={n}, k={k})");
                     report.span.expect("all providers decided")
                 })
                 .collect::<Vec<Duration>>();

@@ -221,12 +221,8 @@ impl<P: AllocatorProgram> ParallelAllocator<P> {
             };
             if !i_send && !i_receive {
                 // Bystander: activate trivially so the slot completes.
-                let block = DataTransfer::new(
-                    self.me,
-                    edge.senders.clone(),
-                    edge.receivers.clone(),
-                    None,
-                );
+                let block =
+                    DataTransfer::new(self.me, edge.senders.clone(), edge.receivers.clone(), None);
                 let mut tagged = TaggedCtx::new(TAG_EDGE_BASE + i as u64, ctx);
                 self.transfer_started[i] = true;
                 self.transfers[i].activate(block, &mut tagged);

@@ -155,9 +155,10 @@ impl<P: AllocatorProgram> Block for Auctioneer<P> {
     fn start(&mut self, ctx: &mut dyn Ctx) {
         let collected = self.collected.take().expect("start called once");
         let agreement = BidAgreement::new(self.me, self.cfg.m, &collected, &mut self.rng);
-        let mut tagged = TaggedCtx::new(TAG_BID_AGREEMENT, ctx);
-        self.bid_agreement.activate(agreement, &mut tagged);
-        drop(tagged);
+        {
+            let mut tagged = TaggedCtx::new(TAG_BID_AGREEMENT, ctx);
+            self.bid_agreement.activate(agreement, &mut tagged);
+        }
         self.poll(ctx);
     }
 

@@ -1,0 +1,293 @@
+//! Multiplexed multi-session batching: many concurrent auctions over one
+//! shared transport.
+//!
+//! The paper runs one auction at a time; a production marketplace clears
+//! **many** (one per resource pool, region, or time slot — the regime of
+//! large-scale double-auction deployments like Gao et al.'s D2D trading).
+//! Because every frame already carries its session tag, `m` providers can
+//! run any number of concurrent sessions over the *same*
+//! [`ThreadedHub`] mesh: each provider thread drives one
+//! [`SessionEngine`] per session and routes incoming frames by tag
+//! ([`drive_multi`]), and a straggler of one session can never perturb
+//! another.
+//!
+//! [`run_batch`] is the entry point; [`BatchReport`] makes throughput
+//! (sessions per second) a first-class measured quantity, reported by the
+//! `batch_throughput` bench binary alongside the per-figure benches.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dauctioneer_core::{run_batch, BatchSession, DoubleAuctionProgram, FrameworkConfig, RunOptions};
+//! use dauctioneer_types::{BidVector, Bw, Money, ProviderAsk, SessionId, UserBid};
+//!
+//! let cfg = FrameworkConfig::new(3, 1, 2, 1);
+//! let bids = BidVector::builder(2, 1)
+//!     .user_bid(0, UserBid::new(Money::from_f64(1.2), Bw::from_f64(0.5)))
+//!     .user_bid(1, UserBid::new(Money::from_f64(0.9), Bw::from_f64(0.5)))
+//!     .provider_ask(0, ProviderAsk::new(Money::from_f64(0.2), Bw::from_f64(2.0)))
+//!     .build();
+//! let sessions = (0..4)
+//!     .map(|s| BatchSession::uniform(SessionId(s), bids.clone(), 3, 100 + s))
+//!     .collect();
+//! let report = run_batch(&cfg, Arc::new(DoubleAuctionProgram::new()), sessions, &RunOptions::default());
+//! assert!(report.all_agreed());
+//! assert!(report.sessions_per_sec() > 0.0);
+//! ```
+//!
+//! [`ThreadedHub`]: dauctioneer_net::ThreadedHub
+//! [`SessionEngine`]: crate::engine::SessionEngine
+//! [`drive_multi`]: crate::engine::drive_multi
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dauctioneer_net::{ThreadedHub, TrafficSnapshot};
+use dauctioneer_types::{BidVector, Outcome, ProviderId, SessionId};
+
+use crate::allocator::AllocatorProgram;
+use crate::config::FrameworkConfig;
+use crate::engine::{drive_multi, unanimous, SessionEngine};
+use crate::runtime::RunOptions;
+
+/// One auction session of a batch.
+#[derive(Debug, Clone)]
+pub struct BatchSession {
+    /// The session tag carried by every one of this session's frames.
+    /// Must be unique within the batch.
+    pub session: SessionId,
+    /// `collected[j]` is the bid vector provider `j` gathered for this
+    /// session (they may differ; bid agreement resolves that).
+    pub collected: Vec<BidVector>,
+    /// Base seed for this session's per-provider local randomness
+    /// (provider `j` uses `seed + j + 1`, as everywhere else).
+    pub seed: u64,
+}
+
+impl BatchSession {
+    /// A session in which every one of the `m` providers collected the
+    /// same bid vector — the common case for workload-driven batches.
+    pub fn uniform(session: SessionId, bids: BidVector, m: usize, seed: u64) -> BatchSession {
+        BatchSession { session, collected: vec![bids; m], seed }
+    }
+}
+
+/// Outcome of one session of a batch.
+#[derive(Debug, Clone)]
+pub struct BatchSessionReport {
+    /// The session tag.
+    pub session: SessionId,
+    /// Outcome at each provider, by provider index.
+    pub outcomes: Vec<Outcome>,
+}
+
+impl BatchSessionReport {
+    /// The session's unanimous outcome per Definition 1.
+    pub fn unanimous(&self) -> Outcome {
+        unanimous(self.outcomes.iter().map(Some))
+    }
+}
+
+/// What a batch run produced.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-session reports, in input order.
+    pub sessions: Vec<BatchSessionReport>,
+    /// Wall-clock duration from batch start to the last provider thread
+    /// finishing every session.
+    pub elapsed: Duration,
+    /// Traffic counters aggregated over the whole batch.
+    pub traffic: TrafficSnapshot,
+}
+
+impl BatchReport {
+    /// Completed sessions per wall-clock second — the batch throughput.
+    pub fn sessions_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.sessions.len() as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// `true` when every session reached a unanimous non-⊥ outcome.
+    pub fn all_agreed(&self) -> bool {
+        !self.sessions.is_empty() && self.sessions.iter().all(|s| !s.unanimous().is_abort())
+    }
+}
+
+/// Run `sessions.len()` concurrent auction sessions over one shared
+/// threaded mesh of `cfg.m` providers.
+///
+/// Each provider thread multiplexes all sessions over its single
+/// endpoint; distinct session tags keep them isolated. The deadline in
+/// `options` bounds the *whole batch*: sessions undecided when it passes
+/// output ⊥ at the affected providers.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, a session's `collected` length
+/// is not `cfg.m`, or two sessions share a tag.
+pub fn run_batch<P: AllocatorProgram + 'static>(
+    cfg: &FrameworkConfig,
+    program: Arc<P>,
+    sessions: Vec<BatchSession>,
+    options: &RunOptions,
+) -> BatchReport {
+    cfg.validate().expect("invalid framework configuration");
+    let mut tags = HashSet::new();
+    for spec in &sessions {
+        assert_eq!(spec.collected.len(), cfg.m, "one collected vector per provider per session");
+        assert!(tags.insert(spec.session), "duplicate session tag {} in batch", spec.session);
+    }
+
+    let mut hub = ThreadedHub::new(cfg.m, options.latency, options.seed);
+    let metrics = hub.metrics();
+    let endpoints = hub.take_endpoints();
+
+    // Move each provider's column of the batch into its thread.
+    let mut per_provider: Vec<Vec<(SessionId, BidVector, u64)>> =
+        (0..cfg.m).map(|_| Vec::with_capacity(sessions.len())).collect();
+    let session_ids: Vec<SessionId> = sessions.iter().map(|s| s.session).collect();
+    for spec in sessions {
+        for (j, bids) in spec.collected.into_iter().enumerate() {
+            per_provider[j].push((spec.session, bids, spec.seed + j as u64 + 1));
+        }
+    }
+
+    let start = Instant::now();
+    let deadline = options.deadline;
+    let handles: Vec<_> = endpoints
+        .into_iter()
+        .zip(per_provider)
+        .enumerate()
+        .map(|(j, (mut endpoint, specs))| {
+            let cfg = cfg.clone();
+            let program = Arc::clone(&program);
+            std::thread::Builder::new()
+                .name(format!("provider-{j}"))
+                .spawn(move || {
+                    let mut engines: Vec<SessionEngine<P>> = specs
+                        .into_iter()
+                        .map(|(session, bids, seed)| {
+                            SessionEngine::new(
+                                cfg.clone().with_session(session),
+                                ProviderId(j as u32),
+                                Arc::clone(&program),
+                                bids,
+                                seed,
+                            )
+                        })
+                        .collect();
+                    drive_multi(&mut engines, &mut endpoint, deadline)
+                })
+                .expect("spawn provider thread")
+        })
+        .collect();
+
+    // `columns[j][s]` = provider j's outcome for session s.
+    let columns: Vec<Vec<Outcome>> = handles
+        .into_iter()
+        .map(|h| h.join().unwrap_or_else(|_| vec![Outcome::Abort; session_ids.len()]))
+        .collect();
+    let elapsed = start.elapsed();
+    drop(hub);
+
+    let sessions = session_ids
+        .into_iter()
+        .enumerate()
+        .map(|(s, session)| BatchSessionReport {
+            session,
+            outcomes: columns.iter().map(|col| col[s].clone()).collect(),
+        })
+        .collect();
+    BatchReport { sessions, elapsed, traffic: metrics.snapshot() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::DoubleAuctionProgram;
+    use crate::runtime::run_session;
+    use dauctioneer_types::{Bw, Money, ProviderAsk, UserBid};
+
+    fn bids(valuation: f64) -> BidVector {
+        BidVector::builder(2, 1)
+            .user_bid(0, UserBid::new(Money::from_f64(valuation), Bw::from_f64(0.5)))
+            .user_bid(1, UserBid::new(Money::from_f64(0.9), Bw::from_f64(0.5)))
+            .provider_ask(0, ProviderAsk::new(Money::from_f64(0.2), Bw::from_f64(2.0)))
+            .build()
+    }
+
+    #[test]
+    fn batch_of_eight_sessions_all_agree_over_one_hub() {
+        let cfg = FrameworkConfig::new(3, 1, 2, 1);
+        let sessions: Vec<BatchSession> = (0..8)
+            .map(|s| {
+                BatchSession::uniform(SessionId(s), bids(1.0 + 0.05 * s as f64), 3, 1_000 + s * 17)
+            })
+            .collect();
+        let report = run_batch(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            sessions,
+            &RunOptions::default(),
+        );
+        assert_eq!(report.sessions.len(), 8);
+        assert!(report.all_agreed(), "every session must clear");
+        assert!(report.sessions_per_sec() > 0.0);
+        assert!(report.traffic.total_messages() > 0);
+        for s in &report.sessions {
+            assert_eq!(s.outcomes.len(), 3);
+        }
+    }
+
+    #[test]
+    fn batched_sessions_match_isolated_runs() {
+        // Multiplexing must not change any session's outcome: each
+        // session's unanimous pair equals the same session run alone.
+        let cfg = FrameworkConfig::new(3, 1, 2, 1);
+        let sessions: Vec<BatchSession> = (0..4)
+            .map(|s| BatchSession::uniform(SessionId(s), bids(1.0 + 0.1 * s as f64), 3, 50 + s))
+            .collect();
+        let batch = run_batch(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            sessions.clone(),
+            &RunOptions::default(),
+        );
+        for (s, spec) in sessions.into_iter().enumerate() {
+            let alone = run_session(
+                &cfg.clone().with_session(spec.session),
+                Arc::new(DoubleAuctionProgram::new()),
+                spec.collected,
+                &RunOptions { seed: spec.seed, ..RunOptions::default() },
+            );
+            assert_eq!(
+                batch.sessions[s].unanimous(),
+                alone.unanimous(),
+                "session {s} diverged under multiplexing"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate session tag")]
+    fn duplicate_tags_are_rejected() {
+        let cfg = FrameworkConfig::new(3, 1, 2, 1);
+        let sessions = vec![
+            BatchSession::uniform(SessionId(1), bids(1.0), 3, 1),
+            BatchSession::uniform(SessionId(1), bids(1.1), 3, 2),
+        ];
+        run_batch(&cfg, Arc::new(DoubleAuctionProgram::new()), sessions, &RunOptions::default());
+    }
+
+    #[test]
+    fn empty_batch_reports_nothing() {
+        let cfg = FrameworkConfig::new(3, 1, 2, 1);
+        let report =
+            run_batch(&cfg, Arc::new(DoubleAuctionProgram::new()), vec![], &RunOptions::default());
+        assert!(report.sessions.is_empty());
+        assert!(!report.all_agreed());
+        assert_eq!(report.sessions_per_sec(), 0.0);
+    }
+}

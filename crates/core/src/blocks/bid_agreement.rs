@@ -16,9 +16,7 @@
 //! on the streams.
 
 use bytes::Bytes;
-use dauctioneer_types::{
-    BidEntry, BidVector, Bw, Money, ProviderAsk, ProviderId, UserBid,
-};
+use dauctioneer_types::{BidEntry, BidVector, Bw, Money, ProviderAsk, ProviderId, UserBid};
 use rand::RngCore;
 
 use crate::block::{Block, BlockResult, Ctx};
@@ -129,11 +127,8 @@ impl BidAgreement {
         }
         match self.consensus.result() {
             Some(BlockResult::Value(stream)) => {
-                self.result = Some(BlockResult::Value(decode_fixed(
-                    stream,
-                    self.n_users,
-                    self.n_asks,
-                )));
+                self.result =
+                    Some(BlockResult::Value(decode_fixed(stream, self.n_users, self.n_asks)));
             }
             Some(BlockResult::Abort) => self.result = Some(BlockResult::Abort),
             None => {}
@@ -309,7 +304,12 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, v)| {
-                BidAgreement::new(ProviderId(i as u32), m, v, &mut StdRng::seed_from_u64(9 + i as u64))
+                BidAgreement::new(
+                    ProviderId(i as u32),
+                    m,
+                    v,
+                    &mut StdRng::seed_from_u64(9 + i as u64),
+                )
             })
             .collect();
         let results = run_all(&mut blocks);

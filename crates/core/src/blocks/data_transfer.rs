@@ -91,9 +91,8 @@ impl DataTransfer {
             }
         }
         if self.heard_count == self.senders.len() {
-            self.result = Some(BlockResult::Value(
-                self.accepted.clone().expect("at least one sender heard"),
-            ));
+            self.result =
+                Some(BlockResult::Value(self.accepted.clone().expect("at least one sender heard")));
         }
     }
 }
@@ -159,8 +158,7 @@ mod tests {
     #[test]
     fn receivers_accept_unanimous_senders() {
         // S = {0, 1}, O = {2}; both senders ship "v".
-        let mut receiver =
-            DataTransfer::new(ProviderId(2), p(&[0, 1]), p(&[2]), None);
+        let mut receiver = DataTransfer::new(ProviderId(2), p(&[0, 1]), p(&[2]), None);
         let mut ctx = OutboxCtx::new(ProviderId(2), 3);
         receiver.start(&mut ctx);
         assert!(receiver.result().is_none());
@@ -200,12 +198,8 @@ mod tests {
     #[test]
     fn sender_receiver_counts_own_copy() {
         // S = {0, 1}, O = {0}: provider 0 both sends and receives.
-        let mut node = DataTransfer::new(
-            ProviderId(0),
-            p(&[0, 1]),
-            p(&[0]),
-            Some(Bytes::from_static(b"x")),
-        );
+        let mut node =
+            DataTransfer::new(ProviderId(0), p(&[0, 1]), p(&[0]), Some(Bytes::from_static(b"x")));
         let mut ctx = OutboxCtx::new(ProviderId(0), 2);
         node.start(&mut ctx);
         assert!(node.result().is_none(), "still needs provider 1's copy");

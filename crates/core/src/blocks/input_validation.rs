@@ -40,15 +40,7 @@ impl InputValidation {
         } else {
             input.clone()
         };
-        InputValidation {
-            me,
-            m,
-            input,
-            comparand,
-            seen: vec![false; m],
-            received: 0,
-            result: None,
-        }
+        InputValidation { me, m, input, comparand, seen: vec![false; m], received: 0, result: None }
     }
 
     fn abort(&mut self) {
@@ -113,8 +105,8 @@ mod tests {
         for (b, c) in blocks.iter_mut().zip(&mut ctxs) {
             b.start(c);
         }
-        for i in 0..m {
-            for (to, payload) in ctxs[i].drain() {
+        for (i, src) in ctxs.iter_mut().enumerate() {
+            for (to, payload) in src.drain() {
                 let mut ctx = OutboxCtx::new(to, m);
                 blocks[to.index()].on_message(ProviderId(i as u32), &payload, &mut ctx);
             }
@@ -124,9 +116,8 @@ mod tests {
     #[test]
     fn equal_inputs_validate() {
         let input = Bytes::from_static(b"the agreed bid vector");
-        let mut blocks: Vec<InputValidation> = (0..3)
-            .map(|i| InputValidation::new(ProviderId(i), 3, input.clone(), false))
-            .collect();
+        let mut blocks: Vec<InputValidation> =
+            (0..3).map(|i| InputValidation::new(ProviderId(i), 3, input.clone(), false)).collect();
         deliver_all(&mut blocks);
         for b in &blocks {
             assert_eq!(b.result(), Some(&BlockResult::Value(input.clone())));
@@ -147,9 +138,8 @@ mod tests {
     #[test]
     fn hash_only_mode_validates_equal_inputs() {
         let input = Bytes::from_static(b"long vector that we hash");
-        let mut blocks: Vec<InputValidation> = (0..3)
-            .map(|i| InputValidation::new(ProviderId(i), 3, input.clone(), true))
-            .collect();
+        let mut blocks: Vec<InputValidation> =
+            (0..3).map(|i| InputValidation::new(ProviderId(i), 3, input.clone(), true)).collect();
         deliver_all(&mut blocks);
         for b in &blocks {
             assert_eq!(b.result(), Some(&BlockResult::Value(input.clone())));

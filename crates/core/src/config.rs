@@ -183,7 +183,7 @@ mod tests {
             seen.dedup();
             assert_eq!(seen.len(), m, "every provider in exactly one group (m={m}, k={k})");
             for g in &groups {
-                assert!(g.len() >= k + 1, "group too small for k={k}: {g:?}");
+                assert!(g.len() > k, "group too small for k={k}: {g:?}");
             }
         }
     }

@@ -111,7 +111,12 @@ impl CommitReveal {
         let mut w = Writer::new();
         public.encode(&mut w);
         w.put_slice(
-            self.opening.as_ref().expect("opening present until reveal").commitment().digest().as_bytes(),
+            self.opening
+                .as_ref()
+                .expect("opening present until reveal")
+                .commitment()
+                .digest()
+                .as_bytes(),
         );
         w.finish()
     }
@@ -203,7 +208,8 @@ impl CommitReveal {
         if r.remaining() != 0 {
             return self.abort();
         }
-        let commitment = Commitment::from_digest(Digest(digest_bytes.try_into().expect("32 bytes")));
+        let commitment =
+            Commitment::from_digest(Digest(digest_bytes.try_into().expect("32 bytes")));
         self.commits[from.index()] = Some((public, commitment));
         // Digest over the round-1 payload (without the round frame), the
         // same bytes the sender hashed for its own slot.
@@ -349,9 +355,8 @@ mod tests {
     #[test]
     fn honest_exchange_completes_with_all_contributions() {
         let m = 4;
-        let mut blocks: Vec<CommitReveal> = (0..m)
-            .map(|i| make(i as u32, m, &[i as u8], &[i as u8; 8]))
-            .collect();
+        let mut blocks: Vec<CommitReveal> =
+            (0..m).map(|i| make(i as u32, m, &[i as u8], &[i as u8; 8])).collect();
         let results = run_all(&mut blocks);
         for r in &results {
             let contributions = r.as_ref().unwrap().as_value().unwrap();

@@ -27,7 +27,12 @@
 //! * [`DoubleAuctionProgram`] / [`StandardAuctionProgram`] — the §5 case
 //!   studies: the sequential double auction and the Algorithm-1
 //!   parallelisation of the (1−ε)-optimal VCG standard auction.
-//! * [`runtime::run_session`] — the threaded runtime the benchmarks use.
+//! * [`engine::SessionEngine`] — the shared per-provider protocol loop
+//!   (session framing, dispatch, external ⊥) that every runtime drives:
+//!   the threaded [`runtime::run_session`], and `dauctioneer-sim`'s
+//!   turn-based and virtual-clock backends.
+//! * [`batch::run_batch`] — N concurrent sessions multiplexed over one
+//!   shared provider mesh, with throughput reporting.
 //!
 //! ## Quick start
 //!
@@ -55,10 +60,12 @@
 pub mod adapters;
 pub mod allocator;
 pub mod auctioneer;
+pub mod batch;
 pub mod block;
 pub mod blocks;
 pub mod config;
 pub mod distribution;
+pub mod engine;
 pub mod exchange;
 pub mod runtime;
 pub mod submission;
@@ -67,9 +74,11 @@ pub mod task_graph;
 pub use adapters::{DoubleAuctionProgram, StandardAuctionProgram};
 pub use allocator::{AllocatorProgram, ParallelAllocator};
 pub use auctioneer::Auctioneer;
+pub use batch::{run_batch, BatchReport, BatchSession, BatchSessionReport};
 pub use block::{Block, BlockResult, Ctx, OutboxCtx, SubSlot, TaggedCtx};
 pub use config::{ConfigError, FrameworkConfig};
 pub use distribution::Distribution;
+pub use engine::{drive, drive_multi, unanimous, SessionEngine, Transport};
 pub use runtime::{run_session, RunOptions, SessionReport};
 pub use submission::{BidCollector, SubmissionOutcome};
 pub use task_graph::{TaskGraphError, TaskGraphSpec, TaskId, TaskSpec, TransferEdge};

@@ -4,21 +4,28 @@
 //! nodes (DESIGN.md §4): provider threads give real CPU parallelism for
 //! the computation-bound standard auction, and injected link latency
 //! reproduces the communication-bound regime of the double auction. A
-//! session runs every provider's [`Auctioneer`] to completion (or a
+//! session runs every provider's [`SessionEngine`] to completion (or a
 //! deadline, which yields ⊥ — the paper's external abort mechanism) and
 //! reports per-provider outcomes, wall-clock time, and traffic counters.
+//!
+//! The per-provider protocol loop (session framing, dispatch, ⊥
+//! handling) lives in [`crate::engine`], shared with the simulator
+//! backends, and the mesh/thread scaffolding lives in [`crate::batch`]:
+//! a session is simply a batch of one, so this module is only the
+//! single-session report shape.
+//!
+//! [`SessionEngine`]: crate::engine::SessionEngine
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use bytes::Bytes;
-use dauctioneer_net::{Endpoint, LatencyModel, RecvError, ThreadedHub, TrafficSnapshot};
-use dauctioneer_types::{BidVector, Outcome, ProviderId};
+use dauctioneer_net::{LatencyModel, TrafficSnapshot};
+use dauctioneer_types::{BidVector, Outcome};
 
 use crate::allocator::AllocatorProgram;
-use crate::auctioneer::Auctioneer;
-use crate::block::{Block, Ctx};
+use crate::batch::{run_batch, BatchSession};
 use crate::config::FrameworkConfig;
+use crate::engine::unanimous;
 
 /// Options for a threaded session.
 #[derive(Debug, Clone)]
@@ -55,40 +62,7 @@ impl SessionReport {
     /// The unanimous outcome of the session per Definition 1: the agreed
     /// pair if *all* providers output it, else ⊥.
     pub fn unanimous(&self) -> Outcome {
-        let mut iter = self.outcomes.iter();
-        let Some(first) = iter.next() else {
-            return Outcome::Abort;
-        };
-        if first.is_abort() {
-            return Outcome::Abort;
-        }
-        for other in iter {
-            if other != first {
-                return Outcome::Abort;
-            }
-        }
-        first.clone()
-    }
-}
-
-/// [`Ctx`] over a network endpoint.
-struct EndpointCtx<'a> {
-    endpoint: &'a Endpoint,
-}
-
-impl Ctx for EndpointCtx<'_> {
-    fn me(&self) -> ProviderId {
-        self.endpoint.me()
-    }
-
-    fn num_providers(&self) -> usize {
-        self.endpoint.num_providers()
-    }
-
-    fn send(&mut self, to: ProviderId, payload: Bytes) {
-        if to != self.endpoint.me() {
-            self.endpoint.send(to, payload);
-        }
+        unanimous(self.outcomes.iter().map(Some))
     }
 }
 
@@ -106,90 +80,15 @@ pub fn run_session<P: AllocatorProgram + 'static>(
     collected: Vec<BidVector>,
     options: &RunOptions,
 ) -> SessionReport {
-    assert_eq!(collected.len(), cfg.m, "one collected vector per provider");
-    cfg.validate().expect("invalid framework configuration");
-
-    let mut hub = ThreadedHub::new(cfg.m, options.latency, options.seed);
-    let metrics = hub.metrics();
-    let endpoints = hub.take_endpoints();
-
-    let start = Instant::now();
-    let deadline = options.deadline;
-    let handles: Vec<_> = endpoints
-        .into_iter()
-        .zip(collected)
-        .enumerate()
-        .map(|(j, (endpoint, bids))| {
-            let cfg = cfg.clone();
-            let program = Arc::clone(&program);
-            let seed = options.seed + j as u64 + 1;
-            std::thread::Builder::new()
-                .name(format!("provider-{j}"))
-                .spawn(move || {
-                    provider_main(cfg, ProviderId(j as u32), program, bids, seed, endpoint, deadline)
-                })
-                .expect("spawn provider thread")
-        })
-        .collect();
-
-    let outcomes: Vec<Outcome> = handles
-        .into_iter()
-        .map(|h| h.join().unwrap_or(Outcome::Abort))
-        .collect();
-    let elapsed = start.elapsed();
-    drop(hub);
-
-    SessionReport { outcomes, elapsed, traffic: metrics.snapshot() }
-}
-
-/// One provider thread: drive the auctioneer block until it decides or
-/// the deadline passes.
-///
-/// Every message is framed with the session id, and messages from other
-/// sessions are silently dropped — successive auction rounds can safely
-/// share a transport without a late straggler of round *t* corrupting
-/// round *t+1*.
-fn provider_main<P: AllocatorProgram + 'static>(
-    cfg: FrameworkConfig,
-    me: ProviderId,
-    program: Arc<P>,
-    bids: BidVector,
-    seed: u64,
-    endpoint: Endpoint,
-    deadline: Duration,
-) -> Outcome {
-    use crate::block::TaggedCtx;
-    use dauctioneer_net::unframe;
-
-    let session = cfg.session.0;
-    let mut auctioneer = Auctioneer::new_seeded(cfg, me, program, bids, seed);
-    let mut endpoint_ctx = EndpointCtx { endpoint: &endpoint };
-    let started = Instant::now();
-    {
-        let mut ctx = TaggedCtx::new(session, &mut endpoint_ctx);
-        auctioneer.start(&mut ctx);
+    // A session is a batch of one: same mesh, threads, seeding
+    // (provider `j` draws from `options.seed + j + 1`) and ⊥ handling.
+    let spec = BatchSession { session: cfg.session, collected, seed: options.seed };
+    let mut report = run_batch(cfg, program, vec![spec], options);
+    SessionReport {
+        outcomes: report.sessions.remove(0).outcomes,
+        elapsed: report.elapsed,
+        traffic: report.traffic,
     }
-    while auctioneer.result().is_none() {
-        let left = deadline.saturating_sub(started.elapsed());
-        if left.is_zero() {
-            return Outcome::Abort; // external abort: the deadline passed
-        }
-        match endpoint.recv_timeout(left.min(Duration::from_millis(100))) {
-            Ok((from, payload)) => {
-                let Ok((tag, inner)) = unframe(&payload) else {
-                    continue; // not even a session frame: drop
-                };
-                if tag != session {
-                    continue; // stale message from another session: drop
-                }
-                let mut ctx = TaggedCtx::new(session, &mut endpoint_ctx);
-                auctioneer.on_message(from, inner, &mut ctx);
-            }
-            Err(RecvError::Timeout) => {}
-            Err(RecvError::Disconnected) => return Outcome::Abort,
-        }
-    }
-    auctioneer.outcome().expect("result present")
 }
 
 #[cfg(test)]
@@ -243,7 +142,10 @@ mod tests {
         let collected: Vec<BidVector> = (0..3)
             .map(|j| {
                 BidVector::builder(2, 1)
-                    .user_bid(0, UserBid::new(Money::from_f64(1.0 + j as f64 * 0.1), Bw::from_f64(0.4)))
+                    .user_bid(
+                        0,
+                        UserBid::new(Money::from_f64(1.0 + j as f64 * 0.1), Bw::from_f64(0.4)),
+                    )
                     .user_bid(1, UserBid::new(Money::from_f64(0.9), Bw::from_f64(0.4)))
                     .provider_ask(0, ProviderAsk::new(Money::from_f64(0.2), Bw::from_f64(2.0)))
                     .build()

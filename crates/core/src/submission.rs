@@ -71,7 +71,10 @@ impl BidCollector {
         BidCollector {
             entries: vec![BidEntry::Neutral; n_users],
             submitted: vec![false; n_users],
-            asks: vec![ProviderAsk::new(dauctioneer_types::Money::ZERO, dauctioneer_types::Bw::ZERO); n_asks],
+            asks: vec![
+                ProviderAsk::new(dauctioneer_types::Money::ZERO, dauctioneer_types::Bw::ZERO);
+                n_asks
+            ],
             closed: false,
         }
     }
@@ -149,15 +152,9 @@ mod tests {
     #[test]
     fn invalid_bid_burns_the_submission() {
         let mut c = BidCollector::new(1, 0);
-        assert_eq!(
-            c.submit(UserId(0), bid(0.0, 0.5)),
-            SubmissionOutcome::RejectedInvalid
-        );
+        assert_eq!(c.submit(UserId(0), bid(0.0, 0.5)), SubmissionOutcome::RejectedInvalid);
         // The bidder cannot retry with a valid bid.
-        assert_eq!(
-            c.submit(UserId(0), bid(1.0, 0.5)),
-            SubmissionOutcome::RejectedDuplicate
-        );
+        assert_eq!(c.submit(UserId(0), bid(1.0, 0.5)), SubmissionOutcome::RejectedDuplicate);
         assert!(!c.close().user_bid(UserId(0)).is_valid());
     }
 
@@ -165,10 +162,7 @@ mod tests {
     fn duplicates_keep_first_submission() {
         let mut c = BidCollector::new(1, 0);
         assert!(c.submit(UserId(0), bid(1.0, 0.5)).is_accepted());
-        assert_eq!(
-            c.submit(UserId(0), bid(2.0, 0.5)),
-            SubmissionOutcome::RejectedDuplicate
-        );
+        assert_eq!(c.submit(UserId(0), bid(2.0, 0.5)), SubmissionOutcome::RejectedDuplicate);
         let bids = c.close();
         assert_eq!(bids.user_bid(UserId(0)).as_bid().unwrap().valuation(), Money::from_f64(1.0));
     }
@@ -176,10 +170,7 @@ mod tests {
     #[test]
     fn unknown_bidders_are_rejected() {
         let mut c = BidCollector::new(1, 0);
-        assert_eq!(
-            c.submit(UserId(5), bid(1.0, 0.5)),
-            SubmissionOutcome::RejectedUnknownBidder
-        );
+        assert_eq!(c.submit(UserId(5), bid(1.0, 0.5)), SubmissionOutcome::RejectedUnknownBidder);
     }
 
     #[test]

@@ -220,8 +220,8 @@ mod tests {
 
     #[test]
     fn valid_single_task_graph() {
-        let g = TaskGraphSpec::new(vec![TaskSpec { deps: vec![], executors: all(3) }], 3, 1)
-            .unwrap();
+        let g =
+            TaskGraphSpec::new(vec![TaskSpec { deps: vec![], executors: all(3) }], 3, 1).unwrap();
         assert_eq!(g.len(), 1);
         assert_eq!(g.final_task(), TaskId(0));
         assert!(g.transfer_edges().is_empty());
@@ -238,10 +238,7 @@ mod tests {
                 TaskSpec { deps: vec![], executors: all(4) },
                 TaskSpec { deps: vec![TaskId(0)], executors: p(&[0, 1]) },
                 TaskSpec { deps: vec![TaskId(0)], executors: p(&[2, 3]) },
-                TaskSpec {
-                    deps: vec![TaskId(0), TaskId(1), TaskId(2)],
-                    executors: all(4),
-                },
+                TaskSpec { deps: vec![TaskId(0), TaskId(1), TaskId(2)], executors: all(4) },
             ],
             4,
             1,
@@ -289,38 +286,24 @@ mod tests {
             1,
         )
         .unwrap_err();
-        assert_eq!(
-            err,
-            TaskGraphError::GroupTooSmall { task: TaskId(0), size: 1, required: 2 }
-        );
+        assert_eq!(err, TaskGraphError::GroupTooSmall { task: TaskId(0), size: 1, required: 2 });
     }
 
     #[test]
     fn rejects_non_global_final_task() {
-        let err = TaskGraphSpec::new(
-            vec![TaskSpec { deps: vec![], executors: p(&[0, 1]) }],
-            3,
-            1,
-        )
-        .unwrap_err();
+        let err = TaskGraphSpec::new(vec![TaskSpec { deps: vec![], executors: p(&[0, 1]) }], 3, 1)
+            .unwrap_err();
         assert_eq!(err, TaskGraphError::FinalNotGlobal);
     }
 
     #[test]
     fn rejects_unsorted_or_out_of_range_executors() {
-        let err = TaskGraphSpec::new(
-            vec![TaskSpec { deps: vec![], executors: p(&[1, 0, 2]) }],
-            3,
-            0,
-        )
-        .unwrap_err();
+        let err =
+            TaskGraphSpec::new(vec![TaskSpec { deps: vec![], executors: p(&[1, 0, 2]) }], 3, 0)
+                .unwrap_err();
         assert!(matches!(err, TaskGraphError::BadExecutors { .. }));
-        let err = TaskGraphSpec::new(
-            vec![TaskSpec { deps: vec![], executors: p(&[0, 5]) }],
-            3,
-            0,
-        )
-        .unwrap_err();
+        let err = TaskGraphSpec::new(vec![TaskSpec { deps: vec![], executors: p(&[0, 5]) }], 3, 0)
+            .unwrap_err();
         assert!(matches!(err, TaskGraphError::BadExecutors { .. }));
     }
 

@@ -117,10 +117,7 @@ fn mismatched_allocator_inputs_abort_everywhere() {
     // Replace provider 2's input with a doctored vector.
     let doctored = bids.with_user_entry(
         dauctioneer_types::UserId(0),
-        dauctioneer_types::BidEntry::Valid(UserBid::new(
-            Money::from_f64(99.0),
-            Bw::from_f64(0.1),
-        )),
+        dauctioneer_types::BidEntry::Valid(UserBid::new(Money::from_f64(99.0), Bw::from_f64(0.1))),
     );
     blocks[2] = ParallelAllocator::new(
         cfg.clone(),
@@ -165,7 +162,11 @@ fn corrupted_transfer_aborts_receivers() {
                     payload[last] ^= 0xFF;
                 }
                 let mut ctx = OutboxCtx::new(to, m);
-                blocks[to.index()].on_message(ProviderId(i as u32), &Bytes::from(payload), &mut ctx);
+                blocks[to.index()].on_message(
+                    ProviderId(i as u32),
+                    &Bytes::from(payload),
+                    &mut ctx,
+                );
                 ctxs[to.index()].outbox.extend(ctx.drain());
             }
         }

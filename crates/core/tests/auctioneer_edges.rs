@@ -6,8 +6,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use dauctioneer_core::blocks::{CoinValue, CommonCoin};
 use dauctioneer_core::{
-    Auctioneer, Block, BlockResult, Distribution, DoubleAuctionProgram, FrameworkConfig,
-    OutboxCtx,
+    Auctioneer, Block, BlockResult, Distribution, DoubleAuctionProgram, FrameworkConfig, OutboxCtx,
 };
 use dauctioneer_net::frame;
 use dauctioneer_types::{BidVector, Outcome, ProviderId};
@@ -123,10 +122,7 @@ fn coin_samples_cover_the_unit_interval() {
         quartiles[(sample * 4.0) as usize % 4] += 1;
     }
     for (i, count) in quartiles.iter().enumerate() {
-        assert!(
-            *count >= sessions as usize / 10,
-            "quartile {i} underpopulated: {quartiles:?}"
-        );
+        assert!(*count >= sessions as usize / 10, "quartile {i} underpopulated: {quartiles:?}");
     }
 }
 

@@ -43,7 +43,7 @@ fn single_provider_framework_equals_centralised_auctioneer() {
     let centralised = DoubleAuction::new().run(&bids, &SharedRng::from_material(b"any"));
     assert_eq!(outcome, Outcome::Agreed(centralised));
     // And it never needed the network.
-    assert!(ctx.drain().is_empty() || true); // sends to peers are impossible with m = 1
+    assert!(ctx.drain().is_empty(), "sends to peers are impossible with m = 1");
 }
 
 #[test]

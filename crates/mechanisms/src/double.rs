@@ -167,10 +167,8 @@ impl DoubleAuction {
                 }
             }
         }
-        last_trade.map(|(marginal_user, marginal_provider)| Crossing {
-            marginal_user,
-            marginal_provider,
-        })
+        last_trade
+            .map(|(marginal_user, marginal_provider)| Crossing { marginal_user, marginal_provider })
     }
 }
 

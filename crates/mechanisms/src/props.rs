@@ -245,10 +245,7 @@ mod tests {
         pay.set_provider_revenue(ProviderId(0), Money::from_f64(0.3));
         let r = AuctionResult::new(alloc, pay);
         assert_eq!(user_utility(UserId(0), Money::from_f64(1.0), &r), Money::from_f64(0.7));
-        assert_eq!(
-            provider_utility(ProviderId(0), Money::from_f64(0.1), &r),
-            Money::from_f64(0.2)
-        );
+        assert_eq!(provider_utility(ProviderId(0), Money::from_f64(0.1), &r), Money::from_f64(0.2));
     }
 
     #[test]

@@ -115,15 +115,8 @@ pub fn solve_branch_bound(
     }
 
     let incumbent = solve_greedy(instance);
-    let mut search = Search {
-        instance,
-        config,
-        provider_orders,
-        incumbent,
-        target,
-        nodes: 0,
-        stopped: false,
-    };
+    let mut search =
+        Search { instance, config, provider_orders, incumbent, target, nodes: 0, stopped: false };
     // The greedy incumbent may already prove (1−ε)-optimality.
     if search.incumbent.welfare < target {
         let mut residual = instance.capacities.clone();
@@ -254,7 +247,8 @@ mod tests {
 
     #[test]
     fn matches_exhaustive_on_small_instances() {
-        let cases: Vec<(Vec<(f64, f64)>, Vec<f64>)> = vec![
+        type Case = (Vec<(f64, f64)>, Vec<f64>); // (user bids, capacities)
+        let cases: Vec<Case> = vec![
             (vec![(1.2, 0.3), (1.1, 0.5), (0.9, 0.7), (0.8, 0.4)], vec![1.0]),
             (vec![(1.2, 0.3), (1.1, 0.5), (0.9, 0.7), (0.8, 0.4)], vec![0.6, 0.6]),
             (vec![(1.0, 0.9), (1.0, 0.9), (1.0, 0.9)], vec![1.0, 1.0]),
@@ -273,9 +267,8 @@ mod tests {
 
     #[test]
     fn epsilon_stop_returns_near_optimal_quickly() {
-        let users: Vec<(f64, f64)> = (0..14)
-            .map(|i| (1.25 - 0.03 * i as f64, 0.2 + 0.05 * (i % 5) as f64))
-            .collect();
+        let users: Vec<(f64, f64)> =
+            (0..14).map(|i| (1.25 - 0.03 * i as f64, 0.2 + 0.05 * (i % 5) as f64)).collect();
         let inst = instance(&users, &[1.1, 0.9]);
         let exact_cfg = BranchBoundConfig::default();
         let (exact, exact_stats) = solve_branch_bound(&inst, exact_cfg, &mut rng());
@@ -289,9 +282,8 @@ mod tests {
 
     #[test]
     fn node_cap_truncates_but_stays_feasible() {
-        let users: Vec<(f64, f64)> = (0..18)
-            .map(|i| (1.2 - 0.02 * i as f64, 0.15 + 0.04 * (i % 7) as f64))
-            .collect();
+        let users: Vec<(f64, f64)> =
+            (0..18).map(|i| (1.2 - 0.02 * i as f64, 0.15 + 0.04 * (i % 7) as f64)).collect();
         let inst = instance(&users, &[1.0, 1.0, 0.8]);
         let cfg = BranchBoundConfig { max_nodes: 50, ..Default::default() };
         let (sol, stats) = solve_branch_bound(&inst, cfg, &mut rng());

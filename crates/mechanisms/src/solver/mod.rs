@@ -121,11 +121,7 @@ impl Solution {
 
     /// Recompute welfare from an instance (sanity check in tests).
     pub fn compute_welfare(&self, instance: &Instance) -> Money {
-        self.assignment
-            .iter()
-            .zip(&instance.items)
-            .filter_map(|(a, it)| a.map(|_| it.value))
-            .sum()
+        self.assignment.iter().zip(&instance.items).filter_map(|(a, it)| a.map(|_| it.value)).sum()
     }
 
     /// Verify capacity feasibility against an instance.

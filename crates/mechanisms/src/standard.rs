@@ -115,7 +115,8 @@ impl StandardAuction {
         };
         let own_value = bid.valuation().per_unit(bid.demand());
         let chosen_welfare = self.welfare_of(bids, chosen);
-        let instance_without = Instance::from_bids(bids, &self.config.capacities).without_user(user);
+        let instance_without =
+            Instance::from_bids(bids, &self.config.capacities).without_user(user);
         let mut context = b"payment/".to_vec();
         context.extend_from_slice(&user.0.to_le_bytes());
         let without = self.solve_instance_raw(&instance_without, shared, &context);
@@ -262,9 +263,8 @@ mod tests {
             let total = r.allocation.user_total(user);
             assert!(total.is_zero() || total == Bw::from_f64(0.5));
             // At most one provider hosts the user.
-            let hosts = ProviderId::all(2)
-                .filter(|p| !r.allocation.get(user, *p).is_zero())
-                .count();
+            let hosts =
+                ProviderId::all(2).filter(|p| !r.allocation.get(user, *p).is_zero()).count();
             assert!(hosts <= 1);
         }
         // Exactly the two top-value users win.

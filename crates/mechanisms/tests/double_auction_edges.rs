@@ -37,10 +37,7 @@ fn buyers_rationed_pro_rata_when_demand_dominates() {
     for (u, d) in [(0u32, 0.8f64), (1, 0.4), (2, 0.6)] {
         let got = r.allocation.user_total(UserId(u)).as_f64();
         let expected = d * 0.3 / total_demand;
-        assert!(
-            (got - expected).abs() < 2e-6,
-            "user {u}: got {got}, expected ≈{expected}"
-        );
+        assert!((got - expected).abs() < 2e-6, "user {u}: got {got}, expected ≈{expected}");
     }
     assert_eq!(r.allocation.user_total(UserId(3)), Bw::ZERO);
     assert!(r.payments.is_budget_balanced());
@@ -107,8 +104,7 @@ fn clearing_prices_are_sandwiched() {
         if sold.is_zero() {
             continue;
         }
-        let unit_revenue =
-            r.payments.provider_revenue(ProviderId(p)).as_f64() / sold.as_f64();
+        let unit_revenue = r.payments.provider_revenue(ProviderId(p)).as_f64() / sold.as_f64();
         assert!(
             unit_revenue >= bids.provider_ask(ProviderId(p)).unit_cost().as_f64() - 1e-6,
             "P{p} receives unit revenue {unit_revenue} below its cost"
@@ -143,10 +139,7 @@ fn identical_participants_resolve_deterministically() {
     for i in 0..4 {
         builder = builder.user_bid(i, user(1.0, 0.5));
     }
-    let bids = builder
-        .provider_ask(0, ask(0.2, 1.0))
-        .provider_ask(1, ask(0.2, 1.0))
-        .build();
+    let bids = builder.provider_ask(0, ask(0.2, 1.0)).provider_ask(1, ask(0.2, 1.0)).build();
     let r1 = DoubleAuction::new().run(&bids, &shared());
     let r2 = DoubleAuction::new().run(&bids, &SharedRng::from_material(b"other"));
     assert_eq!(r1, r2, "no hidden randomness");

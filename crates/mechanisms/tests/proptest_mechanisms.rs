@@ -34,10 +34,7 @@ fn arb_ask() -> impl Strategy<Value = ProviderAsk> {
 }
 
 fn arb_double_auction_bids() -> impl Strategy<Value = BidVector> {
-    (
-        proptest::collection::vec(arb_entry(), 1..20),
-        proptest::collection::vec(arb_ask(), 1..8),
-    )
+    (proptest::collection::vec(arb_entry(), 1..20), proptest::collection::vec(arb_ask(), 1..8))
         .prop_map(|(users, asks)| BidVector::from_parts(users, asks))
 }
 

@@ -230,6 +230,11 @@ impl Drop for ThreadedHub {
 
 /// Delay-stage event loop: hold each message until its sampled delivery
 /// time, then forward it to the destination inbox.
+///
+/// The loop never busy-polls: with nothing in flight it blocks on the
+/// input channel, and with messages in flight it sleeps exactly until the
+/// next heap deadline — including after the input disconnects, so final
+/// deliveries and shutdown happen as soon as the last deadline passes.
 fn run_delayer(
     input: Receiver<(ProviderId, ProviderId, Bytes)>,
     outs: Vec<Sender<(ProviderId, Bytes)>>,
@@ -249,27 +254,39 @@ fn run_delayer(
                 let _ = out.send((d.from, d.payload));
             }
         }
-        if !input_open && heap.is_empty() {
-            return;
+        fn enqueue(
+            heap: &mut BinaryHeap<Delayed>,
+            seq: &mut u64,
+            rng: &mut StdRng,
+            latency: &LatencyModel,
+            (from, to, payload): (ProviderId, ProviderId, Bytes),
+        ) {
+            let delay = latency.sample(rng);
+            heap.push(Delayed { deliver_at: Instant::now() + delay, seq: *seq, from, to, payload });
+            *seq += 1;
         }
-        // Wait for new input, but no longer than the next deadline.
-        let wait = heap
-            .peek()
-            .map(|d| d.deliver_at.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(50));
-        if !input_open {
-            std::thread::sleep(wait);
-            continue;
-        }
-        match input.recv_timeout(wait) {
-            Ok((from, to, payload)) => {
-                let delay = latency.sample(&mut rng);
-                heap.push(Delayed { deliver_at: Instant::now() + delay, seq, from, to, payload });
-                seq += 1;
+        let next_deadline =
+            heap.peek().map(|d| d.deliver_at.saturating_duration_since(Instant::now()));
+        match next_deadline {
+            None if !input_open => return, // drained and no more input: done
+            None => {
+                // Nothing in flight: block until input arrives or closes.
+                match input.recv() {
+                    Ok(msg) => enqueue(&mut heap, &mut seq, &mut rng, &latency, msg),
+                    Err(_) => input_open = false,
+                }
             }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => {
-                input_open = false;
+            Some(wait) => {
+                // Sleep exactly until the next deadline (or new input).
+                if !input_open {
+                    std::thread::sleep(wait);
+                    continue;
+                }
+                match input.recv_timeout(wait) {
+                    Ok(msg) => enqueue(&mut heap, &mut seq, &mut rng, &latency, msg),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => input_open = false,
+                }
             }
         }
     }
@@ -363,8 +380,26 @@ mod tests {
     }
 
     #[test]
+    fn delayer_shutdown_is_prompt_after_disconnect() {
+        let mut hub = ThreadedHub::new(2, LatencyModel::ConstantMicros(2_000), 11);
+        let eps = hub.take_endpoints();
+        eps[0].send(ProviderId(1), Bytes::from_static(b"late"));
+        drop(eps); // disconnects the delayer input with one delivery queued
+        let start = Instant::now();
+        drop(hub); // joins the delayer: must wait only the 2 ms deadline
+                   // Bound chosen against the legacy 50 ms fallback poll: generous
+                   // for the 2 ms deadline, but a poll tick would still blow it.
+        assert!(
+            start.elapsed() < Duration::from_millis(48),
+            "delayer lingered after disconnect: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
     fn threads_can_exchange_concurrently() {
-        let mut hub = ThreadedHub::new(4, LatencyModel::UniformMicros { min_micros: 10, max_micros: 500 }, 3);
+        let mut hub =
+            ThreadedHub::new(4, LatencyModel::UniformMicros { min_micros: 10, max_micros: 500 }, 3);
         let eps = hub.take_endpoints();
         let handles: Vec<_> = eps
             .into_iter()

@@ -12,9 +12,10 @@ use std::time::Duration;
 use rand::Rng;
 
 /// How long a message takes from sender to receiver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LatencyModel {
     /// Immediate delivery (pure-computation benchmarks, unit tests).
+    #[default]
     Zero,
     /// Every message takes exactly this many microseconds.
     ConstantMicros(u64),
@@ -59,12 +60,6 @@ impl LatencyModel {
             LatencyModel::UniformMicros { max_micros, .. } => Duration::from_micros(*max_micros),
             LatencyModel::CommunityNet => Duration::from_micros(6_000),
         }
-    }
-}
-
-impl Default for LatencyModel {
-    fn default() -> Self {
-        LatencyModel::Zero
     }
 }
 

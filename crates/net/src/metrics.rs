@@ -56,9 +56,7 @@ pub struct TrafficMetrics {
 impl TrafficMetrics {
     /// Fresh counters for `m` providers.
     pub fn new(m: usize) -> TrafficMetrics {
-        TrafficMetrics {
-            providers: Arc::new((0..m).map(|_| ProviderTraffic::default()).collect()),
-        }
+        TrafficMetrics { providers: Arc::new((0..m).map(|_| ProviderTraffic::default()).collect()) }
     }
 
     /// Record a send by `from` of `bytes` payload bytes.

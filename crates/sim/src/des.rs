@@ -17,7 +17,9 @@
 //!   exactly the paper's client-observed completion time.
 //!
 //! Outcomes are bit-identical to the other runtimes (the protocol cannot
-//! observe the clock); only the reported times depend on the model.
+//! observe the clock); only the reported times depend on the model. Like
+//! the other runtimes, the per-provider loop is the shared
+//! [`SessionEngine`] — this module only owns the virtual-time event heap.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -25,7 +27,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use dauctioneer_core::{AllocatorProgram, Auctioneer, Block, FrameworkConfig, OutboxCtx};
+use dauctioneer_core::engine::{unanimous, SessionEngine};
+use dauctioneer_core::{AllocatorProgram, Block, FrameworkConfig, OutboxCtx};
 use dauctioneer_net::LatencyModel;
 use dauctioneer_types::{BidVector, Outcome, ProviderId};
 use rand::rngs::StdRng;
@@ -112,18 +115,7 @@ impl TimedReport {
     /// The unanimous outcome per Definition 1 (pair iff all providers
     /// agree, else ⊥).
     pub fn unanimous(&self) -> Outcome {
-        let mut first: Option<&Outcome> = None;
-        for o in &self.outcomes {
-            match o {
-                None | Some(Outcome::Abort) => return Outcome::Abort,
-                Some(agreed) => match first {
-                    None => first = Some(agreed),
-                    Some(prev) if prev == agreed => {}
-                    Some(_) => return Outcome::Abort,
-                },
-            }
-        }
-        first.cloned().unwrap_or(Outcome::Abort)
+        unanimous(self.outcomes.iter().map(|o| o.as_ref()))
     }
 }
 
@@ -139,21 +131,8 @@ pub fn run_timed_auction<P: AllocatorProgram + 'static>(
     link: LinkModel,
     seed: u64,
 ) -> TimedReport {
-    assert_eq!(collected.len(), cfg.m);
     let m = cfg.m;
-    let mut agents: Vec<Auctioneer<P>> = collected
-        .into_iter()
-        .enumerate()
-        .map(|(j, bids)| {
-            Auctioneer::new_seeded(
-                cfg.clone(),
-                ProviderId(j as u32),
-                Arc::clone(&program),
-                bids,
-                seed + j as u64 + 1,
-            )
-        })
-        .collect();
+    let mut agents: Vec<SessionEngine<P>> = SessionEngine::roster(cfg, &program, collected, seed);
 
     let mut link_rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
     let mut clocks: Vec<Duration> = vec![Duration::ZERO; m];
@@ -164,11 +143,11 @@ pub fn run_timed_auction<P: AllocatorProgram + 'static>(
     let mut bytes = 0u64;
 
     let enqueue = |heap: &mut BinaryHeap<Reverse<TimedMsg>>,
-                       link_rng: &mut StdRng,
-                       seq: &mut u64,
-                       at: Duration,
-                       from: ProviderId,
-                       sends: Vec<(ProviderId, Bytes)>| {
+                   link_rng: &mut StdRng,
+                   seq: &mut u64,
+                   at: Duration,
+                   from: ProviderId,
+                   sends: Vec<(ProviderId, Bytes)>| {
         for (to, payload) in sends {
             if to.index() >= m || to == from {
                 continue;
@@ -210,9 +189,11 @@ pub fn run_timed_auction<P: AllocatorProgram + 'static>(
     }
 
     let outcomes: Vec<Option<Outcome>> = agents.iter().map(|a| a.outcome()).collect();
-    let span = decision_times.iter().copied().collect::<Option<Vec<_>>>().map(|v| {
-        v.into_iter().max().unwrap_or(Duration::ZERO)
-    });
+    let span = decision_times
+        .iter()
+        .copied()
+        .collect::<Option<Vec<_>>>()
+        .map(|v| v.into_iter().max().unwrap_or(Duration::ZERO));
     TimedReport { outcomes, decision_times, span, messages, bytes }
 }
 
@@ -260,10 +241,7 @@ mod tests {
             &cfg,
             Arc::new(DoubleAuctionProgram::new()),
             vec![bids(); 3],
-            LinkModel {
-                latency: LatencyModel::ConstantMicros(5_000),
-                bytes_per_sec: None,
-            },
+            LinkModel { latency: LatencyModel::ConstantMicros(5_000), bytes_per_sec: None },
             5,
         );
         // Identical outcome, very different virtual span.
@@ -271,8 +249,10 @@ mod tests {
         let fast_span = fast.span.unwrap();
         let slow_span = slow.span.unwrap();
         // At least 3 protocol round trips of 5 ms each.
-        assert!(slow_span > fast_span + Duration::from_millis(10),
-            "latency must widen the span: fast {fast_span:?} slow {slow_span:?}");
+        assert!(
+            slow_span > fast_span + Duration::from_millis(10),
+            "latency must widen the span: fast {fast_span:?} slow {slow_span:?}"
+        );
     }
 
     #[test]

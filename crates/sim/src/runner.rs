@@ -1,12 +1,17 @@
 //! The deterministic turn-based simulator.
+//!
+//! [`SimRunner`] is a generic message pump for any set of protocol
+//! [`Block`]s; full auction sessions ([`run_auction_sim`]) drive
+//! [`SessionEngine`]s, so session framing, dispatch and seeding are the
+//! shared `dauctioneer-core::engine` code — the same loop the threaded
+//! runtime and the virtual-clock DES run.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use dauctioneer_core::{
-    AllocatorProgram, Auctioneer, Block, BlockResult, FrameworkConfig, OutboxCtx,
-};
+use dauctioneer_core::engine::{unanimous, SessionEngine};
+use dauctioneer_core::{AllocatorProgram, Block, BlockResult, FrameworkConfig, OutboxCtx};
 use dauctioneer_types::{BidVector, Outcome, ProviderId};
 
 use crate::behavior::{Behavior, Honest};
@@ -130,18 +135,7 @@ impl AuctionSimReport {
     /// The session outcome per Definition 1: the pair if *every* provider
     /// decided on the same pair, otherwise ⊥.
     pub fn unanimous(&self) -> Outcome {
-        let mut first: Option<&Outcome> = None;
-        for o in &self.outcomes {
-            match o {
-                None | Some(Outcome::Abort) => return Outcome::Abort,
-                Some(agreed) => match first {
-                    None => first = Some(agreed),
-                    Some(prev) if prev == agreed => {}
-                    Some(_) => return Outcome::Abort,
-                },
-            }
-        }
-        first.cloned().unwrap_or(Outcome::Abort)
+        unanimous(self.outcomes.iter().map(|o| o.as_ref()))
     }
 
     /// Outcomes of the providers *not* in `coalition` — what the honest
@@ -161,8 +155,9 @@ impl AuctionSimReport {
 /// Convenience: run a full auction session in the simulator.
 ///
 /// `collected[j]` is provider `j`'s view of the bids; `behaviors[j]`
-/// (when provided) replaces provider `j`'s honest message behavior;
-/// `seeds[j]` seeds provider `j`'s local randomness.
+/// (when provided) replaces provider `j`'s honest message behavior; the
+/// session's [`SessionEngine`]s come from [`SessionEngine::roster`], so
+/// seeding and session framing are identical to the other runtimes.
 pub fn run_auction_sim<P: AllocatorProgram + 'static>(
     cfg: &FrameworkConfig,
     program: Arc<P>,
@@ -171,20 +166,7 @@ pub fn run_auction_sim<P: AllocatorProgram + 'static>(
     policy: SchedulePolicy,
     seed: u64,
 ) -> AuctionSimReport {
-    assert_eq!(collected.len(), cfg.m);
-    let agents: Vec<Auctioneer<P>> = collected
-        .into_iter()
-        .enumerate()
-        .map(|(j, bids)| {
-            Auctioneer::new_seeded(
-                cfg.clone(),
-                ProviderId(j as u32),
-                Arc::clone(&program),
-                bids,
-                seed + j as u64 + 1,
-            )
-        })
-        .collect();
+    let agents: Vec<SessionEngine<P>> = SessionEngine::roster(cfg, &program, collected, seed);
     let mut runner = SimRunner::new(agents, policy);
     for (j, behavior) in behaviors.into_iter().enumerate() {
         if let Some(b) = behavior {
@@ -257,10 +239,7 @@ mod tests {
         for seed in 0..5 {
             assert_eq!(run(SchedulePolicy::SeededRandom(seed)), fifo);
         }
-        assert_eq!(
-            run(SchedulePolicy::DelayProvider { victim: ProviderId(2), seed: 3 }),
-            fifo
-        );
+        assert_eq!(run(SchedulePolicy::DelayProvider { victim: ProviderId(2), seed: 3 }), fifo);
     }
 
     #[test]

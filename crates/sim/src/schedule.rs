@@ -47,7 +47,11 @@ impl ScheduleState {
 
     /// Pick the index of the next message to deliver from the pending
     /// list. `to_of(i)` exposes each pending message's destination.
-    pub(crate) fn pick(&mut self, pending_len: usize, to_of: impl Fn(usize) -> ProviderId) -> usize {
+    pub(crate) fn pick(
+        &mut self,
+        pending_len: usize,
+        to_of: impl Fn(usize) -> ProviderId,
+    ) -> usize {
         debug_assert!(pending_len > 0);
         match &self.policy {
             SchedulePolicy::Fifo => 0,
@@ -89,12 +93,10 @@ mod tests {
 
     #[test]
     fn delay_provider_starves_victim_while_alternatives_exist() {
-        let mut s = ScheduleState::new(SchedulePolicy::DelayProvider {
-            victim: ProviderId(0),
-            seed: 1,
-        });
+        let mut s =
+            ScheduleState::new(SchedulePolicy::DelayProvider { victim: ProviderId(0), seed: 1 });
         // Messages 0 and 2 go to the victim; only 1 and 3 are eligible.
-        let to = |i: usize| if i % 2 == 0 { ProviderId(0) } else { ProviderId(1) };
+        let to = |i: usize| if i.is_multiple_of(2) { ProviderId(0) } else { ProviderId(1) };
         for _ in 0..20 {
             let i = s.pick(4, to);
             assert!(i == 1 || i == 3);

@@ -68,10 +68,7 @@ mod tests {
     fn agreed_outcome_gives_value_minus_payment() {
         let o = outcome_with(0.4, 0.4);
         assert_eq!(user_utility(UserId(0), Money::from_f64(1.0), &o), Money::from_f64(0.6));
-        assert_eq!(
-            provider_utility(ProviderId(0), Money::from_f64(0.1), &o),
-            Money::from_f64(0.3)
-        );
+        assert_eq!(provider_utility(ProviderId(0), Money::from_f64(0.1), &o), Money::from_f64(0.3));
     }
 
     #[test]

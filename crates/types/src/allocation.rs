@@ -95,7 +95,7 @@ impl Allocation {
     /// Users with a non-zero total allocation, in id order.
     pub fn winners(&self) -> Vec<UserId> {
         let mut out: Vec<UserId> = Vec::new();
-        for (&(u, _), _) in &self.cells {
+        for &(u, _) in self.cells.keys() {
             if out.last() != Some(&u) {
                 out.push(u);
             }

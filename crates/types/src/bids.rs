@@ -270,10 +270,7 @@ impl BidVector {
 
     /// Iterator over `(UserId, &UserBid)` for users with valid bids.
     pub fn valid_user_bids(&self) -> impl Iterator<Item = (UserId, &UserBid)> {
-        self.users
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| e.as_bid().map(|b| (UserId(i as u32), b)))
+        self.users.iter().enumerate().filter_map(|(i, e)| e.as_bid().map(|b| (UserId(i as u32), b)))
     }
 
     /// Number of users with valid bids.
@@ -416,17 +413,16 @@ mod tests {
 
     #[test]
     fn valid_user_bids_iterates_in_id_order() {
-        let v = BidVector::builder(3, 0)
-            .user_bid(2, bid(0.8, 0.1))
-            .user_bid(0, bid(1.2, 0.9))
-            .build();
+        let v =
+            BidVector::builder(3, 0).user_bid(2, bid(0.8, 0.1)).user_bid(0, bid(1.2, 0.9)).build();
         let ids: Vec<UserId> = v.valid_user_bids().map(|(u, _)| u).collect();
         assert_eq!(ids, vec![UserId(0), UserId(2)]);
     }
 
     #[test]
     fn without_user_neutralizes_one_slot() {
-        let v = BidVector::builder(2, 0).user_bid(0, bid(1.0, 0.5)).user_bid(1, bid(1.1, 0.4)).build();
+        let v =
+            BidVector::builder(2, 0).user_bid(0, bid(1.0, 0.5)).user_bid(1, bid(1.1, 0.4)).build();
         let w = v.without_user(UserId(0));
         assert!(!w.user_bid(UserId(0)).is_valid());
         assert!(w.user_bid(UserId(1)).is_valid());

@@ -386,8 +386,8 @@ mod tests {
         assert_eq!(roundtrip(&0xDEAD_BEEFu32).unwrap(), 0xDEAD_BEEF);
         assert_eq!(roundtrip(&u64::MAX).unwrap(), u64::MAX);
         assert_eq!(roundtrip(&i64::MIN).unwrap(), i64::MIN);
-        assert_eq!(roundtrip(&true).unwrap(), true);
-        assert_eq!(roundtrip(&false).unwrap(), false);
+        assert!(roundtrip(&true).unwrap());
+        assert!(!roundtrip(&false).unwrap());
     }
 
     #[test]

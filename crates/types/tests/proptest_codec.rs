@@ -3,12 +3,12 @@
 
 use proptest::prelude::*;
 
+use dauctioneer_types::codec::roundtrip;
+use dauctioneer_types::Decode;
 use dauctioneer_types::{
     Allocation, AuctionResult, BidEntry, BidVector, Bw, Money, Outcome, Payments, ProviderAsk,
     ProviderId, UserBid, UserId,
 };
-use dauctioneer_types::codec::roundtrip;
-use dauctioneer_types::Decode;
 
 fn arb_money() -> impl Strategy<Value = Money> {
     any::<i64>().prop_map(Money::from_micro)
@@ -31,10 +31,7 @@ fn arb_ask() -> impl Strategy<Value = ProviderAsk> {
 }
 
 fn arb_bid_vector() -> impl Strategy<Value = BidVector> {
-    (
-        proptest::collection::vec(arb_entry(), 0..12),
-        proptest::collection::vec(arb_ask(), 0..6),
-    )
+    (proptest::collection::vec(arb_entry(), 0..12), proptest::collection::vec(arb_ask(), 0..6))
         .prop_map(|(users, asks)| BidVector::from_parts(users, asks))
 }
 
@@ -53,10 +50,7 @@ fn arb_allocation() -> impl Strategy<Value = Allocation> {
 }
 
 fn arb_payments() -> impl Strategy<Value = Payments> {
-    (
-        proptest::collection::vec(arb_money(), 0..8),
-        proptest::collection::vec(arb_money(), 0..4),
-    )
+    (proptest::collection::vec(arb_money(), 0..8), proptest::collection::vec(arb_money(), 0..4))
         .prop_map(|(u, p)| Payments::from_parts(u, p))
 }
 

@@ -24,7 +24,9 @@ fn main() {
     let k = 2; // tolerate coalitions of up to 2 gateway owners
     let simulators = 5; // 2k+1 gateways run the simulation (§6.2)
 
-    println!("community network: {households} households bidding for uplink at {gateways} gateways");
+    println!(
+        "community network: {households} households bidding for uplink at {gateways} gateways"
+    );
     println!("distributed auctioneer: {simulators} simulators, coalition bound k = {k}\n");
 
     let bids = DoubleAuctionWorkload::new(households, gateways, 2024).generate();
@@ -49,10 +51,7 @@ fn main() {
         "auction cleared in {:?} (virtual time over community-network links)",
         report.span.expect("all gateways decided")
     );
-    println!(
-        "traffic: {} messages, {} bytes across the mesh",
-        report.messages, report.bytes
-    );
+    println!("traffic: {} messages, {} bytes across the mesh", report.messages, report.bytes);
     println!(
         "{} of {households} households receive bandwidth; social welfare = {}",
         winners.len(),

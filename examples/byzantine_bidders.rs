@@ -39,8 +39,7 @@ fn main() {
     // 1. Equivocating bidder: user 0 tells each provider a different
     //    valuation. Bid agreement must still converge.
     println!("— scenario 1: user 0 equivocates across providers —");
-    let views: Vec<BidVector> =
-        (0..m).map(|j| base_bids(1.1 + 0.05 * j as f64)).collect();
+    let views: Vec<BidVector> = (0..m).map(|j| base_bids(1.1 + 0.05 * j as f64)).collect();
     let report = run_auction_sim(
         &cfg,
         Arc::clone(&program),
@@ -54,10 +53,7 @@ fn main() {
     if let Some(result) = outcome.as_result() {
         // Users 1 and 2 were consistent; their slots survived verbatim, so
         // the auction proceeds for them regardless of user 0's games.
-        println!(
-            "  consistent user 1 allocated: {}",
-            result.allocation.user_total(UserId(1))
-        );
+        println!("  consistent user 1 allocated: {}", result.allocation.user_total(UserId(1)));
     }
 
     // 2. Silent bidder: user 0's bid reached only provider 0.

@@ -25,8 +25,8 @@ fn main() {
     let auction = StandardAuction::new(StandardAuctionConfig {
         capacities,
         solver: BranchBoundConfig {
-            epsilon_ppm: 10_000,                  // ε = 1%
-            max_nodes: 500_000,                   // search budget per solve
+            epsilon_ppm: 10_000, // ε = 1%
+            max_nodes: 500_000,  // search budget per solve
             shuffle_providers: true,
         },
     });
@@ -37,7 +37,9 @@ fn main() {
     let central_time = started.elapsed();
     let winners = central.allocation.winners().len();
     println!("standard auction: n = {n} users, m = {m} providers, {winners} winners");
-    println!("p=1 centralised: {central_time:?} (1 allocation solve + {winners} VCG payment solves)");
+    println!(
+        "p=1 centralised: {central_time:?} (1 allocation solve + {winners} VCG payment solves)"
+    );
 
     // Distributed runs: the payment solves spread across provider groups.
     for (k, label) in [(3usize, "p=2 (k=3)"), (1usize, "p=4 (k=1)")] {

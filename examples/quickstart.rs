@@ -36,7 +36,11 @@ fn main() {
     );
 
     let outcome = report.unanimous();
-    println!("session finished in {:?} using {} messages", report.elapsed, report.traffic.total_messages());
+    println!(
+        "session finished in {:?} using {} messages",
+        report.elapsed,
+        report.traffic.total_messages()
+    );
     let Some(result) = outcome.as_result() else {
         println!("outcome: ⊥ (aborted)");
         return;
@@ -52,9 +56,6 @@ fn main() {
         let revenue = result.payments.provider_revenue(provider);
         println!("  {provider}: serves {sold} bandwidth units, receives {revenue}");
     }
-    println!(
-        "budget surplus (buyers pay − sellers receive): {}",
-        result.payments.budget_surplus()
-    );
+    println!("budget surplus (buyers pay − sellers receive): {}", result.payments.budget_surplus());
     assert!(result.payments.is_budget_balanced());
 }

@@ -7,9 +7,7 @@
 
 use std::sync::Arc;
 
-use dauctioneer::core::{
-    DoubleAuctionProgram, FrameworkConfig, StandardAuctionProgram,
-};
+use dauctioneer::core::{DoubleAuctionProgram, FrameworkConfig, StandardAuctionProgram};
 use dauctioneer::mechanisms::props::{feasibility_violations, rationality_violations};
 use dauctioneer::mechanisms::solver::{solve_exhaustive, Instance};
 use dauctioneer::mechanisms::{
@@ -41,8 +39,7 @@ fn distributed_double_auction_equals_centralised() {
             seed,
         );
         let distributed = report.unanimous();
-        let centralised =
-            DoubleAuction::new().run(&bids, &SharedRng::from_material(b"anything"));
+        let centralised = DoubleAuction::new().run(&bids, &SharedRng::from_material(b"anything"));
         assert_eq!(
             distributed,
             Outcome::Agreed(centralised),
@@ -116,7 +113,10 @@ fn consistent_bids_survive_equivocating_bidders() {
             BidVector::builder(2, 1)
                 .user_bid(0, honest_bid)
                 // User 1 tells every provider something different.
-                .user_bid(1, UserBid::new(Money::from_f64(0.8 + 0.07 * j as f64), Bw::from_f64(0.3)))
+                .user_bid(
+                    1,
+                    UserBid::new(Money::from_f64(0.8 + 0.07 * j as f64), Bw::from_f64(0.3)),
+                )
                 .provider_ask(0, ProviderAsk::new(Money::from_f64(0.1), Bw::from_f64(9.0)))
                 .build()
         })

@@ -94,8 +94,7 @@ fn deviating_never_raises_provider_utility() {
         let honest = honest_outcome(seed);
         for deviator in 0..M {
             let true_cost = bids.provider_ask(ProviderId(deviator as u32)).unit_cost();
-            let honest_utility =
-                provider_utility(ProviderId(deviator as u32), true_cost, &honest);
+            let honest_utility = provider_utility(ProviderId(deviator as u32), true_cost, &honest);
             assert!(
                 honest_utility >= Money::ZERO,
                 "honest provider utility must be individually rational"

@@ -1,0 +1,173 @@
+//! Minimal, offline re-implementation of the subset of the [`criterion`]
+//! benchmarking API this workspace uses. Benchmarks run and print a mean
+//! per iteration; there is no statistical analysis, warm-up modelling, or
+//! HTML report — just enough to keep `cargo bench` working without
+//! crates.io access.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by its parameter value only.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId { name: param.to_string() }
+    }
+
+    /// Identify a benchmark by function name and parameter.
+    pub fn new(function: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{param}", function.into()) }
+    }
+}
+
+/// Times one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `body` repeatedly and record per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let iters = self.sample_size.max(1);
+        for _ in 0..iters {
+            let start = Instant::now();
+            black_box(body());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark `body` against one `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut body: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        body(&mut bencher, input);
+        println!(
+            "{}/{}: mean {:?} ({} iters)",
+            self.name,
+            id.name,
+            bencher.mean(),
+            bencher.samples.len()
+        );
+    }
+
+    /// Benchmark a parameterless body.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut body: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        body(&mut bencher);
+        println!(
+            "{}/{}: mean {:?} ({} iters)",
+            self.name,
+            id.name,
+            bencher.mean(),
+            bencher.samples.len()
+        );
+    }
+
+    /// Finish the group (upstream renders a summary here).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, _criterion: self }
+    }
+
+    /// Benchmark one named function.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: 10 };
+        body(&mut bencher);
+        println!("{name}: mean {:?} ({} iters)", bencher.mean(), bencher.samples.len());
+        self
+    }
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_bodies() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &2u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

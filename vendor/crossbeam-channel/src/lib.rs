@@ -1,0 +1,137 @@
+//! Minimal, offline re-implementation of the subset of the
+//! [`crossbeam-channel`] API this workspace uses, backed by
+//! `std::sync::mpsc`.
+//!
+//! The workspace only needs multi-producer single-consumer channels (each
+//! provider owns its inbox receiver), which is exactly what `mpsc`
+//! provides; the crossbeam surface re-implemented here is [`unbounded`],
+//! [`bounded`], cloneable [`Sender`]s and timeout-aware receives.
+//!
+//! [`crossbeam-channel`]: https://docs.rs/crossbeam-channel
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+/// The sending half of a channel.
+#[derive(Debug)]
+pub struct Sender<T> {
+    inner: SenderInner<T>,
+}
+
+#[derive(Debug)]
+enum SenderInner<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        let inner = match &self.inner {
+            SenderInner::Unbounded(tx) => SenderInner::Unbounded(tx.clone()),
+            SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
+        };
+        Sender { inner }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send a message, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message if the receiving half has disconnected.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        match &self.inner {
+            SenderInner::Unbounded(tx) => tx.send(msg),
+            SenderInner::Bounded(tx) => tx.send(msg),
+        }
+    }
+}
+
+/// The receiving half of a channel.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or all senders disconnect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] when every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv()
+    }
+
+    /// Wait up to `timeout` for a message.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] when nothing arrived in time,
+    /// [`RecvTimeoutError::Disconnected`] when every sender is gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout)
+    }
+
+    /// Receive without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] or [`TryRecvError::Disconnected`].
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv()
+    }
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: SenderInner::Unbounded(tx) }, Receiver { inner: rx })
+}
+
+/// Create a bounded channel with the given capacity; sends block when it
+/// is full.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender { inner: SenderInner::Bounded(tx) }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn bounded_roundtrip_and_clone() {
+        let (tx, rx) = bounded(2);
+        let tx2 = tx.clone();
+        tx.send(1u8).unwrap();
+        tx2.send(2u8).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Empty);
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            RecvTimeoutError::Disconnected
+        );
+    }
+}

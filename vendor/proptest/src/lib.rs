@@ -1,0 +1,590 @@
+//! Minimal, offline re-implementation of the subset of the [`proptest`]
+//! API this workspace uses: the [`proptest!`] macro, composable
+//! [`Strategy`] values (ranges, tuples, `prop_map`, `prop_flat_map`,
+//! [`collection::vec`], [`option::of`], [`prop_oneof!`], [`Just`],
+//! [`any`]), and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from upstream, acceptable for this workspace's tests:
+//!
+//! * **No shrinking** — a failing case reports its inputs (via the panic
+//!   message where the assertion formats them) but is not minimised.
+//! * Case generation is deterministic per test (seeded from the test
+//!   name), so failures reproduce run-to-run.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+//! [`Strategy`]: strategy::Strategy
+//! [`Just`]: strategy::Just
+//! [`any`]: arbitrary::any
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SampleUniform};
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then a dependent strategy from it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// A strategy producing one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    impl<T: SampleUniform + Copy> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    impl<T: SampleUniform + Copy> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(*self.start()..=*self.end())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A / a);
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+
+    /// A weighted choice among boxed strategies (see [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<T> {
+        branches: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Build from `(weight, strategy)` branches.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `branches` is empty or all weights are zero.
+        pub fn new(branches: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Union<T> {
+            let total_weight: u64 = branches.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! needs at least one weighted branch");
+            Union { branches, total_weight }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let mut pick = (&mut *rng as &mut dyn RngCore).next_u64() % self.total_weight;
+            for (weight, strat) in &self.branches {
+                if pick < *weight as u64 {
+                    return strat.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("weighted pick within total weight")
+        }
+    }
+
+    /// Box a strategy for use in a [`Union`].
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+}
+
+pub mod arbitrary {
+    //! Default strategies per type ([`any`]).
+
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut StdRng) -> [u8; N] {
+            let mut out = [0u8; N];
+            rng.fill_bytes(&mut out);
+            out
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`'s whole domain.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// A length range for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `elem` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    use crate::strategy::Strategy;
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            // None for roughly a quarter of cases, as a useful mix.
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `Some(inner)` most of the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's inputs did not satisfy a [`prop_assume!`]; try another.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: String) -> TestCaseError {
+        TestCaseError::Fail(msg)
+    }
+
+    /// An input rejection.
+    pub fn reject(msg: &str) -> TestCaseError {
+        TestCaseError::Reject(msg.to_string())
+    }
+}
+
+/// Configuration of one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+    /// Give up (panic) after this many [`prop_assume!`] rejections.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256 cases; this workspace's protocol-level
+        // properties are expensive, so the vendored default is smaller.
+        ProptestConfig { cases: 64, max_global_rejects: 1024 }
+    }
+}
+
+/// Drive one property: repeat `run_one` until `config.cases` cases pass.
+///
+/// # Panics
+///
+/// Panics when a case fails, or when too many cases are rejected by
+/// [`prop_assume!`].
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut run_one: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut hasher = DefaultHasher::new();
+    name.hash(&mut hasher);
+    let mut rng = StdRng::seed_from_u64(hasher.finish());
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match run_one(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "{name}: too many rejected cases ({rejected}); weaken prop_assume! filters"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property failed after {passed} passing cases: {msg}")
+            }
+        }
+    }
+}
+
+/// Define property tests: each `fn` runs `config.cases` times with fresh
+/// random inputs drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident(
+            $($pat:pat_param in $strat:expr),+ $(,)?
+        ) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(&config, stringify!($name), |__proptest_rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(
+                        &($strat), __proptest_rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a `proptest!` body; failure fails only this case's run.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (left, right) => $crate::prop_assert!(
+                *left == *right,
+                "assertion failed: `{:?}` == `{:?}`", left, right
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&($left), &($right)) {
+            (left, right) => $crate::prop_assert!(
+                *left == *right,
+                "assertion failed: `{:?}` == `{:?}`: {}", left, right, format!($($fmt)+)
+            ),
+        }
+    };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&($left), &($right)) {
+            (left, right) => $crate::prop_assert!(
+                *left != *right,
+                "assertion failed: `{:?}` != `{:?}`", left, right
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&($left), &($right)) {
+            (left, right) => $crate::prop_assert!(
+                *left != *right,
+                "assertion failed: `{:?}` != `{:?}`: {}", left, right, format!($($fmt)+)
+            ),
+        }
+    };
+}
+
+/// Skip cases whose inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Choose among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10u64..20, y in -3i64..=3) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-3..=3).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps((a, b) in (0u32..5, 0u32..5).prop_map(|(a, b)| (a * 2, b))) {
+            prop_assert!(a % 2 == 0);
+            prop_assert!(b < 5);
+        }
+
+        #[test]
+        fn vec_and_option_strategies(
+            v in crate::collection::vec(crate::option::of(0u8..10), 2..=4),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() <= 4);
+            for x in v.into_iter().flatten() {
+                prop_assert!(x < 10);
+            }
+        }
+
+        #[test]
+        fn oneof_and_assume(x in prop_oneof![1 => Just(0u8), 4 => 1u8..=9]) {
+            prop_assume!(x != 5);
+            prop_assert!(x < 10);
+        }
+
+        #[test]
+        fn flat_map_dependent(v in (1usize..4).prop_flat_map(|n| crate::collection::vec(0u8..2, n..=n))) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_message() {
+        let err = std::panic::catch_unwind(|| {
+            crate::run_cases(&ProptestConfig::with_cases(1), "doomed", |_| {
+                Err(crate::TestCaseError::fail("boom".into()))
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("boom"));
+    }
+}
