@@ -1,12 +1,18 @@
 //! `batch_throughput` — sessions/sec of multiplexed multi-session
-//! batches over one shared provider mesh.
+//! batches, swept over batch size, hub sharding, and transport.
 //!
 //! The paper measures the running time of *one* auction; a marketplace
-//! at scale clears many concurrently. This bench sweeps the number of
-//! concurrent sessions multiplexed over one `ThreadedHub` mesh
-//! (`run_batch`) and reports throughput, against a baseline that runs
-//! the same sessions back-to-back over per-session meshes
-//! (`run_session` in a loop).
+//! at scale clears many concurrently. Two sweeps run:
+//!
+//! 1. **batched vs sequential** — N sessions multiplexed over one shared
+//!    mesh (`run_batch`) against the same sessions back-to-back over
+//!    per-session meshes (`run_session` in a loop);
+//! 2. **shards × transport** — the same batch through
+//!    `run_batch_with(BatchConfig { shards, transport })`: in-process
+//!    channels vs real loopback TCP sockets, and 1–8 independent hub
+//!    shards. Sharding multiplies provider threads, so its speedup
+//!    tracks the host's core count (printed with the results: on a
+//!    single-core host the sharded and single-hub numbers converge).
 //!
 //! ```text
 //! batch_throughput [--csv] [--rounds N] [--quick] [--n USERS] [--m PROVIDERS]
@@ -17,7 +23,8 @@ use std::time::Duration;
 
 use dauctioneer_bench::{fmt_secs, time_once, CommonArgs, Stats, Table};
 use dauctioneer_core::{
-    run_batch, run_session, BatchSession, DoubleAuctionProgram, FrameworkConfig, RunOptions,
+    run_batch, run_batch_with, run_session, BatchConfig, BatchSession, DoubleAuctionProgram,
+    FrameworkConfig, RunOptions, TransportKind,
 };
 use dauctioneer_types::SessionId;
 use dauctioneer_workload::DoubleAuctionWorkload;
@@ -25,6 +32,13 @@ use dauctioneer_workload::DoubleAuctionWorkload;
 fn flag_value(name: &str) -> Option<usize> {
     let args: Vec<String> = std::env::args().collect();
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+fn label(kind: TransportKind) -> &'static str {
+    match kind {
+        TransportKind::InProc => "inproc",
+        TransportKind::Tcp => "tcp",
+    }
 }
 
 fn main() {
@@ -35,40 +49,43 @@ fn main() {
     let cfg = FrameworkConfig::new(m, k, n_users, m);
     let program = Arc::new(DoubleAuctionProgram::new());
     let options = RunOptions { deadline: Duration::from_secs(600), ..RunOptions::default() };
-
-    let batch_sizes: &[usize] = if common.quick { &[1, 4, 8] } else { &[1, 2, 4, 8, 16, 32] };
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
 
     println!(
-        "batch throughput: double auction, n={n_users} users/session, m={m} providers, k={k}, {} rounds",
+        "batch throughput: double auction, n={n_users} users/session, m={m} providers, k={k}, \
+         {} rounds, host cores={cores}",
         common.rounds
     );
+
+    let sessions = |base: u64, batch: usize| -> Vec<BatchSession> {
+        (0..batch)
+            .map(|s| {
+                let bids = DoubleAuctionWorkload::new(n_users, m, base + s as u64).generate();
+                BatchSession::uniform(SessionId(base + s as u64), bids, m, base + 31 * s as u64)
+            })
+            .collect()
+    };
+
+    // Sweep 1: batched (one shared mesh) vs sequential (per-session mesh).
+    let batch_sizes: &[usize] = if common.quick { &[1, 4, 8] } else { &[1, 2, 4, 8, 16, 32] };
     let mut table = Table::new(
         &["sessions", "batched", "batched/s", "sequential", "sequential/s", "speedup"],
         common.csv,
     );
-
     for (size_idx, &batch) in batch_sizes.iter().enumerate() {
-        let sessions = |base: u64| -> Vec<BatchSession> {
-            (0..batch)
-                .map(|s| {
-                    let bids = DoubleAuctionWorkload::new(n_users, m, base + s as u64).generate();
-                    BatchSession::uniform(SessionId(base + s as u64), bids, m, base + 31 * s as u64)
-                })
-                .collect()
-        };
-
         let mut batched = Vec::with_capacity(common.rounds);
         let mut sequential = Vec::with_capacity(common.rounds);
         for round in 0..common.rounds {
             let base = (round * batch_sizes.len() + size_idx) as u64 * 1_000;
 
-            let (report, elapsed) =
-                time_once(|| run_batch(&cfg, Arc::clone(&program), sessions(base), &options));
+            let (report, elapsed) = time_once(|| {
+                run_batch(&cfg, Arc::clone(&program), sessions(base, batch), &options)
+            });
             assert!(report.all_agreed(), "batched session aborted");
             batched.push(elapsed);
 
             let (all_ok, elapsed) = time_once(|| {
-                sessions(base).into_iter().all(|spec| {
+                sessions(base, batch).into_iter().all(|spec| {
                     let report = run_session(
                         &cfg.clone().with_session(spec.session),
                         Arc::clone(&program),
@@ -93,6 +110,62 @@ fn main() {
             format!("{:.2}x", sequential.mean_s / batched.mean_s),
         ]);
     }
-
     print!("{}", table.render());
+
+    // Sweep 2: shards × transport at fixed batch sizes. The single-hub
+    // in-process run (shards=1) is the PR-1 baseline every other row is
+    // compared against.
+    let shard_batches: &[usize] = if common.quick { &[8] } else { &[8, 16, 32] };
+    let configs: &[(TransportKind, usize)] = &[
+        (TransportKind::InProc, 1),
+        (TransportKind::InProc, 2),
+        (TransportKind::InProc, 4),
+        (TransportKind::InProc, 8),
+        (TransportKind::Tcp, 1),
+        (TransportKind::Tcp, 4),
+    ];
+    println!();
+    let mut table = Table::new(
+        &["sessions", "transport", "shards", "mean", "sessions/s", "vs single hub"],
+        common.csv,
+    );
+    for (size_idx, &batch) in shard_batches.iter().enumerate() {
+        let mut baseline_mean = None;
+        for (cfg_idx, &(transport, shards)) in configs.iter().enumerate() {
+            let batch_cfg = BatchConfig { shards, transport };
+            let mut samples = Vec::with_capacity(common.rounds);
+            for round in 0..common.rounds {
+                let base = 1_000_000
+                    + ((round * shard_batches.len() + size_idx) * configs.len() + cfg_idx) as u64
+                        * 1_000;
+                let (report, elapsed) = time_once(|| {
+                    run_batch_with(
+                        &cfg,
+                        Arc::clone(&program),
+                        sessions(base, batch),
+                        &options,
+                        &batch_cfg,
+                    )
+                });
+                assert!(report.all_agreed(), "{} shards={shards} aborted", label(transport));
+                samples.push(elapsed);
+            }
+            let stats = Stats::of(&samples);
+            let baseline = *baseline_mean.get_or_insert(stats.mean_s);
+            table.row(vec![
+                batch.to_string(),
+                label(transport).to_string(),
+                shards.to_string(),
+                fmt_secs(stats.mean_s),
+                format!("{:.1}", batch as f64 / stats.mean_s),
+                format!("{:.2}x", baseline / stats.mean_s),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    if cores < 4 {
+        println!(
+            "note: host has {cores} core(s); shard speedups need shards ≤ cores to materialise"
+        );
+    }
 }

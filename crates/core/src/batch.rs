@@ -15,6 +15,15 @@
 //! (sessions per second) a first-class measured quantity, reported by the
 //! `batch_throughput` bench binary alongside the per-figure benches.
 //!
+//! [`run_batch_with`] adds two independent scaling knobs via
+//! [`BatchConfig`]: **sharding** — sessions partitioned across `N`
+//! independent meshes by a stable hash of the session tag, each shard
+//! with its own `m` provider threads ([`ShardedHub`]) — and the
+//! **transport** each mesh is built on: in-process channels or real
+//! loopback TCP sockets ([`TransportKind`]). The same batch API drives
+//! either backend, and outcomes are transport-independent by
+//! construction.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use dauctioneer_core::{run_batch, BatchSession, DoubleAuctionProgram, FrameworkConfig, RunOptions};
@@ -42,13 +51,65 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dauctioneer_net::{ThreadedHub, TrafficSnapshot};
+use dauctioneer_net::{shard_for, ShardedHub, TcpMesh, TrafficSnapshot};
 use dauctioneer_types::{BidVector, Outcome, ProviderId, SessionId};
 
 use crate::allocator::AllocatorProgram;
 use crate::config::FrameworkConfig;
-use crate::engine::{drive_multi, unanimous, SessionEngine};
+use crate::engine::{drive_multi, unanimous, SessionEngine, Transport};
 use crate::runtime::RunOptions;
+
+/// Which message substrate a batch runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process crossbeam channels ([`ThreadedHub`] /
+    /// [`ShardedHub`]): fastest, supports injected [`LatencyModel`]
+    /// link latency.
+    ///
+    /// [`ThreadedHub`]: dauctioneer_net::ThreadedHub
+    /// [`LatencyModel`]: dauctioneer_net::LatencyModel
+    #[default]
+    InProc,
+    /// Real loopback TCP sockets ([`TcpMesh`]): every frame crosses the
+    /// kernel network stack, deployment-shaped. Link latency is whatever
+    /// the sockets really impose, so modelled latency must be
+    /// [`LatencyModel::Zero`][dauctioneer_net::LatencyModel::Zero].
+    Tcp,
+}
+
+/// How [`run_batch_with`] maps a batch onto transports and threads.
+///
+/// The default — one shard, in-process channels — is exactly the PR-1
+/// single-hub behaviour of [`run_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Number of independent provider meshes; sessions are partitioned
+    /// across them by a stable hash of the session tag
+    /// ([`shard_for`]). Values are clamped to at least 1. Each shard runs
+    /// its own `m` provider threads, so on a multi-core host shards give
+    /// the batch real CPU parallelism beyond one thread per provider.
+    pub shards: usize,
+    /// The message substrate each shard's mesh is built on.
+    pub transport: TransportKind,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { shards: 1, transport: TransportKind::InProc }
+    }
+}
+
+impl BatchConfig {
+    /// In-process channels with `shards` independent meshes.
+    pub fn sharded(shards: usize) -> BatchConfig {
+        BatchConfig { shards, transport: TransportKind::InProc }
+    }
+
+    /// Loopback TCP with `shards` independent socket meshes.
+    pub fn tcp(shards: usize) -> BatchConfig {
+        BatchConfig { shards, transport: TransportKind::Tcp }
+    }
+}
 
 /// One auction session of a batch.
 #[derive(Debug, Clone)]
@@ -116,7 +177,8 @@ impl BatchReport {
 }
 
 /// Run `sessions.len()` concurrent auction sessions over one shared
-/// threaded mesh of `cfg.m` providers.
+/// in-process mesh of `cfg.m` providers (the default [`BatchConfig`]:
+/// one shard, [`TransportKind::InProc`]).
 ///
 /// Each provider thread multiplexes all sessions over its single
 /// endpoint; distinct session tags keep them isolated. The deadline in
@@ -133,6 +195,30 @@ pub fn run_batch<P: AllocatorProgram + 'static>(
     sessions: Vec<BatchSession>,
     options: &RunOptions,
 ) -> BatchReport {
+    run_batch_with(cfg, program, sessions, options, &BatchConfig::default())
+}
+
+/// [`run_batch`] with explicit control over sharding and transport.
+///
+/// Sessions are partitioned across `batch.shards` independent meshes by a
+/// stable hash of their tag; each shard runs its own `m` provider
+/// threads, all shards concurrently. The outcome of every session is
+/// independent of the [`BatchConfig`] — the protocol cannot observe which
+/// substrate carried its frames — only wall-clock throughput changes.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_batch`], and additionally if
+/// `batch.transport` is [`TransportKind::Tcp`] while `options.latency` is
+/// a non-zero model (real sockets impose their own latency; the two
+/// cannot compose).
+pub fn run_batch_with<P: AllocatorProgram + 'static>(
+    cfg: &FrameworkConfig,
+    program: Arc<P>,
+    sessions: Vec<BatchSession>,
+    options: &RunOptions,
+    batch: &BatchConfig,
+) -> BatchReport {
     cfg.validate().expect("invalid framework configuration");
     let mut tags = HashSet::new();
     for spec in &sessions {
@@ -140,29 +226,122 @@ pub fn run_batch<P: AllocatorProgram + 'static>(
         assert!(tags.insert(spec.session), "duplicate session tag {} in batch", spec.session);
     }
 
-    let mut hub = ThreadedHub::new(cfg.m, options.latency, options.seed);
-    let metrics = hub.metrics();
-    let endpoints = hub.take_endpoints();
-
-    // Move each provider's column of the batch into its thread.
-    let mut per_provider: Vec<Vec<(SessionId, BidVector, u64)>> =
-        (0..cfg.m).map(|_| Vec::with_capacity(sessions.len())).collect();
+    let shards = batch.shards.max(1);
+    let n_sessions = sessions.len();
     let session_ids: Vec<SessionId> = sessions.iter().map(|s| s.session).collect();
-    for spec in sessions {
-        for (j, bids) in spec.collected.into_iter().enumerate() {
-            per_provider[j].push((spec.session, bids, spec.seed + j as u64 + 1));
-        }
+
+    // Partition sessions onto shards by tag hash, remembering where each
+    // one came from so the report keeps input order.
+    let mut shard_specs: Vec<Vec<BatchSession>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut shard_slots: Vec<Vec<usize>> = (0..shards).map(|_| Vec::new()).collect();
+    for (idx, spec) in sessions.into_iter().enumerate() {
+        let s = shard_for(spec.session, shards);
+        shard_specs[s].push(spec);
+        shard_slots[s].push(idx);
     }
 
     let start = Instant::now();
     let deadline = options.deadline;
-    let handles: Vec<_> = endpoints
+    let shard_lens: Vec<usize> = shard_specs.iter().map(|s| s.len()).collect();
+    // `shard_columns[s][j]` = provider j's outcomes for shard s's
+    // sessions, in that shard's session order.
+    let (shard_columns, traffic): (Vec<Vec<Vec<Outcome>>>, TrafficSnapshot) = match batch.transport
+    {
+        TransportKind::InProc => {
+            let mut hub = ShardedHub::new(cfg.m, shards, options.latency, options.seed);
+            let handles: Vec<_> = hub
+                .take_endpoints()
+                .into_iter()
+                .zip(shard_specs)
+                .map(|(endpoints, specs)| {
+                    // An empty shard gets no provider threads at all.
+                    if specs.is_empty() {
+                        return Vec::new();
+                    }
+                    spawn_shard(cfg, &program, endpoints, specs, deadline)
+                })
+                .collect();
+            let columns = handles.into_iter().zip(&shard_lens).map(join_shard).collect();
+            let traffic = hub.traffic_snapshot();
+            (columns, traffic)
+        }
+        TransportKind::Tcp => {
+            assert!(
+                options.latency.is_zero(),
+                "modelled link latency cannot be injected into real TCP sockets; \
+                     use TransportKind::InProc for latency experiments"
+            );
+            let mut meshes = Vec::with_capacity(shards);
+            let handles: Vec<_> = shard_specs
+                .into_iter()
+                .map(|specs| {
+                    // A socket mesh (m listeners, m(m−1)/2 connections,
+                    // reader/writer threads) is far too expensive to
+                    // bring up for a shard that drew no sessions.
+                    if specs.is_empty() {
+                        return Vec::new();
+                    }
+                    let mut mesh = TcpMesh::loopback(cfg.m).expect("bring up loopback TCP mesh");
+                    let endpoints = mesh.take_endpoints();
+                    meshes.push(mesh);
+                    spawn_shard(cfg, &program, endpoints, specs, deadline)
+                })
+                .collect();
+            let columns = handles.into_iter().zip(&shard_lens).map(join_shard).collect();
+            let mut traffic = TrafficSnapshot::default();
+            for mesh in &meshes {
+                traffic.merge(&mesh.metrics().snapshot());
+            }
+            (columns, traffic)
+        }
+    };
+    let elapsed = start.elapsed();
+
+    // Reassemble per-session reports in input order.
+    let mut outcomes: Vec<Vec<Outcome>> = vec![vec![Outcome::Abort; cfg.m]; n_sessions];
+    for (columns, slots) in shard_columns.iter().zip(&shard_slots) {
+        for (j, column) in columns.iter().enumerate() {
+            for (pos, &slot) in slots.iter().enumerate() {
+                outcomes[slot][j] = column[pos].clone();
+            }
+        }
+    }
+    let sessions = session_ids
+        .into_iter()
+        .zip(outcomes)
+        .map(|(session, outcomes)| BatchSessionReport { session, outcomes })
+        .collect();
+    BatchReport { sessions, elapsed, traffic }
+}
+
+/// Spawn one provider thread per provider of one shard, each driving its
+/// engines for the shard's sessions over its endpoint.
+fn spawn_shard<P, T>(
+    cfg: &FrameworkConfig,
+    program: &Arc<P>,
+    endpoints: Vec<T>,
+    specs: Vec<BatchSession>,
+    deadline: Duration,
+) -> Vec<std::thread::JoinHandle<Vec<Outcome>>>
+where
+    P: AllocatorProgram + 'static,
+    T: Transport + Send + 'static,
+{
+    // Move each provider's column of the shard into its thread.
+    let mut per_provider: Vec<Vec<(SessionId, BidVector, u64)>> =
+        (0..cfg.m).map(|_| Vec::with_capacity(specs.len())).collect();
+    for spec in specs {
+        for (j, bids) in spec.collected.into_iter().enumerate() {
+            per_provider[j].push((spec.session, bids, spec.seed + j as u64 + 1));
+        }
+    }
+    endpoints
         .into_iter()
         .zip(per_provider)
         .enumerate()
         .map(|(j, (mut endpoint, specs))| {
             let cfg = cfg.clone();
-            let program = Arc::clone(&program);
+            let program = Arc::clone(program);
             std::thread::Builder::new()
                 .name(format!("provider-{j}"))
                 .spawn(move || {
@@ -182,25 +361,18 @@ pub fn run_batch<P: AllocatorProgram + 'static>(
                 })
                 .expect("spawn provider thread")
         })
-        .collect();
+        .collect()
+}
 
-    // `columns[j][s]` = provider j's outcome for session s.
-    let columns: Vec<Vec<Outcome>> = handles
+/// Join one shard's provider threads into `columns[j][s]`; a panicked
+/// provider reads as ⊥ for all of its sessions.
+fn join_shard(
+    (handles, &sessions): (Vec<std::thread::JoinHandle<Vec<Outcome>>>, &usize),
+) -> Vec<Vec<Outcome>> {
+    handles
         .into_iter()
-        .map(|h| h.join().unwrap_or_else(|_| vec![Outcome::Abort; session_ids.len()]))
-        .collect();
-    let elapsed = start.elapsed();
-    drop(hub);
-
-    let sessions = session_ids
-        .into_iter()
-        .enumerate()
-        .map(|(s, session)| BatchSessionReport {
-            session,
-            outcomes: columns.iter().map(|col| col[s].clone()).collect(),
-        })
-        .collect();
-    BatchReport { sessions, elapsed, traffic: metrics.snapshot() }
+        .map(|h| h.join().unwrap_or_else(|_| vec![Outcome::Abort; sessions]))
+        .collect()
 }
 
 #[cfg(test)]
@@ -268,6 +440,113 @@ mod tests {
                 "session {s} diverged under multiplexing"
             );
         }
+    }
+
+    #[test]
+    fn sharded_batch_matches_single_hub_outcomes() {
+        let cfg = FrameworkConfig::new(3, 1, 2, 1);
+        let sessions: Vec<BatchSession> = (0..8)
+            .map(|s| BatchSession::uniform(SessionId(s), bids(1.0 + 0.05 * s as f64), 3, 70 + s))
+            .collect();
+        let single = run_batch(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            sessions.clone(),
+            &RunOptions::default(),
+        );
+        let sharded = run_batch_with(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            sessions,
+            &RunOptions::default(),
+            &BatchConfig::sharded(4),
+        );
+        assert!(sharded.all_agreed());
+        for (a, b) in single.sessions.iter().zip(&sharded.sessions) {
+            assert_eq!(a.session, b.session, "input order preserved");
+            assert_eq!(a.unanimous(), b.unanimous(), "sharding changed an outcome");
+        }
+    }
+
+    #[test]
+    fn tcp_batch_clears_over_real_sockets() {
+        let cfg = FrameworkConfig::new(3, 1, 2, 1);
+        let sessions: Vec<BatchSession> = (0..4)
+            .map(|s| BatchSession::uniform(SessionId(s), bids(1.0 + 0.1 * s as f64), 3, 90 + s))
+            .collect();
+        let inproc = run_batch(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            sessions.clone(),
+            &RunOptions::default(),
+        );
+        let tcp = run_batch_with(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            sessions,
+            &RunOptions::default(),
+            &BatchConfig::tcp(2),
+        );
+        assert!(tcp.all_agreed(), "TCP batch must clear");
+        assert!(tcp.traffic.total_messages() > 0);
+        for (a, b) in inproc.sessions.iter().zip(&tcp.sessions) {
+            assert_eq!(a.unanimous(), b.unanimous(), "transport changed an outcome");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "modelled link latency cannot be injected")]
+    fn tcp_rejects_modelled_latency() {
+        let cfg = FrameworkConfig::new(3, 1, 2, 1);
+        let sessions = vec![BatchSession::uniform(SessionId(0), bids(1.0), 3, 1)];
+        let options = RunOptions {
+            latency: dauctioneer_net::LatencyModel::ConstantMicros(100),
+            ..RunOptions::default()
+        };
+        run_batch_with(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            sessions,
+            &options,
+            &BatchConfig::tcp(1),
+        );
+    }
+
+    #[test]
+    fn more_shards_than_sessions_leaves_empty_shards_harmless() {
+        // 2 sessions over 8 requested shards: at least 6 shards are
+        // empty and must cost nothing (no meshes, no threads) while the
+        // occupied ones still clear and keep input order.
+        let cfg = FrameworkConfig::new(3, 1, 2, 1);
+        let sessions: Vec<BatchSession> = (0..2)
+            .map(|s| BatchSession::uniform(SessionId(s), bids(1.0 + 0.1 * s as f64), 3, 40 + s))
+            .collect();
+        for config in [BatchConfig::sharded(8), BatchConfig::tcp(8)] {
+            let report = run_batch_with(
+                &cfg,
+                Arc::new(DoubleAuctionProgram::new()),
+                sessions.clone(),
+                &RunOptions::default(),
+                &config,
+            );
+            assert!(report.all_agreed(), "{config:?}");
+            assert_eq!(report.sessions[0].session, SessionId(0));
+            assert_eq!(report.sessions[1].session, SessionId(1));
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_clamped_to_one() {
+        let cfg = FrameworkConfig::new(3, 1, 2, 1);
+        let sessions = vec![BatchSession::uniform(SessionId(0), bids(1.0), 3, 1)];
+        let report = run_batch_with(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            sessions,
+            &RunOptions::default(),
+            &BatchConfig::sharded(0),
+        );
+        assert!(report.all_agreed());
     }
 
     #[test]

@@ -242,6 +242,24 @@ impl Transport for dauctioneer_net::Endpoint {
     }
 }
 
+impl Transport for dauctioneer_net::TcpEndpoint {
+    fn me(&self) -> ProviderId {
+        dauctioneer_net::TcpEndpoint::me(self)
+    }
+
+    fn num_providers(&self) -> usize {
+        dauctioneer_net::TcpEndpoint::num_providers(self)
+    }
+
+    fn send(&mut self, to: ProviderId, payload: Bytes) {
+        dauctioneer_net::TcpEndpoint::send(self, to, payload)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<(ProviderId, Bytes), RecvError> {
+        dauctioneer_net::TcpEndpoint::recv_timeout(self, timeout)
+    }
+}
+
 /// [`Ctx`] over a [`Transport`].
 struct TransportCtx<'a, T: Transport> {
     transport: &'a mut T,

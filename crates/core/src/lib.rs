@@ -74,7 +74,10 @@ pub mod task_graph;
 pub use adapters::{DoubleAuctionProgram, StandardAuctionProgram};
 pub use allocator::{AllocatorProgram, ParallelAllocator};
 pub use auctioneer::Auctioneer;
-pub use batch::{run_batch, BatchReport, BatchSession, BatchSessionReport};
+pub use batch::{
+    run_batch, run_batch_with, BatchConfig, BatchReport, BatchSession, BatchSessionReport,
+    TransportKind,
+};
 pub use block::{Block, BlockResult, Ctx, OutboxCtx, SubSlot, TaggedCtx};
 pub use config::{ConfigError, FrameworkConfig};
 pub use distribution::Distribution;

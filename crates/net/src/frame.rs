@@ -4,6 +4,16 @@
 //! (one consensus instance per bid chunk, coin rounds, data transfers…).
 //! Each message is framed with a `u64` channel tag so the receiving router
 //! can dispatch it; the protocol layer defines the tag namespace.
+//!
+//! Two layers live here:
+//!
+//! * the **session/channel frame** ([`frame`] / [`unframe`]) — an 8-byte
+//!   little-endian tag prefix, used on every transport;
+//! * the **wire frame** ([`wire_encode`] / [`wire_decode`]) — a 4-byte
+//!   little-endian length prefix delimiting messages on byte-stream
+//!   transports (TCP), where message boundaries are not preserved by the
+//!   medium. In-process channel transports deliver whole messages and
+//!   skip this layer.
 
 use bytes::{BufMut, Bytes, BytesMut};
 use std::error::Error;
@@ -55,9 +65,118 @@ pub fn unframe(message: &[u8]) -> Result<(u64, &[u8]), FrameError> {
     Ok((tag, &message[8..]))
 }
 
+/// Largest payload a wire frame may carry, in bytes.
+///
+/// Protocol messages are a few hundred bytes (fixed-width bid streams,
+/// commitments, digests); anything approaching this bound is a corrupt or
+/// hostile length header, and readers drop the connection rather than
+/// allocate what it claims.
+pub const MAX_WIRE_FRAME: usize = 16 * 1024 * 1024;
+
+/// Error decoding a wire frame from a byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The length header claims more than [`MAX_WIRE_FRAME`] bytes — the
+    /// stream is corrupt (or hostile) and must be torn down.
+    Oversized {
+        /// The claimed payload length.
+        claimed: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Oversized { claimed } => {
+                write!(f, "wire frame claims {claimed} bytes (max {MAX_WIRE_FRAME})")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Delimit `payload` for a byte-stream transport: a little-endian `u32`
+/// length header followed by the payload bytes.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_WIRE_FRAME`] — protocol messages are
+/// orders of magnitude smaller, so this is a local programming error.
+pub fn wire_encode(payload: &[u8]) -> Bytes {
+    assert!(payload.len() <= MAX_WIRE_FRAME, "wire frame too large: {} bytes", payload.len());
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Try to split one wire frame off the front of `stream`.
+///
+/// Returns `Ok(Some((payload, consumed)))` when a complete frame is
+/// available (`consumed` bytes of `stream` were used), `Ok(None)` when the
+/// stream is truncated mid-header or mid-payload and more bytes are
+/// needed.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the header claims more than
+/// [`MAX_WIRE_FRAME`] bytes; the connection carrying the stream must be
+/// dropped, since resynchronising a byte stream after a corrupt length is
+/// impossible.
+pub fn wire_decode(stream: &[u8]) -> Result<Option<(&[u8], usize)>, WireError> {
+    if stream.len() < 4 {
+        return Ok(None);
+    }
+    let claimed = u32::from_le_bytes(stream[..4].try_into().unwrap()) as usize;
+    if claimed > MAX_WIRE_FRAME {
+        return Err(WireError::Oversized { claimed });
+    }
+    if stream.len() < 4 + claimed {
+        return Ok(None);
+    }
+    Ok(Some((&stream[4..4 + claimed], 4 + claimed)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        let encoded = wire_encode(b"payload");
+        let (payload, consumed) = wire_decode(&encoded).unwrap().unwrap();
+        assert_eq!(payload, b"payload");
+        assert_eq!(consumed, encoded.len());
+    }
+
+    #[test]
+    fn wire_truncated_needs_more() {
+        let encoded = wire_encode(b"payload");
+        for cut in 0..encoded.len() {
+            assert_eq!(wire_decode(&encoded[..cut]).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn wire_oversized_header_is_fatal() {
+        let mut bad = Vec::from((MAX_WIRE_FRAME as u32 + 1).to_le_bytes());
+        bad.extend_from_slice(b"x");
+        assert_eq!(
+            wire_decode(&bad).unwrap_err(),
+            WireError::Oversized { claimed: MAX_WIRE_FRAME + 1 }
+        );
+    }
+
+    #[test]
+    fn wire_trailing_bytes_stay_in_stream() {
+        let mut stream = Vec::from(&wire_encode(b"one")[..]);
+        stream.extend_from_slice(&wire_encode(b"two"));
+        let (payload, consumed) = wire_decode(&stream).unwrap().unwrap();
+        assert_eq!(payload, b"one");
+        let (payload, _) = wire_decode(&stream[consumed..]).unwrap().unwrap();
+        assert_eq!(payload, b"two");
+    }
 
     #[test]
     fn roundtrip() {

@@ -3,22 +3,32 @@
 //! The paper evaluates its prototype on Guifi.net community-network nodes
 //! with ØMQ as the messaging layer. This crate is the workspace's
 //! substitute substrate (see `DESIGN.md` §4): an abstraction for reliable
-//! point-to-point messaging between the `m` providers, with two concerns
-//! pulled out so the rest of the system is transport-agnostic:
+//! point-to-point messaging between the `m` providers, with the transport
+//! concern pulled out so the rest of the system is transport-agnostic:
 //!
-//! * [`ThreadedHub`] / [`Endpoint`] — a real multi-threaded transport (one
+//! * [`ThreadedHub`] / [`Endpoint`] — the in-process transport (one
 //!   OS thread per provider, crossbeam channels) with **injectable per-link
 //!   latency** from a [`LatencyModel`]. This is what the wall-clock
 //!   benchmarks run on: computation parallelises across threads (Fig. 5's
 //!   regime) while injected community-network latencies dominate cheap
 //!   computations (Fig. 4's regime).
+//! * [`TcpMesh`] / [`TcpEndpoint`] — the real-socket transport: a full
+//!   TCP mesh over loopback or LAN, carrying the same session-tagged
+//!   frames delimited by length-prefixed wire frames
+//!   ([`wire_encode`] / [`wire_decode`]). This is the deployment-shaped
+//!   backend, standing in for the paper's ØMQ prototype on Guifi nodes.
+//! * [`ShardedHub`] — `N` independent in-process meshes with sessions
+//!   partitioned across them by a stable hash of the session tag
+//!   ([`shard_for`]), lifting the one-thread-per-provider ceiling on
+//!   multi-session batch throughput.
 //! * [`frame()`] / [`unframe`] — tag-framing used by the protocol layer to
 //!   multiplex many building-block instances over one link.
 //! * [`TrafficMetrics`] — per-provider message/byte counters, reported by
 //!   the benchmark harness as the communication-overhead breakdown.
 //!
 //! Channels are reliable and FIFO per sender–receiver pair, matching the
-//! paper's model assumption of reliable channels (§3.3).
+//! paper's model assumption of reliable channels (§3.3); the TCP backend
+//! inherits both properties from TCP itself.
 //!
 //! # Example
 //!
@@ -37,12 +47,18 @@
 //! assert_eq!(&payload[..], b"hello");
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod frame;
 pub mod hub;
 pub mod latency;
 pub mod metrics;
+pub mod shard;
+pub mod tcp;
 
-pub use frame::{frame, unframe, FrameError};
+pub use frame::{frame, unframe, wire_decode, wire_encode, FrameError, WireError, MAX_WIRE_FRAME};
 pub use hub::{Endpoint, RecvError, ThreadedHub};
 pub use latency::LatencyModel;
 pub use metrics::{ProviderTraffic, TrafficMetrics, TrafficSnapshot};
+pub use shard::{shard_for, ShardedHub};
+pub use tcp::{TcpEndpoint, TcpMesh};

@@ -112,6 +112,21 @@ pub struct TrafficSnapshot {
 }
 
 impl TrafficSnapshot {
+    /// Add `other`'s counters into this snapshot, provider by provider
+    /// (used to aggregate across the independent meshes of a sharded or
+    /// multi-transport run).
+    pub fn merge(&mut self, other: &TrafficSnapshot) {
+        if self.per_provider.len() < other.per_provider.len() {
+            self.per_provider.resize(other.per_provider.len(), ProviderSnapshot::default());
+        }
+        for (mine, theirs) in self.per_provider.iter_mut().zip(&other.per_provider) {
+            mine.sent_messages += theirs.sent_messages;
+            mine.sent_bytes += theirs.sent_bytes;
+            mine.received_messages += theirs.received_messages;
+            mine.received_bytes += theirs.received_bytes;
+        }
+    }
+
     /// Total messages sent across all providers.
     pub fn total_messages(&self) -> u64 {
         self.per_provider.iter().map(|p| p.sent_messages).sum()

@@ -1,0 +1,445 @@
+//! Real-socket transport: a full TCP mesh of providers.
+//!
+//! The paper deploys its prototype on physical community-network nodes
+//! with ØMQ sockets between them; [`crate::hub`] substitutes in-process
+//! channels for speed. This module closes the realism gap: a
+//! [`TcpEndpoint`] is one provider's handle onto a full mesh of TCP
+//! connections (loopback or LAN), carrying exactly the same
+//! session-tagged frames the in-process transport carries, delimited on
+//! the byte stream by the wire frames of the [`frame`][mod@crate::frame]
+//! module ([`wire_encode`]).
+//!
+//! Topology and threads:
+//!
+//! * **one TCP connection per provider pair**, used bidirectionally.
+//!   Provider `i` dials every peer `j < i` and accepts from every
+//!   `j > i`; a 4-byte hello identifies the dialler, so the mesh comes up
+//!   regardless of start order (dialling retries until the peer listens).
+//! * **one reader thread per peer** — blocks on the socket, splits wire
+//!   frames off the stream, and forwards `(peer, payload)` into the
+//!   endpoint's inbox. A corrupt length header
+//!   ([`MAX_WIRE_FRAME`][crate::frame::MAX_WIRE_FRAME]) tears the
+//!   connection down rather than trusting it.
+//! * **one writer thread per peer** — drains an unbounded outbound queue,
+//!   so [`TcpEndpoint::send`] never blocks the protocol loop (mirroring
+//!   the asynchronous sends of the paper's ØMQ prototype).
+//!
+//! Shutdown is clean on either a decided session or a ⊥-abort: dropping
+//! the endpoint first lets the writers drain every queued frame, then
+//! shuts the sockets down to unblock the readers, then joins all threads.
+//! Peers observe EOF, their readers exit, and their own
+//! [`TcpEndpoint::recv_timeout`] reports [`RecvError::Disconnected`] once
+//! every connection is gone — which the engine's drive loops map to the
+//! external ⊥ of §3.2.
+//!
+//! # Example
+//!
+//! ```
+//! use dauctioneer_net::TcpMesh;
+//! use bytes::Bytes;
+//! use std::time::Duration;
+//!
+//! let mut mesh = TcpMesh::loopback(2).unwrap();
+//! let mut endpoints = mesh.take_endpoints();
+//! let e1 = endpoints.remove(1);
+//! let e0 = endpoints.remove(0);
+//! e0.send(e1.me(), Bytes::from_static(b"over real sockets"));
+//! let (from, payload) = e1.recv_timeout(Duration::from_secs(5)).unwrap();
+//! assert_eq!(from, e0.me());
+//! assert_eq!(&payload[..], b"over real sockets");
+//! ```
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use dauctioneer_types::ProviderId;
+
+use crate::frame::{wire_decode, wire_encode};
+use crate::hub::RecvError;
+use crate::metrics::TrafficMetrics;
+
+/// How long [`TcpEndpoint::establish`] keeps re-dialling a peer whose
+/// listener is not up yet before giving up on the mesh.
+const DIAL_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Pause between redial attempts while a peer's listener comes up.
+const DIAL_RETRY: Duration = Duration::from_millis(5);
+
+/// How long an accepted connection gets to present its 4-byte hello
+/// before it is dropped as a stray.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// One provider's handle onto a TCP mesh.
+///
+/// Constructed either directly with [`TcpEndpoint::establish`] (one call
+/// per process, for a real multi-host deployment) or via
+/// [`TcpMesh::loopback`] (all providers in one process, over loopback
+/// sockets). The API mirrors the in-process
+/// [`Endpoint`][crate::Endpoint], so the protocol layer cannot tell the
+/// two apart.
+#[derive(Debug)]
+pub struct TcpEndpoint {
+    me: ProviderId,
+    m: usize,
+    /// Outbound queue per peer (`None` at our own index).
+    outbound: Vec<Option<Sender<Bytes>>>,
+    inbox: Receiver<(ProviderId, Bytes)>,
+    /// Our handle on each peer connection, kept to shut readers down.
+    streams: Vec<Option<TcpStream>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    metrics: TrafficMetrics,
+}
+
+impl TcpEndpoint {
+    /// Join the mesh as provider `me`.
+    ///
+    /// `addrs[j]` is provider `j`'s listening address; `listener` must be
+    /// bound to `addrs[me]`'s port. The call dials every peer with a
+    /// smaller id (retrying until its listener is up) and accepts a
+    /// connection from every peer with a larger id, so the `m` providers
+    /// may start in any order. It returns once all `m − 1` connections
+    /// are established. Accepted connections that never present a valid
+    /// hello (strays, port scanners) are dropped and accepting continues.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure, or peers that cannot be reached (dial)
+    /// or do not connect (accept) within the bring-up timeout — so a
+    /// peer whose own bring-up failed leaves this call with an error
+    /// after the timeout, never blocked forever.
+    pub fn establish(
+        me: ProviderId,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+    ) -> io::Result<TcpEndpoint> {
+        TcpEndpoint::establish_with(me, listener, addrs, TrafficMetrics::new(addrs.len()))
+    }
+
+    /// [`TcpEndpoint::establish`] with caller-supplied (possibly shared)
+    /// traffic counters — what [`TcpMesh`] uses so one snapshot covers
+    /// the whole in-process mesh.
+    pub fn establish_with(
+        me: ProviderId,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+        metrics: TrafficMetrics,
+    ) -> io::Result<TcpEndpoint> {
+        let m = addrs.len();
+        assert!(me.index() < m, "provider {me} outside address table of {m}");
+
+        let mut streams: Vec<Option<TcpStream>> = (0..m).map(|_| None).collect();
+
+        // Dial every smaller id; the listener may not be up yet, so retry.
+        for peer in 0..me.index() {
+            let mut stream = dial(addrs[peer])?;
+            stream.write_all(&(me.index() as u32).to_le_bytes())?;
+            streams[peer] = Some(stream);
+        }
+        // Accept from every larger id; the hello tells us who dialled.
+        // The whole accept phase shares one deadline — a peer whose own
+        // bring-up failed must not leave us blocked forever — and
+        // connections that never present a valid hello (port scanners,
+        // misdirected clients) are dropped, not fatal.
+        listener.set_nonblocking(true)?;
+        let deadline = Instant::now() + DIAL_TIMEOUT;
+        let mut expected = m - 1 - me.index();
+        while expected > 0 {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_read_timeout(Some(HELLO_TIMEOUT))?;
+                    let mut hello = [0u8; 4];
+                    if stream.read_exact(&mut hello).is_err() {
+                        continue; // silent or torn connection: drop it
+                    }
+                    let peer = u32::from_le_bytes(hello) as usize;
+                    if peer <= me.index() || peer >= m || streams[peer].is_some() {
+                        continue; // not a mesh peer we are waiting for: drop
+                    }
+                    stream.set_read_timeout(None)?;
+                    stream.set_nodelay(true)?;
+                    streams[peer] = Some(stream);
+                    expected -= 1;
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("provider {me}: {expected} peer(s) failed to connect"),
+                        ));
+                    }
+                    std::thread::sleep(DIAL_RETRY);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+
+        // Spawn the per-peer reader/writer pairs.
+        let (inbox_tx, inbox) = unbounded();
+        let mut outbound: Vec<Option<Sender<Bytes>>> = (0..m).map(|_| None).collect();
+        let mut threads = Vec::with_capacity(2 * m.saturating_sub(1));
+        for (peer, slot) in streams.iter().enumerate() {
+            let Some(stream) = slot else { continue };
+            let peer_id = ProviderId(peer as u32);
+
+            let reader = stream.try_clone()?;
+            let tx = inbox_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("tcp-read-{me}-{peer_id}"))
+                    .spawn(move || read_loop(reader, peer_id, tx))
+                    .expect("spawn tcp reader"),
+            );
+
+            let writer = stream.try_clone()?;
+            let (out_tx, out_rx) = unbounded::<Bytes>();
+            outbound[peer] = Some(out_tx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("tcp-write-{me}-{peer_id}"))
+                    .spawn(move || write_loop(writer, out_rx))
+                    .expect("spawn tcp writer"),
+            );
+        }
+        // `inbox_tx` clones live only in reader threads now: when the last
+        // peer connection dies, the inbox disconnects.
+        drop(inbox_tx);
+
+        Ok(TcpEndpoint { me, m, outbound, inbox, streams, threads, metrics })
+    }
+
+    /// This endpoint's provider id.
+    pub fn me(&self) -> ProviderId {
+        self.me
+    }
+
+    /// Number of providers in the mesh.
+    pub fn num_providers(&self) -> usize {
+        self.m
+    }
+
+    /// All provider ids except this endpoint's own.
+    pub fn peers(&self) -> impl Iterator<Item = ProviderId> + '_ {
+        ProviderId::all(self.m).filter(move |p| *p != self.me)
+    }
+
+    /// The endpoint's traffic counters (shared across the mesh when built
+    /// by [`TcpMesh`]).
+    pub fn metrics(&self) -> TrafficMetrics {
+        self.metrics.clone()
+    }
+
+    /// Queue `payload` for `to`. Never blocks: the per-peer writer thread
+    /// performs the socket write. Sends to self or to departed peers are
+    /// dropped silently (the run is over at that point).
+    pub fn send(&self, to: ProviderId, payload: Bytes) {
+        let Some(Some(queue)) = self.outbound.get(to.index()) else { return };
+        self.metrics.record_send(self.me, payload.len());
+        let _ = queue.send(payload);
+    }
+
+    /// Send `payload` to every other provider.
+    pub fn broadcast(&self, payload: &Bytes) {
+        for peer in ProviderId::all(self.m) {
+            if peer != self.me {
+                self.send(peer, payload.clone());
+            }
+        }
+    }
+
+    /// Receive the next message, waiting up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Timeout`] if nothing arrived in time,
+    /// [`RecvError::Disconnected`] once every peer connection is gone and
+    /// the inbox is drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<(ProviderId, Bytes), RecvError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok((from, payload)) => {
+                self.metrics.record_recv(self.me, payload.len());
+                Ok((from, payload))
+            }
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Disconnected),
+        }
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Option<(ProviderId, Bytes)> {
+        self.inbox.try_recv().ok().inspect(|(_, payload)| {
+            self.metrics.record_recv(self.me, payload.len());
+        })
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        // 1. Close the outbound queues; each writer drains what is queued
+        //    (a decided engine's final sends must reach the peers), half-
+        //    closes its socket, and exits on the queue disconnect.
+        for queue in &mut self.outbound {
+            queue.take();
+        }
+        let (writers, readers): (Vec<_>, Vec<_>) = self
+            .threads
+            .drain(..)
+            .partition(|t| t.thread().name().is_some_and(|n| n.starts_with("tcp-write")));
+        for writer in writers {
+            let _ = writer.join();
+        }
+        // 2. Only after every queued frame is flushed, tear the sockets
+        //    down fully so our blocked readers return and can be joined.
+        for stream in self.streams.iter().flatten() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for reader in readers {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// Dial `addr`, retrying while the peer's listener comes up.
+fn dial(addr: SocketAddr) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + DIAL_TIMEOUT;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true)?;
+                return Ok(stream);
+            }
+            Err(err) if Instant::now() < deadline => {
+                let _ = err;
+                std::thread::sleep(DIAL_RETRY);
+            }
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+/// Reader half of one peer connection: split wire frames off the stream
+/// with [`wire_decode`] — the same decoder the frame tests exercise —
+/// and forward them to the inbox until the connection dies.
+fn read_loop(mut stream: TcpStream, peer: ProviderId, inbox: Sender<(ProviderId, Bytes)>) {
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return, // EOF or torn connection: peer gone
+            Ok(n) => n,
+        };
+        pending.extend_from_slice(&chunk[..n]);
+        let mut consumed_total = 0;
+        loop {
+            match wire_decode(&pending[consumed_total..]) {
+                Ok(Some((payload, consumed))) => {
+                    if inbox.send((peer, Bytes::copy_from_slice(payload))).is_err() {
+                        return; // endpoint dropped: nobody listens any more
+                    }
+                    consumed_total += consumed;
+                }
+                Ok(None) => break, // truncated: need more bytes from the socket
+                Err(_) => {
+                    // Corrupt or hostile length header: impossible to
+                    // resynchronise a byte stream past it, so drop the
+                    // connection.
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+        }
+        pending.drain(..consumed_total);
+    }
+}
+
+/// Writer half of one peer connection: drain the outbound queue onto the
+/// socket, one wire frame per message, until the queue disconnects (clean
+/// shutdown) or the socket dies (peer gone).
+fn write_loop(mut stream: TcpStream, outbound: Receiver<Bytes>) {
+    while let Ok(payload) = outbound.recv() {
+        if stream.write_all(&wire_encode(&payload)).is_err() {
+            return;
+        }
+    }
+    // Queue closed: flush politely and let the peer see EOF.
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+/// A full in-process TCP mesh over loopback sockets: every provider pair
+/// connected, all endpoints sharing one set of traffic counters.
+///
+/// This is the single-host stand-in for a real LAN deployment (where each
+/// provider process calls [`TcpEndpoint::establish`] itself); it is what
+/// the batch layer and the benchmarks use for the `Tcp` backend.
+#[derive(Debug)]
+pub struct TcpMesh {
+    endpoints: Vec<TcpEndpoint>,
+    metrics: TrafficMetrics,
+}
+
+impl TcpMesh {
+    /// Bring up a full mesh of `m` providers over `127.0.0.1` (ephemeral
+    /// ports), establishing all connections concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure while binding or connecting.
+    pub fn loopback(m: usize) -> io::Result<TcpMesh> {
+        let metrics = TrafficMetrics::new(m);
+        let mut listeners = Vec::with_capacity(m);
+        let mut addrs = Vec::with_capacity(m);
+        for _ in 0..m {
+            let listener = TcpListener::bind(("127.0.0.1", 0))?;
+            addrs.push(listener.local_addr()?);
+            listeners.push(listener);
+        }
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, listener)| {
+                let addrs = addrs.clone();
+                let metrics = metrics.clone();
+                std::thread::Builder::new()
+                    .name(format!("tcp-mesh-up-{i}"))
+                    .spawn(move || {
+                        TcpEndpoint::establish_with(ProviderId(i as u32), listener, &addrs, metrics)
+                    })
+                    .expect("spawn mesh bring-up thread")
+            })
+            .collect();
+        // Join every bring-up thread before reporting, so a failure on
+        // one provider (its peers unblock at the accept deadline) never
+        // leaves detached threads behind.
+        let mut endpoints = Vec::with_capacity(m);
+        let mut first_err = None;
+        for handle in handles {
+            match handle.join().expect("mesh bring-up thread panicked") {
+                Ok(endpoint) => endpoints.push(endpoint),
+                Err(err) => first_err = first_err.or(Some(err)),
+            }
+        }
+        match first_err {
+            None => Ok(TcpMesh { endpoints, metrics }),
+            Some(err) => Err(err),
+        }
+    }
+
+    /// Take ownership of the endpoints (one per provider, in id order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn take_endpoints(&mut self) -> Vec<TcpEndpoint> {
+        assert!(!self.endpoints.is_empty(), "endpoints already taken");
+        std::mem::take(&mut self.endpoints)
+    }
+
+    /// The mesh's shared traffic counters.
+    pub fn metrics(&self) -> TrafficMetrics {
+        self.metrics.clone()
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for both framing layers: the session/channel frame
+//! (`frame`/`unframe`) and the stream-delimiting wire frame
+//! (`wire_encode`/`wire_decode`), including truncated, oversized and
+//! garbage inputs.
+
+use proptest::prelude::*;
+
+use dauctioneer_net::{frame, unframe, wire_decode, wire_encode, WireError, MAX_WIRE_FRAME};
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..300)
+}
+
+proptest! {
+    #[test]
+    fn session_frame_roundtrips(tag in any::<u64>(), payload in arb_payload()) {
+        let framed = frame(tag, &payload);
+        let (got_tag, got_payload) = unframe(&framed).unwrap();
+        prop_assert_eq!(got_tag, tag);
+        prop_assert_eq!(got_payload, &payload[..]);
+    }
+
+    #[test]
+    fn unframe_is_total_on_garbage(garbage in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Never panics: short inputs error, everything else splits at 8.
+        match unframe(&garbage) {
+            Ok((tag, rest)) => {
+                prop_assert!(garbage.len() >= 8);
+                prop_assert_eq!(tag, u64::from_le_bytes(garbage[..8].try_into().unwrap()));
+                prop_assert_eq!(rest.len(), garbage.len() - 8);
+            }
+            Err(_) => prop_assert!(garbage.len() < 8),
+        }
+    }
+
+    #[test]
+    fn wire_frame_roundtrips(payload in arb_payload()) {
+        let encoded = wire_encode(&payload);
+        let (got, consumed) = wire_decode(&encoded).unwrap().expect("complete frame");
+        prop_assert_eq!(got, &payload[..]);
+        prop_assert_eq!(consumed, encoded.len());
+    }
+
+    #[test]
+    fn truncated_wire_frames_ask_for_more(payload in arb_payload(), cut_seed in any::<u64>()) {
+        let encoded = wire_encode(&payload);
+        let cut = (cut_seed as usize) % encoded.len().max(1);
+        prop_assert_eq!(wire_decode(&encoded[..cut]).unwrap(), None);
+    }
+
+    #[test]
+    fn wire_decode_is_total_on_garbage(garbage in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Never panics, and whatever it returns is internally consistent.
+        match wire_decode(&garbage) {
+            Ok(Some((payload, consumed))) => {
+                prop_assert_eq!(consumed, 4 + payload.len());
+                prop_assert!(consumed <= garbage.len());
+                prop_assert!(payload.len() <= MAX_WIRE_FRAME);
+            }
+            Ok(None) => {} // truncated: needs more bytes
+            Err(WireError::Oversized { claimed }) => prop_assert!(claimed > MAX_WIRE_FRAME),
+        }
+    }
+
+    #[test]
+    fn oversized_wire_headers_are_fatal(
+        extra in 1u32..1024,
+        tail in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let claimed = MAX_WIRE_FRAME as u32 + extra;
+        let mut stream = Vec::from(claimed.to_le_bytes());
+        stream.extend_from_slice(&tail);
+        prop_assert_eq!(
+            wire_decode(&stream).unwrap_err(),
+            WireError::Oversized { claimed: claimed as usize }
+        );
+    }
+
+    #[test]
+    fn stacked_frames_decode_in_order(
+        frames in proptest::collection::vec((any::<u64>(), arb_payload()), 1..8),
+    ) {
+        // What a TCP reader sees: several session-tagged frames, each
+        // wire-delimited, concatenated on one byte stream.
+        let mut stream = Vec::new();
+        for (tag, payload) in &frames {
+            stream.extend_from_slice(&wire_encode(&frame(*tag, payload)));
+        }
+        let mut offset = 0;
+        for (tag, payload) in &frames {
+            let (wire_payload, consumed) =
+                wire_decode(&stream[offset..]).unwrap().expect("complete frame");
+            let (got_tag, got_payload) = unframe(wire_payload).unwrap();
+            prop_assert_eq!(got_tag, *tag);
+            prop_assert_eq!(got_payload, &payload[..]);
+            offset += consumed;
+        }
+        prop_assert_eq!(offset, stream.len());
+    }
+}

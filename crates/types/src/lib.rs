@@ -31,6 +31,8 @@
 //! assert!(bids.user_bid(dauctioneer_types::UserId(0)).is_valid());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod allocation;
 pub mod bids;
 pub mod codec;

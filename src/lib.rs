@@ -15,31 +15,88 @@
 //! | [`sim`] | `dauctioneer-sim` | game-theoretic simulator, deviations, utilities |
 //! | [`workload`] | `dauctioneer-workload` | the paper's §6 workload generators |
 //!
-//! ## Quick start
+//! ## Quick start: one session
 //!
-//! Run a fully distributed double auction among three providers:
+//! Run a fully distributed double auction among three providers — this
+//! is `examples/quickstart.rs` in miniature: three gateway owners
+//! jointly simulate the auctioneer (`k = 1`) for four users bidding for
+//! bandwidth at two gateways, then read the agreed allocation and
+//! payments off the unanimous outcome:
 //!
 //! ```
 //! use std::sync::Arc;
 //! use dauctioneer::core::{run_session, DoubleAuctionProgram, FrameworkConfig, RunOptions};
-//! use dauctioneer::workload::DoubleAuctionWorkload;
+//! use dauctioneer::types::{BidVector, Bw, Money, ProviderAsk, ProviderId, UserBid, UserId};
 //!
-//! let cfg = FrameworkConfig::new(3, 1, 10, 3);
-//! let bids = DoubleAuctionWorkload::new(10, 3, 42).generate();
+//! let cfg = FrameworkConfig::new(3, 1, 4, 2);
+//! let bids = BidVector::builder(4, 2)
+//!     .user_bid(0, UserBid::new(Money::from_f64(1.20), Bw::from_f64(0.6)))
+//!     .user_bid(1, UserBid::new(Money::from_f64(1.05), Bw::from_f64(0.4)))
+//!     .user_bid(2, UserBid::new(Money::from_f64(0.90), Bw::from_f64(0.7)))
+//!     .user_bid(3, UserBid::new(Money::from_f64(0.80), Bw::from_f64(0.3)))
+//!     .provider_ask(0, ProviderAsk::new(Money::from_f64(0.15), Bw::from_f64(1.0)))
+//!     .provider_ask(1, ProviderAsk::new(Money::from_f64(0.45), Bw::from_f64(1.0)))
+//!     .build();
+//!
+//! // Every provider collected the same bids; the protocol agrees on
+//! // them, validates the agreement, and replicates the allocator.
 //! let report = run_session(
 //!     &cfg,
 //!     Arc::new(DoubleAuctionProgram::new()),
-//!     vec![bids; 3],
+//!     vec![bids.clone(); 3],
 //!     &RunOptions::default(),
 //! );
+//!
+//! // Definition 1: the auction stands iff every provider decided the
+//! // same valid (allocation, payments) pair.
 //! let outcome = report.unanimous();
-//! assert!(!outcome.is_abort());
+//! let result = outcome.as_result().expect("honest run must agree");
+//! let winners = UserId::all(4).filter(|u| result.allocation.user_total(*u).as_f64() > 0.0);
+//! assert!(winners.count() > 0, "somebody wins bandwidth");
+//! let sold: f64 = ProviderId::all(2).map(|p| result.allocation.provider_total(p).as_f64()).sum();
+//! assert!(sold > 0.0, "somebody sells bandwidth");
+//! assert!(result.payments.is_budget_balanced());
+//! ```
+//!
+//! ## Quick start: a batch of concurrent sessions
+//!
+//! A marketplace clears many auctions at once. [`core::run_batch`]
+//! multiplexes N tagged sessions over one shared provider mesh;
+//! [`core::run_batch_with`] adds the scaling knobs (hub shards ×
+//! in-process or TCP transport) behind the same API:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dauctioneer::core::{
+//!     run_batch_with, BatchConfig, BatchSession, DoubleAuctionProgram, FrameworkConfig,
+//!     RunOptions,
+//! };
+//! use dauctioneer::types::SessionId;
+//! use dauctioneer::workload::DoubleAuctionWorkload;
+//!
+//! let cfg = FrameworkConfig::new(3, 1, 10, 3);
+//! let sessions = (0..8)
+//!     .map(|s| {
+//!         let bids = DoubleAuctionWorkload::new(10, 3, 42 + s).generate();
+//!         BatchSession::uniform(SessionId(s), bids, 3, 100 + s)
+//!     })
+//!     .collect();
+//! let report = run_batch_with(
+//!     &cfg,
+//!     Arc::new(DoubleAuctionProgram::new()),
+//!     sessions,
+//!     &RunOptions::default(),
+//!     &BatchConfig::sharded(2), // 2 independent hub shards
+//! );
+//! assert!(report.all_agreed(), "every session cleared");
+//! assert!(report.sessions_per_sec() > 0.0);
 //! ```
 //!
 //! See the `examples/` directory for larger scenarios: the community-
 //! network bandwidth market of the paper's case study, the parallel VCG
-//! auction, and a session with Byzantine bidders and a deviating
-//! provider.
+//! auction, a session with Byzantine bidders and a deviating provider,
+//! and `tcp_market` — the same auction as the first quick start, but
+//! carried over a real TCP socket mesh.
 
 pub use dauctioneer_core as core;
 pub use dauctioneer_crypto as crypto;

@@ -1,7 +1,7 @@
 //! Minimal, offline re-implementation of the subset of the [`proptest`]
 //! API this workspace uses: the [`proptest!`] macro, composable
 //! [`Strategy`] values (ranges, tuples, `prop_map`, `prop_flat_map`,
-//! [`collection::vec`], [`option::of`], [`prop_oneof!`], [`Just`],
+//! [`collection::vec`][fn@collection::vec], [`option::of`], [`prop_oneof!`], [`Just`],
 //! [`any`]), and the `prop_assert*` / [`prop_assume!`] macros.
 //!
 //! Differences from upstream, acceptable for this workspace's tests:
@@ -260,7 +260,7 @@ pub mod collection {
 
     use crate::strategy::Strategy;
 
-    /// A length range for [`vec`].
+    /// A length range for [`vec`][fn@vec].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
@@ -286,7 +286,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec`][fn@vec].
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,
