@@ -15,24 +15,25 @@
 //!    single-core host the sharded and single-hub numbers converge).
 //!
 //! ```text
-//! batch_throughput [--csv] [--rounds N] [--quick] [--n USERS] [--m PROVIDERS]
+//! batch_throughput [--csv] [--json] [--rounds N] [--quick] [--n USERS] [--m PROVIDERS]
 //! ```
+//!
+//! `--json` additionally writes `BENCH_batch_throughput.json` —
+//! configuration plus both sweeps, machine-readable — so the perf
+//! trajectory across commits is a diffable data point, not a prose
+//! claim.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use dauctioneer_bench::{fmt_secs, time_once, CommonArgs, Stats, Table};
+use dauctioneer_bench::json::{write_bench_file, JsonArray, JsonObject};
+use dauctioneer_bench::{flag_value, fmt_secs, time_once, CommonArgs, Stats, Table};
 use dauctioneer_core::{
     run_batch, run_batch_with, run_session, BatchConfig, BatchSession, DoubleAuctionProgram,
     FrameworkConfig, RunOptions, TransportKind,
 };
 use dauctioneer_types::SessionId;
 use dauctioneer_workload::DoubleAuctionWorkload;
-
-fn flag_value(name: &str) -> Option<usize> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
-}
 
 fn label(kind: TransportKind) -> &'static str {
     match kind {
@@ -43,6 +44,7 @@ fn label(kind: TransportKind) -> &'static str {
 
 fn main() {
     let common = CommonArgs::parse(3);
+    let emit_json = std::env::args().any(|a| a == "--json");
     let n_users = flag_value("--n").unwrap_or(20);
     let m = flag_value("--m").unwrap_or(3).max(1);
     let k = (m - 1) / 2;
@@ -68,6 +70,8 @@ fn main() {
 
     // Sweep 1: batched (one shared mesh) vs sequential (per-session mesh).
     let batch_sizes: &[usize] = if common.quick { &[1, 4, 8] } else { &[1, 2, 4, 8, 16, 32] };
+    let mut json_batched = JsonArray::new();
+    let mut json_sharded = JsonArray::new();
     let mut table = Table::new(
         &["sessions", "batched", "batched/s", "sequential", "sequential/s", "speedup"],
         common.csv,
@@ -109,6 +113,14 @@ fn main() {
             format!("{:.1}", batch as f64 / sequential.mean_s),
             format!("{:.2}x", sequential.mean_s / batched.mean_s),
         ]);
+        let mut row = JsonObject::new();
+        row.int("sessions", batch as u64)
+            .num("batched_mean_s", batched.mean_s)
+            .num("batched_sessions_per_s", batch as f64 / batched.mean_s)
+            .num("sequential_mean_s", sequential.mean_s)
+            .num("sequential_sessions_per_s", batch as f64 / sequential.mean_s)
+            .num("speedup", sequential.mean_s / batched.mean_s);
+        json_batched.push(row.finish());
     }
     print!("{}", table.render());
 
@@ -160,6 +172,14 @@ fn main() {
                 format!("{:.1}", batch as f64 / stats.mean_s),
                 format!("{:.2}x", baseline / stats.mean_s),
             ]);
+            let mut row = JsonObject::new();
+            row.int("sessions", batch as u64)
+                .str("transport", label(transport))
+                .int("shards", shards as u64)
+                .num("mean_s", stats.mean_s)
+                .num("sessions_per_s", batch as f64 / stats.mean_s)
+                .num("vs_single_hub", baseline / stats.mean_s);
+            json_sharded.push(row.finish());
         }
     }
     print!("{}", table.render());
@@ -167,5 +187,25 @@ fn main() {
         println!(
             "note: host has {cores} core(s); shard speedups need shards ≤ cores to materialise"
         );
+    }
+
+    if emit_json {
+        let mut config = JsonObject::new();
+        config
+            .int("n_users", n_users as u64)
+            .int("m", m as u64)
+            .int("k", k as u64)
+            .int("rounds", common.rounds as u64)
+            .bool("quick", common.quick)
+            .int("host_cores", cores as u64);
+        let mut top = JsonObject::new();
+        top.str("bench", "batch_throughput")
+            .raw("config", &config.finish())
+            .raw("batched_vs_sequential", &json_batched.finish())
+            .raw("shards_x_transport", &json_sharded.finish());
+        match write_bench_file("batch_throughput", &top.finish()) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write BENCH_batch_throughput.json: {e}"),
+        }
     }
 }

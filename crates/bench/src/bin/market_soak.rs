@@ -1,0 +1,205 @@
+//! `market_soak` — sustained throughput of the continuous market
+//! service under open-world arrival streams.
+//!
+//! Every other bench in this harness measures a *batch artifact*: how
+//! fast a fixed set of sessions clears once. This one measures the
+//! steady state: a [`MarketService`] is started **once** (persistent
+//! mesh + worker pool), a seeded Poisson [`ArrivalProcess`] replays bids
+//! against it in real time, and the sweep reports sustained sessions/sec
+//! and epoch-close latency percentiles as a function of the arrival
+//! rate. A final *firehose* row submits the same bids with no pacing
+//! through a deliberately small shed-policy ingress queue, exercising
+//! the backpressure path and its counters.
+//!
+//! ```text
+//! market_soak [--csv] [--json] [--quick] [--n USERS] [--m PROVIDERS]
+//!             [--bids N] [--epoch-bids N]
+//! ```
+//!
+//! `--json` writes `BENCH_market_soak.json` (config, per-rate rows) so
+//! the perf trajectory has machine-readable data points.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dauctioneer_bench::json::{write_bench_file, JsonArray, JsonObject};
+use dauctioneer_bench::{flag_value, fmt_secs, Table};
+use dauctioneer_core::DoubleAuctionProgram;
+use dauctioneer_market::{Backpressure, EpochPolicy, MarketConfig, MarketService, MarketStats};
+use dauctioneer_workload::{epoch_supply, ArrivalProcess};
+
+struct SoakResult {
+    label: String,
+    rate: Option<f64>,
+    bids: usize,
+    agreed_epochs: u64,
+    stats: MarketStats,
+    feed: Duration,
+}
+
+fn soak(
+    label: &str,
+    rate: Option<f64>,
+    bids: usize,
+    epoch_bids: usize,
+    n_users: usize,
+    m: usize,
+    seed: u64,
+) -> SoakResult {
+    // §6.2-shaped supply sized to the expected epoch demand, shared
+    // with `dauction serve` (see workload::epoch_supply).
+    let mut config = MarketConfig::new(m, (m - 1) / 2, n_users, m)
+        .with_asks(epoch_supply(m, epoch_bids as f64))
+        // The count target closes epochs under load; the staleness bound
+        // flushes the stragglers of a finished stream.
+        .with_epoch(EpochPolicy::Hybrid {
+            count: epoch_bids,
+            max_wait: Duration::from_millis(250),
+        });
+    config.seed = seed;
+    match rate {
+        // Paced replay: never lose a bid, propagate the market's pace.
+        Some(_) => config.backpressure = Backpressure::Block,
+        // Firehose: a small queue that sheds, to exercise backpressure.
+        None => {
+            config.backpressure = Backpressure::Shed;
+            config.ingress_capacity = 64;
+        }
+    }
+    let mut market =
+        MarketService::start(config, Arc::new(DoubleAuctionProgram::new())).expect("start market");
+    let outcomes = market.take_outcomes().expect("first take");
+    let handle = market.handle();
+
+    let process = match rate {
+        Some(r) => ArrivalProcess::poisson(n_users, r, seed),
+        None => ArrivalProcess::poisson(n_users, 1_000_000.0, seed), // gaps ≈ 0
+    };
+    let started = Instant::now();
+    if rate.is_some() {
+        process.replay_paced(bids, |arrival| {
+            let _ = handle.submit_bid(arrival.user, arrival.bid);
+            true
+        });
+    } else {
+        // Firehose: no pacing at all.
+        for arrival in process.take(bids) {
+            let _ = handle.submit_bid(arrival.user, arrival.bid);
+        }
+    }
+    let feed = started.elapsed();
+    let stats = market.shutdown();
+    let agreed_epochs = std::iter::from_fn(|| outcomes.try_recv().ok())
+        .filter(|e| !e.outcome.is_abort())
+        .count() as u64;
+    SoakResult { label: label.to_string(), rate, bids, agreed_epochs, stats, feed }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let emit_json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let n_users = flag_value("--n").unwrap_or(16);
+    let m = flag_value("--m").unwrap_or(3).max(1);
+    let bids = flag_value("--bids").unwrap_or(if quick { 60 } else { 400 });
+    let epoch_bids = flag_value("--epoch-bids").unwrap_or(8);
+    let rates: &[f64] = if quick { &[500.0] } else { &[250.0, 1000.0, 4000.0] };
+
+    println!(
+        "market soak: double auction, n={n_users} user slots, m={m} providers, \
+         {bids} bids/run, epochs close at {epoch_bids} bids (or 250ms)"
+    );
+
+    let mut results = Vec::new();
+    for (i, &rate) in rates.iter().enumerate() {
+        results.push(soak(
+            &format!("{rate}/s"),
+            Some(rate),
+            bids,
+            epoch_bids,
+            n_users,
+            m,
+            1_000 + i as u64,
+        ));
+    }
+    results.push(soak("firehose", None, bids, epoch_bids, n_users, m, 9_999));
+
+    let mut table = Table::new(
+        &[
+            "arrival", "bids", "epochs", "agreed", "sess/s", "p50", "p99", "accepted", "shed",
+            "rejected",
+        ],
+        csv,
+    );
+    let mut json_rows = JsonArray::new();
+    for r in &results {
+        let s = &r.stats;
+        assert_eq!(
+            r.agreed_epochs, s.epochs_closed,
+            "{}: an epoch failed to reach a unanimous non-⊥ outcome",
+            r.label
+        );
+        let rejected =
+            s.bids_rejected_invalid + s.bids_rejected_duplicate + s.bids_rejected_unknown;
+        table.row(vec![
+            r.label.clone(),
+            r.bids.to_string(),
+            s.epochs_closed.to_string(),
+            r.agreed_epochs.to_string(),
+            format!("{:.1}", s.sessions_per_sec),
+            fmt_secs(s.epoch_latency_p50.as_secs_f64()),
+            fmt_secs(s.epoch_latency_p99.as_secs_f64()),
+            s.bids_accepted.to_string(),
+            s.bids_shed.to_string(),
+            rejected.to_string(),
+        ]);
+        let mut row = JsonObject::new();
+        row.str("arrival", &r.label);
+        match r.rate {
+            Some(rate) => row.num("rate_per_sec", rate),
+            None => row.raw("rate_per_sec", "null"),
+        };
+        row.int("bids_submitted", r.bids as u64)
+            .int("epochs_closed", s.epochs_closed)
+            .int("agreed_epochs", r.agreed_epochs)
+            .num("sessions_per_sec", s.sessions_per_sec)
+            .num("epoch_latency_p50_s", s.epoch_latency_p50.as_secs_f64())
+            .num("epoch_latency_p99_s", s.epoch_latency_p99.as_secs_f64())
+            .int("bids_accepted", s.bids_accepted)
+            .int("bids_shed", s.bids_shed)
+            .int("bids_rejected", rejected)
+            .num("feed_duration_s", r.feed.as_secs_f64())
+            .int("worker_threads", s.worker_threads as u64);
+        json_rows.push(row.finish());
+    }
+    print!("{}", table.render());
+    println!(
+        "note: paced rows use the blocking backpressure policy (no bid lost); the firehose \
+         row uses a 64-deep shedding queue, so its shed count is the backpressure at work"
+    );
+
+    if emit_json {
+        let mut config = JsonObject::new();
+        config
+            .int("n_users", n_users as u64)
+            .int("m", m as u64)
+            .int("k", ((m - 1) / 2) as u64)
+            .int("bids_per_run", bids as u64)
+            .int("epoch_bids", epoch_bids as u64)
+            .bool("quick", quick)
+            .int(
+                "host_cores",
+                std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1) as u64,
+            );
+        let mut top = JsonObject::new();
+        top.str("bench", "market_soak")
+            .raw("config", &config.finish())
+            .raw("runs", &json_rows.finish());
+        match write_bench_file("market_soak", &top.finish()) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write BENCH_market_soak.json: {e}"),
+        }
+    }
+}

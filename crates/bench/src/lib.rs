@@ -11,7 +11,12 @@
 //! * `ablation_knobs` — hash-only validation and ε sweeps (ours).
 //!
 //! Binaries print aligned tables to stdout and, with `--csv`, raw CSV
-//! suitable for plotting.
+//! suitable for plotting. `batch_throughput` and `market_soak`
+//! additionally take `--json`, writing a machine-readable
+//! `BENCH_<name>.json` (configuration + results) via [`json`] so the
+//! performance trajectory can be tracked as data, not prose.
+
+pub mod json;
 
 use std::time::{Duration, Instant};
 
@@ -140,6 +145,14 @@ pub struct CommonArgs {
     pub rounds: usize,
     /// Reduced sweep for CI / smoke runs.
     pub quick: bool,
+}
+
+/// Scan `std::env::args` for `name` and parse the following token as a
+/// `usize` (`None` if absent or unparsable) — the bench binaries' shared
+/// ad-hoc numeric flag parser.
+pub fn flag_value(name: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
 }
 
 impl CommonArgs {

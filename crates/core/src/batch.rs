@@ -24,6 +24,12 @@
 //! either backend, and outcomes are transport-independent by
 //! construction.
 //!
+//! Since the continuous market service arrived, a batch is implemented
+//! as exactly **one epoch of a persistent [`SessionPool`]**
+//! ([`crate::pool`]): build the mesh, spawn the workers, clear the
+//! sessions, shut down. `dauctioneer-market`'s long-lived daemon runs
+//! the same pool through many epochs without respawning anything.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use dauctioneer_core::{run_batch, BatchSession, DoubleAuctionProgram, FrameworkConfig, RunOptions};
@@ -52,11 +58,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dauctioneer_net::{shard_for, ShardedHub, TcpMesh, TrafficSnapshot};
-use dauctioneer_types::{BidVector, Outcome, ProviderId, SessionId};
+use dauctioneer_types::{BidVector, Outcome, SessionId};
 
 use crate::allocator::AllocatorProgram;
 use crate::config::FrameworkConfig;
-use crate::engine::{drive_multi, unanimous, SessionEngine, Transport};
+use crate::engine::unanimous;
+use crate::pool::SessionPool;
 use crate::runtime::RunOptions;
 
 /// Which message substrate a batch runs over.
@@ -242,64 +249,64 @@ pub fn run_batch_with<P: AllocatorProgram + 'static>(
 
     let start = Instant::now();
     let deadline = options.deadline;
-    let shard_lens: Vec<usize> = shard_specs.iter().map(|s| s.len()).collect();
-    // `shard_columns[s][j]` = provider j's outcomes for shard s's
-    // sessions, in that shard's session order.
-    let (shard_columns, traffic): (Vec<Vec<Vec<Outcome>>>, TrafficSnapshot) = match batch.transport
-    {
-        TransportKind::InProc => {
-            let mut hub = ShardedHub::new(cfg.m, shards, options.latency, options.seed);
-            let handles: Vec<_> = hub
-                .take_endpoints()
-                .into_iter()
-                .zip(shard_specs)
-                .map(|(endpoints, specs)| {
-                    // An empty shard gets no provider threads at all.
-                    if specs.is_empty() {
-                        return Vec::new();
-                    }
-                    spawn_shard(cfg, &program, endpoints, specs, deadline)
-                })
-                .collect();
-            let columns = handles.into_iter().zip(&shard_lens).map(join_shard).collect();
-            let traffic = hub.traffic_snapshot();
-            (columns, traffic)
+
+    // Compact away empty shards: transports and worker threads are built
+    // only for shards that drew sessions (a socket mesh — m listeners,
+    // m(m−1)/2 connections, reader/writer threads — is far too expensive
+    // to bring up for a shard that clears nothing).
+    let mut compact_specs: Vec<Vec<BatchSession>> = Vec::new();
+    let mut compact_slots: Vec<Vec<usize>> = Vec::new();
+    for (specs, slots) in shard_specs.into_iter().zip(shard_slots) {
+        if !specs.is_empty() {
+            compact_specs.push(specs);
+            compact_slots.push(slots);
         }
-        TransportKind::Tcp => {
-            assert!(
-                options.latency.is_zero(),
-                "modelled link latency cannot be injected into real TCP sockets; \
-                     use TransportKind::InProc for latency experiments"
-            );
-            let mut meshes = Vec::with_capacity(shards);
-            let handles: Vec<_> = shard_specs
-                .into_iter()
-                .map(|specs| {
-                    // A socket mesh (m listeners, m(m−1)/2 connections,
-                    // reader/writer threads) is far too expensive to
-                    // bring up for a shard that drew no sessions.
-                    if specs.is_empty() {
-                        return Vec::new();
+    }
+
+    // `shard_columns[s][j]` = provider j's outcomes for occupied shard
+    // s's sessions, in that shard's session order. A batch is exactly one
+    // epoch of a persistent `SessionPool` — the continuous market service
+    // runs many epochs over one pool; this runs one and shuts down.
+    let (shard_columns, traffic): (Vec<Vec<Vec<Outcome>>>, TrafficSnapshot) =
+        if compact_specs.is_empty() {
+            (Vec::new(), TrafficSnapshot::default())
+        } else {
+            match batch.transport {
+                TransportKind::InProc => {
+                    let mut hub =
+                        ShardedHub::new(cfg.m, compact_specs.len(), options.latency, options.seed);
+                    let pool = SessionPool::new(cfg, &program, hub.take_endpoints());
+                    let columns = pool.run_epoch(compact_specs, deadline);
+                    pool.shutdown();
+                    let traffic = hub.traffic_snapshot();
+                    (columns, traffic)
+                }
+                TransportKind::Tcp => {
+                    assert!(
+                        options.latency.is_zero(),
+                        "modelled link latency cannot be injected into real TCP sockets; \
+                             use TransportKind::InProc for latency experiments"
+                    );
+                    let mut meshes: Vec<TcpMesh> = (0..compact_specs.len())
+                        .map(|_| TcpMesh::loopback(cfg.m).expect("bring up loopback TCP mesh"))
+                        .collect();
+                    let endpoints = meshes.iter_mut().map(TcpMesh::take_endpoints).collect();
+                    let pool = SessionPool::new(cfg, &program, endpoints);
+                    let columns = pool.run_epoch(compact_specs, deadline);
+                    pool.shutdown();
+                    let mut traffic = TrafficSnapshot::default();
+                    for mesh in &meshes {
+                        traffic.merge(&mesh.metrics().snapshot());
                     }
-                    let mut mesh = TcpMesh::loopback(cfg.m).expect("bring up loopback TCP mesh");
-                    let endpoints = mesh.take_endpoints();
-                    meshes.push(mesh);
-                    spawn_shard(cfg, &program, endpoints, specs, deadline)
-                })
-                .collect();
-            let columns = handles.into_iter().zip(&shard_lens).map(join_shard).collect();
-            let mut traffic = TrafficSnapshot::default();
-            for mesh in &meshes {
-                traffic.merge(&mesh.metrics().snapshot());
+                    (columns, traffic)
+                }
             }
-            (columns, traffic)
-        }
-    };
+        };
     let elapsed = start.elapsed();
 
     // Reassemble per-session reports in input order.
     let mut outcomes: Vec<Vec<Outcome>> = vec![vec![Outcome::Abort; cfg.m]; n_sessions];
-    for (columns, slots) in shard_columns.iter().zip(&shard_slots) {
+    for (columns, slots) in shard_columns.iter().zip(&compact_slots) {
         for (j, column) in columns.iter().enumerate() {
             for (pos, &slot) in slots.iter().enumerate() {
                 outcomes[slot][j] = column[pos].clone();
@@ -312,67 +319,6 @@ pub fn run_batch_with<P: AllocatorProgram + 'static>(
         .map(|(session, outcomes)| BatchSessionReport { session, outcomes })
         .collect();
     BatchReport { sessions, elapsed, traffic }
-}
-
-/// Spawn one provider thread per provider of one shard, each driving its
-/// engines for the shard's sessions over its endpoint.
-fn spawn_shard<P, T>(
-    cfg: &FrameworkConfig,
-    program: &Arc<P>,
-    endpoints: Vec<T>,
-    specs: Vec<BatchSession>,
-    deadline: Duration,
-) -> Vec<std::thread::JoinHandle<Vec<Outcome>>>
-where
-    P: AllocatorProgram + 'static,
-    T: Transport + Send + 'static,
-{
-    // Move each provider's column of the shard into its thread.
-    let mut per_provider: Vec<Vec<(SessionId, BidVector, u64)>> =
-        (0..cfg.m).map(|_| Vec::with_capacity(specs.len())).collect();
-    for spec in specs {
-        for (j, bids) in spec.collected.into_iter().enumerate() {
-            per_provider[j].push((spec.session, bids, spec.seed + j as u64 + 1));
-        }
-    }
-    endpoints
-        .into_iter()
-        .zip(per_provider)
-        .enumerate()
-        .map(|(j, (mut endpoint, specs))| {
-            let cfg = cfg.clone();
-            let program = Arc::clone(program);
-            std::thread::Builder::new()
-                .name(format!("provider-{j}"))
-                .spawn(move || {
-                    let mut engines: Vec<SessionEngine<P>> = specs
-                        .into_iter()
-                        .map(|(session, bids, seed)| {
-                            SessionEngine::new(
-                                cfg.clone().with_session(session),
-                                ProviderId(j as u32),
-                                Arc::clone(&program),
-                                bids,
-                                seed,
-                            )
-                        })
-                        .collect();
-                    drive_multi(&mut engines, &mut endpoint, deadline)
-                })
-                .expect("spawn provider thread")
-        })
-        .collect()
-}
-
-/// Join one shard's provider threads into `columns[j][s]`; a panicked
-/// provider reads as ⊥ for all of its sessions.
-fn join_shard(
-    (handles, &sessions): (Vec<std::thread::JoinHandle<Vec<Outcome>>>, &usize),
-) -> Vec<Vec<Outcome>> {
-    handles
-        .into_iter()
-        .map(|h| h.join().unwrap_or_else(|_| vec![Outcome::Abort; sessions]))
-        .collect()
 }
 
 #[cfg(test)]

@@ -67,6 +67,7 @@ pub mod config;
 pub mod distribution;
 pub mod engine;
 pub mod exchange;
+pub mod pool;
 pub mod runtime;
 pub mod submission;
 pub mod task_graph;
@@ -82,6 +83,7 @@ pub use block::{Block, BlockResult, Ctx, OutboxCtx, SubSlot, TaggedCtx};
 pub use config::{ConfigError, FrameworkConfig};
 pub use distribution::Distribution;
 pub use engine::{drive, drive_multi, unanimous, SessionEngine, Transport};
+pub use pool::SessionPool;
 pub use runtime::{run_session, RunOptions, SessionReport};
 pub use submission::{BidCollector, SubmissionOutcome};
 pub use task_graph::{TaskGraphError, TaskGraphSpec, TaskId, TaskSpec, TransferEdge};

@@ -1,0 +1,318 @@
+//! Configuration of a continuous market: epoch policy, ingress sizing,
+//! and the typed errors rejecting invalid knob combinations up front.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use dauctioneer_core::{ConfigError, FrameworkConfig, TransportKind};
+use dauctioneer_net::LatencyModel;
+use dauctioneer_types::ProviderAsk;
+
+/// When the service closes the open epoch and clears it as one auction
+/// session.
+///
+/// An epoch only opens when its first bid arrives, and an epoch with no
+/// accepted bids is never closed — quiet markets cost nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochPolicy {
+    /// Close as soon as `n` bids have been **accepted** into the epoch
+    /// (submissions rejected by the collector rules do not count).
+    ByCount(usize),
+    /// Close when the epoch has been open for `d`, measured from its
+    /// first accepted submission.
+    ByTime(Duration),
+    /// Close on whichever comes first: `count` accepted bids or
+    /// `max_wait` elapsed — the usual production shape (bounded batch
+    /// size *and* bounded staleness).
+    Hybrid {
+        /// Accepted-bid target that closes the epoch early.
+        count: usize,
+        /// Staleness bound: the epoch closes after this long even if the
+        /// count was not reached.
+        max_wait: Duration,
+    },
+}
+
+/// What [`crate::MarketHandle::submit_bid`] does when the bounded
+/// ingress queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Reject the submission immediately
+    /// ([`crate::SubmitError::Overloaded`]) and count it as shed. The
+    /// submitter learns synchronously; the market never stalls.
+    #[default]
+    Shed,
+    /// Block the submitting thread until the scheduler drains space.
+    /// No submission is ever shed, at the cost of propagating the
+    /// market's pace back into the submitters.
+    Block,
+}
+
+/// Configuration of a [`crate::MarketService`].
+#[derive(Debug, Clone)]
+pub struct MarketConfig {
+    /// Number of providers jointly simulating the auctioneer.
+    pub m: usize,
+    /// Coalition bound (`m > 2k` required).
+    pub k: usize,
+    /// User slots per epoch; bids name a [`dauctioneer_types::UserId`]
+    /// in `0..n_users`.
+    pub n_users: usize,
+    /// Provider-ask slots per epoch (0 for a standard-auction market).
+    pub n_asks: usize,
+    /// Asks attached to **every** epoch at open (index `i` fills ask
+    /// slot `i`); streamed asks via
+    /// [`crate::MarketHandle::submit_ask`] overwrite them for the open
+    /// epoch only. Must not exceed `n_asks` entries.
+    pub asks: Vec<ProviderAsk>,
+    /// When the open epoch closes.
+    pub epoch: EpochPolicy,
+    /// Capacity of the bounded ingress queue between submitters and the
+    /// epoch scheduler. Must be non-zero.
+    pub ingress_capacity: usize,
+    /// What a full ingress queue does to submitters.
+    pub backpressure: Backpressure,
+    /// The message substrate of the persistent provider mesh.
+    pub transport: TransportKind,
+    /// Independent meshes; each epoch's session is routed to one by the
+    /// stable hash of its session id. Clamped to at least 1.
+    pub shards: usize,
+    /// Modelled link latency (in-process transport only; real TCP
+    /// sockets impose their own).
+    pub latency: LatencyModel,
+    /// Wall-clock budget for clearing one epoch; providers undecided by
+    /// then output ⊥ for that session.
+    pub session_deadline: Duration,
+    /// Base seed: epoch `e` runs its session with seed
+    /// `seed + (e+1) * 7919` (then the usual per-provider fan-out).
+    pub seed: u64,
+    /// Session id of the first epoch; epoch `e` is session
+    /// `first_session + e`.
+    pub first_session: u64,
+}
+
+impl MarketConfig {
+    /// A market with sane defaults: close every 16 accepted bids, shed
+    /// on overload, 1024-deep ingress, one in-process mesh.
+    pub fn new(m: usize, k: usize, n_users: usize, n_asks: usize) -> MarketConfig {
+        MarketConfig {
+            m,
+            k,
+            n_users,
+            n_asks,
+            asks: Vec::new(),
+            epoch: EpochPolicy::ByCount(16),
+            ingress_capacity: 1024,
+            backpressure: Backpressure::Shed,
+            transport: TransportKind::InProc,
+            shards: 1,
+            latency: LatencyModel::Zero,
+            session_deadline: Duration::from_secs(60),
+            seed: 0,
+            first_session: 0,
+        }
+    }
+
+    /// Set the epoch policy.
+    pub fn with_epoch(mut self, epoch: EpochPolicy) -> MarketConfig {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Set the per-epoch default asks.
+    pub fn with_asks(mut self, asks: Vec<ProviderAsk>) -> MarketConfig {
+        self.asks = asks;
+        self
+    }
+
+    /// Set transport and shard count.
+    pub fn with_transport(mut self, transport: TransportKind, shards: usize) -> MarketConfig {
+        self.transport = transport;
+        self.shards = shards;
+        self
+    }
+
+    /// The [`FrameworkConfig`] every epoch's session runs under (before
+    /// its per-epoch session id is stamped on).
+    pub fn framework(&self) -> FrameworkConfig {
+        FrameworkConfig::new(self.m, self.k, self.n_users, self.n_asks)
+    }
+
+    /// Reject invalid knob combinations up front, before any thread or
+    /// mesh exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`MarketError`] naming the violated constraint —
+    /// mirroring `run_batch_with`'s checks, but as typed errors instead
+    /// of panics, because a daemon's misconfiguration is an operator
+    /// input, not a programming bug.
+    pub fn validate(&self) -> Result<(), MarketError> {
+        self.framework().validate().map_err(MarketError::Framework)?;
+        if self.n_users == 0 {
+            return Err(MarketError::NoUserSlots);
+        }
+        if self.ingress_capacity == 0 {
+            return Err(MarketError::ZeroIngressCapacity);
+        }
+        match self.epoch {
+            EpochPolicy::ByCount(0) => return Err(MarketError::EmptyEpochTarget),
+            EpochPolicy::ByTime(d) if d.is_zero() => return Err(MarketError::EmptyEpochTarget),
+            EpochPolicy::Hybrid { count: 0, .. } => return Err(MarketError::EmptyEpochTarget),
+            EpochPolicy::Hybrid { max_wait, .. } if max_wait.is_zero() => {
+                return Err(MarketError::EmptyEpochTarget)
+            }
+            _ => {}
+        }
+        if self.transport == TransportKind::Tcp && !self.latency.is_zero() {
+            return Err(MarketError::TcpWithModelledLatency);
+        }
+        if self.asks.len() > self.n_asks {
+            return Err(MarketError::TooManyAsks { asks: self.asks.len(), slots: self.n_asks });
+        }
+        if self.session_deadline.is_zero() {
+            return Err(MarketError::ZeroSessionDeadline);
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`MarketConfig`] cannot run, or a market could not start.
+#[derive(Debug)]
+pub enum MarketError {
+    /// The underlying framework configuration is invalid (`m > 2k`,
+    /// `m ≥ 1`).
+    Framework(ConfigError),
+    /// `n_users == 0`: no bid could ever be accepted, so no epoch could
+    /// ever close.
+    NoUserSlots,
+    /// `ingress_capacity == 0`: every submission would be shed (or block
+    /// forever), so the market could never open an epoch.
+    ZeroIngressCapacity,
+    /// The epoch policy can never trigger (`ByCount(0)`, a zero
+    /// duration, or a hybrid with either).
+    EmptyEpochTarget,
+    /// Real TCP sockets impose their own latency; a non-zero
+    /// [`LatencyModel`] cannot be injected into them.
+    TcpWithModelledLatency,
+    /// More per-epoch default asks than ask slots.
+    TooManyAsks {
+        /// Default asks configured.
+        asks: usize,
+        /// Ask slots available (`n_asks`).
+        slots: usize,
+    },
+    /// A zero session deadline would ⊥ every epoch on arrival.
+    ZeroSessionDeadline,
+    /// The transport failed to come up (TCP listener/dial errors).
+    Transport(String),
+}
+
+impl fmt::Display for MarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarketError::Framework(e) => write!(f, "framework configuration: {e}"),
+            MarketError::NoUserSlots => {
+                write!(f, "n_users must be non-zero: no bid could ever be accepted")
+            }
+            MarketError::ZeroIngressCapacity => {
+                write!(f, "ingress queue capacity must be non-zero")
+            }
+            MarketError::EmptyEpochTarget => {
+                write!(f, "epoch policy can never trigger (zero count or zero duration)")
+            }
+            MarketError::TcpWithModelledLatency => write!(
+                f,
+                "modelled link latency cannot be injected into real TCP sockets; \
+                 use the in-process transport for latency experiments"
+            ),
+            MarketError::TooManyAsks { asks, slots } => {
+                write!(f, "{asks} default asks configured but only {slots} ask slots")
+            }
+            MarketError::ZeroSessionDeadline => {
+                write!(f, "session deadline must be non-zero or every epoch reads ⊥")
+            }
+            MarketError::Transport(e) => write!(f, "transport bring-up failed: {e}"),
+        }
+    }
+}
+
+impl Error for MarketError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MarketError::Framework(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dauctioneer_types::{Bw, Money};
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(MarketConfig::new(3, 1, 8, 1).validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_framework() {
+        assert!(matches!(
+            MarketConfig::new(2, 1, 8, 0).validate(),
+            Err(MarketError::Framework(ConfigError::TooFewProviders { m: 2, k: 1 }))
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_capacity_ingress() {
+        let mut cfg = MarketConfig::new(3, 1, 8, 0);
+        cfg.ingress_capacity = 0;
+        assert!(matches!(cfg.validate(), Err(MarketError::ZeroIngressCapacity)));
+    }
+
+    #[test]
+    fn rejects_untriggerable_epoch_policies() {
+        for epoch in [
+            EpochPolicy::ByCount(0),
+            EpochPolicy::ByTime(Duration::ZERO),
+            EpochPolicy::Hybrid { count: 0, max_wait: Duration::from_secs(1) },
+            EpochPolicy::Hybrid { count: 4, max_wait: Duration::ZERO },
+        ] {
+            let cfg = MarketConfig::new(3, 1, 8, 0).with_epoch(epoch);
+            assert!(matches!(cfg.validate(), Err(MarketError::EmptyEpochTarget)), "{epoch:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_tcp_with_modelled_latency() {
+        let mut cfg = MarketConfig::new(3, 1, 8, 0).with_transport(TransportKind::Tcp, 1);
+        cfg.latency = LatencyModel::ConstantMicros(100);
+        assert!(matches!(cfg.validate(), Err(MarketError::TcpWithModelledLatency)));
+        cfg.latency = LatencyModel::Zero;
+        assert!(cfg.validate().is_ok(), "TCP with zero latency is fine");
+    }
+
+    #[test]
+    fn rejects_more_asks_than_slots() {
+        let ask = ProviderAsk::new(Money::from_f64(0.2), Bw::from_f64(1.0));
+        let cfg = MarketConfig::new(3, 1, 8, 1).with_asks(vec![ask; 2]);
+        assert!(matches!(cfg.validate(), Err(MarketError::TooManyAsks { asks: 2, slots: 1 })));
+    }
+
+    #[test]
+    fn rejects_zero_users_and_zero_deadline() {
+        assert!(matches!(MarketConfig::new(3, 1, 0, 0).validate(), Err(MarketError::NoUserSlots)));
+        let mut cfg = MarketConfig::new(3, 1, 8, 0);
+        cfg.session_deadline = Duration::ZERO;
+        assert!(matches!(cfg.validate(), Err(MarketError::ZeroSessionDeadline)));
+    }
+
+    #[test]
+    fn errors_display_their_constraint() {
+        assert!(MarketError::ZeroIngressCapacity.to_string().contains("non-zero"));
+        assert!(MarketError::TcpWithModelledLatency.to_string().contains("TCP"));
+        assert!(MarketError::EmptyEpochTarget.to_string().contains("never trigger"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # Continuous market service
+//!
+//! Everything below `dauctioneer-market` in the stack is **one-shot**: a
+//! pre-assembled bid vector goes into `run_session`/`run_batch`, one
+//! report comes out, and every thread dies. The paper's §6 experiments
+//! are closed-world in exactly this way. A deployed marketplace is not:
+//! bids arrive whenever bidders feel like it, and the *system* must
+//! decide when an auction happens — the open-world, digital-ecosystem
+//! regime of Marzolla et al.'s distributed auctions and the continuous
+//! large-scale trading of Gao et al.'s double-auction deployments.
+//!
+//! This crate is that regime as a subsystem:
+//!
+//! * [`MarketService`] — the long-lived daemon. At startup it brings up
+//!   a persistent provider mesh (in-process [`ShardedHub`] or real TCP,
+//!   sharded either way) and a [`SessionPool`] of worker threads —
+//!   **once** — and then clears epoch after epoch over them. No thread
+//!   or transport is created per epoch; session-tag framing isolates
+//!   consecutive epochs sharing the mesh exactly as it isolates
+//!   concurrent sessions sharing a batch.
+//! * [`MarketHandle`] — the cloneable ingestion surface: any number of
+//!   submitter threads stream bids/asks into a **bounded** ingress
+//!   queue with an explicit [`Backpressure`] policy (shed-and-count or
+//!   block) — overload is an accounted-for state, not an accident.
+//! * [`EpochPolicy`] — when the open epoch closes: after `n` accepted
+//!   bids, after a time window, or hybrid (whichever first). A closed
+//!   epoch becomes one paper session: the epoch's [`BidCollector`]
+//!   closes into the `b̄ⱼ` vectors (one copy per provider), a per-shard
+//!   clearer drives bid agreement → validation → allocation on the
+//!   pool — concurrently across shards — and the unanimous
+//!   Definition-1 outcome is published on the subscription channel as an
+//!   [`EpochOutcome`].
+//! * [`MarketStats`] — live epochs/sec, accept/shed/reject counters,
+//!   and epoch-close latency percentiles; throughput here is a
+//!   steady-state property, not a batch artifact.
+//! * Drain-then-shutdown: [`MarketService::shutdown`] stops intake,
+//!   folds every already-queued submission into a final epoch, clears
+//!   it, and only then tears the pool and mesh down — no accepted bid
+//!   is ever lost.
+//!
+//! [`ShardedHub`]: dauctioneer_net::ShardedHub
+//! [`SessionPool`]: dauctioneer_core::SessionPool
+//! [`BidCollector`]: dauctioneer_core::BidCollector
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod ingress;
+pub mod service;
+pub mod stats;
+
+pub use config::{Backpressure, EpochPolicy, MarketConfig, MarketError};
+pub use ingress::{Submission, SubmitError};
+pub use service::{EpochOutcome, MarketHandle, MarketService};
+pub use stats::MarketStats;

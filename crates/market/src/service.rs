@@ -1,0 +1,509 @@
+//! The long-lived market daemon: streaming ingestion in, epoch outcomes
+//! out, one persistent mesh underneath.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{JoinHandle, ThreadId};
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use dauctioneer_core::{
+    unanimous, AllocatorProgram, BatchSession, BidCollector, SessionPool, TransportKind,
+};
+use dauctioneer_net::{shard_for, ShardedHub, TcpMesh, TrafficMetrics, TrafficSnapshot};
+use dauctioneer_types::{BidVector, Outcome, ProviderAsk, SessionId, UserBid, UserId};
+
+use crate::config::{EpochPolicy, MarketConfig, MarketError};
+use crate::ingress::{IngressQueue, Pop, Submission, SubmitError};
+use crate::stats::{MarketStats, StatsShared};
+
+/// A cloneable submitter handle onto a running market.
+///
+/// `Ok(())` from the submit methods means *queued for the scheduler* —
+/// the verdict of the §3.2 collection rules (accepted, duplicate,
+/// invalid…) is applied asynchronously when the scheduler folds the
+/// submission into the open epoch, and is visible in aggregate through
+/// [`MarketService::stats`]. `Err` is the backpressure surface:
+/// [`SubmitError::Overloaded`] under the shed policy,
+/// [`SubmitError::Closed`] once the market is shutting down.
+#[derive(Debug, Clone)]
+pub struct MarketHandle {
+    queue: Arc<IngressQueue>,
+}
+
+impl MarketHandle {
+    /// Submit one user bid for the open (or next) epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the ingress queue is full under
+    /// [`crate::Backpressure::Shed`]; [`SubmitError::Closed`] after
+    /// shutdown began. Under [`crate::Backpressure::Block`] this call
+    /// blocks instead of returning `Overloaded`.
+    pub fn submit_bid(&self, user: UserId, bid: UserBid) -> Result<(), SubmitError> {
+        self.queue.push(Submission::Bid { user, bid })
+    }
+
+    /// Submit a provider ask for the open (or next) epoch, overwriting
+    /// the configured default for that slot.
+    ///
+    /// # Errors
+    ///
+    /// Same backpressure surface as [`MarketHandle::submit_bid`].
+    pub fn submit_ask(&self, slot: usize, ask: ProviderAsk) -> Result<(), SubmitError> {
+        self.queue.push(Submission::Ask { slot, ask })
+    }
+}
+
+/// One closed epoch's result, delivered on the subscription channel.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// Zero-based epoch counter.
+    pub epoch: u64,
+    /// The session id the epoch cleared under
+    /// (`first_session + epoch`).
+    pub session: SessionId,
+    /// The session seed used (before the per-provider fan-out), so an
+    /// epoch can be replayed offline as a one-shot session.
+    pub seed: u64,
+    /// Bids accepted into this epoch.
+    pub accepted_bids: usize,
+    /// The closed bid vector every provider input to bid agreement
+    /// (identical across providers: one collector folds the single
+    /// submission stream and every provider receives a copy).
+    pub bids: BidVector,
+    /// Outcome at each provider, by provider index.
+    pub outcomes: Vec<Outcome>,
+    /// Definition 1 over `outcomes`: the agreed pair iff every provider
+    /// decided it.
+    pub outcome: Outcome,
+    /// Epoch close → unanimous outcome latency.
+    pub latency: Duration,
+}
+
+/// The persistent mesh a market runs over, kept alive for the life of
+/// the scheduler and torn down only after the pool's workers are gone.
+/// The fields exist purely for their ownership (Drop order), never read.
+#[allow(dead_code)]
+enum Mesh {
+    InProc(ShardedHub),
+    Tcp(Vec<TcpMesh>),
+}
+
+/// A long-lived auction daemon: accepts streaming bid/ask submissions,
+/// closes epochs under an [`EpochPolicy`], and clears each epoch as one
+/// paper session over a **persistent** [`SessionPool`] — no thread or
+/// transport is ever created per epoch.
+///
+/// ```
+/// use dauctioneer_core::DoubleAuctionProgram;
+/// use dauctioneer_market::{EpochPolicy, MarketConfig, MarketService};
+/// use dauctioneer_types::{Bw, Money, ProviderAsk, UserBid, UserId};
+/// use std::sync::Arc;
+///
+/// let config = MarketConfig::new(3, 1, 4, 1)
+///     .with_epoch(EpochPolicy::ByCount(2))
+///     .with_asks(vec![ProviderAsk::new(Money::from_f64(0.2), Bw::from_f64(2.0))]);
+/// let mut market =
+///     MarketService::start(config, Arc::new(DoubleAuctionProgram::new())).unwrap();
+/// let outcomes = market.take_outcomes().unwrap();
+/// let handle = market.handle();
+/// handle.submit_bid(UserId(0), UserBid::new(Money::from_f64(1.2), Bw::from_f64(0.5))).unwrap();
+/// handle.submit_bid(UserId(1), UserBid::new(Money::from_f64(0.9), Bw::from_f64(0.4))).unwrap();
+/// let epoch = outcomes.recv().unwrap(); // second accepted bid closed the epoch
+/// assert!(!epoch.outcome.is_abort());
+/// let stats = market.shutdown();
+/// assert_eq!(stats.epochs_closed, 1);
+/// ```
+pub struct MarketService {
+    queue: Arc<IngressQueue>,
+    stats: Arc<StatsShared>,
+    metrics: Vec<TrafficMetrics>,
+    outcomes: Option<Receiver<EpochOutcome>>,
+    subscribed: Arc<AtomicBool>,
+    scheduler: Option<JoinHandle<()>>,
+    worker_ids: Vec<Vec<ThreadId>>,
+}
+
+impl std::fmt::Debug for MarketService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MarketService")
+            .field("worker_threads", &self.worker_ids.iter().map(Vec::len).sum::<usize>())
+            .field("queue_depth", &self.queue.depth())
+            .finish()
+    }
+}
+
+impl MarketService {
+    /// Validate the configuration, bring up the persistent mesh and
+    /// worker pool, and start the epoch scheduler.
+    ///
+    /// # Errors
+    ///
+    /// [`MarketError`] for invalid knob combinations (checked before any
+    /// thread or socket exists) or transport bring-up failure.
+    pub fn start<P: AllocatorProgram + 'static>(
+        config: MarketConfig,
+        program: Arc<P>,
+    ) -> Result<MarketService, MarketError> {
+        config.validate()?;
+        let shards = config.shards.max(1);
+        let framework = config.framework();
+
+        // The one and only transport/thread bring-up of the service's
+        // life: every epoch reuses this mesh and these workers.
+        let (mesh, metrics, pool) = match config.transport {
+            TransportKind::InProc => {
+                let mut hub = ShardedHub::new(config.m, shards, config.latency, config.seed);
+                let metrics = hub.shard_metrics();
+                let pool = SessionPool::new(&framework, &program, hub.take_endpoints());
+                (Mesh::InProc(hub), metrics, pool)
+            }
+            TransportKind::Tcp => {
+                let mut meshes = Vec::with_capacity(shards);
+                for _ in 0..shards {
+                    meshes.push(
+                        TcpMesh::loopback(config.m)
+                            .map_err(|e| MarketError::Transport(e.to_string()))?,
+                    );
+                }
+                let metrics = meshes.iter().map(TcpMesh::metrics).collect();
+                let endpoints = meshes.iter_mut().map(TcpMesh::take_endpoints).collect();
+                let pool = SessionPool::new(&framework, &program, endpoints);
+                (Mesh::Tcp(meshes), metrics, pool)
+            }
+        };
+
+        let queue = Arc::new(IngressQueue::new(config.ingress_capacity, config.backpressure));
+        let stats = Arc::new(StatsShared::new(pool.threads_spawned()));
+        let worker_ids = pool.worker_ids().to_vec();
+        let subscribed = Arc::new(AtomicBool::new(false));
+        let (outcomes_tx, outcomes_rx) = unbounded();
+
+        let scheduler = {
+            let queue = Arc::clone(&queue);
+            let stats = Arc::clone(&stats);
+            let subscribed = Arc::clone(&subscribed);
+            std::thread::Builder::new()
+                .name("market-scheduler".into())
+                .spawn(move || {
+                    run_scheduler(config, queue, stats, pool, mesh, outcomes_tx, subscribed)
+                })
+                .expect("spawn market scheduler thread")
+        };
+
+        Ok(MarketService {
+            queue,
+            stats,
+            metrics,
+            outcomes: Some(outcomes_rx),
+            subscribed,
+            scheduler: Some(scheduler),
+            worker_ids,
+        })
+    }
+
+    /// A cloneable submitter handle. Any number of threads may hold one.
+    pub fn handle(&self) -> MarketHandle {
+        MarketHandle { queue: Arc::clone(&self.queue) }
+    }
+
+    /// Take the epoch-outcome subscription (single consumer; `None` on
+    /// the second call). Publication starts with the take: epochs closed
+    /// while nobody subscribes are **not** buffered (a headless,
+    /// stats-only deployment would otherwise accumulate one
+    /// [`EpochOutcome`] per epoch forever). Subscribe before the first
+    /// submission to see every epoch. Epochs clearing concurrently on
+    /// different shards may arrive slightly out of epoch order; the
+    /// [`EpochOutcome::epoch`] counter disambiguates.
+    pub fn take_outcomes(&mut self) -> Option<Receiver<EpochOutcome>> {
+        let taken = self.outcomes.take();
+        if taken.is_some() {
+            self.subscribed.store(true, Ordering::Release);
+        }
+        taken
+    }
+
+    /// Live counters and latency percentiles.
+    pub fn stats(&self) -> MarketStats {
+        self.stats.snapshot(
+            self.queue.shed_bids_count(),
+            self.queue.shed_asks_count(),
+            self.queue.enqueued_count(),
+            self.queue.depth(),
+        )
+    }
+
+    /// Traffic counters of the persistent mesh, cumulative since
+    /// startup and merged across shards. Strictly monotonic across
+    /// epochs — the observable proof that every epoch rides the same
+    /// transport.
+    pub fn traffic(&self) -> TrafficSnapshot {
+        let mut total = TrafficSnapshot::default();
+        for m in &self.metrics {
+            total.merge(&m.snapshot());
+        }
+        total
+    }
+
+    /// Thread ids of the provider workers, recorded at spawn:
+    /// `worker_ids()[s][j]` is shard `s`'s provider-`j` worker. Constant
+    /// for the life of the service (and re-verified on every epoch reply
+    /// by the pool).
+    pub fn worker_ids(&self) -> &[Vec<ThreadId>] {
+        &self.worker_ids
+    }
+
+    /// Drain, then shut down: stop accepting submissions, let the
+    /// scheduler fold every already-queued submission into a final
+    /// epoch, clear it, and tear the pool and mesh down. No accepted
+    /// bid is lost. Returns the final stats.
+    pub fn shutdown(mut self) -> MarketStats {
+        self.shutdown_in_place();
+        self.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.queue.close();
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MarketService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// The epoch scheduler: single consumer of the ingress queue, sole
+/// driver of the worker pool.
+fn run_scheduler(
+    config: MarketConfig,
+    queue: Arc<IngressQueue>,
+    stats: Arc<StatsShared>,
+    pool: SessionPool,
+    mesh: Mesh,
+    outcomes_tx: Sender<EpochOutcome>,
+    subscribed: Arc<AtomicBool>,
+) {
+    // One clearer thread per shard, spawned once alongside the workers:
+    // a closed epoch is handed to its session's shard-clearer, so epochs
+    // hashing to different shards clear **concurrently** while the
+    // scheduler keeps folding the next epoch's submissions — this is
+    // what makes `shards > 1` a real throughput knob for the market, not
+    // just for batches. Within one shard, its single clearer serialises
+    // epochs, which the per-worker order of the control channels would
+    // force anyway.
+    let pool = Arc::new(pool);
+    let num_shards = pool.num_shards();
+    let mut clear_txs: Vec<Sender<ClearJob>> = Vec::with_capacity(num_shards);
+    let mut clearers = Vec::with_capacity(num_shards);
+    for shard in 0..num_shards {
+        let (tx, rx) = unbounded::<ClearJob>();
+        let config = config.clone();
+        let stats = Arc::clone(&stats);
+        let pool = Arc::clone(&pool);
+        let outcomes_tx = outcomes_tx.clone();
+        let subscribed = Arc::clone(&subscribed);
+        clearers.push(
+            std::thread::Builder::new()
+                .name(format!("market-clearer-{shard}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        clear_epoch(&config, &stats, &pool, &outcomes_tx, &subscribed, shard, job);
+                    }
+                })
+                .expect("spawn market clearer thread"),
+        );
+        clear_txs.push(tx);
+    }
+    drop(outcomes_tx); // the clearers hold the only publishing handles
+
+    let mut epoch_index = 0u64;
+    let mut draining = false;
+    while !draining {
+        let mut collector = fresh_collector(&config);
+        let mut accepted = 0usize;
+        // The staleness window starts at the first **accepted** bid
+        // (asks and rejected bids keep the epoch unopened), as the
+        // [`EpochPolicy`] contract states.
+        let mut opened: Option<Instant> = None;
+
+        // Fold submissions until the policy closes the epoch or the
+        // queue closes (drain-then-shutdown flushes the rest). With
+        // nothing accepted yet the scheduler just blocks on the queue.
+        loop {
+            let due = match config.epoch {
+                EpochPolicy::ByCount(n) => accepted >= n,
+                EpochPolicy::ByTime(d) => opened.is_some_and(|o| o.elapsed() >= d),
+                EpochPolicy::Hybrid { count, max_wait } => {
+                    accepted >= count || opened.is_some_and(|o| o.elapsed() >= max_wait)
+                }
+            };
+            if due {
+                break; // `due` implies at least one accepted bid
+            }
+            let pop = match (config.epoch, opened) {
+                // Count-only closure depends solely on arrivals, and no
+                // window is running before the first accepted bid: block.
+                (EpochPolicy::ByCount(_), _) | (_, None) => queue.pop(),
+                (EpochPolicy::ByTime(d), Some(o)) => {
+                    queue.pop_timeout(d.saturating_sub(o.elapsed()))
+                }
+                (EpochPolicy::Hybrid { max_wait, .. }, Some(o)) => {
+                    queue.pop_timeout(max_wait.saturating_sub(o.elapsed()))
+                }
+            };
+            match pop {
+                Pop::Item(s) => {
+                    if apply(&config, &stats, &mut collector, s) {
+                        accepted += 1;
+                        opened.get_or_insert_with(Instant::now);
+                    }
+                }
+                Pop::Timeout => {} // re-check `due`
+                Pop::Closed => {
+                    draining = true;
+                    break;
+                }
+            }
+        }
+
+        if accepted > 0 {
+            let session = SessionId(config.first_session + epoch_index);
+            // A distinct, reproducible seed per epoch (7919 = the
+            // 1000th prime, an arbitrary odd stride).
+            let seed = config.seed.wrapping_add((epoch_index + 1).wrapping_mul(7919));
+            let job = ClearJob {
+                epoch: epoch_index,
+                session,
+                seed,
+                accepted,
+                bids: collector.close(),
+                closed_at: Instant::now(),
+            };
+            let shard = shard_for(session, num_shards);
+            // A dead clearer (panicked shard) drops this epoch's
+            // outcome; the market itself keeps running.
+            let _ = clear_txs[shard].send(job);
+            epoch_index += 1;
+        }
+    }
+    // Drain-then-shutdown, stage two: the queue is closed and every
+    // submission is folded; now let the clearers finish every in-flight
+    // epoch before any worker or mesh goes away.
+    drop(clear_txs);
+    for clearer in clearers {
+        let _ = clearer.join();
+    }
+    // Workers joined (and their endpoints dropped) before the mesh goes.
+    Arc::try_unwrap(pool).expect("all clearers joined").shutdown();
+    drop(mesh);
+}
+
+/// A closed epoch on its way to the clearing pool.
+struct ClearJob {
+    epoch: u64,
+    session: SessionId,
+    seed: u64,
+    accepted: usize,
+    /// The closed vector (every provider collected the same stream; m
+    /// copies of this are the m per-provider `b̄ⱼ` inputs).
+    bids: BidVector,
+    /// When the epoch closed — the latency clock includes any wait for
+    /// the shard's clearer, which is real backlog, not measurement slack.
+    closed_at: Instant,
+}
+
+/// A fresh collector for a new epoch, with the configured default asks
+/// attached. One collector suffices: every provider sees the identical
+/// submission stream through the single ingress queue, so the m
+/// per-provider `b̄ⱼ` vectors are m copies of its closed output
+/// (divergence across providers is the *bidders'* move in the paper,
+/// not something one service handle can express).
+fn fresh_collector(config: &MarketConfig) -> BidCollector {
+    let mut collector = BidCollector::new(config.n_users, config.n_asks);
+    for (slot, ask) in config.asks.iter().enumerate() {
+        collector.set_ask(slot, *ask);
+    }
+    collector
+}
+
+/// Fold one submission into the epoch's collector, updating the verdict
+/// counters. Returns `true` iff a bid was accepted (the unit the epoch
+/// policies count).
+fn apply(
+    config: &MarketConfig,
+    stats: &StatsShared,
+    collector: &mut BidCollector,
+    submission: Submission,
+) -> bool {
+    use std::sync::atomic::Ordering;
+    match submission {
+        Submission::Bid { user, bid } => {
+            let verdict = collector.submit(user, bid);
+            let counter = match verdict {
+                dauctioneer_core::SubmissionOutcome::Accepted => &stats.bids_accepted,
+                dauctioneer_core::SubmissionOutcome::RejectedInvalid => {
+                    &stats.bids_rejected_invalid
+                }
+                dauctioneer_core::SubmissionOutcome::RejectedDuplicate => {
+                    &stats.bids_rejected_duplicate
+                }
+                dauctioneer_core::SubmissionOutcome::RejectedUnknownBidder
+                | dauctioneer_core::SubmissionOutcome::RejectedLate => &stats.bids_rejected_unknown,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            verdict.is_accepted()
+        }
+        Submission::Ask { slot, ask } => {
+            if slot >= config.n_asks {
+                stats.asks_rejected.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            collector.set_ask(slot, ask);
+            stats.asks_set.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+/// Clear one closed epoch as a session on this clearer's shard of the
+/// persistent pool, publishing the outcome if anyone subscribed.
+fn clear_epoch(
+    config: &MarketConfig,
+    stats: &StatsShared,
+    pool: &SessionPool,
+    outcomes_tx: &Sender<EpochOutcome>,
+    subscribed: &AtomicBool,
+    shard: usize,
+    job: ClearJob,
+) {
+    let collected: Vec<BidVector> = vec![job.bids.clone(); config.m];
+    let mut shard_specs: Vec<Vec<BatchSession>> = vec![Vec::new(); pool.num_shards()];
+    shard_specs[shard].push(BatchSession { session: job.session, collected, seed: job.seed });
+
+    let columns = pool.run_epoch(shard_specs, config.session_deadline);
+    let latency = job.closed_at.elapsed();
+
+    let outcomes: Vec<Outcome> =
+        columns[shard].iter().map(|provider| provider[0].clone()).collect();
+    let outcome = unanimous(outcomes.iter().map(Some));
+    stats.record_epoch(latency);
+    // Publication starts with the subscription; unobserved epochs are
+    // not buffered (and a dropped receiver must not kill the market).
+    if subscribed.load(Ordering::Acquire) {
+        let _ = outcomes_tx.send(EpochOutcome {
+            epoch: job.epoch,
+            session: job.session,
+            seed: job.seed,
+            accepted_bids: job.accepted,
+            bids: job.bids,
+            outcomes,
+            outcome,
+            latency,
+        });
+    }
+}

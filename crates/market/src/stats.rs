@@ -1,0 +1,200 @@
+//! Live observability for a running market: counters, epoch-close
+//! latency percentiles, and sustained throughput.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How many of the most recent epoch latencies the percentile window
+/// keeps. Bounds memory and per-snapshot sort cost for a daemon that
+/// closes epochs for weeks; 4096 epochs is plenty for stable p50/p99.
+pub(crate) const LATENCY_WINDOW: usize = 4096;
+
+/// Shared mutable state behind [`MarketStats`] snapshots.
+#[derive(Debug)]
+pub(crate) struct StatsShared {
+    started: Instant,
+    pub(crate) epochs_closed: AtomicU64,
+    pub(crate) bids_accepted: AtomicU64,
+    pub(crate) bids_rejected_invalid: AtomicU64,
+    pub(crate) bids_rejected_duplicate: AtomicU64,
+    pub(crate) bids_rejected_unknown: AtomicU64,
+    pub(crate) asks_set: AtomicU64,
+    pub(crate) asks_rejected: AtomicU64,
+    /// Epoch close → unanimous outcome latency, the most recent
+    /// [`LATENCY_WINDOW`] samples (one per epoch).
+    latencies: Mutex<VecDeque<Duration>>,
+    worker_threads: usize,
+}
+
+impl StatsShared {
+    pub(crate) fn new(worker_threads: usize) -> StatsShared {
+        StatsShared {
+            started: Instant::now(),
+            epochs_closed: AtomicU64::new(0),
+            bids_accepted: AtomicU64::new(0),
+            bids_rejected_invalid: AtomicU64::new(0),
+            bids_rejected_duplicate: AtomicU64::new(0),
+            bids_rejected_unknown: AtomicU64::new(0),
+            asks_set: AtomicU64::new(0),
+            asks_rejected: AtomicU64::new(0),
+            latencies: Mutex::new(VecDeque::with_capacity(64)),
+            worker_threads,
+        }
+    }
+
+    pub(crate) fn record_epoch(&self, latency: Duration) {
+        self.epochs_closed.fetch_add(1, Ordering::Relaxed);
+        let mut window = self.latencies.lock().expect("stats lock");
+        if window.len() == LATENCY_WINDOW {
+            window.pop_front();
+        }
+        window.push_back(latency);
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        shed_bids: u64,
+        shed_asks: u64,
+        enqueued: u64,
+        queue_depth: usize,
+    ) -> MarketStats {
+        let latencies: Vec<Duration> =
+            self.latencies.lock().expect("stats lock").iter().copied().collect();
+        let epochs_closed = self.epochs_closed.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed();
+        MarketStats {
+            uptime,
+            epochs_closed,
+            bids_enqueued: enqueued,
+            bids_accepted: self.bids_accepted.load(Ordering::Relaxed),
+            bids_shed: shed_bids,
+            asks_shed: shed_asks,
+            bids_rejected_invalid: self.bids_rejected_invalid.load(Ordering::Relaxed),
+            bids_rejected_duplicate: self.bids_rejected_duplicate.load(Ordering::Relaxed),
+            bids_rejected_unknown: self.bids_rejected_unknown.load(Ordering::Relaxed),
+            asks_set: self.asks_set.load(Ordering::Relaxed),
+            asks_rejected: self.asks_rejected.load(Ordering::Relaxed),
+            queue_depth,
+            epoch_latency_p50: percentile(&latencies, 0.50),
+            epoch_latency_p99: percentile(&latencies, 0.99),
+            sessions_per_sec: if uptime.is_zero() {
+                0.0
+            } else {
+                epochs_closed as f64 / uptime.as_secs_f64()
+            },
+            worker_threads: self.worker_threads,
+        }
+    }
+}
+
+/// Nearest-rank percentile over the recorded samples (zero when none).
+fn percentile(samples: &[Duration], q: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Point-in-time view of a running (or just-drained) market.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketStats {
+    /// Time since the service started.
+    pub uptime: Duration,
+    /// Epochs closed and cleared as sessions so far.
+    pub epochs_closed: u64,
+    /// Submissions (bids and asks) that entered the ingress queue.
+    pub bids_enqueued: u64,
+    /// Bids accepted into an epoch's collectors.
+    pub bids_accepted: u64,
+    /// Bids shed at the full ingress queue
+    /// ([`crate::Backpressure::Shed`]).
+    pub bids_shed: u64,
+    /// Asks shed at the full ingress queue.
+    pub asks_shed: u64,
+    /// Bids rejected by the §3.2 validity rules (slot reads ⊥).
+    pub bids_rejected_invalid: u64,
+    /// Bids rejected as duplicates (first submission kept).
+    pub bids_rejected_duplicate: u64,
+    /// Bids naming an out-of-range user (or asks an out-of-range slot).
+    pub bids_rejected_unknown: u64,
+    /// Streamed asks applied to an open epoch.
+    pub asks_set: u64,
+    /// Streamed asks rejected for an out-of-range slot.
+    pub asks_rejected: u64,
+    /// Submissions currently queued, not yet applied to an epoch.
+    pub queue_depth: usize,
+    /// Median epoch-close latency (epoch close → unanimous outcome)
+    /// over the most recent epochs (bounded window).
+    pub epoch_latency_p50: Duration,
+    /// 99th-percentile epoch-close latency (nearest rank) over the most
+    /// recent epochs (bounded window).
+    pub epoch_latency_p99: Duration,
+    /// Sustained throughput: epochs closed per second of uptime.
+    pub sessions_per_sec: f64,
+    /// Provider worker threads spawned at startup (`m × shards`);
+    /// constant for the life of the service — epochs never spawn.
+    pub worker_threads: usize,
+}
+
+impl MarketStats {
+    /// Total submissions the service has seen a verdict for (accepted,
+    /// shed, or rejected) — asks excluded.
+    pub fn bids_seen(&self) -> u64 {
+        self.bids_accepted
+            + self.bids_shed
+            + self.bids_rejected_invalid
+            + self.bids_rejected_duplicate
+            + self.bids_rejected_unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 0.50), Duration::from_millis(50));
+        assert_eq!(percentile(&ms, 0.99), Duration::from_millis(99));
+        assert_eq!(percentile(&ms[..1], 0.99), Duration::from_millis(1));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_reports_counters() {
+        let s = StatsShared::new(6);
+        s.bids_accepted.store(10, Ordering::Relaxed);
+        s.record_epoch(Duration::from_millis(5));
+        s.record_epoch(Duration::from_millis(7));
+        let snap = s.snapshot(3, 2, 14, 1);
+        assert_eq!(snap.epochs_closed, 2);
+        assert_eq!(snap.bids_accepted, 10);
+        assert_eq!(snap.bids_shed, 3);
+        assert_eq!(snap.asks_shed, 2);
+        assert_eq!(snap.queue_depth, 1);
+        assert_eq!(snap.worker_threads, 6);
+        assert_eq!(snap.epoch_latency_p50, Duration::from_millis(5));
+        assert_eq!(snap.epoch_latency_p99, Duration::from_millis(7));
+        assert_eq!(snap.bids_seen(), 13, "shed asks must not count as bids");
+        assert!(snap.sessions_per_sec > 0.0);
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let s = StatsShared::new(1);
+        for i in 0..(LATENCY_WINDOW as u64 + 500) {
+            s.record_epoch(Duration::from_micros(i));
+        }
+        let snap = s.snapshot(0, 0, 0, 0);
+        assert_eq!(snap.epochs_closed, LATENCY_WINDOW as u64 + 500);
+        // The window dropped the oldest samples: the median reflects the
+        // recent half, not the all-time half.
+        assert!(snap.epoch_latency_p50 >= Duration::from_micros(500));
+    }
+}

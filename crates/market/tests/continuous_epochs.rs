@@ -1,0 +1,301 @@
+//! The continuous-market acceptance suite: many consecutive epochs over
+//! ONE persistent mesh, each equivalent to a one-shot session, with no
+//! per-epoch thread/transport churn and a lossless drain-then-shutdown.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dauctioneer_core::{
+    run_session, DoubleAuctionProgram, FrameworkConfig, RunOptions, TransportKind,
+};
+use dauctioneer_market::{
+    Backpressure, EpochOutcome, EpochPolicy, MarketConfig, MarketService, SubmitError,
+};
+use dauctioneer_types::{Bw, Money, ProviderAsk, UserBid, UserId};
+
+/// Distinct, valid §6.2-style bids: user `u` of round `round`.
+fn bid(round: u64, u: u32) -> UserBid {
+    UserBid::new(Money::from_f64(0.8 + 0.05 * u as f64 + 0.01 * round as f64), Bw::from_f64(0.5))
+}
+
+fn asks() -> Vec<ProviderAsk> {
+    vec![
+        ProviderAsk::new(Money::from_f64(0.10), Bw::from_f64(1.0)),
+        ProviderAsk::new(Money::from_f64(0.20), Bw::from_f64(1.0)),
+        ProviderAsk::new(Money::from_f64(0.30), Bw::from_f64(1.0)),
+    ]
+}
+
+fn market_config(transport: TransportKind, shards: usize) -> MarketConfig {
+    let mut config = MarketConfig::new(3, 1, 8, 3)
+        .with_epoch(EpochPolicy::ByCount(4))
+        .with_asks(asks())
+        .with_transport(transport, shards);
+    config.seed = 77;
+    config
+}
+
+/// Drive `rounds` epochs of 4 distinct bids each through a running
+/// market, collecting the outcome of every closed epoch.
+fn drive_epochs(market: &mut MarketService, rounds: u64) -> Vec<EpochOutcome> {
+    let outcomes = market.take_outcomes().expect("first subscription take");
+    let handle = market.handle();
+    let mut closed = Vec::new();
+    for round in 0..rounds {
+        for u in 0..4u32 {
+            handle.submit_bid(UserId(u), bid(round, u)).expect("market accepts while open");
+        }
+        let epoch = outcomes.recv_timeout(Duration::from_secs(30)).expect("epoch closes");
+        closed.push(epoch);
+    }
+    closed
+}
+
+/// The headline acceptance test: ≥3 consecutive epochs over one
+/// persistent mesh, no per-epoch thread/transport churn (thread roster +
+/// monotone traffic on the same counters), every epoch unanimous non-⊥
+/// and **identical to a one-shot `run_session` over the same collected
+/// bids**.
+#[test]
+fn three_epochs_one_mesh_match_one_shot_sessions() {
+    let mut market = MarketService::start(
+        market_config(TransportKind::InProc, 2),
+        Arc::new(DoubleAuctionProgram::new()),
+    )
+    .expect("valid config");
+
+    // Thread accounting: the full worker roster exists before the first
+    // epoch and never changes. (The pool additionally asserts, on every
+    // epoch reply, that the replying thread IS the spawned one.)
+    let roster: Vec<_> = market.worker_ids().to_vec();
+    assert_eq!(roster.iter().map(Vec::len).sum::<usize>(), 3 * 2, "m×shards workers at startup");
+    assert_eq!(market.stats().worker_threads, 6);
+
+    let mut traffic_points = vec![market.traffic()];
+    let outcomes = market.take_outcomes().expect("subscription");
+    let handle = market.handle();
+
+    let mut closed: Vec<EpochOutcome> = Vec::new();
+    for round in 0..3u64 {
+        for u in 0..4u32 {
+            handle.submit_bid(UserId(u), bid(round, u)).expect("accepted while open");
+        }
+        let epoch = outcomes.recv_timeout(Duration::from_secs(30)).expect("epoch closes");
+        // Same mesh, same counters: traffic strictly grows every epoch.
+        let now = market.traffic();
+        let prev = traffic_points.last().unwrap();
+        assert!(
+            now.total_messages() > prev.total_messages(),
+            "epoch {round}: traffic must accumulate on the persistent mesh"
+        );
+        assert_eq!(now.per_provider.len(), 3, "same m counters across the whole run");
+        traffic_points.push(now);
+        // No churn: the roster is byte-for-byte the startup roster.
+        assert_eq!(market.worker_ids(), roster.as_slice(), "epoch {round}: worker churn");
+        closed.push(epoch);
+    }
+
+    assert_eq!(closed.len(), 3);
+    for (round, epoch) in closed.iter().enumerate() {
+        assert_eq!(epoch.epoch, round as u64);
+        assert_eq!(epoch.accepted_bids, 4);
+        let unanimous = &epoch.outcome;
+        assert!(!unanimous.is_abort(), "epoch {round} must clear");
+        let result = unanimous.as_result().expect("agreed");
+        assert!(!result.allocation.winners().is_empty(), "epoch {round} trades");
+
+        // Equivalence with the one-shot paper pipeline: replay the
+        // epoch's collected bids as a plain run_session with the same
+        // session id and seed — outcomes must be identical.
+        let cfg = FrameworkConfig::new(3, 1, 8, 3).with_session(epoch.session);
+        let replay = run_session(
+            &cfg,
+            Arc::new(DoubleAuctionProgram::new()),
+            vec![epoch.bids.clone(); 3],
+            &RunOptions { seed: epoch.seed, ..RunOptions::default() },
+        );
+        assert_eq!(
+            replay.unanimous(),
+            *unanimous,
+            "epoch {round} diverged from its one-shot replay"
+        );
+    }
+
+    let stats = market.shutdown();
+    assert_eq!(stats.epochs_closed, 3);
+    assert_eq!(stats.bids_accepted, 12);
+    assert_eq!(stats.worker_threads, 6, "shutdown reports the same constant roster");
+}
+
+/// The same three epochs over a persistent loopback-TCP mesh: identical
+/// outcomes to the in-process transport, proving the market daemon is
+/// transport-independent like everything below it.
+#[test]
+fn tcp_market_epochs_match_inproc() {
+    let mut inproc = MarketService::start(
+        market_config(TransportKind::InProc, 1),
+        Arc::new(DoubleAuctionProgram::new()),
+    )
+    .expect("inproc market");
+    let mut tcp = MarketService::start(
+        market_config(TransportKind::Tcp, 1),
+        Arc::new(DoubleAuctionProgram::new()),
+    )
+    .expect("tcp market");
+
+    let a = drive_epochs(&mut inproc, 3);
+    let b = drive_epochs(&mut tcp, 3);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.session, y.session);
+        assert!(!x.outcome.is_abort());
+        assert_eq!(x.outcome, y.outcome, "transport changed epoch {}", x.epoch);
+    }
+    let tcp_traffic = tcp.traffic();
+    assert!(tcp_traffic.total_messages() > 0, "frames really crossed the sockets");
+    inproc.shutdown();
+    tcp.shutdown();
+}
+
+/// Drain-then-shutdown: submissions queued when shutdown begins — even
+/// a partial epoch far short of its count target — are folded into a
+/// final epoch and cleared. No accepted bid is lost.
+#[test]
+fn drain_then_shutdown_loses_no_accepted_bid() {
+    let mut market = MarketService::start(
+        market_config(TransportKind::InProc, 1),
+        Arc::new(DoubleAuctionProgram::new()),
+    )
+    .expect("valid config");
+    let outcomes = market.take_outcomes().expect("subscription");
+    let handle = market.handle();
+
+    // One full epoch (4 bids) plus a partial one (2 bids, target is 4).
+    for u in 0..4u32 {
+        handle.submit_bid(UserId(u), bid(0, u)).unwrap();
+    }
+    let first = outcomes.recv_timeout(Duration::from_secs(30)).expect("first epoch");
+    assert_eq!(first.accepted_bids, 4);
+    for u in 0..2u32 {
+        handle.submit_bid(UserId(u), bid(1, u)).unwrap();
+    }
+
+    let stats = market.shutdown();
+    // The partial epoch was flushed on drain…
+    assert_eq!(stats.epochs_closed, 2, "partial epoch must be flushed at shutdown");
+    assert_eq!(stats.bids_accepted, 6, "no accepted bid lost");
+    let flushed = outcomes.recv_timeout(Duration::from_secs(1)).expect("flushed epoch");
+    assert_eq!(flushed.accepted_bids, 2);
+    assert!(!flushed.outcome.is_abort(), "the flushed epoch still clears properly");
+    // …and per-epoch accepted counts account for every accepted bid.
+    assert_eq!(first.accepted_bids + flushed.accepted_bids, 6);
+
+    // After shutdown every handle is closed.
+    assert_eq!(handle.submit_bid(UserId(0), bid(2, 0)), Err(SubmitError::Closed));
+}
+
+/// The collector rules act per epoch: a duplicate within an epoch is
+/// rejected, but the same user bids afresh in the next epoch.
+#[test]
+fn duplicate_rules_reset_across_epochs() {
+    let mut config = market_config(TransportKind::InProc, 1);
+    config.epoch = EpochPolicy::ByCount(2);
+    let mut market =
+        MarketService::start(config, Arc::new(DoubleAuctionProgram::new())).expect("valid");
+    let outcomes = market.take_outcomes().unwrap();
+    let handle = market.handle();
+
+    // Epoch 0: user 0 twice (second rejected), user 1 once.
+    handle.submit_bid(UserId(0), bid(0, 0)).unwrap();
+    handle.submit_bid(UserId(0), bid(0, 1)).unwrap(); // duplicate
+    handle.submit_bid(UserId(1), bid(0, 1)).unwrap();
+    let e0 = outcomes.recv_timeout(Duration::from_secs(30)).unwrap();
+    assert_eq!(e0.accepted_bids, 2);
+    // Epoch 1: user 0 again — accepted, the collector state was fresh.
+    handle.submit_bid(UserId(0), bid(1, 0)).unwrap();
+    handle.submit_bid(UserId(1), bid(1, 1)).unwrap();
+    let e1 = outcomes.recv_timeout(Duration::from_secs(30)).unwrap();
+    assert_eq!(e1.accepted_bids, 2);
+
+    let stats = market.shutdown();
+    assert_eq!(stats.bids_accepted, 4);
+    assert_eq!(stats.bids_rejected_duplicate, 1);
+}
+
+/// Streamed asks overwrite the configured defaults for the open epoch
+/// only; out-of-range slots are counted, not applied.
+#[test]
+fn streamed_asks_apply_to_the_open_epoch() {
+    let mut config = market_config(TransportKind::InProc, 1);
+    config.epoch = EpochPolicy::ByCount(2);
+    let mut market =
+        MarketService::start(config, Arc::new(DoubleAuctionProgram::new())).expect("valid");
+    let outcomes = market.take_outcomes().unwrap();
+    let handle = market.handle();
+
+    // Provider 0 floods the epoch with cheap capacity.
+    let cheap = ProviderAsk::new(Money::from_f64(0.01), Bw::from_f64(5.0));
+    handle.submit_ask(0, cheap).unwrap();
+    handle.submit_ask(99, cheap).unwrap(); // out of range: counted, dropped
+    handle.submit_bid(UserId(0), bid(0, 0)).unwrap();
+    handle.submit_bid(UserId(1), bid(0, 1)).unwrap();
+    let e0 = outcomes.recv_timeout(Duration::from_secs(30)).unwrap();
+    assert_eq!(e0.bids.asks()[0], cheap, "streamed ask visible in the closed vector");
+
+    // Next epoch reverts to the configured defaults.
+    handle.submit_bid(UserId(0), bid(1, 0)).unwrap();
+    handle.submit_bid(UserId(1), bid(1, 1)).unwrap();
+    let e1 = outcomes.recv_timeout(Duration::from_secs(30)).unwrap();
+    assert_eq!(e1.bids.asks()[0], asks()[0], "defaults restored after the epoch closed");
+
+    let stats = market.shutdown();
+    assert_eq!(stats.asks_set, 1);
+    assert_eq!(stats.asks_rejected, 1, "out-of-range ask counted as ask, not bid");
+    assert_eq!(stats.bids_rejected_unknown, 0, "ask rejections never inflate bid counters");
+    assert_eq!(stats.bids_seen(), stats.bids_accepted, "only bids in bids_seen");
+}
+
+/// A time-policy market closes epochs without ever reaching a count.
+#[test]
+fn by_time_epochs_close_on_the_clock() {
+    let mut config = market_config(TransportKind::InProc, 1);
+    config.epoch = EpochPolicy::ByTime(Duration::from_millis(50));
+    let mut market =
+        MarketService::start(config, Arc::new(DoubleAuctionProgram::new())).expect("valid");
+    let outcomes = market.take_outcomes().unwrap();
+    let handle = market.handle();
+
+    handle.submit_bid(UserId(0), bid(0, 0)).unwrap();
+    handle.submit_bid(UserId(1), bid(0, 1)).unwrap();
+    let epoch = outcomes.recv_timeout(Duration::from_secs(30)).expect("clock closes the epoch");
+    assert_eq!(epoch.accepted_bids, 2);
+    assert!(!epoch.outcome.is_abort());
+    market.shutdown();
+}
+
+/// Backpressure end-to-end: a blocked submitter finishes once the
+/// scheduler drains, and nothing is shed under the block policy.
+#[test]
+fn block_backpressure_never_sheds() {
+    let mut config = market_config(TransportKind::InProc, 1);
+    config.epoch = EpochPolicy::ByCount(4);
+    config.ingress_capacity = 2;
+    config.backpressure = Backpressure::Block;
+    let mut market =
+        MarketService::start(config, Arc::new(DoubleAuctionProgram::new())).expect("valid");
+    let outcomes = market.take_outcomes().unwrap();
+    let handle = market.handle();
+
+    // 8 bids through a 2-deep queue: pushes block until drained.
+    for round in 0..2u64 {
+        for u in 0..4u32 {
+            handle.submit_bid(UserId(u), bid(round, u)).expect("block, never shed");
+        }
+    }
+    for _ in 0..2 {
+        let epoch = outcomes.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(epoch.accepted_bids, 4);
+    }
+    let stats = market.shutdown();
+    assert_eq!(stats.bids_shed, 0);
+    assert_eq!(stats.bids_accepted, 8);
+}

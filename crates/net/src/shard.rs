@@ -75,6 +75,16 @@ impl ShardedHub {
         self.shards.iter_mut().map(|hub| hub.take_endpoints()).collect()
     }
 
+    /// Shared handles onto each shard's traffic counters, one per shard.
+    ///
+    /// The handles stay valid after the hub's endpoints are taken (and
+    /// after the hub itself moves elsewhere), so a long-lived service can
+    /// keep observing traffic on a mesh whose ownership it has handed to
+    /// its worker threads.
+    pub fn shard_metrics(&self) -> Vec<crate::metrics::TrafficMetrics> {
+        self.shards.iter().map(|hub| hub.metrics()).collect()
+    }
+
     /// Traffic counters summed across all shards, per provider.
     pub fn traffic_snapshot(&self) -> TrafficSnapshot {
         let mut total = TrafficSnapshot::default();

@@ -16,6 +16,16 @@
 //!
 //! Generators are deterministic in their seed, so experiments are
 //! reproducible run-to-run and across machines.
+//!
+//! Both §6 generators are **closed-world**: every bid exists before the
+//! auction starts. The [`arrival`] module adds the open-world
+//! counterpart — seeded [`ArrivalProcess`] streams (Poisson or uniform
+//! inter-arrivals) over the same bidder population, feeding the
+//! continuous market service, its example, and the `market_soak` bench.
+
+pub mod arrival;
+
+pub use arrival::{epoch_supply, ArrivalProcess, Arrivals, BidArrival, InterArrival};
 
 use dauctioneer_crypto::{derive_seed, SeedDomain};
 use dauctioneer_types::{BidVector, Bw, Money, ProviderAsk, UserBid};
@@ -31,13 +41,13 @@ fn rng_for(seed: u64, label: &[u8]) -> StdRng {
     StdRng::from_seed(derive_seed(SeedDomain::Workload, &seed.to_le_bytes(), label))
 }
 
-fn gen_valuation(rng: &mut StdRng) -> Money {
+pub(crate) fn gen_valuation(rng: &mut StdRng) -> Money {
     Money::from_f64(rng.gen_range(VALUATION_RANGE.0..=VALUATION_RANGE.1))
 }
 
 /// Uniform in `(0, 1]` at micro precision (excludes exact zero, as the
 /// paper's open interval demands).
-fn gen_demand(rng: &mut StdRng) -> Bw {
+pub(crate) fn gen_demand(rng: &mut StdRng) -> Bw {
     Bw::from_micro(rng.gen_range(1..=1_000_000))
 }
 

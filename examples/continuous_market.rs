@@ -1,0 +1,105 @@
+//! A continuous bandwidth market: the open-world counterpart of
+//! `bandwidth_market.rs`.
+//!
+//! Everything else in `examples/` is one-shot — bids exist, one auction
+//! runs, threads die. Here the *market* is the long-lived thing: a
+//! [`MarketService`] brings up a persistent 3-provider mesh once, two
+//! independent gateway-town populations stream bids at it from their own
+//! threads through cloned [`MarketHandle`]s, and the service decides
+//! when to clear — every 6 accepted bids or 150 ms, whichever comes
+//! first. Each closed epoch is one full paper session (bid agreement →
+//! validation → replicated allocation) over the same mesh as every
+//! other epoch.
+//!
+//! Run with: `cargo run --example continuous_market`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dauctioneer::core::DoubleAuctionProgram;
+use dauctioneer::market::{EpochPolicy, MarketConfig, MarketService};
+use dauctioneer::types::{Bw, Money, Outcome, ProviderAsk};
+use dauctioneer::workload::ArrivalProcess;
+
+fn main() {
+    // Three gateway owners (k = 1 tolerated coalition) jointly run the
+    // market for 12 user slots; each attaches its ask to every epoch.
+    let config = MarketConfig::new(3, 1, 12, 3)
+        .with_epoch(EpochPolicy::Hybrid { count: 6, max_wait: Duration::from_millis(150) })
+        .with_asks(vec![
+            ProviderAsk::new(Money::from_f64(0.10), Bw::from_f64(0.8)),
+            ProviderAsk::new(Money::from_f64(0.18), Bw::from_f64(0.8)),
+            ProviderAsk::new(Money::from_f64(0.30), Bw::from_f64(0.8)),
+        ]);
+    let mut market = MarketService::start(config, Arc::new(DoubleAuctionProgram::new()))
+        .expect("valid market configuration");
+    let outcomes = market.take_outcomes().expect("single subscriber");
+
+    // Two towns' worth of bidders, each a clone of the handle on its own
+    // thread: a bursty Poisson population and a steady uniform one.
+    let feeders: Vec<_> = [
+        ArrivalProcess::poisson(12, 300.0, 7),
+        ArrivalProcess::uniform(12, Duration::from_millis(2), Duration::from_millis(6), 11),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(town, process)| {
+        let handle = market.handle();
+        std::thread::spawn(move || {
+            let mut submitted = 0u32;
+            process.replay_paced(40, |arrival| {
+                if handle.submit_bid(arrival.user, arrival.bid).is_ok() {
+                    submitted += 1;
+                }
+                true
+            });
+            println!("town {town}: streamed {submitted} bids");
+            submitted
+        })
+    })
+    .collect();
+
+    // Watch the market clear while the towns are still bidding.
+    let mut watched = 0;
+    while watched < 8 {
+        match outcomes.recv_timeout(Duration::from_secs(5)) {
+            Ok(epoch) => {
+                watched += 1;
+                match &epoch.outcome {
+                    Outcome::Agreed(result) => println!(
+                        "epoch {:>2} ({}): {} bids → {} winners, volume {}, cleared in {:?}",
+                        epoch.epoch,
+                        epoch.session,
+                        epoch.accepted_bids,
+                        result.allocation.winners().len(),
+                        result.allocation.total(),
+                        epoch.latency,
+                    ),
+                    Outcome::Abort => {
+                        println!("epoch {:>2} ({}): ⊥", epoch.epoch, epoch.session)
+                    }
+                }
+            }
+            Err(_) => break, // towns done and queue drained
+        }
+    }
+
+    for f in feeders {
+        let _ = f.join();
+    }
+    // Drain-then-shutdown: whatever the towns queued after the last
+    // printed epoch still becomes a final epoch before the mesh goes.
+    let stats = market.shutdown();
+    println!(
+        "market closed: {} epochs, {:.1} sessions/s sustained, p50 {:?} / p99 {:?}, \
+         {} bids accepted / {} rejected as duplicates, {} worker threads for the whole run",
+        stats.epochs_closed,
+        stats.sessions_per_sec,
+        stats.epoch_latency_p50,
+        stats.epoch_latency_p99,
+        stats.bids_accepted,
+        stats.bids_rejected_duplicate,
+        stats.worker_threads,
+    );
+    assert!(stats.epochs_closed >= 8, "two towns' bids must close several epochs");
+}

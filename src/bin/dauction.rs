@@ -1,27 +1,39 @@
-//! `dauction` — command-line driver for one-off distributed auction runs.
+//! `dauction` — command-line driver for distributed auction runs.
 //!
-//! A small operational tool over the library: generates a paper-§6
-//! workload, runs the chosen auction under the chosen runtime, and prints
-//! the outcome summary. Useful for quick experiments without writing code.
+//! A small operational tool over the library. Two modes:
+//!
+//! * **one-shot** (default): generate a paper-§6 workload, run the
+//!   chosen auction under the chosen runtime once, print the outcome.
+//! * **`serve`**: run the continuous market daemon — a persistent
+//!   provider mesh clearing epoch after epoch from a seeded open-world
+//!   arrival stream, printing each epoch's outcome as it closes.
 //!
 //! ```text
 //! dauction [--auction double|standard] [--n USERS] [--m PROVIDERS] [--k COALITION]
 //!          [--seed SEED] [--runtime threads|des] [--latency zero|community]
 //!          [--epsilon PPM] [--budget NODES]
+//! dauction serve [--rate BIDS_PER_SEC] [--epochs E] [--epoch-bids N] [--epoch-ms D]
+//!          [--n USERS] [--m PROVIDERS] [--k COALITION] [--seed SEED]
+//!          [--transport inproc|tcp] [--shards S]
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use dauctioneer::core::{
     run_session, DoubleAuctionProgram, FrameworkConfig, RunOptions, StandardAuctionProgram,
+    TransportKind,
 };
+use dauctioneer::market::{EpochPolicy, MarketConfig, MarketService};
 use dauctioneer::mechanisms::solver::BranchBoundConfig;
 use dauctioneer::mechanisms::{StandardAuction, StandardAuctionConfig};
 use dauctioneer::net::LatencyModel;
 use dauctioneer::sim::{run_timed_auction, LinkModel};
 use dauctioneer::types::{Outcome, ProviderId, UserId};
-use dauctioneer::workload::{DoubleAuctionWorkload, StandardAuctionWorkload};
+use dauctioneer::workload::{
+    epoch_supply, ArrivalProcess, DoubleAuctionWorkload, StandardAuctionWorkload,
+};
 
 #[derive(Debug, Clone)]
 struct Args {
@@ -79,9 +91,21 @@ impl Args {
 
 const HELP: &str = "usage: dauction [--auction double|standard] [--n USERS] [--m PROVIDERS] \
 [--k COALITION] [--seed SEED] [--runtime threads|des] [--latency zero|community] \
-[--epsilon PPM] [--budget NODES]";
+[--epsilon PPM] [--budget NODES]\n       dauction serve [--rate BIDS_PER_SEC] [--epochs E] \
+[--epoch-bids N] [--epoch-ms D] [--n USERS] [--m PROVIDERS] [--k COALITION] [--seed SEED] \
+[--transport inproc|tcp] [--shards S]";
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        match serve_main(&argv[1..]) {
+            Ok(()) => return,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
     let args = match Args::parse() {
         Ok(a) => a,
         Err(msg) => {
@@ -159,6 +183,154 @@ fn main() {
             let _ = UserId(0);
         }
     }
+}
+
+/// The `serve` subcommand: a continuous double-auction market fed by a
+/// seeded Poisson arrival stream, printing each epoch as it closes and a
+/// stats summary at the end. Bounded by `--epochs`.
+fn serve_main(argv: &[String]) -> Result<(), String> {
+    let mut rate = 400.0f64;
+    let mut epochs = 5u64;
+    let mut epoch_bids: Option<usize> = None;
+    let mut epoch_ms: Option<u64> = None;
+    let mut n = 16usize;
+    let mut m = 3usize;
+    let mut k: Option<usize> = None;
+    let mut seed = 42u64;
+    let mut transport = TransportKind::InProc;
+    let mut shards = 1usize;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return Err(HELP.to_string());
+        }
+        let value = argv.get(i + 1).ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag {
+            "--rate" => rate = value.parse().map_err(|e| format!("--rate: {e}"))?,
+            "--epochs" => epochs = value.parse().map_err(|e| format!("--epochs: {e}"))?,
+            "--epoch-bids" => {
+                epoch_bids = Some(value.parse().map_err(|e| format!("--epoch-bids: {e}"))?)
+            }
+            "--epoch-ms" => epoch_ms = Some(value.parse().map_err(|e| format!("--epoch-ms: {e}"))?),
+            "--n" => n = value.parse().map_err(|e| format!("--n: {e}"))?,
+            "--m" => m = value.parse().map_err(|e| format!("--m: {e}"))?,
+            "--k" => k = Some(value.parse().map_err(|e| format!("--k: {e}"))?),
+            "--seed" => seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--transport" => {
+                transport = match value.as_str() {
+                    "inproc" => TransportKind::InProc,
+                    "tcp" => TransportKind::Tcp,
+                    other => return Err(format!("unknown transport `{other}` (inproc|tcp)")),
+                }
+            }
+            "--shards" => shards = value.parse().map_err(|e| format!("--shards: {e}"))?,
+            other => return Err(format!("unknown serve flag {other}\n{HELP}")),
+        }
+        i += 2;
+    }
+
+    if !(rate > 0.0 && rate.is_finite()) {
+        return Err(format!("--rate must be a positive number of bids per second, got {rate}"));
+    }
+    let k = k.unwrap_or(m.saturating_sub(1) / 2);
+    let policy = match (epoch_bids, epoch_ms) {
+        (Some(count), Some(ms)) => {
+            EpochPolicy::Hybrid { count, max_wait: Duration::from_millis(ms) }
+        }
+        (Some(count), None) => EpochPolicy::ByCount(count),
+        (None, Some(ms)) => EpochPolicy::ByTime(Duration::from_millis(ms)),
+        (None, None) => EpochPolicy::ByCount(8),
+    };
+    // §6.2-shaped supply sized to the expected epoch demand, shared
+    // with the market_soak bench (see workload::epoch_supply).
+    let expected_bids = match policy {
+        EpochPolicy::ByCount(c) | EpochPolicy::Hybrid { count: c, .. } => c as f64,
+        EpochPolicy::ByTime(d) => (rate * d.as_secs_f64()).max(2.0),
+    };
+    let mut config =
+        MarketConfig::new(m, k, n, m).with_epoch(policy).with_transport(transport, shards);
+    config.asks = epoch_supply(m, expected_bids);
+    config.seed = seed;
+
+    println!(
+        "dauction serve: continuous double auction, m={m} providers (k={k}), {n} user \
+         slots/epoch, {rate} bids/s Poisson, {policy:?}, {transport:?}×{shards} shard(s); \
+         stopping after {epochs} epochs"
+    );
+
+    let mut market = MarketService::start(config, Arc::new(DoubleAuctionProgram::new()))
+        .map_err(|e| format!("cannot start market: {e}"))?;
+    let outcomes = market.take_outcomes().expect("outcomes not yet taken");
+    let handle = market.handle();
+
+    // Feeder: replay the seeded arrival stream in real time until told
+    // to stop (the stream itself is infinite).
+    let stop = Arc::new(AtomicBool::new(false));
+    let feeder = {
+        let stop = Arc::clone(&stop);
+        let process = ArrivalProcess::poisson(n, rate, seed);
+        std::thread::spawn(move || {
+            process.replay_paced(usize::MAX, |arrival| {
+                if stop.load(Ordering::Relaxed) {
+                    return false;
+                }
+                match handle.submit_bid(arrival.user, arrival.bid) {
+                    // Shed under overload: drop this bid, keep streaming
+                    // (the stats count it).
+                    Ok(()) | Err(dauctioneer::market::SubmitError::Overloaded) => true,
+                    Err(dauctioneer::market::SubmitError::Closed) => false,
+                }
+            });
+        })
+    };
+
+    let mut seen = 0u64;
+    while seen < epochs {
+        let Ok(epoch) = outcomes.recv_timeout(Duration::from_secs(30)) else {
+            eprintln!("no epoch closed within 30s; shutting down");
+            break;
+        };
+        seen += 1;
+        match &epoch.outcome {
+            Outcome::Abort => println!(
+                "epoch {:>3} (session {}): {} bids, outcome ⊥, {:?}",
+                epoch.epoch, epoch.session, epoch.accepted_bids, epoch.latency
+            ),
+            Outcome::Agreed(result) => println!(
+                "epoch {:>3} (session {}): {} bids → {} winners, volume {}, payments {}, \
+                 cleared in {:?}",
+                epoch.epoch,
+                epoch.session,
+                epoch.accepted_bids,
+                result.allocation.winners().len(),
+                result.allocation.total(),
+                result.payments.total_user_payments(),
+                epoch.latency
+            ),
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let _ = feeder.join();
+    let stats = market.shutdown();
+    println!(
+        "served {} epochs in {:?}: {:.1} sessions/s sustained, epoch latency p50 {:?} / p99 \
+         {:?}; bids: {} accepted, {} shed, {} rejected (invalid {}, duplicate {}, unknown {})",
+        stats.epochs_closed,
+        stats.uptime,
+        stats.sessions_per_sec,
+        stats.epoch_latency_p50,
+        stats.epoch_latency_p99,
+        stats.bids_accepted,
+        stats.bids_shed,
+        stats.bids_rejected_invalid + stats.bids_rejected_duplicate + stats.bids_rejected_unknown,
+        stats.bids_rejected_invalid,
+        stats.bids_rejected_duplicate,
+        stats.bids_rejected_unknown,
+    );
+    Ok(())
 }
 
 fn run<P: dauctioneer::core::AllocatorProgram + 'static>(

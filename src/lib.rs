@@ -100,6 +100,7 @@
 
 pub use dauctioneer_core as core;
 pub use dauctioneer_crypto as crypto;
+pub use dauctioneer_market as market;
 pub use dauctioneer_mechanisms as mechanisms;
 pub use dauctioneer_net as net;
 pub use dauctioneer_sim as sim;
