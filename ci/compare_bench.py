@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare fresh BENCH_*.json files against the
+checked-in BENCH_baseline/ snapshots.
+
+Fails (exit 1) when, for any row present in both baseline and current:
+
+  * a sessions/s throughput metric drops below 75% of baseline, or
+  * the market p99 epoch-close latency grows beyond 2x baseline
+    (with a small absolute grace so microsecond noise cannot trip it).
+
+Rows only present on one side are reported but never fail the gate, so
+adding a sweep point does not require touching the baseline in the same
+commit. Regenerate baselines with:
+
+    cargo run --release -p dauctioneer-bench --bin market_soak -- --quick --json
+    cargo run --release -p dauctioneer-bench --bin batch_throughput -- --quick --rounds 1 --json
+    mv BENCH_market_soak.json BENCH_batch_throughput.json BENCH_baseline/
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+THROUGHPUT_FLOOR = 0.75  # current must be >= 75% of baseline sessions/s
+LATENCY_CEIL = 2.0  # current p99 must be <= 2x baseline
+LATENCY_GRACE_S = 0.050  # absolute slack below which p99 growth is noise
+
+
+def load(path: Path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_throughput(name, key, baseline, current, failures, lines):
+    if baseline <= 0:
+        return
+    ratio = current / baseline
+    verdict = "ok"
+    if ratio < THROUGHPUT_FLOOR:
+        verdict = "REGRESSION"
+        failures.append(
+            f"{name} [{key}]: sessions/s fell to {ratio:.0%} of baseline "
+            f"({current:.1f} vs {baseline:.1f}, floor {THROUGHPUT_FLOOR:.0%})"
+        )
+    lines.append(f"  {name} [{key}] sessions/s: {baseline:.1f} -> {current:.1f} ({ratio:.2f}x) {verdict}")
+
+
+def check_latency(name, key, baseline, current, failures, lines):
+    bound = max(baseline * LATENCY_CEIL, baseline + LATENCY_GRACE_S)
+    verdict = "ok"
+    if current > bound:
+        verdict = "REGRESSION"
+        failures.append(
+            f"{name} [{key}]: p99 epoch-close latency grew {current / baseline if baseline else float('inf'):.1f}x "
+            f"({current * 1e3:.1f}ms vs {baseline * 1e3:.1f}ms, bound {bound * 1e3:.1f}ms)"
+        )
+    lines.append(
+        f"  {name} [{key}] p99 close: {baseline * 1e3:.1f}ms -> {current * 1e3:.1f}ms {verdict}"
+    )
+
+
+def index_rows(rows, key_fields):
+    return {tuple(row.get(k) for k in key_fields): row for row in rows}
+
+
+def compare_batch_throughput(base, cur, failures, lines):
+    name = "batch_throughput"
+    base_rows = index_rows(base.get("batched_vs_sequential", []), ("sessions",))
+    cur_rows = index_rows(cur.get("batched_vs_sequential", []), ("sessions",))
+    for key, brow in base_rows.items():
+        crow = cur_rows.get(key)
+        if crow is None:
+            lines.append(f"  {name} [batched sessions={key[0]}]: row missing in current run (skipped)")
+            continue
+        check_throughput(
+            name,
+            f"batched sessions={key[0]}",
+            brow["batched_sessions_per_s"],
+            crow["batched_sessions_per_s"],
+            failures,
+            lines,
+        )
+    base_rows = index_rows(base.get("shards_x_transport", []), ("sessions", "transport", "shards"))
+    cur_rows = index_rows(cur.get("shards_x_transport", []), ("sessions", "transport", "shards"))
+    for key, brow in base_rows.items():
+        crow = cur_rows.get(key)
+        label = f"sessions={key[0]} {key[1]} shards={key[2]}"
+        if crow is None:
+            lines.append(f"  {name} [{label}]: row missing in current run (skipped)")
+            continue
+        check_throughput(name, label, brow["sessions_per_s"], crow["sessions_per_s"], failures, lines)
+
+
+def compare_market_soak(base, cur, failures, lines):
+    name = "market_soak"
+    base_rows = index_rows(base.get("runs", []), ("arrival",))
+    cur_rows = index_rows(cur.get("runs", []), ("arrival",))
+    for key, brow in base_rows.items():
+        crow = cur_rows.get(key)
+        label = f"arrival={key[0]}"
+        if crow is None:
+            lines.append(f"  {name} [{label}]: row missing in current run (skipped)")
+            continue
+        check_throughput(name, label, brow["sessions_per_sec"], crow["sessions_per_sec"], failures, lines)
+        check_latency(
+            name,
+            label,
+            brow["epoch_latency_p99_s"],
+            crow["epoch_latency_p99_s"],
+            failures,
+            lines,
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, default=Path("BENCH_baseline"))
+    parser.add_argument("--current", type=Path, default=Path("."))
+    args = parser.parse_args()
+
+    comparisons = [
+        ("BENCH_batch_throughput.json", compare_batch_throughput),
+        ("BENCH_market_soak.json", compare_market_soak),
+    ]
+    failures, lines = [], []
+    compared = 0
+    for filename, compare in comparisons:
+        base_path = args.baseline / filename
+        cur_path = args.current / filename
+        if not base_path.exists():
+            lines.append(f"  {filename}: no baseline checked in (skipped)")
+            continue
+        if not cur_path.exists():
+            failures.append(f"{filename}: baseline exists but the current run produced no file")
+            continue
+        compare(load(base_path), load(cur_path), failures, lines)
+        compared += 1
+
+    print("bench-regression gate:")
+    for line in lines:
+        print(line)
+    if compared == 0:
+        print("FAIL: nothing was compared — baseline or current files missing entirely")
+        return 1
+    if failures:
+        print(f"FAIL: {len(failures)} regression(s):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"ok: {compared} bench file(s) within thresholds "
+          f"(floor {THROUGHPUT_FLOOR:.0%} sessions/s, ceil {LATENCY_CEIL:.1f}x p99)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -144,7 +144,7 @@ fn main() {
     for (size_idx, &batch) in shard_batches.iter().enumerate() {
         let mut baseline_mean = None;
         for (cfg_idx, &(transport, shards)) in configs.iter().enumerate() {
-            let batch_cfg = BatchConfig { shards, transport };
+            let batch_cfg = BatchConfig { shards, transport, ..BatchConfig::default() };
             let mut samples = Vec::with_capacity(common.rounds);
             for round in 0..common.rounds {
                 let base = 1_000_000

@@ -1,0 +1,305 @@
+//! Adversarial provider strategies: the deviations the paper's
+//! k-resilience argument must defeat, as [`Transport`] wrappers.
+//!
+//! `dauctioneer-net`'s chaos plane sabotages *links*; this module
+//! sabotages *providers*. An [`AdversaryKind`] transforms one
+//! provider's outgoing message stream — going silent mid-protocol,
+//! sending late, equivocating (conflicting values to different peers),
+//! or emitting garbage frames — while the provider's own
+//! [`SessionEngine`](crate::engine::SessionEngine) runs the honest
+//! protocol underneath. That is exactly the §3 threat shape: the
+//! adversary controls what leaves a deviating provider, not what the
+//! honest majority computes.
+//!
+//! Strategies compose with link chaos: the worker pool wraps every
+//! endpoint as `AdversaryTransport<ChaosTransport<T>>` (see
+//! [`SessionPool::new_with_faults`](crate::pool::SessionPool::new_with_faults)),
+//! so a run can feature both a lossy network and a deviating provider.
+//! The required end state, asserted by the chaos suite: every such run
+//! terminates in either the fault-free honest outcome or the
+//! paper-mandated ⊥-abort — never a hang, never a divergent clearing.
+//!
+//! Deviation at this layer is the transport-backed sibling of the
+//! simulator's message-level [`Behavior`]s (`dauctioneer-sim`), which
+//! drive the same strategies through the deterministic turn-based
+//! runtime for the equilibrium tests.
+//!
+//! [`Behavior`]: ../../dauctioneer_sim/behavior/trait.Behavior.html
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use dauctioneer_net::{RecvError, Transport};
+use dauctioneer_types::ProviderId;
+
+/// How a deviating provider treats its own outgoing messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdversaryKind {
+    /// Follow the protocol (the wrapper is a pass-through).
+    #[default]
+    Honest,
+    /// Send the first `after` messages, then go silent — withholding /
+    /// crash. `after == 0` is a crash before the first send. Rational
+    /// providers never profit from this (the outcome reads ⊥ and their
+    /// utility is 0), which is exactly what the suite verifies.
+    Silent {
+        /// Messages allowed out before the silence.
+        after: usize,
+    },
+    /// A slow provider: every send blocks for `delay` first, stalling
+    /// its whole protocol loop. Nothing is ever lost — this stays
+    /// within the model's fair asynchronous schedule (every message is
+    /// eventually delivered), so modest delays must still clear; a
+    /// delay that pushes the session past its deadline reads ⊥ like
+    /// any other external abort.
+    Late {
+        /// Added delay per outgoing message.
+        delay: Duration,
+    },
+    /// Send conflicting values to different peers: copies addressed to
+    /// the highest-id honest peer get one payload byte flipped, so that
+    /// peer's view of this provider diverges from everyone else's.
+    Equivocator,
+    /// Replace every `period`-th outgoing message with a garbage frame
+    /// (junk bytes, no valid session tag): the real message is withheld
+    /// *and* the peer's parser is exercised. `period` is clamped to at
+    /// least 1 (all garbage, all the time).
+    GarbageFrames {
+        /// Replace every `period`-th message.
+        period: usize,
+    },
+}
+
+impl AdversaryKind {
+    /// `true` for the pass-through strategy.
+    pub fn is_honest(&self) -> bool {
+        matches!(self, AdversaryKind::Honest)
+    }
+}
+
+/// One deviating provider in a run: who, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adversary {
+    /// The deviating provider.
+    pub provider: ProviderId,
+    /// Its strategy.
+    pub kind: AdversaryKind,
+}
+
+impl Adversary {
+    /// Pair a provider with a strategy.
+    pub fn new(provider: ProviderId, kind: AdversaryKind) -> Adversary {
+        Adversary { provider, kind }
+    }
+}
+
+/// The strategy `roster` assigns to `provider` ([`AdversaryKind::Honest`]
+/// when unlisted; the last entry wins when listed twice).
+pub fn strategy_for(roster: &[Adversary], provider: ProviderId) -> AdversaryKind {
+    roster
+        .iter()
+        .rev()
+        .find(|a| a.provider == provider)
+        .map(|a| a.kind)
+        .unwrap_or(AdversaryKind::Honest)
+}
+
+/// A [`Transport`] wrapper applying an [`AdversaryKind`] to the
+/// provider's outgoing messages. Receives pass through untouched (the
+/// adversary reads honestly — deviating on reads only hurts itself).
+///
+/// [`AdversaryKind::Late`] blocks inside `send` rather than parking the
+/// message: the provider is *slow*, not lossy. (Parking with deferred
+/// release would quietly strand whatever is still parked when the
+/// provider's drive loop decides and stops pumping — turning lateness
+/// into message loss, which is a different deviation with a different
+/// contract.)
+#[derive(Debug)]
+pub struct AdversaryTransport<T> {
+    inner: T,
+    kind: AdversaryKind,
+    sent: usize,
+}
+
+impl<T: Transport> AdversaryTransport<T> {
+    /// Wrap `inner` under `kind`.
+    pub fn new(inner: T, kind: AdversaryKind) -> AdversaryTransport<T> {
+        AdversaryTransport { inner, kind, sent: 0 }
+    }
+
+    /// The wrapped strategy.
+    pub fn kind(&self) -> AdversaryKind {
+        self.kind
+    }
+
+    /// The highest-id peer that is not this provider — the equivocation
+    /// victim (every participant can compute it, no coordination).
+    fn victim(&self) -> ProviderId {
+        let last = ProviderId(self.inner.num_providers().saturating_sub(1) as u32);
+        if last == self.inner.me() {
+            ProviderId(last.0.saturating_sub(1))
+        } else {
+            last
+        }
+    }
+}
+
+impl<T: Transport> Transport for AdversaryTransport<T> {
+    fn me(&self) -> ProviderId {
+        self.inner.me()
+    }
+
+    fn num_providers(&self) -> usize {
+        self.inner.num_providers()
+    }
+
+    fn send(&mut self, to: ProviderId, payload: Bytes) {
+        let n = self.sent;
+        self.sent += 1;
+        match self.kind {
+            AdversaryKind::Honest => self.inner.send(to, payload),
+            AdversaryKind::Silent { after } => {
+                if n < after {
+                    self.inner.send(to, payload);
+                }
+            }
+            AdversaryKind::Late { delay } => {
+                // Slow, not lossy: stall the provider's loop, then send.
+                std::thread::sleep(delay);
+                self.inner.send(to, payload);
+            }
+            AdversaryKind::Equivocator => {
+                let payload = if to == self.victim() && !payload.is_empty() {
+                    let mut altered = payload.to_vec();
+                    let last = altered.len() - 1;
+                    altered[last] ^= 0xFF;
+                    Bytes::from(altered)
+                } else {
+                    payload
+                };
+                self.inner.send(to, payload);
+            }
+            AdversaryKind::GarbageFrames { period } => {
+                if (n + 1) % period.max(1) == 0 {
+                    // Junk that is not even a valid session frame; the
+                    // real message is withheld.
+                    let junk = [0xDE, 0xAD, (n & 0xFF) as u8];
+                    self.inner.send(to, Bytes::copy_from_slice(&junk));
+                } else {
+                    self.inner.send(to, payload);
+                }
+            }
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<(ProviderId, Bytes), RecvError> {
+        self.inner.recv_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dauctioneer_net::{LatencyModel, ThreadedHub};
+
+    fn mesh(m: usize) -> Vec<dauctioneer_net::Endpoint> {
+        ThreadedHub::new(m, LatencyModel::Zero, 1).take_endpoints()
+    }
+
+    #[test]
+    fn honest_is_a_pass_through() {
+        let mut eps = mesh(2);
+        let peer = eps.remove(1);
+        let mut honest = AdversaryTransport::new(eps.remove(0), AdversaryKind::Honest);
+        honest.send(ProviderId(1), Bytes::from_static(b"hi"));
+        let (from, payload) = peer.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(from, ProviderId(0));
+        assert_eq!(&payload[..], b"hi");
+    }
+
+    #[test]
+    fn silent_stops_after_budget() {
+        let mut eps = mesh(2);
+        let peer = eps.remove(1);
+        let mut silent = AdversaryTransport::new(eps.remove(0), AdversaryKind::Silent { after: 2 });
+        for _ in 0..5 {
+            silent.send(ProviderId(1), Bytes::from_static(b"x"));
+        }
+        assert!(peer.recv_timeout(Duration::from_secs(1)).is_ok());
+        assert!(peer.recv_timeout(Duration::from_secs(1)).is_ok());
+        assert!(peer.recv_timeout(Duration::from_millis(30)).is_err(), "third send withheld");
+    }
+
+    #[test]
+    fn late_stalls_the_sender_but_loses_nothing() {
+        let mut eps = mesh(2);
+        let peer = eps.remove(1);
+        let mut late = AdversaryTransport::new(
+            eps.remove(0),
+            AdversaryKind::Late { delay: Duration::from_millis(15) },
+        );
+        let start = std::time::Instant::now();
+        late.send(ProviderId(1), Bytes::from_static(b"a"));
+        late.send(ProviderId(1), Bytes::from_static(b"b"));
+        assert!(start.elapsed() >= Duration::from_millis(28), "each send stalls the loop");
+        // Slow, not lossy: both messages arrived, in order, by the time
+        // the sends returned — the fair-schedule guarantee.
+        let (_, first) = peer.recv_timeout(Duration::from_secs(1)).unwrap();
+        let (_, second) = peer.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!((&first[..], &second[..]), (&b"a"[..], &b"b"[..]), "FIFO preserved");
+    }
+
+    #[test]
+    fn equivocator_alters_only_the_victim_copy() {
+        let mut eps = mesh(3);
+        let v = eps.remove(2);
+        let clean_peer = eps.remove(1);
+        let mut equiv = AdversaryTransport::new(eps.remove(0), AdversaryKind::Equivocator);
+        assert_eq!(equiv.victim(), ProviderId(2));
+        equiv.send(ProviderId(1), Bytes::from_static(b"value"));
+        equiv.send(ProviderId(2), Bytes::from_static(b"value"));
+        let (_, clean) = clean_peer.recv_timeout(Duration::from_secs(1)).unwrap();
+        let (_, dirty) = v.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(&clean[..], b"value");
+        assert_ne!(&dirty[..], b"value");
+        assert_eq!(dirty.len(), clean.len());
+    }
+
+    #[test]
+    fn highest_provider_equivocates_against_its_predecessor() {
+        let eps = mesh(3);
+        let t =
+            AdversaryTransport::new(eps.into_iter().nth(2).unwrap(), AdversaryKind::Equivocator);
+        assert_eq!(t.victim(), ProviderId(1), "the victim is never the deviator itself");
+    }
+
+    #[test]
+    fn garbage_frames_replace_every_period_th_message() {
+        let mut eps = mesh(2);
+        let peer = eps.remove(1);
+        let mut garbage =
+            AdversaryTransport::new(eps.remove(0), AdversaryKind::GarbageFrames { period: 2 });
+        for _ in 0..4 {
+            garbage.send(ProviderId(1), Bytes::from_static(b"genuine!"));
+        }
+        let mut junk = 0;
+        for _ in 0..4 {
+            let (_, payload) = peer.recv_timeout(Duration::from_secs(1)).unwrap();
+            if &payload[..] != b"genuine!" {
+                junk += 1;
+                assert!(payload.len() < 8, "junk must not even parse as a session frame");
+            }
+        }
+        assert_eq!(junk, 2);
+    }
+
+    #[test]
+    fn roster_lookup_defaults_to_honest_and_last_wins() {
+        let roster = [
+            Adversary::new(ProviderId(1), AdversaryKind::Silent { after: 0 }),
+            Adversary::new(ProviderId(1), AdversaryKind::Equivocator),
+        ];
+        assert_eq!(strategy_for(&roster, ProviderId(0)), AdversaryKind::Honest);
+        assert_eq!(strategy_for(&roster, ProviderId(1)), AdversaryKind::Equivocator);
+    }
+}

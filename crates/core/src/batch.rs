@@ -57,9 +57,10 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dauctioneer_net::{shard_for, ShardedHub, TcpMesh, TrafficSnapshot};
-use dauctioneer_types::{BidVector, Outcome, SessionId};
+use dauctioneer_net::{shard_for, FaultPlan, ShardedHub, TcpMesh, TrafficSnapshot};
+use dauctioneer_types::{BidVector, Outcome, ProviderId, SessionId};
 
+use crate::adversary::{Adversary, AdversaryKind};
 use crate::allocator::AllocatorProgram;
 use crate::config::FrameworkConfig;
 use crate::engine::unanimous;
@@ -84,10 +85,11 @@ pub enum TransportKind {
     Tcp,
 }
 
-/// How [`run_batch_with`] maps a batch onto transports and threads.
+/// How [`run_batch_with`] maps a batch onto transports and threads, and
+/// which faults it injects while doing so.
 ///
-/// The default — one shard, in-process channels — is exactly the PR-1
-/// single-hub behaviour of [`run_batch`].
+/// The default — one shard, in-process channels, no faults — is exactly
+/// the PR-1 single-hub behaviour of [`run_batch`].
 #[derive(Debug, Clone)]
 pub struct BatchConfig {
     /// Number of independent provider meshes; sessions are partitioned
@@ -98,23 +100,47 @@ pub struct BatchConfig {
     pub shards: usize,
     /// The message substrate each shard's mesh is built on.
     pub transport: TransportKind,
+    /// Seeded link-fault injection applied to every endpoint
+    /// ([`ChaosTransport`][dauctioneer_net::ChaosTransport], salted per
+    /// shard). `None` (and the benign plan) is an exact pass-through.
+    pub chaos: Option<FaultPlan>,
+    /// Providers running an adversarial strategy instead of the honest
+    /// protocol (everyone unlisted is honest).
+    pub adversaries: Vec<Adversary>,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        BatchConfig { shards: 1, transport: TransportKind::InProc }
+        BatchConfig {
+            shards: 1,
+            transport: TransportKind::InProc,
+            chaos: None,
+            adversaries: Vec::new(),
+        }
     }
 }
 
 impl BatchConfig {
     /// In-process channels with `shards` independent meshes.
     pub fn sharded(shards: usize) -> BatchConfig {
-        BatchConfig { shards, transport: TransportKind::InProc }
+        BatchConfig { shards, ..BatchConfig::default() }
     }
 
     /// Loopback TCP with `shards` independent socket meshes.
     pub fn tcp(shards: usize) -> BatchConfig {
-        BatchConfig { shards, transport: TransportKind::Tcp }
+        BatchConfig { shards, transport: TransportKind::Tcp, ..BatchConfig::default() }
+    }
+
+    /// Inject the given link-fault plan into every mesh of the batch.
+    pub fn with_chaos(mut self, plan: FaultPlan) -> BatchConfig {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Run `provider` under `kind` instead of the honest protocol.
+    pub fn with_adversary(mut self, provider: ProviderId, kind: AdversaryKind) -> BatchConfig {
+        self.adversaries.push(Adversary::new(provider, kind));
+        self
     }
 }
 
@@ -275,7 +301,13 @@ pub fn run_batch_with<P: AllocatorProgram + 'static>(
                 TransportKind::InProc => {
                     let mut hub =
                         ShardedHub::new(cfg.m, compact_specs.len(), options.latency, options.seed);
-                    let pool = SessionPool::new(cfg, &program, hub.take_endpoints());
+                    let pool = SessionPool::new_with_faults(
+                        cfg,
+                        &program,
+                        hub.take_endpoints(),
+                        batch.chaos,
+                        &batch.adversaries,
+                    );
                     let columns = pool.run_epoch(compact_specs, deadline);
                     pool.shutdown();
                     let traffic = hub.traffic_snapshot();
@@ -291,7 +323,13 @@ pub fn run_batch_with<P: AllocatorProgram + 'static>(
                         .map(|_| TcpMesh::loopback(cfg.m).expect("bring up loopback TCP mesh"))
                         .collect();
                     let endpoints = meshes.iter_mut().map(TcpMesh::take_endpoints).collect();
-                    let pool = SessionPool::new(cfg, &program, endpoints);
+                    let pool = SessionPool::new_with_faults(
+                        cfg,
+                        &program,
+                        endpoints,
+                        batch.chaos,
+                        &batch.adversaries,
+                    );
                     let columns = pool.run_epoch(compact_specs, deadline);
                     pool.shutdown();
                     let mut traffic = TrafficSnapshot::default();

@@ -201,64 +201,11 @@ where
     first.cloned().unwrap_or(Outcome::Abort)
 }
 
-/// The minimal blocking point-to-point transport the generic drive loops
-/// run over. `dauctioneer-net`'s `Endpoint` implements it; a test double
-/// or an alternative substrate (e.g. a socket mesh) only needs these four
-/// operations.
-pub trait Transport {
-    /// The provider this transport belongs to.
-    fn me(&self) -> ProviderId;
-
-    /// Number of providers in the mesh.
-    fn num_providers(&self) -> usize;
-
-    /// Send `payload` to `to`; never blocks.
-    fn send(&mut self, to: ProviderId, payload: Bytes);
-
-    /// Wait up to `timeout` for the next message.
-    ///
-    /// # Errors
-    ///
-    /// [`RecvError::Timeout`] if nothing arrived in time,
-    /// [`RecvError::Disconnected`] if no message can ever arrive again.
-    fn recv_timeout(&mut self, timeout: Duration) -> Result<(ProviderId, Bytes), RecvError>;
-}
-
-impl Transport for dauctioneer_net::Endpoint {
-    fn me(&self) -> ProviderId {
-        dauctioneer_net::Endpoint::me(self)
-    }
-
-    fn num_providers(&self) -> usize {
-        dauctioneer_net::Endpoint::num_providers(self)
-    }
-
-    fn send(&mut self, to: ProviderId, payload: Bytes) {
-        dauctioneer_net::Endpoint::send(self, to, payload)
-    }
-
-    fn recv_timeout(&mut self, timeout: Duration) -> Result<(ProviderId, Bytes), RecvError> {
-        dauctioneer_net::Endpoint::recv_timeout(self, timeout)
-    }
-}
-
-impl Transport for dauctioneer_net::TcpEndpoint {
-    fn me(&self) -> ProviderId {
-        dauctioneer_net::TcpEndpoint::me(self)
-    }
-
-    fn num_providers(&self) -> usize {
-        dauctioneer_net::TcpEndpoint::num_providers(self)
-    }
-
-    fn send(&mut self, to: ProviderId, payload: Bytes) {
-        dauctioneer_net::TcpEndpoint::send(self, to, payload)
-    }
-
-    fn recv_timeout(&mut self, timeout: Duration) -> Result<(ProviderId, Bytes), RecvError> {
-        dauctioneer_net::TcpEndpoint::recv_timeout(self, timeout)
-    }
-}
+/// The blocking point-to-point transport the generic drive loops run
+/// over. The trait itself lives in `dauctioneer-net` (next to the
+/// transports and the fault-injection adapters that wrap them) and is
+/// re-exported here so protocol-layer code keeps one import path.
+pub use dauctioneer_net::Transport;
 
 /// [`Ctx`] over a [`Transport`].
 struct TransportCtx<'a, T: Transport> {

@@ -33,6 +33,10 @@
 //!   turn-based and virtual-clock backends.
 //! * [`batch::run_batch`] — N concurrent sessions multiplexed over one
 //!   shared provider mesh, with throughput reporting.
+//! * [`adversary`] — adversarial provider strategies (silent, late,
+//!   equivocating, garbage-sending) as transport wrappers, composing
+//!   with `dauctioneer-net`'s seeded link-fault chaos plane so the
+//!   k-resilience claims are testable end to end.
 //!
 //! ## Quick start
 //!
@@ -58,6 +62,7 @@
 //! ```
 
 pub mod adapters;
+pub mod adversary;
 pub mod allocator;
 pub mod auctioneer;
 pub mod batch;
@@ -73,6 +78,7 @@ pub mod submission;
 pub mod task_graph;
 
 pub use adapters::{DoubleAuctionProgram, StandardAuctionProgram};
+pub use adversary::{strategy_for, Adversary, AdversaryKind, AdversaryTransport};
 pub use allocator::{AllocatorProgram, ParallelAllocator};
 pub use auctioneer::Auctioneer;
 pub use batch::{

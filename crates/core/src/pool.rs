@@ -27,8 +27,10 @@ use std::thread::{JoinHandle, ThreadId};
 use std::time::Duration;
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use dauctioneer_net::{ChaosTransport, FaultPlan};
 use dauctioneer_types::{BidVector, Outcome, ProviderId, SessionId};
 
+use crate::adversary::{strategy_for, Adversary, AdversaryTransport};
 use crate::allocator::AllocatorProgram;
 use crate::config::FrameworkConfig;
 use crate::engine::{drive_multi, SessionEngine, Transport};
@@ -91,6 +93,75 @@ impl SessionPool {
     /// Panics if the configuration is invalid or any shard does not have
     /// exactly `cfg.m` endpoints.
     pub fn new<P, T>(
+        cfg: &FrameworkConfig,
+        program: &Arc<P>,
+        shard_endpoints: Vec<Vec<T>>,
+    ) -> SessionPool
+    where
+        P: AllocatorProgram + 'static,
+        T: Transport + Send + 'static,
+    {
+        SessionPool::new_with_faults(cfg, program, shard_endpoints, None, &[])
+    }
+
+    /// [`SessionPool::new`] with the chaos plane threaded in: every
+    /// endpoint is wrapped in a [`ChaosTransport`] executing `chaos`
+    /// (salted by its shard index, so shards don't suffer lock-stepped
+    /// faults) and an [`AdversaryTransport`] running the strategy the
+    /// `adversaries` roster assigns to its provider. With `chaos: None`
+    /// and an empty roster both wrappers are exact pass-throughs and
+    /// this is [`SessionPool::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SessionPool::new`], plus an
+    /// invalid `chaos` plan or an adversary naming a provider `>= m`
+    /// (both local programming errors; the market service validates its
+    /// operator input before reaching this point).
+    pub fn new_with_faults<P, T>(
+        cfg: &FrameworkConfig,
+        program: &Arc<P>,
+        shard_endpoints: Vec<Vec<T>>,
+        chaos: Option<FaultPlan>,
+        adversaries: &[Adversary],
+    ) -> SessionPool
+    where
+        P: AllocatorProgram + 'static,
+        T: Transport + Send + 'static,
+    {
+        if let Some(plan) = &chaos {
+            plan.validate().expect("invalid fault plan");
+        }
+        for adversary in adversaries {
+            assert!(
+                adversary.provider.index() < cfg.m,
+                "adversary names provider {} but the mesh has only {} providers",
+                adversary.provider,
+                cfg.m
+            );
+        }
+        let plan = chaos.unwrap_or_else(FaultPlan::none);
+        let wrapped: Vec<Vec<_>> = shard_endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(s, endpoints)| {
+                endpoints
+                    .into_iter()
+                    .enumerate()
+                    .map(|(j, endpoint)| {
+                        AdversaryTransport::new(
+                            ChaosTransport::with_salt(endpoint, plan, s as u64),
+                            strategy_for(adversaries, ProviderId(j as u32)),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        SessionPool::spawn(cfg, program, wrapped)
+    }
+
+    /// The shared spawn path: workers over already-wrapped transports.
+    fn spawn<P, T>(
         cfg: &FrameworkConfig,
         program: &Arc<P>,
         shard_endpoints: Vec<Vec<T>>,

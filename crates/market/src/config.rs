@@ -5,9 +5,9 @@ use std::error::Error;
 use std::fmt;
 use std::time::Duration;
 
-use dauctioneer_core::{ConfigError, FrameworkConfig, TransportKind};
-use dauctioneer_net::LatencyModel;
-use dauctioneer_types::ProviderAsk;
+use dauctioneer_core::{Adversary, AdversaryKind, ConfigError, FrameworkConfig, TransportKind};
+use dauctioneer_net::{FaultPlan, FaultPlanError, LatencyModel};
+use dauctioneer_types::{ProviderAsk, ProviderId};
 
 /// When the service closes the open epoch and clears it as one auction
 /// session.
@@ -90,6 +90,16 @@ pub struct MarketConfig {
     /// Session id of the first epoch; epoch `e` is session
     /// `first_session + e`.
     pub first_session: u64,
+    /// Seeded link-fault injection on the persistent mesh (drop /
+    /// duplicate / reorder / delay / corrupt per link, replayable from
+    /// the plan's seed). `None` runs a clean network. Epochs cleared vs
+    /// aborted under the plan are counted in
+    /// [`crate::MarketStats::epochs_cleared`] /
+    /// [`crate::MarketStats::epochs_aborted`].
+    pub chaos: Option<FaultPlan>,
+    /// Providers running an adversarial strategy instead of the honest
+    /// protocol (everyone unlisted is honest).
+    pub adversaries: Vec<Adversary>,
 }
 
 impl MarketConfig {
@@ -111,6 +121,8 @@ impl MarketConfig {
             session_deadline: Duration::from_secs(60),
             seed: 0,
             first_session: 0,
+            chaos: None,
+            adversaries: Vec::new(),
         }
     }
 
@@ -130,6 +142,18 @@ impl MarketConfig {
     pub fn with_transport(mut self, transport: TransportKind, shards: usize) -> MarketConfig {
         self.transport = transport;
         self.shards = shards;
+        self
+    }
+
+    /// Inject the given link-fault plan into the persistent mesh.
+    pub fn with_chaos(mut self, plan: FaultPlan) -> MarketConfig {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Run `provider` under `kind` instead of the honest protocol.
+    pub fn with_adversary(mut self, provider: ProviderId, kind: AdversaryKind) -> MarketConfig {
+        self.adversaries.push(Adversary::new(provider, kind));
         self
     }
 
@@ -174,6 +198,17 @@ impl MarketConfig {
         if self.session_deadline.is_zero() {
             return Err(MarketError::ZeroSessionDeadline);
         }
+        if let Some(plan) = &self.chaos {
+            plan.validate().map_err(MarketError::Chaos)?;
+        }
+        for adversary in &self.adversaries {
+            if adversary.provider.index() >= self.m {
+                return Err(MarketError::AdversaryOutOfRange {
+                    provider: adversary.provider.index(),
+                    m: self.m,
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -207,6 +242,16 @@ pub enum MarketError {
     ZeroSessionDeadline,
     /// The transport failed to come up (TCP listener/dial errors).
     Transport(String),
+    /// The fault plan is impossible (probability outside `[0, 1]`,
+    /// inverted delay range).
+    Chaos(FaultPlanError),
+    /// An adversary names a provider index outside the mesh.
+    AdversaryOutOfRange {
+        /// The named provider index.
+        provider: usize,
+        /// Providers in the mesh.
+        m: usize,
+    },
 }
 
 impl fmt::Display for MarketError {
@@ -234,6 +279,10 @@ impl fmt::Display for MarketError {
                 write!(f, "session deadline must be non-zero or every epoch reads ⊥")
             }
             MarketError::Transport(e) => write!(f, "transport bring-up failed: {e}"),
+            MarketError::Chaos(e) => write!(f, "chaos plan: {e}"),
+            MarketError::AdversaryOutOfRange { provider, m } => {
+                write!(f, "adversary names provider {provider} but the mesh has {m} providers")
+            }
         }
     }
 }
@@ -242,6 +291,7 @@ impl Error for MarketError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             MarketError::Framework(e) => Some(e),
+            MarketError::Chaos(e) => Some(e),
             _ => None,
         }
     }
@@ -307,6 +357,22 @@ mod tests {
         let mut cfg = MarketConfig::new(3, 1, 8, 0);
         cfg.session_deadline = Duration::ZERO;
         assert!(matches!(cfg.validate(), Err(MarketError::ZeroSessionDeadline)));
+    }
+
+    #[test]
+    fn rejects_bad_chaos_plans_and_out_of_range_adversaries() {
+        let cfg = MarketConfig::new(3, 1, 8, 0).with_chaos(FaultPlan::seeded(1).with_drop(2.0));
+        assert!(matches!(cfg.validate(), Err(MarketError::Chaos(_))));
+        let cfg =
+            MarketConfig::new(3, 1, 8, 0).with_adversary(ProviderId(3), AdversaryKind::Equivocator);
+        assert!(matches!(
+            cfg.validate(),
+            Err(MarketError::AdversaryOutOfRange { provider: 3, m: 3 })
+        ));
+        let cfg = MarketConfig::new(3, 1, 8, 0)
+            .with_chaos(FaultPlan::seeded(1).with_drop(0.1))
+            .with_adversary(ProviderId(2), AdversaryKind::Silent { after: 4 });
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

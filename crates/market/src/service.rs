@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::thread::{JoinHandle, ThreadId};
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
 use dauctioneer_core::{
     unanimous, AllocatorProgram, BatchSession, BidCollector, SessionPool, TransportKind,
 };
@@ -156,7 +156,13 @@ impl MarketService {
             TransportKind::InProc => {
                 let mut hub = ShardedHub::new(config.m, shards, config.latency, config.seed);
                 let metrics = hub.shard_metrics();
-                let pool = SessionPool::new(&framework, &program, hub.take_endpoints());
+                let pool = SessionPool::new_with_faults(
+                    &framework,
+                    &program,
+                    hub.take_endpoints(),
+                    config.chaos,
+                    &config.adversaries,
+                );
                 (Mesh::InProc(hub), metrics, pool)
             }
             TransportKind::Tcp => {
@@ -169,7 +175,13 @@ impl MarketService {
                 }
                 let metrics = meshes.iter().map(TcpMesh::metrics).collect();
                 let endpoints = meshes.iter_mut().map(TcpMesh::take_endpoints).collect();
-                let pool = SessionPool::new(&framework, &program, endpoints);
+                let pool = SessionPool::new_with_faults(
+                    &framework,
+                    &program,
+                    endpoints,
+                    config.chaos,
+                    &config.adversaries,
+                );
                 (Mesh::Tcp(meshes), metrics, pool)
             }
         };
@@ -301,7 +313,14 @@ fn run_scheduler(
     let mut clear_txs: Vec<Sender<ClearJob>> = Vec::with_capacity(num_shards);
     let mut clearers = Vec::with_capacity(num_shards);
     for shard in 0..num_shards {
-        let (tx, rx) = unbounded::<ClearJob>();
+        // The clear queue is bounded: when a shard's clearer falls
+        // CLEAR_BACKLOG epochs behind (e.g. every epoch is waiting out
+        // the session deadline under fault injection), the scheduler's
+        // send blocks, it stops draining ingress, and the ingress
+        // policy (shed or block) engages — overload surfaces at the
+        // submitters instead of accumulating as unbounded shutdown
+        // debt.
+        let (tx, rx) = bounded::<ClearJob>(CLEAR_BACKLOG);
         let config = config.clone();
         let stats = Arc::clone(&stats);
         let pool = Arc::clone(&pool);
@@ -403,6 +422,10 @@ fn run_scheduler(
     drop(mesh);
 }
 
+/// Closed epochs a shard's clearer may be behind before the scheduler
+/// blocks (and, transitively, the ingress queue starts filling).
+const CLEAR_BACKLOG: usize = 32;
+
 /// A closed epoch on its way to the clearing pool.
 struct ClearJob {
     epoch: u64,
@@ -491,7 +514,7 @@ fn clear_epoch(
     let outcomes: Vec<Outcome> =
         columns[shard].iter().map(|provider| provider[0].clone()).collect();
     let outcome = unanimous(outcomes.iter().map(Some));
-    stats.record_epoch(latency);
+    stats.record_epoch(latency, outcome.is_abort());
     // Publication starts with the subscription; unobserved epochs are
     // not buffered (and a dropped receiver must not kill the market).
     if subscribed.load(Ordering::Acquire) {

@@ -15,7 +15,8 @@ pub(crate) const LATENCY_WINDOW: usize = 4096;
 #[derive(Debug)]
 pub(crate) struct StatsShared {
     started: Instant,
-    pub(crate) epochs_closed: AtomicU64,
+    pub(crate) epochs_cleared: AtomicU64,
+    pub(crate) epochs_aborted: AtomicU64,
     pub(crate) bids_accepted: AtomicU64,
     pub(crate) bids_rejected_invalid: AtomicU64,
     pub(crate) bids_rejected_duplicate: AtomicU64,
@@ -32,7 +33,8 @@ impl StatsShared {
     pub(crate) fn new(worker_threads: usize) -> StatsShared {
         StatsShared {
             started: Instant::now(),
-            epochs_closed: AtomicU64::new(0),
+            epochs_cleared: AtomicU64::new(0),
+            epochs_aborted: AtomicU64::new(0),
             bids_accepted: AtomicU64::new(0),
             bids_rejected_invalid: AtomicU64::new(0),
             bids_rejected_duplicate: AtomicU64::new(0),
@@ -44,8 +46,17 @@ impl StatsShared {
         }
     }
 
-    pub(crate) fn record_epoch(&self, latency: Duration) {
-        self.epochs_closed.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn record_epoch(&self, latency: Duration, aborted: bool) {
+        // The per-epoch survivability split: under fault injection the
+        // interesting question is how many epochs still cleared. The
+        // closed total is *derived* from the split at snapshot time, so
+        // `epochs_closed == epochs_cleared + epochs_aborted` holds in
+        // every snapshot by construction, not by update ordering.
+        if aborted {
+            self.epochs_aborted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.epochs_cleared.fetch_add(1, Ordering::Relaxed);
+        }
         let mut window = self.latencies.lock().expect("stats lock");
         if window.len() == LATENCY_WINDOW {
             window.pop_front();
@@ -62,11 +73,15 @@ impl StatsShared {
     ) -> MarketStats {
         let latencies: Vec<Duration> =
             self.latencies.lock().expect("stats lock").iter().copied().collect();
-        let epochs_closed = self.epochs_closed.load(Ordering::Relaxed);
+        let epochs_cleared = self.epochs_cleared.load(Ordering::Relaxed);
+        let epochs_aborted = self.epochs_aborted.load(Ordering::Relaxed);
+        let epochs_closed = epochs_cleared + epochs_aborted;
         let uptime = self.started.elapsed();
         MarketStats {
             uptime,
             epochs_closed,
+            epochs_cleared,
+            epochs_aborted,
             bids_enqueued: enqueued,
             bids_accepted: self.bids_accepted.load(Ordering::Relaxed),
             bids_shed: shed_bids,
@@ -105,8 +120,15 @@ fn percentile(samples: &[Duration], q: f64) -> Duration {
 pub struct MarketStats {
     /// Time since the service started.
     pub uptime: Duration,
-    /// Epochs closed and cleared as sessions so far.
+    /// Epochs closed and dispatched as sessions so far
+    /// (`epochs_cleared + epochs_aborted`).
     pub epochs_closed: u64,
+    /// Epochs whose session reached a unanimous non-⊥ outcome — the
+    /// survivability numerator under fault injection.
+    pub epochs_cleared: u64,
+    /// Epochs whose session read ⊥ (deadline, faults, or adversarial
+    /// providers).
+    pub epochs_aborted: u64,
     /// Submissions (bids and asks) that entered the ingress queue.
     pub bids_enqueued: u64,
     /// Bids accepted into an epoch's collectors.
@@ -170,10 +192,13 @@ mod tests {
     fn snapshot_reports_counters() {
         let s = StatsShared::new(6);
         s.bids_accepted.store(10, Ordering::Relaxed);
-        s.record_epoch(Duration::from_millis(5));
-        s.record_epoch(Duration::from_millis(7));
+        s.record_epoch(Duration::from_millis(5), false);
+        s.record_epoch(Duration::from_millis(7), true);
         let snap = s.snapshot(3, 2, 14, 1);
         assert_eq!(snap.epochs_closed, 2);
+        assert_eq!(snap.epochs_cleared, 1);
+        assert_eq!(snap.epochs_aborted, 1);
+        assert_eq!(snap.epochs_cleared + snap.epochs_aborted, snap.epochs_closed);
         assert_eq!(snap.bids_accepted, 10);
         assert_eq!(snap.bids_shed, 3);
         assert_eq!(snap.asks_shed, 2);
@@ -189,7 +214,7 @@ mod tests {
     fn latency_window_is_bounded() {
         let s = StatsShared::new(1);
         for i in 0..(LATENCY_WINDOW as u64 + 500) {
-            s.record_epoch(Duration::from_micros(i));
+            s.record_epoch(Duration::from_micros(i), false);
         }
         let snap = s.snapshot(0, 0, 0, 0);
         assert_eq!(snap.epochs_closed, LATENCY_WINDOW as u64 + 500);

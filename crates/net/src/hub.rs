@@ -98,18 +98,28 @@ impl Endpoint {
     }
 
     /// Send `payload` to `to`. Never blocks; messages to departed peers
-    /// are dropped silently (the run is over at that point).
+    /// cannot be delivered — they are **counted** as drops in the hub's
+    /// [`TrafficMetrics`] (never silently discarded), so late-session
+    /// and chaos-induced loss is observable in every
+    /// [`crate::TrafficSnapshot`].
     pub fn send(&self, to: ProviderId, payload: Bytes) {
         self.metrics.record_send(self.me, payload.len());
         match &self.delayer {
             Some(d) => {
-                let _ = d.send((self.me, to, payload));
-            }
-            None => {
-                if let Some(ch) = self.direct.get(to.index()) {
-                    let _ = ch.send((self.me, payload));
+                let len = payload.len();
+                if d.send((self.me, to, payload)).is_err() {
+                    self.metrics.record_drop(self.me, len);
                 }
             }
+            None => match self.direct.get(to.index()) {
+                Some(ch) => {
+                    let len = payload.len();
+                    if ch.send((self.me, payload)).is_err() {
+                        self.metrics.record_drop(self.me, len);
+                    }
+                }
+                None => self.metrics.record_drop(self.me, payload.len()),
+            },
         }
     }
 
@@ -178,9 +188,10 @@ impl ThreadedHub {
         } else {
             let (tx, rx) = bounded::<(ProviderId, ProviderId, Bytes)>(64 * 1024);
             let outs = inboxes_tx.clone();
+            let delayer_metrics = metrics.clone();
             let handle = std::thread::Builder::new()
                 .name("dauctioneer-delayer".into())
-                .spawn(move || run_delayer(rx, outs, latency, seed))
+                .spawn(move || run_delayer(rx, outs, latency, seed, delayer_metrics))
                 .expect("spawn delayer thread");
             (Some(tx), Some(handle))
         };
@@ -240,18 +251,26 @@ fn run_delayer(
     outs: Vec<Sender<(ProviderId, Bytes)>>,
     latency: LatencyModel,
     seed: u64,
+    metrics: TrafficMetrics,
 ) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut heap: BinaryHeap<Delayed> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut input_open = true;
     loop {
-        // Deliver everything due.
+        // Deliver everything due; undeliverable messages (destination
+        // inbox gone or out of range) are counted, never silent.
         let now = Instant::now();
         while heap.peek().is_some_and(|d| d.deliver_at <= now) {
             let d = heap.pop().unwrap();
-            if let Some(out) = outs.get(d.to.index()) {
-                let _ = out.send((d.from, d.payload));
+            match outs.get(d.to.index()) {
+                Some(out) => {
+                    let len = d.payload.len();
+                    if out.send((d.from, d.payload)).is_err() {
+                        metrics.record_drop(d.from, len);
+                    }
+                }
+                None => metrics.record_drop(d.from, d.payload.len()),
             }
         }
         fn enqueue(
@@ -368,6 +387,40 @@ mod tests {
         let snap = metrics.snapshot();
         assert_eq!(snap.per_provider[0].sent_bytes, 5);
         assert_eq!(snap.per_provider[1].received_bytes, 5);
+    }
+
+    #[test]
+    fn undeliverable_messages_are_counted_not_silent() {
+        let mut hub = ThreadedHub::new(2, LatencyModel::Zero, 1);
+        let metrics = hub.metrics();
+        let mut eps = hub.take_endpoints();
+        let survivor = eps.remove(0);
+        drop(eps); // endpoint 1 departs; its inbox receiver is gone
+        survivor.send(ProviderId(1), Bytes::from_static(b"ghost"));
+        // Out-of-range destinations are undeliverable too.
+        survivor.send(ProviderId(7), Bytes::from_static(b"void!"));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.per_provider[0].dropped_messages, 2);
+        assert_eq!(snap.per_provider[0].dropped_bytes, 10);
+        assert_eq!(snap.total_dropped(), 2);
+        // Sends are still counted as sends — the drop counter is additive
+        // observability, not a reclassification.
+        assert_eq!(snap.per_provider[0].sent_messages, 2);
+    }
+
+    #[test]
+    fn delayer_counts_drops_to_departed_peers() {
+        let mut hub = ThreadedHub::new(2, LatencyModel::ConstantMicros(2_000), 5);
+        let metrics = hub.metrics();
+        let mut eps = hub.take_endpoints();
+        let survivor = eps.remove(0);
+        drop(eps); // peer 1 departs before the delayed delivery lands
+        survivor.send(ProviderId(1), Bytes::from_static(b"late"));
+        drop(survivor);
+        drop(hub); // joins the delayer: the drop is recorded by now
+        let snap = metrics.snapshot();
+        assert_eq!(snap.per_provider[0].dropped_messages, 1);
+        assert_eq!(snap.per_provider[0].dropped_bytes, 4);
     }
 
     #[test]

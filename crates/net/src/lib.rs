@@ -21,6 +21,12 @@
 //!   partitioned across them by a stable hash of the session tag
 //!   ([`shard_for`]), lifting the one-thread-per-provider ceiling on
 //!   multi-session batch throughput.
+//! * [`ChaosTransport`] / [`FaultPlan`] — seeded, deterministic fault
+//!   injection (drop / duplicate / reorder / delay / corrupt per link)
+//!   wrapping any [`Transport`], so every test and bench can run under
+//!   adversarial network conditions replayable from a seed.
+//! * [`Transport`] — the minimal blocking point-to-point interface all of
+//!   the above present to the protocol layer.
 //! * [`frame()`] / [`unframe`] — tag-framing used by the protocol layer to
 //!   multiplex many building-block instances over one link.
 //! * [`TrafficMetrics`] — per-provider message/byte counters, reported by
@@ -49,16 +55,20 @@
 
 #![deny(missing_docs)]
 
+pub mod chaos;
 pub mod frame;
 pub mod hub;
 pub mod latency;
 pub mod metrics;
 pub mod shard;
 pub mod tcp;
+pub mod transport;
 
+pub use chaos::{ChaosStats, ChaosTransport, FaultDecision, FaultPlan, FaultPlanError};
 pub use frame::{frame, unframe, wire_decode, wire_encode, FrameError, WireError, MAX_WIRE_FRAME};
 pub use hub::{Endpoint, RecvError, ThreadedHub};
 pub use latency::LatencyModel;
 pub use metrics::{ProviderTraffic, TrafficMetrics, TrafficSnapshot};
 pub use shard::{shard_for, ShardedHub};
 pub use tcp::{TcpEndpoint, TcpMesh};
+pub use transport::Transport;

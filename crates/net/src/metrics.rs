@@ -12,6 +12,8 @@ pub struct ProviderTraffic {
     sent_bytes: AtomicU64,
     received_messages: AtomicU64,
     received_bytes: AtomicU64,
+    dropped_messages: AtomicU64,
+    dropped_bytes: AtomicU64,
 }
 
 impl ProviderTraffic {
@@ -23,6 +25,11 @@ impl ProviderTraffic {
     fn record_recv(&self, bytes: usize) {
         self.received_messages.fetch_add(1, Ordering::Relaxed);
         self.received_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn record_drop(&self, bytes: usize) {
+        self.dropped_messages.fetch_add(1, Ordering::Relaxed);
+        self.dropped_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 }
 
@@ -73,6 +80,16 @@ impl TrafficMetrics {
         }
     }
 
+    /// Record a message from `from` that could not be delivered (the
+    /// destination's inbox is gone or out of range). Undeliverable
+    /// traffic is *counted*, never silently discarded — chaos-induced
+    /// loss must be observable.
+    pub fn record_drop(&self, from: ProviderId, bytes: usize) {
+        if let Some(t) = self.providers.get(from.index()) {
+            t.record_drop(bytes);
+        }
+    }
+
     /// Capture a consistent-enough snapshot (relaxed reads; exact once the
     /// run has quiesced).
     pub fn snapshot(&self) -> TrafficSnapshot {
@@ -85,6 +102,8 @@ impl TrafficMetrics {
                     sent_bytes: t.sent_bytes.load(Ordering::Relaxed),
                     received_messages: t.received_messages.load(Ordering::Relaxed),
                     received_bytes: t.received_bytes.load(Ordering::Relaxed),
+                    dropped_messages: t.dropped_messages.load(Ordering::Relaxed),
+                    dropped_bytes: t.dropped_bytes.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -102,6 +121,11 @@ pub struct ProviderSnapshot {
     pub received_messages: u64,
     /// Payload bytes received.
     pub received_bytes: u64,
+    /// Messages this provider sent that could not be delivered (the
+    /// destination inbox was gone or out of range).
+    pub dropped_messages: u64,
+    /// Payload bytes of those undeliverable messages.
+    pub dropped_bytes: u64,
 }
 
 /// Point-in-time copy of a hub's counters.
@@ -124,6 +148,8 @@ impl TrafficSnapshot {
             mine.sent_bytes += theirs.sent_bytes;
             mine.received_messages += theirs.received_messages;
             mine.received_bytes += theirs.received_bytes;
+            mine.dropped_messages += theirs.dropped_messages;
+            mine.dropped_bytes += theirs.dropped_bytes;
         }
     }
 
@@ -135,6 +161,11 @@ impl TrafficSnapshot {
     /// Total payload bytes sent across all providers.
     pub fn total_bytes(&self) -> u64 {
         self.per_provider.iter().map(|p| p.sent_bytes).sum()
+    }
+
+    /// Total undeliverable messages across all providers.
+    pub fn total_dropped(&self) -> u64 {
+        self.per_provider.iter().map(|p| p.dropped_messages).sum()
     }
 }
 
@@ -155,6 +186,21 @@ mod tests {
         assert_eq!(snap.per_provider[1].received_bytes, 15);
         assert_eq!(snap.total_messages(), 2);
         assert_eq!(snap.total_bytes(), 15);
+    }
+
+    #[test]
+    fn drops_accumulate_and_merge() {
+        let m = TrafficMetrics::new(2);
+        m.record_drop(ProviderId(0), 7);
+        m.record_drop(ProviderId(1), 3);
+        let mut snap = m.snapshot();
+        assert_eq!(snap.per_provider[0].dropped_messages, 1);
+        assert_eq!(snap.per_provider[0].dropped_bytes, 7);
+        assert_eq!(snap.total_dropped(), 2);
+        let other = m.snapshot();
+        snap.merge(&other);
+        assert_eq!(snap.total_dropped(), 4);
+        assert_eq!(snap.per_provider[1].dropped_bytes, 6);
     }
 
     #[test]

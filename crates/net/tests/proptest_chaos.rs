@@ -1,0 +1,192 @@
+//! Property tests for the chaos plane: every fault decision — and hence
+//! the whole delivered stream of a wrapped transport — is a pure
+//! function of `(plan, seed, link, message index)`, and the zero plan is
+//! exactly transparent.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use dauctioneer_net::{ChaosTransport, FaultPlan, RecvError, Transport};
+use dauctioneer_types::ProviderId;
+
+/// A transport that replays a fixed incoming schedule: the scripted
+/// harness that isolates the chaos layer from real threads and clocks.
+struct ScriptTransport {
+    me: ProviderId,
+    m: usize,
+    queue: VecDeque<(ProviderId, Bytes)>,
+}
+
+impl ScriptTransport {
+    fn new(me: ProviderId, m: usize, script: &[(ProviderId, Vec<u8>)]) -> ScriptTransport {
+        ScriptTransport {
+            me,
+            m,
+            queue: script
+                .iter()
+                .map(|(from, payload)| (*from, Bytes::copy_from_slice(payload)))
+                .collect(),
+        }
+    }
+}
+
+impl Transport for ScriptTransport {
+    fn me(&self) -> ProviderId {
+        self.me
+    }
+
+    fn num_providers(&self) -> usize {
+        self.m
+    }
+
+    fn send(&mut self, _to: ProviderId, _payload: Bytes) {}
+
+    fn recv_timeout(&mut self, _timeout: Duration) -> Result<(ProviderId, Bytes), RecvError> {
+        self.queue.pop_front().ok_or(RecvError::Disconnected)
+    }
+}
+
+/// Run `script` through `plan` and collect everything delivered, in
+/// order, until the wrapper reports the script exhausted.
+fn deliveries(plan: FaultPlan, script: &[(ProviderId, Vec<u8>)]) -> Vec<(ProviderId, Vec<u8>)> {
+    let mut chaos = ChaosTransport::new(ScriptTransport::new(ProviderId(2), 3, script), plan);
+    let mut out = Vec::new();
+    // Bounded loop: every parked/held message has a finite due time, so
+    // Disconnected eventually propagates. The bound is generous slack,
+    // not load-bearing.
+    for _ in 0..script.len() * 4 + 16 {
+        match chaos.recv_timeout(Duration::from_millis(200)) {
+            Ok((from, payload)) => out.push((from, payload.to_vec())),
+            Err(RecvError::Disconnected) => break,
+            Err(RecvError::Timeout) => {} // internal deadline pending
+        }
+    }
+    out
+}
+
+/// Messages from providers 0 and 1 arriving at provider 2.
+fn arb_script() -> impl Strategy<Value = Vec<(ProviderId, Vec<u8>)>> {
+    proptest::collection::vec((0u32..2, proptest::collection::vec(any::<u8>(), 1..24)), 0..24)
+        .prop_map(|raw| {
+            raw.into_iter().map(|(from, payload)| (ProviderId(from), payload)).collect()
+        })
+}
+
+/// Plans over the schedule-independent fault classes (drop, duplicate,
+/// reorder, corrupt): their delivered stream is a pure function of the
+/// seed, byte for byte and in order.
+fn arb_content_plan() -> impl Strategy<Value = FaultPlan> {
+    (any::<u64>(), 0.0..0.5f64, 0.0..0.5f64, 0.0..0.5f64, 0.0..0.5f64).prop_map(
+        |(seed, drop, dup, reorder, corrupt)| {
+            let mut plan = FaultPlan::seeded(seed)
+                .with_drop(drop)
+                .with_duplicate(dup)
+                .with_reorder(reorder)
+                .with_corrupt(corrupt);
+            plan.reorder_hold = Duration::from_millis(2);
+            plan
+        },
+    )
+}
+
+/// Plans with every knob active, including delays. Delayed delivery
+/// *points* race the clock, so only the delivered multiset (not the
+/// interleaving) is seed-determined.
+fn arb_full_plan() -> impl Strategy<Value = FaultPlan> {
+    (arb_content_plan(), 0.0..0.5f64)
+        .prop_map(|(plan, delay)| plan.with_delay(delay, Duration::ZERO, Duration::from_millis(2)))
+}
+
+fn sorted(mut v: Vec<(ProviderId, Vec<u8>)>) -> Vec<(ProviderId, Vec<u8>)> {
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn content_plans_replay_byte_identically_from_their_seed(
+        plan in arb_content_plan(),
+        script in arb_script(),
+    ) {
+        // The whole point of the chaos plane: two runs of the same plan
+        // over the same per-link schedule deliver the identical byte
+        // stream — drops, duplicates, swaps, corruption and all.
+        let first = deliveries(plan, &script);
+        let second = deliveries(plan, &script);
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn delay_plans_replay_the_identical_multiset(
+        plan in arb_full_plan(),
+        script in arb_script(),
+    ) {
+        // With delays in play the *interleaving* races the clock, but
+        // which messages survive, duplicate, and how each is corrupted
+        // is still a pure function of the seed.
+        let first = sorted(deliveries(plan, &script));
+        let second = sorted(deliveries(plan, &script));
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn zero_probability_plan_is_exactly_transparent(
+        seed in any::<u64>(),
+        script in arb_script(),
+    ) {
+        let plan = FaultPlan::seeded(seed);
+        prop_assert!(plan.is_benign());
+        let got = deliveries(plan, &script);
+        let want: Vec<(ProviderId, Vec<u8>)> = script.clone();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn content_faults_never_invent_or_grow_messages(
+        plan in arb_full_plan(),
+        script in arb_script(),
+    ) {
+        // Conservation: at most 2 copies of each scripted message (the
+        // duplicate cap), nothing from unknown senders, and corruption
+        // preserves length.
+        let got = deliveries(plan, &script);
+        prop_assert!(got.len() <= script.len() * 2);
+        for (from, payload) in &got {
+            prop_assert!(from.index() < 2);
+            prop_assert!(
+                script.iter().any(|(f, p)| f == from && p.len() == payload.len()),
+                "delivered a message whose length matches nothing ever sent on that link"
+            );
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_their_coordinates(
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+        from in 0u32..8,
+        to in 0u32..8,
+        index in any::<u64>(),
+    ) {
+        let plan = FaultPlan::seeded(seed)
+            .with_drop(0.3)
+            .with_duplicate(0.3)
+            .with_reorder(0.3)
+            .with_delay(0.3, Duration::ZERO, Duration::from_millis(2))
+            .with_corrupt(0.3);
+        let a = plan.decide(salt, ProviderId(from), ProviderId(to), index);
+        let b = plan.decide(salt, ProviderId(from), ProviderId(to), index);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spec_strings_round_trip(plan in arb_full_plan()) {
+        let respelled: FaultPlan = plan.to_string().parse().unwrap();
+        prop_assert_eq!(plan, respelled);
+    }
+}

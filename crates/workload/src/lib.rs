@@ -23,9 +23,16 @@
 //! inter-arrivals) over the same bidder population, feeding the
 //! continuous market service, its example, and the `market_soak` bench.
 
+//! The [`scenarios`] module names the *adversarial* workloads: chaos
+//! scenarios pairing link-fault plans with deviating-provider
+//! strategies, shared by the chaos test suite, the `chaos_sweep` bench,
+//! and the CI chaos matrix.
+
 pub mod arrival;
+pub mod scenarios;
 
 pub use arrival::{epoch_supply, ArrivalProcess, Arrivals, BidArrival, InterArrival};
+pub use scenarios::{chaos_suite, scenario_by_name, ChaosScenario, Expectation};
 
 use dauctioneer_crypto::{derive_seed, SeedDomain};
 use dauctioneer_types::{BidVector, Bw, Money, ProviderAsk, UserBid};

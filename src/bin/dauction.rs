@@ -14,8 +14,14 @@
 //!          [--epsilon PPM] [--budget NODES]
 //! dauction serve [--rate BIDS_PER_SEC] [--epochs E] [--epoch-bids N] [--epoch-ms D]
 //!          [--n USERS] [--m PROVIDERS] [--k COALITION] [--seed SEED]
-//!          [--transport inproc|tcp] [--shards S]
+//!          [--transport inproc|tcp] [--shards S] [--chaos SPEC]
 //! ```
+//!
+//! `--chaos` injects seeded link faults into the persistent mesh; the
+//! spec is the `key=value` format of `FaultPlan` (e.g.
+//! `drop=0.05,dup=0.01,delay=0.2,delay-ms=1..10,corrupt=0.01,seed=7`).
+//! The end-of-run summary then reports survivability: epochs cleared
+//! vs ⊥-aborted under the plan.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -93,7 +99,8 @@ const HELP: &str = "usage: dauction [--auction double|standard] [--n USERS] [--m
 [--k COALITION] [--seed SEED] [--runtime threads|des] [--latency zero|community] \
 [--epsilon PPM] [--budget NODES]\n       dauction serve [--rate BIDS_PER_SEC] [--epochs E] \
 [--epoch-bids N] [--epoch-ms D] [--n USERS] [--m PROVIDERS] [--k COALITION] [--seed SEED] \
-[--transport inproc|tcp] [--shards S]";
+[--transport inproc|tcp] [--shards S] [--deadline-ms D] [--chaos drop=P,dup=P,reorder=P,\
+delay=P,delay-ms=A..B,corrupt=P,seed=S,hold-ms=H]";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -199,6 +206,8 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
     let mut seed = 42u64;
     let mut transport = TransportKind::InProc;
     let mut shards = 1usize;
+    let mut chaos: Option<dauctioneer::net::FaultPlan> = None;
+    let mut deadline_ms: Option<u64> = None;
 
     let mut i = 0;
     while i < argv.len() {
@@ -226,6 +235,10 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
                 }
             }
             "--shards" => shards = value.parse().map_err(|e| format!("--shards: {e}"))?,
+            "--chaos" => chaos = Some(value.parse().map_err(|e| format!("--chaos: {e}"))?),
+            "--deadline-ms" => {
+                deadline_ms = Some(value.parse().map_err(|e| format!("--deadline-ms: {e}"))?)
+            }
             other => return Err(format!("unknown serve flag {other}\n{HELP}")),
         }
         i += 2;
@@ -253,12 +266,24 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
         MarketConfig::new(m, k, n, m).with_epoch(policy).with_transport(transport, shards);
     config.asks = epoch_supply(m, expected_bids);
     config.seed = seed;
+    config.chaos = chaos;
+    // Under chaos, epochs that lost a critical message wait out the full
+    // session deadline before reading ⊥; default it down so a bounded
+    // demo run stays bounded. `--deadline-ms` overrides either way.
+    config.session_deadline = match deadline_ms {
+        Some(ms) => Duration::from_millis(ms),
+        None if config.chaos.is_some() => Duration::from_secs(5),
+        None => config.session_deadline,
+    };
 
     println!(
         "dauction serve: continuous double auction, m={m} providers (k={k}), {n} user \
          slots/epoch, {rate} bids/s Poisson, {policy:?}, {transport:?}×{shards} shard(s); \
          stopping after {epochs} epochs"
     );
+    if let Some(plan) = &config.chaos {
+        println!("chaos plane armed: {plan} (replay any epoch from this spec)");
+    }
 
     let mut market = MarketService::start(config, Arc::new(DoubleAuctionProgram::new()))
         .map_err(|e| format!("cannot start market: {e}"))?;
@@ -315,6 +340,10 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
     stop.store(true, Ordering::Relaxed);
     let _ = feeder.join();
     let stats = market.shutdown();
+    println!(
+        "survivability: {} epochs cleared, {} ⊥-aborted",
+        stats.epochs_cleared, stats.epochs_aborted
+    );
     println!(
         "served {} epochs in {:?}: {:.1} sessions/s sustained, epoch latency p50 {:?} / p99 \
          {:?}; bids: {} accepted, {} shed, {} rejected (invalid {}, duplicate {}, unknown {})",

@@ -323,7 +323,7 @@ pub mod option {
         type Value = Option<S::Value>;
         fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
             // None for roughly a quarter of cases, as a useful mix.
-            if rng.next_u64().is_multiple_of(4) {
+            if rng.next_u64() % 4 == 0 {
                 None
             } else {
                 Some(self.inner.generate(rng))
