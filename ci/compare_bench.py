@@ -14,7 +14,8 @@ commit. Regenerate baselines with:
 
     cargo run --release -p dauctioneer-bench --bin market_soak -- --quick --json
     cargo run --release -p dauctioneer-bench --bin batch_throughput -- --quick --rounds 1 --json
-    mv BENCH_market_soak.json BENCH_batch_throughput.json BENCH_baseline/
+    cargo bench -p dauctioneer-bench --bench wire_hot_path -- --json
+    mv BENCH_market_soak.json BENCH_batch_throughput.json BENCH_wire.json BENCH_baseline/
 """
 
 import argparse
@@ -32,7 +33,7 @@ def load(path: Path):
         return json.load(f)
 
 
-def check_throughput(name, key, baseline, current, failures, lines):
+def check_throughput(name, key, baseline, current, failures, lines, metric="sessions/s"):
     if baseline <= 0:
         return
     ratio = current / baseline
@@ -40,10 +41,10 @@ def check_throughput(name, key, baseline, current, failures, lines):
     if ratio < THROUGHPUT_FLOOR:
         verdict = "REGRESSION"
         failures.append(
-            f"{name} [{key}]: sessions/s fell to {ratio:.0%} of baseline "
+            f"{name} [{key}]: {metric} fell to {ratio:.0%} of baseline "
             f"({current:.1f} vs {baseline:.1f}, floor {THROUGHPUT_FLOOR:.0%})"
         )
-    lines.append(f"  {name} [{key}] sessions/s: {baseline:.1f} -> {current:.1f} ({ratio:.2f}x) {verdict}")
+    lines.append(f"  {name} [{key}] {metric}: {baseline:.1f} -> {current:.1f} ({ratio:.2f}x) {verdict}")
 
 
 def check_latency(name, key, baseline, current, failures, lines):
@@ -92,6 +93,21 @@ def compare_batch_throughput(base, cur, failures, lines):
         check_throughput(name, label, brow["sessions_per_s"], crow["sessions_per_s"], failures, lines)
 
 
+def compare_wire(base, cur, failures, lines):
+    name = "wire_hot_path"
+    base_rows = index_rows(base.get("ops", []), ("op",))
+    cur_rows = index_rows(cur.get("ops", []), ("op",))
+    for key, brow in base_rows.items():
+        crow = cur_rows.get(key)
+        label = f"op={key[0]}"
+        if crow is None:
+            lines.append(f"  {name} [{label}]: row missing in current run (skipped)")
+            continue
+        check_throughput(
+            name, label, brow["ops_per_s"], crow["ops_per_s"], failures, lines, metric="ops/s"
+        )
+
+
 def compare_market_soak(base, cur, failures, lines):
     name = "market_soak"
     base_rows = index_rows(base.get("runs", []), ("arrival",))
@@ -122,6 +138,7 @@ def main():
     comparisons = [
         ("BENCH_batch_throughput.json", compare_batch_throughput),
         ("BENCH_market_soak.json", compare_market_soak),
+        ("BENCH_wire.json", compare_wire),
     ]
     failures, lines = [], []
     compared = 0

@@ -1,0 +1,162 @@
+//! `wire_hot_path` — criterion microbench of the per-frame wire path:
+//! codec encode (fresh vs reused `Writer`), framing (layered allocs vs
+//! the single reserved-header `frame_wire_into` build), the mux
+//! fold/unfold, and the coalescing batch build the socket writers run.
+//!
+//! Besides the criterion per-op means, `--json` computes sustained ops/s
+//! per operation and writes `BENCH_wire.json`, which
+//! `ci/compare_bench.py` gates against `BENCH_baseline/` — so a
+//! regression on the wire hot path (an accidental extra allocation, a
+//! lost buffer reuse) fails CI as data, not as a prose claim.
+//!
+//! Run: `cargo bench -p dauctioneer-bench --bench wire_hot_path -- --json`
+
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use criterion::{black_box, BenchmarkId, Criterion};
+use dauctioneer_bench::json::{write_bench_file_in, JsonArray, JsonObject};
+use dauctioneer_net::{
+    frame, frame_wire_into, mux_frame_into, mux_unframe, wire_decode, wire_encode, wire_encode_into,
+};
+use dauctioneer_types::{Encode, Writer};
+
+/// A typical protocol message body (commit messages with a 32-byte
+/// digest plus encoded bids land in this range).
+const BODY: &[u8] = &[0xA5; 200];
+
+/// Frames per simulated coalescing batch (what a loaded writer drains
+/// between two `write_all`s).
+const BATCH: usize = 64;
+
+/// Sustained operations per second of `f`, measured over ~200ms after a
+/// short warm-up. Coarse by design: the gate trips on 25% drops, not
+/// single-digit noise.
+fn ops_per_s(f: &mut impl FnMut()) -> f64 {
+    for _ in 0..1_000 {
+        f();
+    }
+    let target = Duration::from_millis(200);
+    let start = Instant::now();
+    let mut n = 0u64;
+    while start.elapsed() < target {
+        for _ in 0..1_024 {
+            f();
+        }
+        n += 1_024;
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let emit_json = std::env::args().any(|a| a == "--json");
+
+    // Each op body is defined ONCE and fed to both the criterion group
+    // (human-readable per-op means) and the `--json` ops/s rows (the CI
+    // regression gate), so the two measurements can never drift apart.
+    let values: Vec<u64> = (0..24).collect();
+    let payload = frame(12345, BODY);
+
+    let mut writer_fresh = || {
+        let mut w = Writer::new();
+        values.encode(&mut w);
+        black_box(w.finish());
+    };
+    let mut scratch = Writer::new();
+    let mut writer_reused = || {
+        values.encode(&mut scratch);
+        black_box(scratch.finish_reset());
+    };
+    let mut layered_frame_plus_wire = || {
+        black_box(wire_encode(&frame(7, BODY)));
+    };
+    let mut frame_buf = BytesMut::with_capacity(64 * 1024);
+    let mut frame_wire_into_reused = || {
+        frame_buf.clear();
+        frame_wire_into(7, BODY, &mut frame_buf);
+        black_box(frame_buf.len());
+    };
+    let mut batch_buf = BytesMut::with_capacity(64 * 1024);
+    let mut coalesce_batch = || {
+        batch_buf.clear();
+        for _ in 0..BATCH {
+            wire_encode_into(&payload, &mut batch_buf);
+        }
+        black_box(batch_buf.len());
+    };
+    let mut mux_buf = BytesMut::with_capacity(64 * 1024);
+    let mut mux_fold_roundtrip = || {
+        mux_buf.clear();
+        mux_frame_into(3, &payload, &mut mux_buf);
+        let (wire_frame, _) = wire_decode(&mux_buf).unwrap().unwrap();
+        black_box(mux_unframe(wire_frame).unwrap());
+    };
+
+    let mut c = Criterion::default();
+    let mut group = c.benchmark_group("encode");
+    group.sample_size(1000);
+    group
+        .bench_function(BenchmarkId::from_parameter("writer_fresh"), |b| b.iter(&mut writer_fresh));
+    group.bench_function(BenchmarkId::from_parameter("writer_reused"), |b| {
+        b.iter(&mut writer_reused)
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("frame");
+    group.sample_size(1000);
+    group.bench_function(BenchmarkId::from_parameter("layered_frame_plus_wire"), |b| {
+        b.iter(&mut layered_frame_plus_wire)
+    });
+    group.bench_function(BenchmarkId::from_parameter("frame_wire_into_reused"), |b| {
+        b.iter(&mut frame_wire_into_reused)
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("coalesce");
+    group.sample_size(200);
+    group.bench_function(BenchmarkId::from_parameter("batch_64_reused"), |b| {
+        b.iter(&mut coalesce_batch)
+    });
+    group.bench_function(BenchmarkId::from_parameter("mux_fold_roundtrip"), |b| {
+        b.iter(&mut mux_fold_roundtrip)
+    });
+    group.finish();
+
+    if !emit_json {
+        return;
+    }
+
+    // Sustained ops/s for the regression gate. Per-frame rates; the
+    // coalesced row is per frame *inside* a batch, so the ratio to the
+    // layered row is the syscall-free amortisation the writers enjoy.
+    let mut rows = JsonArray::new();
+    let mut row = |op: &str, ops: f64| {
+        let mut o = JsonObject::new();
+        o.str("op", op).num("ops_per_s", ops);
+        rows.push(o.finish());
+    };
+    row("writer_fresh", ops_per_s(&mut writer_fresh));
+    row("writer_reused", ops_per_s(&mut writer_reused));
+    row("layered_frame_plus_wire", ops_per_s(&mut layered_frame_plus_wire));
+    row("frame_wire_into_reused", ops_per_s(&mut frame_wire_into_reused));
+    row("coalesced_frame_in_batch_64", ops_per_s(&mut coalesce_batch) * BATCH as f64);
+    row("mux_fold_roundtrip", ops_per_s(&mut mux_fold_roundtrip));
+
+    let mut config = JsonObject::new();
+    config.int("body_bytes", BODY.len() as u64).int("batch_frames", BATCH as u64).int(
+        "host_cores",
+        std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1) as u64,
+    );
+    let mut top = JsonObject::new();
+    top.str("bench", "wire_hot_path").raw("config", &config.finish()).raw("ops", &rows.finish());
+    // `cargo bench` runs the harness with cwd = the *package* directory;
+    // the gate and the other bench bins work from the workspace root, so
+    // resolve it (two levels above crates/bench) when cargo tells us.
+    let root = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(|dir| std::path::PathBuf::from(dir).join("../.."))
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    match write_bench_file_in(&root, "wire", &top.finish()) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_wire.json: {e}"),
+    }
+}

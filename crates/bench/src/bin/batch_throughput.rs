@@ -68,6 +68,13 @@ fn main() {
             .collect()
     };
 
+    // Untimed warm-up: one throwaway session so neither sweep's first
+    // measured run pays the one-time costs (lazy allocator pools, page
+    // faults, branch warm-up) — previously the batched column ran first
+    // and absorbed all of it, which read as a phantom 1-session
+    // "regression".
+    let _ = run_batch(&cfg, Arc::clone(&program), sessions(999_999_000, 1), &options);
+
     // Sweep 1: batched (one shared mesh) vs sequential (per-session mesh).
     let batch_sizes: &[usize] = if common.quick { &[1, 4, 8] } else { &[1, 2, 4, 8, 16, 32] };
     let mut json_batched = JsonArray::new();

@@ -57,13 +57,15 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dauctioneer_net::{shard_for, FaultPlan, ShardedHub, TcpMesh, TrafficSnapshot};
+use dauctioneer_net::{
+    shard_for, ChaosTransport, FaultPlan, MuxMesh, ShardedHub, ThreadedHub, TrafficSnapshot,
+};
 use dauctioneer_types::{BidVector, Outcome, ProviderId, SessionId};
 
-use crate::adversary::{Adversary, AdversaryKind};
+use crate::adversary::{strategy_for, Adversary, AdversaryKind, AdversaryTransport};
 use crate::allocator::AllocatorProgram;
 use crate::config::FrameworkConfig;
-use crate::engine::unanimous;
+use crate::engine::{drive, unanimous, SessionEngine, Transport};
 use crate::pool::SessionPool;
 use crate::runtime::RunOptions;
 
@@ -78,9 +80,13 @@ pub enum TransportKind {
     /// [`LatencyModel`]: dauctioneer_net::LatencyModel
     #[default]
     InProc,
-    /// Real loopback TCP sockets ([`TcpMesh`]): every frame crosses the
-    /// kernel network stack, deployment-shaped. Link latency is whatever
-    /// the sockets really impose, so modelled latency must be
+    /// Real loopback TCP sockets ([`MuxMesh`]): every frame crosses the
+    /// kernel network stack, deployment-shaped. All shards of the batch
+    /// share **one** socket mesh (one connection per provider pair, one
+    /// reader/coalescing-writer thread pair per peer), with the shard id
+    /// folded into the wire tag — so `shards` adds worker parallelism
+    /// without multiplying connections or I/O threads. Link latency is
+    /// whatever the sockets really impose, so modelled latency must be
     /// [`LatencyModel::Zero`][dauctioneer_net::LatencyModel::Zero].
     Tcp,
 }
@@ -101,8 +107,8 @@ pub struct BatchConfig {
     /// The message substrate each shard's mesh is built on.
     pub transport: TransportKind,
     /// Seeded link-fault injection applied to every endpoint
-    /// ([`ChaosTransport`][dauctioneer_net::ChaosTransport], salted per
-    /// shard). `None` (and the benign plan) is an exact pass-through.
+    /// ([`ChaosTransport`], salted per shard). `None` (and the benign
+    /// plan) is an exact pass-through.
     pub chaos: Option<FaultPlan>,
     /// Providers running an adversarial strategy instead of the honest
     /// protocol (everyone unlisted is honest).
@@ -259,6 +265,16 @@ pub fn run_batch_with<P: AllocatorProgram + 'static>(
         assert!(tags.insert(spec.session), "duplicate session tag {} in batch", spec.session);
     }
 
+    // A batch of one needs none of the multi-session scaffolding: no
+    // sharding decision, no worker pool with its control/reply channels —
+    // just `m` provider threads driving one engine each over one mesh.
+    // This is the `run_session` path, so its constant cost is paid by
+    // every single-session caller in the workspace.
+    if sessions.len() == 1 {
+        let spec = sessions.into_iter().next().expect("one session");
+        return run_singleton(cfg, program, spec, options, batch);
+    }
+
     let shards = batch.shards.max(1);
     let n_sessions = sessions.len();
     let session_ids: Vec<SessionId> = sessions.iter().map(|s| s.session).collect();
@@ -319,23 +335,24 @@ pub fn run_batch_with<P: AllocatorProgram + 'static>(
                         "modelled link latency cannot be injected into real TCP sockets; \
                              use TransportKind::InProc for latency experiments"
                     );
-                    let mut meshes: Vec<TcpMesh> = (0..compact_specs.len())
-                        .map(|_| TcpMesh::loopback(cfg.m).expect("bring up loopback TCP mesh"))
-                        .collect();
-                    let endpoints = meshes.iter_mut().map(TcpMesh::take_endpoints).collect();
+                    // One multiplexed mesh, one lane per occupied shard:
+                    // the shards stay logically independent (distinct tag
+                    // namespaces, separate worker threads) but share one
+                    // socket per provider pair and one reader/writer
+                    // thread pair per peer — O(m) I/O threads however
+                    // many shards are in play.
+                    let mut mesh = MuxMesh::loopback(cfg.m, compact_specs.len())
+                        .expect("bring up multiplexed loopback TCP mesh");
                     let pool = SessionPool::new_with_faults(
                         cfg,
                         &program,
-                        endpoints,
+                        mesh.take_lane_endpoints(),
                         batch.chaos,
                         &batch.adversaries,
                     );
                     let columns = pool.run_epoch(compact_specs, deadline);
                     pool.shutdown();
-                    let mut traffic = TrafficSnapshot::default();
-                    for mesh in &meshes {
-                        traffic.merge(&mesh.metrics().snapshot());
-                    }
+                    let traffic = mesh.metrics().snapshot();
                     (columns, traffic)
                 }
             }
@@ -357,6 +374,102 @@ pub fn run_batch_with<P: AllocatorProgram + 'static>(
         .map(|(session, outcomes)| BatchSessionReport { session, outcomes })
         .collect();
     BatchReport { sessions, elapsed, traffic }
+}
+
+/// The singleton fast path of [`run_batch_with`]: one session, `m`
+/// scoped provider threads, no pool. Fault injection composes exactly as
+/// in the pooled path (chaos salted with the session's shard index —
+/// which is 0, since one session occupies one shard), so outcomes and
+/// chaos traces are identical to the scaffolded run, only cheaper.
+fn run_singleton<P: AllocatorProgram + 'static>(
+    cfg: &FrameworkConfig,
+    program: Arc<P>,
+    spec: BatchSession,
+    options: &RunOptions,
+    batch: &BatchConfig,
+) -> BatchReport {
+    if let Some(plan) = &batch.chaos {
+        plan.validate().expect("invalid fault plan");
+    }
+    for adversary in &batch.adversaries {
+        assert!(
+            adversary.provider.index() < cfg.m,
+            "adversary names provider {} but the mesh has only {} providers",
+            adversary.provider,
+            cfg.m
+        );
+    }
+    let start = Instant::now();
+    let (outcomes, traffic) = match batch.transport {
+        TransportKind::InProc => {
+            let mut hub = ThreadedHub::new(cfg.m, options.latency, options.seed);
+            let endpoints = hub.take_endpoints();
+            let outcomes = drive_singleton(cfg, &program, &spec, endpoints, options, batch);
+            let traffic = hub.metrics().snapshot();
+            (outcomes, traffic)
+        }
+        TransportKind::Tcp => {
+            assert!(
+                options.latency.is_zero(),
+                "modelled link latency cannot be injected into real TCP sockets; \
+                     use TransportKind::InProc for latency experiments"
+            );
+            let mut mesh = MuxMesh::loopback(cfg.m, 1).expect("bring up loopback TCP mesh");
+            let mut lanes = mesh.take_lane_endpoints();
+            let outcomes = drive_singleton(cfg, &program, &spec, lanes.remove(0), options, batch);
+            let traffic = mesh.metrics().snapshot();
+            (outcomes, traffic)
+        }
+    };
+    let elapsed = start.elapsed();
+    BatchReport {
+        sessions: vec![BatchSessionReport { session: spec.session, outcomes }],
+        elapsed,
+        traffic,
+    }
+}
+
+/// Drive one session's `m` providers on scoped threads over
+/// already-built endpoints, with the chaos/adversary stack applied per
+/// provider. A panicked provider thread reads as ⊥, mirroring the
+/// pooled path's dead-worker semantics.
+fn drive_singleton<P, T>(
+    cfg: &FrameworkConfig,
+    program: &Arc<P>,
+    spec: &BatchSession,
+    endpoints: Vec<T>,
+    options: &RunOptions,
+    batch: &BatchConfig,
+) -> Vec<Outcome>
+where
+    P: AllocatorProgram + 'static,
+    T: Transport + Send,
+{
+    let plan = batch.chaos.unwrap_or_else(FaultPlan::none);
+    let session_cfg = cfg.clone().with_session(spec.session);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .zip(spec.collected.iter().cloned())
+            .enumerate()
+            .map(|(j, (endpoint, bids))| {
+                let me = ProviderId(j as u32);
+                let mut transport = AdversaryTransport::new(
+                    ChaosTransport::with_salt(endpoint, plan, 0),
+                    strategy_for(&batch.adversaries, me),
+                );
+                let mut engine = SessionEngine::new(
+                    session_cfg.clone(),
+                    me,
+                    Arc::clone(program),
+                    bids,
+                    spec.seed + j as u64 + 1,
+                );
+                scope.spawn(move || drive(&mut engine, &mut transport, options.deadline))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap_or(Outcome::Abort)).collect()
+    })
 }
 
 #[cfg(test)]

@@ -126,6 +126,15 @@ impl Ctx for TaggedCtx<'_> {
     fn send(&mut self, to: ProviderId, payload: Bytes) {
         self.parent.send(to, frame(self.tag, &payload));
     }
+
+    fn broadcast(&mut self, payload: Bytes) {
+        // Encode-once: frame the tag a single time and let every peer
+        // share the frozen buffer. The default `Ctx::broadcast` would
+        // re-run `frame` (an allocation and a copy) per peer; through
+        // nested tag layers that multiplies by the stack depth, and it is
+        // pure waste — the framed message is identical for all peers.
+        self.parent.broadcast(frame(self.tag, &payload));
+    }
 }
 
 /// A [`Ctx`] that collects sends into an outbox; used by the simulator and
@@ -280,6 +289,37 @@ mod tests {
         let (tag, payload) = unframe(&sent[0].1).unwrap();
         assert_eq!(tag, 42);
         assert_eq!(payload, b"inner");
+    }
+
+    #[test]
+    fn tagged_broadcast_encodes_once_and_shares_the_buffer() {
+        // The shared-`Bytes` path: a broadcast through two nested tag
+        // layers (channel inside session, as the engine stacks them) must
+        // produce per-peer copies that all point at the SAME backing
+        // buffer — i.e. exactly one `frame` encode per layer per message,
+        // never one per peer.
+        let mut outer = OutboxCtx::new(ProviderId(0), 5);
+        {
+            let mut session = TaggedCtx::new(7, &mut outer);
+            let mut channel = TaggedCtx::new(42, &mut session);
+            channel.broadcast(Bytes::from_static(b"round payload"));
+        }
+        let sent = outer.drain();
+        assert_eq!(sent.len(), 4, "one copy per peer");
+        let first = &sent[0].1;
+        for (_, payload) in &sent {
+            assert_eq!(
+                payload.as_ptr(),
+                first.as_ptr(),
+                "per-peer broadcast copies must share one frozen buffer"
+            );
+        }
+        // And the bytes are the correctly double-framed message.
+        let (tag, inner) = unframe(first).unwrap();
+        assert_eq!(tag, 7);
+        let (tag, body) = unframe(inner).unwrap();
+        assert_eq!(tag, 42);
+        assert_eq!(body, b"round payload");
     }
 
     /// A block that records what it saw (test double).

@@ -65,6 +65,10 @@ pub struct CommitReveal {
     echoed: bool,
     revealed: bool,
     result: Option<BlockResult<Vec<Contribution>>>,
+    /// Reused encode buffer for this exchange's outgoing rounds: one warm
+    /// allocation absorbs COMMIT, ECHO and REVEAL instead of each round
+    /// growing a fresh [`Writer`].
+    scratch: Writer,
 }
 
 impl CommitReveal {
@@ -98,6 +102,7 @@ impl CommitReveal {
             echoed: false,
             revealed: false,
             result: None,
+            scratch: Writer::new(),
         };
         // Record our own contribution as if received.
         let own_msg = cr.commit_message(&public);
@@ -107,18 +112,12 @@ impl CommitReveal {
         cr
     }
 
-    fn commit_message(&self, public: &Bytes) -> Bytes {
-        let mut w = Writer::new();
-        public.encode(&mut w);
-        w.put_slice(
-            self.opening
-                .as_ref()
-                .expect("opening present until reveal")
-                .commitment()
-                .digest()
-                .as_bytes(),
-        );
-        w.finish()
+    fn commit_message(&mut self, public: &Bytes) -> Bytes {
+        public.encode(&mut self.scratch);
+        let digest =
+            *self.opening.as_ref().expect("opening present until reveal").commitment().digest();
+        self.scratch.put_slice(digest.as_bytes());
+        self.scratch.finish_reset()
     }
 
     fn abort(&mut self) {
@@ -148,13 +147,13 @@ impl CommitReveal {
             self.echoed = true;
             let digests: Vec<Digest> =
                 self.commit_digests.iter().map(|d| d.expect("all commits held")).collect();
-            let mut w = Writer::new();
-            w.put_u64(digests.len() as u64);
+            self.scratch.put_u64(digests.len() as u64);
             for d in &digests {
-                w.put_slice(d.as_bytes());
+                self.scratch.put_slice(d.as_bytes());
             }
             self.echoes[self.me.index()] = Some(digests);
-            ctx.broadcast(frame(ROUND_ECHO, &w.finish()));
+            let msg = self.scratch.finish_reset();
+            ctx.broadcast(frame(ROUND_ECHO, &msg));
         }
         if self.echoed {
             // Every echo vector must match ours, or someone equivocated in
@@ -171,11 +170,11 @@ impl CommitReveal {
         if self.echoed && self.all_echoes() && !self.revealed {
             self.revealed = true;
             let opening = self.opening.take().expect("reveal happens once");
-            let mut w = Writer::new();
-            w.put_slice(opening.nonce());
-            w.put_len_prefixed(opening.payload());
+            self.scratch.put_slice(opening.nonce());
+            self.scratch.put_len_prefixed(opening.payload());
             self.reveals[self.me.index()] = Some(Bytes::copy_from_slice(opening.payload()));
-            ctx.broadcast(frame(ROUND_REVEAL, &w.finish()));
+            let msg = self.scratch.finish_reset();
+            ctx.broadcast(frame(ROUND_REVEAL, &msg));
         }
         if self.revealed && self.all_reveals() {
             let contributions = self
@@ -412,7 +411,7 @@ mod tests {
     fn duplicate_commit_aborts() {
         let m = 3;
         let mut alice = make(0, m, b"p", &[0; 4]);
-        let bob = make(1, m, b"p", &[1; 4]);
+        let mut bob = make(1, m, b"p", &[1; 4]);
         let mut ctx = OutboxCtx::new(ProviderId(0), m);
         alice.start(&mut ctx);
         let bob_commit = frame(ROUND_COMMIT, &bob.commit_message(&Bytes::from_static(b"p")));
@@ -429,8 +428,8 @@ mod tests {
         let m = 3;
         let mut p0 = make(0, m, b"x", &[0; 4]);
         let mut p1 = make(1, m, b"x", &[1; 4]);
-        let p2a = make(2, m, b"x", &[2; 4]);
-        let p2b = make(2, m, b"DIFFERENT", &[9; 4]);
+        let mut p2a = make(2, m, b"x", &[2; 4]);
+        let mut p2b = make(2, m, b"DIFFERENT", &[9; 4]);
         let mut c0 = OutboxCtx::new(ProviderId(0), m);
         let mut c1 = OutboxCtx::new(ProviderId(1), m);
         p0.start(&mut c0);
@@ -466,7 +465,7 @@ mod tests {
     fn false_reveal_aborts() {
         let m = 2;
         let mut p0 = make(0, m, b"x", &[0; 4]);
-        let p1 = make(1, m, b"x", &[1; 4]);
+        let mut p1 = make(1, m, b"x", &[1; 4]);
         let mut c0 = OutboxCtx::new(ProviderId(0), m);
         p0.start(&mut c0);
         // Deliver p1's commit and echo honestly.

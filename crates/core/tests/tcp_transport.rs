@@ -7,9 +7,9 @@ use std::time::Duration;
 
 use dauctioneer_core::{
     drive, drive_multi, run_batch_with, run_session, unanimous, BatchConfig, BatchSession,
-    DoubleAuctionProgram, FrameworkConfig, RunOptions, SessionEngine,
+    DoubleAuctionProgram, FrameworkConfig, RunOptions, SessionEngine, SessionPool,
 };
-use dauctioneer_net::TcpMesh;
+use dauctioneer_net::{shard_for, MuxMesh, TcpMesh};
 use dauctioneer_types::{BidVector, Bw, Money, Outcome, ProviderAsk, SessionId, UserBid};
 
 const DEADLINE: Duration = Duration::from_secs(30);
@@ -106,6 +106,94 @@ fn concurrent_sessions_stay_isolated_on_a_shared_socket_mesh() {
             &RunOptions { seed, ..RunOptions::default() },
         );
         assert_eq!(multiplexed, alone.unanimous(), "session {session} perturbed by its neighbour");
+    }
+}
+
+/// Clear `sessions` through a [`SessionPool`] over the given shard
+/// endpoints and return each session's unanimous outcome keyed by tag.
+fn pool_outcomes<T>(
+    cfg: &FrameworkConfig,
+    shard_endpoints: Vec<Vec<T>>,
+    sessions: &[BatchSession],
+) -> Vec<(SessionId, Outcome)>
+where
+    T: dauctioneer_core::Transport + Send + 'static,
+{
+    let shards = shard_endpoints.len();
+    let pool = SessionPool::new(cfg, &Arc::new(DoubleAuctionProgram::new()), shard_endpoints);
+    let mut shard_specs: Vec<Vec<BatchSession>> = (0..shards).map(|_| Vec::new()).collect();
+    for spec in sessions {
+        shard_specs[shard_for(spec.session, shards)].push(spec.clone());
+    }
+    let order: Vec<Vec<SessionId>> =
+        shard_specs.iter().map(|specs| specs.iter().map(|s| s.session).collect()).collect();
+    let columns = pool.run_epoch(shard_specs, DEADLINE);
+    pool.shutdown();
+    let mut out = Vec::new();
+    for (s, tags) in order.iter().enumerate() {
+        for (i, &tag) in tags.iter().enumerate() {
+            out.push((tag, unanimous(columns[s].iter().map(|provider| Some(&provider[i])))));
+        }
+    }
+    out.sort_by_key(|(tag, _)| *tag);
+    out
+}
+
+#[test]
+fn two_lanes_of_one_mux_mesh_match_two_independent_meshes_and_inproc() {
+    // The tentpole equivalence: the same two shards of sessions cleared
+    // (a) over two lanes sharing ONE multiplexed socket mesh, (b) over
+    // two fully independent TCP meshes, and (c) in process — identical
+    // outcomes everywhere. The mux is pure wiring, invisible to the
+    // protocol.
+    let cfg = FrameworkConfig::new(3, 1, 2, 1);
+    let sessions: Vec<BatchSession> = (0..6)
+        .map(|s| BatchSession::uniform(SessionId(s), bids(1.0 + 0.07 * s as f64), 3, 400 + s))
+        .collect();
+
+    let mut mux = MuxMesh::loopback(cfg.m, 2).unwrap();
+    let over_mux = pool_outcomes(&cfg, mux.take_lane_endpoints(), &sessions);
+
+    let mut independent_meshes: Vec<TcpMesh> =
+        (0..2).map(|_| TcpMesh::loopback(cfg.m).unwrap()).collect();
+    let endpoints = independent_meshes.iter_mut().map(TcpMesh::take_endpoints).collect();
+    let over_independent = pool_outcomes(&cfg, endpoints, &sessions);
+
+    let mut hub =
+        dauctioneer_net::ShardedHub::new(cfg.m, 2, dauctioneer_net::LatencyModel::Zero, 0);
+    let over_inproc = pool_outcomes(&cfg, hub.take_endpoints(), &sessions);
+
+    assert_eq!(over_mux, over_independent, "mux lanes diverged from independent meshes");
+    assert_eq!(over_mux, over_inproc, "socket path diverged from in-process");
+    for (tag, outcome) in &over_mux {
+        assert!(!outcome.is_abort(), "session {tag} aborted");
+    }
+}
+
+#[test]
+fn mux_mesh_thread_roster_is_o_m_while_pool_workers_scale_with_shards() {
+    // The scaling claim, pinned as an accounting identity: the pool's
+    // worker roster grows with shards (that is the parallelism knob),
+    // but the TCP mesh underneath keeps the SAME 2·m·(m−1) I/O threads
+    // however many shards share it — previously each shard paid its own
+    // mesh, i.e. O(m²·shards) threads total.
+    let cfg = FrameworkConfig::new(3, 1, 2, 1);
+    let m = cfg.m;
+    for shards in [1usize, 4] {
+        let mut mesh = MuxMesh::loopback(m, shards).unwrap();
+        assert_eq!(
+            mesh.io_threads(),
+            2 * m * (m - 1),
+            "{shards} lanes changed the mesh's I/O thread count"
+        );
+        let pool = SessionPool::new(
+            &cfg,
+            &Arc::new(DoubleAuctionProgram::new()),
+            mesh.take_lane_endpoints(),
+        );
+        assert_eq!(pool.threads_spawned(), m * shards, "worker roster is per shard by design");
+        assert_eq!(pool.num_shards(), shards);
+        pool.shutdown();
     }
 }
 

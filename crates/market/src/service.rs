@@ -10,7 +10,7 @@ use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
 use dauctioneer_core::{
     unanimous, AllocatorProgram, BatchSession, BidCollector, SessionPool, TransportKind,
 };
-use dauctioneer_net::{shard_for, ShardedHub, TcpMesh, TrafficMetrics, TrafficSnapshot};
+use dauctioneer_net::{shard_for, MuxMesh, ShardedHub, TrafficMetrics, TrafficSnapshot};
 use dauctioneer_types::{BidVector, Outcome, ProviderAsk, SessionId, UserBid, UserId};
 
 use crate::config::{EpochPolicy, MarketConfig, MarketError};
@@ -84,10 +84,13 @@ pub struct EpochOutcome {
 /// The persistent mesh a market runs over, kept alive for the life of
 /// the scheduler and torn down only after the pool's workers are gone.
 /// The fields exist purely for their ownership (Drop order), never read.
+/// The TCP flavour is **one** multiplexed mesh with a lane per shard —
+/// one socket per provider pair for the whole market, however many
+/// shards clear concurrently.
 #[allow(dead_code)]
 enum Mesh {
     InProc(ShardedHub),
-    Tcp(Vec<TcpMesh>),
+    Tcp(MuxMesh),
 }
 
 /// A long-lived auction daemon: accepts streaming bid/ask submissions,
@@ -166,23 +169,17 @@ impl MarketService {
                 (Mesh::InProc(hub), metrics, pool)
             }
             TransportKind::Tcp => {
-                let mut meshes = Vec::with_capacity(shards);
-                for _ in 0..shards {
-                    meshes.push(
-                        TcpMesh::loopback(config.m)
-                            .map_err(|e| MarketError::Transport(e.to_string()))?,
-                    );
-                }
-                let metrics = meshes.iter().map(TcpMesh::metrics).collect();
-                let endpoints = meshes.iter_mut().map(TcpMesh::take_endpoints).collect();
+                let mut mesh = MuxMesh::loopback(config.m, shards)
+                    .map_err(|e| MarketError::Transport(e.to_string()))?;
+                let metrics = vec![mesh.metrics()];
                 let pool = SessionPool::new_with_faults(
                     &framework,
                     &program,
-                    endpoints,
+                    mesh.take_lane_endpoints(),
                     config.chaos,
                     &config.adversaries,
                 );
-                (Mesh::Tcp(meshes), metrics, pool)
+                (Mesh::Tcp(mesh), metrics, pool)
             }
         };
 

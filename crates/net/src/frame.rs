@@ -14,6 +14,34 @@
 //!   transports (TCP), where message boundaries are not preserved by the
 //!   medium. In-process channel transports deliver whole messages and
 //!   skip this layer.
+//!
+//! # The multiplexed tag namespace
+//!
+//! The single-connection TCP mesh ([`MuxMesh`][crate::tcp::MuxMesh])
+//! carries **every shard's** traffic over one socket per provider pair,
+//! so the wire needs to say which logical lane (= shard) a frame belongs
+//! to. Rather than growing the wire format, the lane is **folded into
+//! the u64 tag slot that already heads every payload**: an engine
+//! payload is `[session:u64][inner…]`, and the mux wire frame replaces
+//! that leading session tag with [`mux_pack`]`(lane, session)` — the
+//! lane in the top [`MUX_LANE_BITS`] bits, the session in the low
+//! [`MUX_SESSION_BITS`]. The receiver [`mux_unpack`]s it, routes by
+//! lane, and restores the original `[session][inner…]` payload, so the
+//! layers above (session routing in the engine, channel tags nested
+//! inside) are byte-identical to the single-mesh transports and the
+//! whole `(shard, session, channel)` triple stays injective on the wire.
+//!
+//! Payloads that are *not* well-formed session frames (shorter than a
+//! tag, or with a leading u64 too large to fold) travel under the
+//! reserved [`MUX_RAW_TAG`] session slot and are delivered verbatim —
+//! garbage injected by adversaries crosses the mux unchanged instead of
+//! being mangled or dropped by the framing layer.
+//!
+//! The hot-path builders ([`wire_encode_into`] / [`frame_wire_into`] /
+//! [`mux_frame_into`]) append into a caller-owned, reused [`BytesMut`]:
+//! one reserved-header build per frame, no intermediate allocation — the
+//! coalescing socket writers drain a whole queue into one warm buffer
+//! and issue a single `write_all`.
 
 use bytes::{BufMut, Bytes, BytesMut};
 use std::error::Error;
@@ -138,6 +166,119 @@ pub fn wire_decode(stream: &[u8]) -> Result<Option<(&[u8], usize)>, WireError> {
     Ok(Some((&stream[4..4 + claimed], 4 + claimed)))
 }
 
+/// [`wire_encode`] into a caller-owned buffer: append the length header
+/// and payload to `buf` without any intermediate allocation. This is the
+/// coalescing writers' hot path — many frames accumulate in one warm
+/// [`BytesMut`] and leave in a single `write_all`.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_WIRE_FRAME`].
+pub fn wire_encode_into(payload: &[u8], buf: &mut BytesMut) {
+    assert!(payload.len() <= MAX_WIRE_FRAME, "wire frame too large: {} bytes", payload.len());
+    buf.reserve(4 + payload.len());
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(payload);
+}
+
+/// Build a tagged wire frame `[len:u32][tag:u64][payload…]` into a
+/// caller-owned buffer: the length header and the u64 tag are written as
+/// **one** reserved-header build, merging what used to be two layers
+/// (`frame` then `wire_encode`) — two allocations and a copy — into a
+/// single append.
+///
+/// The resulting bytes decode with [`wire_decode`] (yielding
+/// `[tag][payload]`) followed by [`unframe`].
+///
+/// # Panics
+///
+/// Panics if `8 + payload.len()` exceeds [`MAX_WIRE_FRAME`].
+pub fn frame_wire_into(tag: u64, payload: &[u8], buf: &mut BytesMut) {
+    let total = 8 + payload.len();
+    assert!(total <= MAX_WIRE_FRAME, "wire frame too large: {total} bytes");
+    buf.reserve(4 + total);
+    buf.put_u32_le(total as u32);
+    buf.put_u64_le(tag);
+    buf.put_slice(payload);
+}
+
+/// Bits of the packed mux tag carrying the lane (= shard) id.
+pub const MUX_LANE_BITS: u32 = 16;
+
+/// Bits of the packed mux tag carrying the session tag.
+pub const MUX_SESSION_BITS: u32 = 48;
+
+/// Exclusive upper bound on lane ids a [`MuxMesh`][crate::tcp::MuxMesh]
+/// can multiplex (65 536 — far above any plausible shard count).
+pub const MUX_MAX_LANES: usize = 1 << MUX_LANE_BITS;
+
+/// The reserved session slot marking a **raw** mux frame: the payload
+/// was not a foldable session frame and is delivered verbatim. Session
+/// tags must be strictly below this to fold; larger ones simply travel
+/// raw (correct, just without the 8-byte header saving).
+pub const MUX_RAW_TAG: u64 = (1 << MUX_SESSION_BITS) - 1;
+
+/// Pack a `(lane, session)` pair into one u64 wire tag: lane in the top
+/// [`MUX_LANE_BITS`], session in the low [`MUX_SESSION_BITS`]. Injective
+/// over `lane < MUX_MAX_LANES`, `session <= MUX_RAW_TAG` (the proptest
+/// suite pins this down), and the inverse of [`mux_unpack`].
+///
+/// # Panics
+///
+/// Panics if `lane` or `session` exceeds its field — both are local
+/// programming errors (lane counts are validated at mesh bring-up).
+pub fn mux_pack(lane: usize, session: u64) -> u64 {
+    assert!(lane < MUX_MAX_LANES, "mux lane {lane} exceeds {MUX_LANE_BITS} bits");
+    assert!(session <= MUX_RAW_TAG, "session tag {session} exceeds {MUX_SESSION_BITS} bits");
+    ((lane as u64) << MUX_SESSION_BITS) | session
+}
+
+/// Split a packed mux wire tag back into `(lane, session)`.
+pub fn mux_unpack(tag: u64) -> (usize, u64) {
+    ((tag >> MUX_SESSION_BITS) as usize, tag & MUX_RAW_TAG)
+}
+
+/// Build one mux wire frame for `payload` travelling on `lane` into a
+/// caller-owned buffer.
+///
+/// A well-formed session payload `[session:u64][inner…]` with
+/// `session < MUX_RAW_TAG` is **folded**: the wire carries
+/// `[len][mux_pack(lane, session)][inner…]` — the lane rides in the tag
+/// slot the payload already paid for, zero added bytes. Anything else
+/// (too short, or a leading u64 at/above [`MUX_RAW_TAG`]) is **escaped**:
+/// `[len][mux_pack(lane, MUX_RAW_TAG)][payload…]` delivers the original
+/// bytes verbatim. [`mux_unframe`] inverts both shapes exactly.
+pub fn mux_frame_into(lane: usize, payload: &[u8], buf: &mut BytesMut) {
+    if payload.len() >= 8 {
+        let session = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        if session < MUX_RAW_TAG {
+            frame_wire_into(mux_pack(lane, session), &payload[8..], buf);
+            return;
+        }
+    }
+    frame_wire_into(mux_pack(lane, MUX_RAW_TAG), payload, buf)
+}
+
+/// Invert [`mux_frame_into`] on one decoded wire frame (`[packed
+/// tag][body…]`, as [`wire_decode`] yields it): returns the lane and the
+/// reconstructed original payload.
+///
+/// # Errors
+///
+/// Fails with [`FrameError`] if the frame is shorter than the 8-byte
+/// packed tag (a corrupt stream; mux connections carry nothing smaller).
+pub fn mux_unframe(frame: &[u8]) -> Result<(usize, Bytes), FrameError> {
+    let (packed, body) = unframe(frame)?;
+    let (lane, session) = mux_unpack(packed);
+    if session == MUX_RAW_TAG {
+        return Ok((lane, Bytes::copy_from_slice(body)));
+    }
+    let mut restored = BytesMut::with_capacity(8 + body.len());
+    restored.put_u64_le(session);
+    restored.put_slice(body);
+    Ok((lane, restored.freeze()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +317,78 @@ mod tests {
         assert_eq!(payload, b"one");
         let (payload, _) = wire_decode(&stream[consumed..]).unwrap().unwrap();
         assert_eq!(payload, b"two");
+    }
+
+    #[test]
+    fn wire_encode_into_matches_wire_encode() {
+        let mut buf = BytesMut::new();
+        wire_encode_into(b"payload", &mut buf);
+        assert_eq!(&buf[..], &wire_encode(b"payload")[..]);
+        // Appending reuses the same buffer.
+        wire_encode_into(b"second", &mut buf);
+        let (first, consumed) = wire_decode(&buf).unwrap().unwrap();
+        assert_eq!(first, b"payload");
+        let (second, _) = wire_decode(&buf[consumed..]).unwrap().unwrap();
+        assert_eq!(second, b"second");
+    }
+
+    #[test]
+    fn frame_wire_into_merges_both_layers() {
+        // One reserved-header build must equal frame() then wire_encode().
+        let legacy = wire_encode(&frame(99, b"body"));
+        let mut buf = BytesMut::new();
+        frame_wire_into(99, b"body", &mut buf);
+        assert_eq!(&buf[..], &legacy[..]);
+        let (payload, _) = wire_decode(&buf).unwrap().unwrap();
+        let (tag, inner) = unframe(payload).unwrap();
+        assert_eq!(tag, 99);
+        assert_eq!(inner, b"body");
+    }
+
+    #[test]
+    fn mux_pack_unpack_roundtrip_and_field_layout() {
+        for (lane, session) in
+            [(0, 0), (1, 7), (42, MUX_RAW_TAG), (MUX_MAX_LANES - 1, (1 << 47) + 12345)]
+        {
+            let packed = mux_pack(lane, session);
+            assert_eq!(mux_unpack(packed), (lane, session));
+        }
+        assert_eq!(mux_pack(0, 5), 5, "lane 0 leaves the session tag untouched");
+    }
+
+    #[test]
+    fn mux_fold_roundtrips_session_frames() {
+        let payload = frame(12345, b"session body");
+        let mut buf = BytesMut::new();
+        mux_frame_into(3, &payload, &mut buf);
+        // Folding saves the 8 tag bytes: wire = 4 (len) + payload.
+        assert_eq!(buf.len(), 4 + payload.len());
+        let (wire_frame, _) = wire_decode(&buf).unwrap().unwrap();
+        let (lane, restored) = mux_unframe(wire_frame).unwrap();
+        assert_eq!(lane, 3);
+        assert_eq!(&restored[..], &payload[..]);
+    }
+
+    #[test]
+    fn mux_raw_escape_roundtrips_arbitrary_payloads() {
+        // Too short for a session tag, exactly the reserved tag, and a
+        // leading u64 with high bits set: all must travel verbatim.
+        let junk: &[&[u8]] = &[b"", b"x", b"\xde\xad\xbe", &u64::MAX.to_le_bytes(), {
+            &frame(MUX_RAW_TAG, b"reserved-tag payload")
+        }];
+        for payload in junk {
+            let mut buf = BytesMut::new();
+            mux_frame_into(7, payload, &mut buf);
+            let (wire_frame, _) = wire_decode(&buf).unwrap().unwrap();
+            let (lane, restored) = mux_unframe(wire_frame).unwrap();
+            assert_eq!(lane, 7);
+            assert_eq!(&restored[..], &payload[..], "raw payload mangled");
+        }
+    }
+
+    #[test]
+    fn mux_unframe_rejects_short_frames() {
+        assert!(mux_unframe(&[1, 2, 3]).is_err());
     }
 
     #[test]

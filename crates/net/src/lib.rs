@@ -65,10 +65,14 @@ pub mod tcp;
 pub mod transport;
 
 pub use chaos::{ChaosStats, ChaosTransport, FaultDecision, FaultPlan, FaultPlanError};
-pub use frame::{frame, unframe, wire_decode, wire_encode, FrameError, WireError, MAX_WIRE_FRAME};
+pub use frame::{
+    frame, frame_wire_into, mux_frame_into, mux_pack, mux_unframe, mux_unpack, unframe,
+    wire_decode, wire_encode, wire_encode_into, FrameError, WireError, MAX_WIRE_FRAME,
+    MUX_LANE_BITS, MUX_MAX_LANES, MUX_RAW_TAG, MUX_SESSION_BITS,
+};
 pub use hub::{Endpoint, RecvError, ThreadedHub};
 pub use latency::LatencyModel;
 pub use metrics::{ProviderTraffic, TrafficMetrics, TrafficSnapshot};
 pub use shard::{shard_for, ShardedHub};
-pub use tcp::{TcpEndpoint, TcpMesh};
+pub use tcp::{MuxEndpoint, MuxMesh, TcpEndpoint, TcpMesh};
 pub use transport::Transport;

@@ -7,7 +7,18 @@
 //! connections (loopback or LAN), carrying exactly the same
 //! session-tagged frames the in-process transport carries, delimited on
 //! the byte stream by the wire frames of the [`frame`][mod@crate::frame]
-//! module ([`wire_encode`]).
+//! module ([`wire_encode`][crate::frame::wire_encode]).
+//!
+//! Two flavours share the same sockets, bring-up and teardown:
+//!
+//! * [`TcpEndpoint`] / [`TcpMesh`] — one dedicated mesh, one endpoint
+//!   per provider (the original PR-2 transport, still what a single
+//!   standalone deployment uses);
+//! * [`MuxEndpoint`] / [`MuxMesh`] — **one connection per provider pair
+//!   shared by any number of logical lanes** (= hub shards): the lane id
+//!   is folded into the u64 tag slot of every wire frame
+//!   ([`mux_pack`][crate::frame::mux_pack]), so `N` shards cost the
+//!   connection count and thread count of *one* mesh instead of `N`.
 //!
 //! Topology and threads:
 //!
@@ -15,14 +26,21 @@
 //!   Provider `i` dials every peer `j < i` and accepts from every
 //!   `j > i`; a 4-byte hello identifies the dialler, so the mesh comes up
 //!   regardless of start order (dialling retries until the peer listens).
+//!   [`MuxMesh::loopback`] skips the hello dance entirely and wires the
+//!   pairs up through one ephemeral listener. `TCP_NODELAY` is set on
+//!   every stream, dialled or accepted — the protocol's frames are small
+//!   and latency-critical, the worst case for Nagle's algorithm.
 //! * **one reader thread per peer** — blocks on the socket, splits wire
 //!   frames off the stream, and forwards `(peer, payload)` into the
-//!   endpoint's inbox. A corrupt length header
-//!   ([`MAX_WIRE_FRAME`][crate::frame::MAX_WIRE_FRAME]) tears the
+//!   endpoint's inbox (the lane's inbox, for a mux). A corrupt length
+//!   header ([`MAX_WIRE_FRAME`][crate::frame::MAX_WIRE_FRAME]) tears the
 //!   connection down rather than trusting it.
-//! * **one writer thread per peer** — drains an unbounded outbound queue,
-//!   so [`TcpEndpoint::send`] never blocks the protocol loop (mirroring
-//!   the asynchronous sends of the paper's ØMQ prototype).
+//! * **one coalescing writer thread per peer** — drains the outbound
+//!   queue in batches into one reused buffer and issues a single
+//!   `write_all` per batch, so [`TcpEndpoint::send`] never blocks the
+//!   protocol loop (mirroring the asynchronous sends of the paper's ØMQ
+//!   prototype) and a loaded link pays one syscall per *batch*, not per
+//!   frame.
 //!
 //! Shutdown is clean on either a decided session or a ⊥-abort: dropping
 //! the endpoint first lets the writers drain every queued frame, then
@@ -51,14 +69,15 @@
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
-use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use bytes::{Bytes, BytesMut};
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 
 use dauctioneer_types::ProviderId;
 
-use crate::frame::{wire_decode, wire_encode};
+use crate::frame::{mux_frame_into, mux_unframe, wire_decode, wire_encode_into, MUX_MAX_LANES};
 use crate::hub::RecvError;
 use crate::metrics::TrafficMetrics;
 
@@ -69,9 +88,30 @@ const DIAL_TIMEOUT: Duration = Duration::from_secs(10);
 /// Pause between redial attempts while a peer's listener comes up.
 const DIAL_RETRY: Duration = Duration::from_millis(5);
 
+/// Pause between accept polls while waiting for higher-id peers. Much
+/// shorter than [`DIAL_RETRY`]: on a busy single-core host the dialling
+/// peer often just hasn't been scheduled yet, and a millisecond-scale
+/// sleep here used to dominate whole-mesh bring-up (it is paid once per
+/// accepted connection).
+const ACCEPT_POLL: Duration = Duration::from_micros(200);
+
 /// How long an accepted connection gets to present its 4-byte hello
 /// before it is dropped as a stray.
 const HELLO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// High-water mark for the coalescing writers: a flush is issued once
+/// the batch buffer reaches this size even if more frames are queued,
+/// so one `write_all` stays comfortably inside socket buffers.
+const WRITE_COALESCE_BYTES: usize = 256 * 1024;
+
+/// Bound on a peer's outbound queue (messages). Comfortably above what
+/// protocol rounds burst; it exists so a peer that stops reading cannot
+/// make the sender's memory grow without bound. A full queue briefly
+/// blocks the sender until the writer's batch drain catches up — pure
+/// backpressure, never deadlock, since readers always drain their side.
+/// (Crossbeam preallocates the ring, so the bound is also sized to keep
+/// per-mesh bring-up cost trivial.)
+const OUTBOUND_QUEUE_FRAMES: usize = 1024;
 
 /// One provider's handle onto a TCP mesh.
 ///
@@ -129,54 +169,7 @@ impl TcpEndpoint {
         metrics: TrafficMetrics,
     ) -> io::Result<TcpEndpoint> {
         let m = addrs.len();
-        assert!(me.index() < m, "provider {me} outside address table of {m}");
-
-        let mut streams: Vec<Option<TcpStream>> = (0..m).map(|_| None).collect();
-
-        // Dial every smaller id; the listener may not be up yet, so retry.
-        for peer in 0..me.index() {
-            let mut stream = dial(addrs[peer])?;
-            stream.write_all(&(me.index() as u32).to_le_bytes())?;
-            streams[peer] = Some(stream);
-        }
-        // Accept from every larger id; the hello tells us who dialled.
-        // The whole accept phase shares one deadline — a peer whose own
-        // bring-up failed must not leave us blocked forever — and
-        // connections that never present a valid hello (port scanners,
-        // misdirected clients) are dropped, not fatal.
-        listener.set_nonblocking(true)?;
-        let deadline = Instant::now() + DIAL_TIMEOUT;
-        let mut expected = m - 1 - me.index();
-        while expected > 0 {
-            match listener.accept() {
-                Ok((mut stream, _)) => {
-                    stream.set_nonblocking(false)?;
-                    stream.set_read_timeout(Some(HELLO_TIMEOUT))?;
-                    let mut hello = [0u8; 4];
-                    if stream.read_exact(&mut hello).is_err() {
-                        continue; // silent or torn connection: drop it
-                    }
-                    let peer = u32::from_le_bytes(hello) as usize;
-                    if peer <= me.index() || peer >= m || streams[peer].is_some() {
-                        continue; // not a mesh peer we are waiting for: drop
-                    }
-                    stream.set_read_timeout(None)?;
-                    stream.set_nodelay(true)?;
-                    streams[peer] = Some(stream);
-                    expected -= 1;
-                }
-                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
-                    if Instant::now() >= deadline {
-                        return Err(io::Error::new(
-                            io::ErrorKind::TimedOut,
-                            format!("provider {me}: {expected} peer(s) failed to connect"),
-                        ));
-                    }
-                    std::thread::sleep(DIAL_RETRY);
-                }
-                Err(err) => return Err(err),
-            }
-        }
+        let streams = establish_streams(me, listener, addrs)?;
 
         // Spawn the per-peer reader/writer pairs.
         let (inbox_tx, inbox) = unbounded();
@@ -201,7 +194,11 @@ impl TcpEndpoint {
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("tcp-write-{me}-{peer_id}"))
-                    .spawn(move || write_loop(writer, out_rx))
+                    .spawn(move || {
+                        coalescing_write_loop(writer, out_rx, |payload, buf| {
+                            wire_encode_into(payload, buf)
+                        })
+                    })
                     .expect("spawn tcp writer"),
             );
         }
@@ -321,10 +318,79 @@ fn dial(addr: SocketAddr) -> io::Result<TcpStream> {
     }
 }
 
-/// Reader half of one peer connection: split wire frames off the stream
-/// with [`wire_decode`] — the same decoder the frame tests exercise —
-/// and forward them to the inbox until the connection dies.
-fn read_loop(mut stream: TcpStream, peer: ProviderId, inbox: Sender<(ProviderId, Bytes)>) {
+/// The shared mesh bring-up: one connected, [`TCP_NODELAY`]-enabled
+/// stream per peer (`None` at our own index), regardless of start order.
+///
+/// Dials every smaller id (retrying until its listener is up, presenting
+/// a 4-byte hello) and accepts from every larger id (the hello tells us
+/// who dialled). The whole accept phase shares one deadline — a peer
+/// whose own bring-up failed must not leave us blocked forever — and
+/// connections that never present a valid hello (port scanners,
+/// misdirected clients) are dropped, not fatal. Accepted streams are
+/// switched back to blocking mode before use, so the writers' final
+/// flush-on-shutdown can never hit a spurious `WouldBlock`.
+///
+/// [`TCP_NODELAY`]: TcpStream::set_nodelay
+fn establish_streams(
+    me: ProviderId,
+    listener: TcpListener,
+    addrs: &[SocketAddr],
+) -> io::Result<Vec<Option<TcpStream>>> {
+    let m = addrs.len();
+    assert!(me.index() < m, "provider {me} outside address table of {m}");
+
+    let mut streams: Vec<Option<TcpStream>> = (0..m).map(|_| None).collect();
+
+    // Dial every smaller id; the listener may not be up yet, so retry.
+    for peer in 0..me.index() {
+        let mut stream = dial(addrs[peer])?;
+        stream.write_all(&(me.index() as u32).to_le_bytes())?;
+        streams[peer] = Some(stream);
+    }
+    listener.set_nonblocking(true)?;
+    let deadline = Instant::now() + DIAL_TIMEOUT;
+    let mut expected = m - 1 - me.index();
+    while expected > 0 {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                stream.set_nonblocking(false)?;
+                stream.set_read_timeout(Some(HELLO_TIMEOUT))?;
+                let mut hello = [0u8; 4];
+                if stream.read_exact(&mut hello).is_err() {
+                    continue; // silent or torn connection: drop it
+                }
+                let peer = u32::from_le_bytes(hello) as usize;
+                if peer <= me.index() || peer >= m || streams[peer].is_some() {
+                    continue; // not a mesh peer we are waiting for: drop
+                }
+                stream.set_read_timeout(None)?;
+                stream.set_nodelay(true)?;
+                streams[peer] = Some(stream);
+                expected -= 1;
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("provider {me}: {expected} peer(s) failed to connect"),
+                    ));
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    Ok(streams)
+}
+
+/// The shared read-side stream splitter: accumulate socket bytes,
+/// split complete wire frames off with [`wire_decode`] — the same
+/// decoder the frame tests exercise — and hand each to `deliver` until
+/// the connection dies. `deliver` returning `false` (an undecodable
+/// frame at its layer) tears the connection down: resynchronising a
+/// byte stream past corruption is impossible. A corrupt or hostile
+/// *length header* tears it down here for the same reason.
+fn read_split_loop(mut stream: TcpStream, mut deliver: impl FnMut(&[u8]) -> bool) {
     let mut pending: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 64 * 1024];
     loop {
@@ -337,16 +403,14 @@ fn read_loop(mut stream: TcpStream, peer: ProviderId, inbox: Sender<(ProviderId,
         loop {
             match wire_decode(&pending[consumed_total..]) {
                 Ok(Some((payload, consumed))) => {
-                    if inbox.send((peer, Bytes::copy_from_slice(payload))).is_err() {
-                        return; // endpoint dropped: nobody listens any more
-                    }
                     consumed_total += consumed;
+                    if !deliver(payload) {
+                        let _ = stream.shutdown(Shutdown::Both);
+                        return;
+                    }
                 }
                 Ok(None) => break, // truncated: need more bytes from the socket
                 Err(_) => {
-                    // Corrupt or hostile length header: impossible to
-                    // resynchronise a byte stream past it, so drop the
-                    // connection.
                     let _ = stream.shutdown(Shutdown::Both);
                     return;
                 }
@@ -356,16 +420,49 @@ fn read_loop(mut stream: TcpStream, peer: ProviderId, inbox: Sender<(ProviderId,
     }
 }
 
-/// Writer half of one peer connection: drain the outbound queue onto the
-/// socket, one wire frame per message, until the queue disconnects (clean
-/// shutdown) or the socket dies (peer gone).
-fn write_loop(mut stream: TcpStream, outbound: Receiver<Bytes>) {
-    while let Ok(payload) = outbound.recv() {
-        if stream.write_all(&wire_encode(&payload)).is_err() {
+/// Reader half of one dedicated-mesh peer connection: every frame goes
+/// to the endpoint's single inbox. A dropped endpoint (send fails) just
+/// ends the loop — the teardown path shuts the stream down anyway.
+fn read_loop(stream: TcpStream, peer: ProviderId, inbox: Sender<(ProviderId, Bytes)>) {
+    read_split_loop(stream, move |payload| {
+        inbox.send((peer, Bytes::copy_from_slice(payload))).is_ok()
+    });
+}
+
+/// Writer half of one peer connection: the **coalescing** drain loop
+/// shared by [`TcpEndpoint`] and [`MuxEndpoint`]. Block for the next
+/// message, then opportunistically drain everything already queued into
+/// one reused [`BytesMut`] (up to [`WRITE_COALESCE_BYTES`]) and issue a
+/// **single** `write_all` — under load this turns one syscall per frame
+/// into one syscall per batch, and the buffer's allocation is warm after
+/// the first round.
+///
+/// Exits when the socket dies (peer gone) or the queue disconnects
+/// (clean shutdown): remaining queued frames are still drained and
+/// flushed — crossbeam delivers buffered messages after disconnect — and
+/// the write half is shut down so the peer sees EOF.
+fn coalescing_write_loop<T>(
+    mut stream: TcpStream,
+    outbound: Receiver<T>,
+    encode_into: impl Fn(&T, &mut BytesMut),
+) {
+    let mut buf = BytesMut::with_capacity(64 * 1024);
+    while let Ok(item) = outbound.recv() {
+        buf.clear();
+        encode_into(&item, &mut buf);
+        while buf.len() < WRITE_COALESCE_BYTES {
+            match outbound.try_recv() {
+                Ok(item) => encode_into(&item, &mut buf),
+                Err(_) => break, // queue momentarily empty (or closing)
+            }
+        }
+        if stream.write_all(&buf).is_err() {
             return;
         }
     }
-    // Queue closed: flush politely and let the peer see EOF.
+    // Queue closed and fully drained: flush politely and let the peer
+    // see EOF. The stream is in blocking mode, so the kernel accepts the
+    // final bytes before shutdown returns.
     let _ = stream.shutdown(Shutdown::Write);
 }
 
@@ -441,5 +538,402 @@ impl TcpMesh {
     /// The mesh's shared traffic counters.
     pub fn metrics(&self) -> TrafficMetrics {
         self.metrics.clone()
+    }
+}
+
+/// One provider's physical half of a [`MuxMesh`]: the per-peer sockets
+/// and reader/writer threads that **every lane shares**. Lane endpoints
+/// hold it behind an [`Arc`]; when the last one drops, teardown runs
+/// drain-then-shutdown exactly like [`TcpEndpoint`]'s.
+#[derive(Debug)]
+struct MuxNodeCore {
+    streams: Vec<Option<TcpStream>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for MuxNodeCore {
+    fn drop(&mut self) {
+        // Reached only after every lane endpoint of this provider is
+        // gone — i.e. all outbound senders are dropped, so the writers
+        // are draining their final frames.
+        let (writers, readers): (Vec<_>, Vec<_>) = self
+            .threads
+            .drain(..)
+            .partition(|t| t.thread().name().is_some_and(|n| n.starts_with("mux-write")));
+        // 1. Writers first: they flush every queued frame of every lane,
+        //    half-close their sockets, and exit on the queue disconnect.
+        for writer in writers {
+            let _ = writer.join();
+        }
+        // 2. Only then tear the sockets down fully so our blocked
+        //    readers return and can be joined.
+        for stream in self.streams.iter().flatten() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for reader in readers {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// One provider's handle onto **one lane** of a multiplexed TCP mesh.
+///
+/// All lanes of a provider share the same physical sockets and
+/// reader/writer threads ([`MuxMesh`]); a lane is purely a routing
+/// namespace — the lane id is folded into the u64 tag slot of every wire
+/// frame ([`mux_pack`][crate::frame::mux_pack]) and incoming frames are
+/// demultiplexed to the lane's own inbox. The API mirrors
+/// [`TcpEndpoint`], so the protocol layer cannot tell a lane of a shared
+/// mesh from a dedicated mesh.
+#[derive(Debug)]
+pub struct MuxEndpoint {
+    me: ProviderId,
+    m: usize,
+    lane: usize,
+    /// Per-peer shared writer queues (`None` at our own index). Declared
+    /// before `core`: the senders must disconnect before the core joins
+    /// the writer threads.
+    outbound: Vec<Option<Sender<(usize, Bytes)>>>,
+    inbox: Receiver<(ProviderId, Bytes)>,
+    metrics: TrafficMetrics,
+    core: Arc<MuxNodeCore>,
+}
+
+impl MuxEndpoint {
+    /// Join a multiplexed mesh as provider `me`, returning one endpoint
+    /// per lane (this is the multi-host entry point; in-process callers
+    /// use [`MuxMesh::loopback`]). `addrs[j]` is provider `j`'s
+    /// listening address; `listener` must be bound to `addrs[me]`'s
+    /// port. All providers must agree on `lanes`.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure, or peers unreachable within the
+    /// bring-up timeout — as for [`TcpEndpoint::establish`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or exceeds
+    /// [`MUX_MAX_LANES`].
+    pub fn establish(
+        me: ProviderId,
+        lanes: usize,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+    ) -> io::Result<Vec<MuxEndpoint>> {
+        let streams = establish_streams(me, listener, addrs)?;
+        spawn_mux_node(me, addrs.len(), lanes, streams, TrafficMetrics::new(addrs.len()))
+    }
+
+    /// This endpoint's provider id.
+    pub fn me(&self) -> ProviderId {
+        self.me
+    }
+
+    /// Number of providers in the mesh.
+    pub fn num_providers(&self) -> usize {
+        self.m
+    }
+
+    /// The lane this endpoint sends and receives on.
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// All provider ids except this endpoint's own.
+    pub fn peers(&self) -> impl Iterator<Item = ProviderId> + '_ {
+        ProviderId::all(self.m).filter(move |p| *p != self.me)
+    }
+
+    /// The endpoint's traffic counters (shared across the whole mesh).
+    pub fn metrics(&self) -> TrafficMetrics {
+        self.metrics.clone()
+    }
+
+    /// Reader/writer threads serving this provider's node — shared by
+    /// **all** of its lanes, so the count is `2 × (m − 1)` no matter how
+    /// many lanes are multiplexed.
+    pub fn io_threads(&self) -> usize {
+        self.core.threads.len()
+    }
+
+    /// Queue `payload` for `to` on this lane. The shared per-peer writer
+    /// thread folds the lane into the wire tag and performs the socket
+    /// write; sends to self or to departed peers are dropped silently
+    /// (the run is over at that point).
+    ///
+    /// Payloads too large for even the raw-escape wire frame (within 8
+    /// header bytes of [`MAX_WIRE_FRAME`][crate::frame::MAX_WIRE_FRAME])
+    /// are dropped and counted rather than queued: protocol messages are
+    /// orders of magnitude smaller, and a panic inside the shared writer
+    /// thread would take down **every** lane's traffic to that peer.
+    pub fn send(&self, to: ProviderId, payload: Bytes) {
+        let Some(Some(queue)) = self.outbound.get(to.index()) else { return };
+        self.metrics.record_send(self.me, payload.len());
+        if payload.len() > crate::frame::MAX_WIRE_FRAME - 8 {
+            self.metrics.record_drop(self.me, payload.len());
+            return;
+        }
+        let _ = queue.send((self.lane, payload));
+    }
+
+    /// Send `payload` to every other provider on this lane, sharing the
+    /// same frozen buffer across all peers.
+    pub fn broadcast(&self, payload: &Bytes) {
+        for peer in ProviderId::all(self.m) {
+            if peer != self.me {
+                self.send(peer, payload.clone());
+            }
+        }
+    }
+
+    /// Receive the next message on this lane, waiting up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Timeout`] if nothing arrived in time,
+    /// [`RecvError::Disconnected`] once every peer connection is gone
+    /// and the lane inbox is drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<(ProviderId, Bytes), RecvError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok((from, payload)) => {
+                self.metrics.record_recv(self.me, payload.len());
+                Ok((from, payload))
+            }
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Disconnected),
+        }
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Option<(ProviderId, Bytes)> {
+        self.inbox.try_recv().ok().inspect(|(_, payload)| {
+            self.metrics.record_recv(self.me, payload.len());
+        })
+    }
+}
+
+/// Spawn one provider's shared reader/writer threads over its
+/// already-established streams and hand back its `lanes` endpoints.
+fn spawn_mux_node(
+    me: ProviderId,
+    m: usize,
+    lanes: usize,
+    streams: Vec<Option<TcpStream>>,
+    metrics: TrafficMetrics,
+) -> io::Result<Vec<MuxEndpoint>> {
+    assert!(lanes > 0, "a mux mesh has at least one lane");
+    assert!(lanes <= MUX_MAX_LANES, "{lanes} lanes exceed the {MUX_MAX_LANES}-lane tag space");
+
+    let mut lane_txs: Vec<Sender<(ProviderId, Bytes)>> = Vec::with_capacity(lanes);
+    let mut lane_rxs: Vec<Receiver<(ProviderId, Bytes)>> = Vec::with_capacity(lanes);
+    for _ in 0..lanes {
+        let (tx, rx) = unbounded();
+        lane_txs.push(tx);
+        lane_rxs.push(rx);
+    }
+
+    let mut outbound: Vec<Option<Sender<(usize, Bytes)>>> = (0..m).map(|_| None).collect();
+    let mut threads = Vec::with_capacity(2 * m.saturating_sub(1));
+    for (peer, slot) in streams.iter().enumerate() {
+        let Some(stream) = slot else { continue };
+        let peer_id = ProviderId(peer as u32);
+
+        let reader = stream.try_clone()?;
+        let txs = lane_txs.clone();
+        let reader_metrics = metrics.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("mux-read-{me}-{peer_id}"))
+                .spawn(move || mux_read_loop(reader, peer_id, me, txs, reader_metrics))
+                .expect("spawn mux reader"),
+        );
+
+        let writer = stream.try_clone()?;
+        // Bounded: a peer that stops draining cannot grow our memory
+        // without bound; the coalescing drain keeps the bound unfelt in
+        // honest runs.
+        let (out_tx, out_rx) = bounded::<(usize, Bytes)>(OUTBOUND_QUEUE_FRAMES);
+        outbound[peer] = Some(out_tx);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("mux-write-{me}-{peer_id}"))
+                .spawn(move || {
+                    coalescing_write_loop(writer, out_rx, |(lane, payload), buf| {
+                        mux_frame_into(*lane, payload, buf)
+                    })
+                })
+                .expect("spawn mux writer"),
+        );
+    }
+    // `lane_txs` clones live only in reader threads now: when the last
+    // peer connection dies, every lane inbox disconnects.
+    drop(lane_txs);
+
+    let core = Arc::new(MuxNodeCore { streams, threads });
+    Ok(lane_rxs
+        .into_iter()
+        .enumerate()
+        .map(|(lane, inbox)| MuxEndpoint {
+            me,
+            m,
+            lane,
+            outbound: outbound.clone(),
+            inbox,
+            metrics: metrics.clone(),
+            core: Arc::clone(&core),
+        })
+        .collect())
+}
+
+/// Reader half of one mux peer connection: unfold the lane from each
+/// frame's packed tag, restore the original payload, and forward it to
+/// the lane's inbox until the connection dies. Frames for lanes whose
+/// endpoints are gone are counted as drops (a straggler of a finished
+/// epoch, never an error); a frame shorter than the packed tag or
+/// naming a lane outside the mesh's range means the stream is corrupt,
+/// and the connection is torn down like any other undecodable stream.
+fn mux_read_loop(
+    stream: TcpStream,
+    peer: ProviderId,
+    me: ProviderId,
+    lanes: Vec<Sender<(ProviderId, Bytes)>>,
+    metrics: TrafficMetrics,
+) {
+    read_split_loop(stream, move |wire_frame| {
+        let Ok((lane, payload)) = mux_unframe(wire_frame) else {
+            return false; // shorter than a packed tag: corrupt
+        };
+        let Some(tx) = lanes.get(lane) else {
+            return false; // lane outside the mesh: corrupt
+        };
+        let len = payload.len();
+        if tx.send((peer, payload)).is_err() {
+            // This lane's endpoint is gone; other lanes may still be
+            // live. Count, drop, carry on.
+            metrics.record_drop(me, len);
+        }
+        true
+    });
+}
+
+/// A full multiplexed TCP mesh over loopback sockets: **one connection
+/// per provider pair, shared by every lane**, with `lanes` logical
+/// endpoint sets demultiplexed over it.
+///
+/// This is what [`ShardedHub`][crate::ShardedHub]'s socket flavour rides
+/// on: `N` shards become `N` lanes over one physical mesh, so the
+/// connection count is `m(m−1)/2` and the I/O thread count `2m(m−1)` —
+/// both independent of the shard count, where the previous
+/// mesh-per-shard wiring paid both costs `N` times over.
+///
+/// # Example
+///
+/// ```
+/// use dauctioneer_net::MuxMesh;
+/// use bytes::Bytes;
+/// use std::time::Duration;
+///
+/// let mut mesh = MuxMesh::loopback(2, 2).unwrap();
+/// let lanes = mesh.take_lane_endpoints();
+/// // lanes[lane][provider]: two isolated namespaces, one socket.
+/// lanes[1][0].send(lanes[1][1].me(), Bytes::from_static(b"lane one"));
+/// let (from, payload) = lanes[1][1].recv_timeout(Duration::from_secs(5)).unwrap();
+/// assert_eq!(from, lanes[0][0].me());
+/// assert_eq!(&payload[..], b"lane one");
+/// assert!(lanes[0][1].try_recv().is_none(), "lane 0 saw nothing");
+/// ```
+#[derive(Debug)]
+pub struct MuxMesh {
+    /// `endpoints[lane][provider]`.
+    endpoints: Vec<Vec<MuxEndpoint>>,
+    metrics: TrafficMetrics,
+    io_threads: usize,
+}
+
+impl MuxMesh {
+    /// Bring up a full mesh of `m` providers over `127.0.0.1` with
+    /// `lanes` multiplexed lanes, one TCP connection per provider pair.
+    ///
+    /// Connections are created pairwise through one ephemeral listener —
+    /// no per-provider listeners, hello exchanges, or retry sleeps — so
+    /// in-process bring-up is cheap enough to pay per batch.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure while binding or connecting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or exceeds
+    /// [`MUX_MAX_LANES`].
+    pub fn loopback(m: usize, lanes: usize) -> io::Result<MuxMesh> {
+        let metrics = TrafficMetrics::new(m);
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let mut rows: Vec<Vec<Option<TcpStream>>> =
+            (0..m).map(|_| (0..m).map(|_| None).collect()).collect();
+        let pairs = (0..m).flat_map(|i| ((i + 1)..m).map(move |j| (i, j)));
+        for (i, j) in pairs {
+            // Connect, then immediately accept our own connection. The
+            // accepted stream's peer address must be the one we just
+            // dialled from — anything else is a stray (port scanner,
+            // misdirected client) that must not be wired into the mesh;
+            // drop it and keep accepting for our own connection.
+            let ours = TcpStream::connect(addr)?;
+            let ours_addr = ours.local_addr()?;
+            let theirs = loop {
+                let (candidate, peer) = listener.accept()?;
+                if peer == ours_addr {
+                    break candidate;
+                }
+            };
+            ours.set_nodelay(true)?;
+            theirs.set_nodelay(true)?;
+            rows[i][j] = Some(ours);
+            rows[j][i] = Some(theirs);
+        }
+        let mut per_provider = Vec::with_capacity(m);
+        let mut io_threads = 0;
+        for (i, row) in rows.into_iter().enumerate() {
+            let endpoints = spawn_mux_node(ProviderId(i as u32), m, lanes, row, metrics.clone())?;
+            io_threads += endpoints.first().map_or(0, MuxEndpoint::io_threads);
+            per_provider.push(endpoints);
+        }
+        // Transpose [provider][lane] → [lane][provider].
+        let mut endpoints: Vec<Vec<MuxEndpoint>> = (0..lanes).map(|_| Vec::new()).collect();
+        for provider_lanes in per_provider {
+            for (lane, endpoint) in provider_lanes.into_iter().enumerate() {
+                endpoints[lane].push(endpoint);
+            }
+        }
+        Ok(MuxMesh { endpoints, metrics, io_threads })
+    }
+
+    /// Number of lanes multiplexed over the mesh.
+    pub fn num_lanes(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Take ownership of the endpoints: `result[lane][provider]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn take_lane_endpoints(&mut self) -> Vec<Vec<MuxEndpoint>> {
+        assert!(!self.endpoints.is_empty(), "endpoints already taken");
+        std::mem::take(&mut self.endpoints)
+    }
+
+    /// The mesh's shared traffic counters (all lanes, all providers).
+    pub fn metrics(&self) -> TrafficMetrics {
+        self.metrics.clone()
+    }
+
+    /// Total reader/writer threads serving the mesh: `2·m·(m−1)`,
+    /// independent of the lane count — the accounting the thread-roster
+    /// tests pin down against the old mesh-per-shard `O(m·shards)`.
+    pub fn io_threads(&self) -> usize {
+        self.io_threads
     }
 }

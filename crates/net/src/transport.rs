@@ -16,7 +16,7 @@ use bytes::Bytes;
 use dauctioneer_types::ProviderId;
 
 use crate::hub::{Endpoint, RecvError};
-use crate::tcp::TcpEndpoint;
+use crate::tcp::{MuxEndpoint, TcpEndpoint};
 
 /// The minimal blocking point-to-point transport the generic drive loops
 /// run over. [`Endpoint`] and [`TcpEndpoint`] implement it; a test double
@@ -74,5 +74,23 @@ impl Transport for TcpEndpoint {
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<(ProviderId, Bytes), RecvError> {
         TcpEndpoint::recv_timeout(self, timeout)
+    }
+}
+
+impl Transport for MuxEndpoint {
+    fn me(&self) -> ProviderId {
+        MuxEndpoint::me(self)
+    }
+
+    fn num_providers(&self) -> usize {
+        MuxEndpoint::num_providers(self)
+    }
+
+    fn send(&mut self, to: ProviderId, payload: Bytes) {
+        MuxEndpoint::send(self, to, payload)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<(ProviderId, Bytes), RecvError> {
+        MuxEndpoint::recv_timeout(self, timeout)
     }
 }

@@ -1,11 +1,17 @@
-//! Property tests for both framing layers: the session/channel frame
-//! (`frame`/`unframe`) and the stream-delimiting wire frame
-//! (`wire_encode`/`wire_decode`), including truncated, oversized and
+//! Property tests for the framing layers: the session/channel frame
+//! (`frame`/`unframe`), the stream-delimiting wire frame
+//! (`wire_encode`/`wire_decode`) and the multiplexed tag namespace
+//! (`mux_pack`/`mux_frame_into`), including truncated, oversized and
 //! garbage inputs.
 
+use bytes::BytesMut;
 use proptest::prelude::*;
 
-use dauctioneer_net::{frame, unframe, wire_decode, wire_encode, WireError, MAX_WIRE_FRAME};
+use dauctioneer_net::{
+    frame, frame_wire_into, mux_frame_into, mux_pack, mux_unframe, mux_unpack, unframe,
+    wire_decode, wire_encode, wire_encode_into, WireError, MAX_WIRE_FRAME, MUX_MAX_LANES,
+    MUX_RAW_TAG,
+};
 
 fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(any::<u8>(), 0..300)
@@ -74,6 +80,77 @@ proptest! {
             wire_decode(&stream).unwrap_err(),
             WireError::Oversized { claimed: claimed as usize }
         );
+    }
+
+    #[test]
+    fn hot_path_builders_match_the_layered_encoders(
+        tag in any::<u64>(),
+        payload in arb_payload(),
+    ) {
+        // The single reserved-header builds are byte-for-byte what the
+        // two-layer encode chain produces.
+        let mut buf = BytesMut::new();
+        wire_encode_into(&payload, &mut buf);
+        prop_assert_eq!(&buf[..], &wire_encode(&payload)[..]);
+        let mut buf = BytesMut::new();
+        frame_wire_into(tag, &payload, &mut buf);
+        prop_assert_eq!(&buf[..], &wire_encode(&frame(tag, &payload))[..]);
+    }
+
+    #[test]
+    fn mux_pack_is_injective_and_roundtrips(
+        lane_a in 0..MUX_MAX_LANES,
+        lane_b in 0..MUX_MAX_LANES,
+        session_a in 0..=MUX_RAW_TAG,
+        session_b in 0..=MUX_RAW_TAG,
+    ) {
+        // Round trip: pack∘unpack is the identity on the whole domain.
+        prop_assert_eq!(mux_unpack(mux_pack(lane_a, session_a)), (lane_a, session_a));
+        // Injectivity: distinct pairs never collide in the u64 namespace.
+        if (lane_a, session_a) != (lane_b, session_b) {
+            prop_assert_ne!(mux_pack(lane_a, session_a), mux_pack(lane_b, session_b));
+        }
+    }
+
+    #[test]
+    fn mux_triple_roundtrips_through_all_layers(
+        shard in 0..MUX_MAX_LANES,
+        session in 0..MUX_RAW_TAG,
+        channel in any::<u64>(),
+        body in arb_payload(),
+    ) {
+        // The full (shard, session, channel) triple as the engine stacks
+        // it: channel frame nested in a session frame, folded onto a mux
+        // lane. Every component must come back exactly.
+        let payload = frame(session, &frame(channel, &body));
+        let mut wire = BytesMut::new();
+        mux_frame_into(shard, &payload, &mut wire);
+        let (wire_frame, consumed) = wire_decode(&wire).unwrap().expect("complete frame");
+        prop_assert_eq!(consumed, wire.len());
+        let (got_shard, restored) = mux_unframe(wire_frame).unwrap();
+        prop_assert_eq!(got_shard, shard);
+        prop_assert_eq!(&restored[..], &payload[..], "restored payload differs");
+        let (got_session, inner) = unframe(&restored).unwrap();
+        prop_assert_eq!(got_session, session);
+        let (got_channel, got_body) = unframe(inner).unwrap();
+        prop_assert_eq!(got_channel, channel);
+        prop_assert_eq!(got_body, &body[..]);
+    }
+
+    #[test]
+    fn mux_fold_never_alters_any_payload(
+        lane in 0..MUX_MAX_LANES,
+        payload in arb_payload(),
+    ) {
+        // Whatever the bytes — too short for a tag, reserved tag values,
+        // high bits set — the mux delivers them verbatim (fold and raw
+        // escape are both exact inverses).
+        let mut wire = BytesMut::new();
+        mux_frame_into(lane, &payload, &mut wire);
+        let (wire_frame, _) = wire_decode(&wire).unwrap().expect("complete frame");
+        let (got_lane, restored) = mux_unframe(wire_frame).unwrap();
+        prop_assert_eq!(got_lane, lane);
+        prop_assert_eq!(&restored[..], &payload[..]);
     }
 
     #[test]

@@ -150,6 +150,36 @@ fn concurrent_threads_exchange_over_sockets() {
 }
 
 #[test]
+fn nodelay_keeps_small_frame_latency_below_the_nagle_floor() {
+    // The Nagle contract for the dedicated mesh, same as the mux's: a
+    // lone small frame with nothing to coalesce against must cross
+    // loopback promptly. Without TCP_NODELAY, Nagle + delayed ACK would
+    // park exactly this pattern for tens of milliseconds.
+    let mut mesh = TcpMesh::loopback(2).unwrap();
+    let eps = mesh.take_endpoints();
+    let mut samples = Vec::with_capacity(40);
+    for i in 0..20u64 {
+        let start = std::time::Instant::now();
+        eps[0].send(ProviderId(1), frame(i, b"ping"));
+        eps[1].recv_timeout(RECV).expect("ping lost");
+        samples.push(start.elapsed());
+        let start = std::time::Instant::now();
+        eps[1].send(ProviderId(0), frame(i, b"pong"));
+        eps[0].recv_timeout(RECV).expect("pong lost");
+        samples.push(start.elapsed());
+    }
+    // Median, not worst case: one scheduler stall on a loaded CI runner
+    // must not flake the test, while Nagle + delayed ACK would push
+    // essentially EVERY sample past the bound.
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    assert!(
+        median < std::time::Duration::from_millis(20),
+        "median small-frame loopback latency {median:?} smells like Nagle (NODELAY unset?)"
+    );
+}
+
+#[test]
 fn metrics_count_tcp_traffic() {
     let mut mesh = TcpMesh::loopback(2).unwrap();
     let metrics = mesh.metrics();

@@ -108,6 +108,21 @@ impl Writer {
         self.buf.freeze()
     }
 
+    /// Freeze the accumulated bytes **without consuming the writer**: the
+    /// encoding is copied out and the writer is left empty with its
+    /// allocation intact, ready for the next message.
+    ///
+    /// This is the scratch-buffer path for hot encode loops (a session
+    /// encodes many protocol messages back to back): one warm buffer
+    /// absorbs every message instead of each [`Writer::new`] re-growing
+    /// its own, so the steady state is exactly one allocation (the
+    /// returned [`Bytes`]) and one copy per message.
+    pub fn finish_reset(&mut self) -> Bytes {
+        let bytes = Bytes::copy_from_slice(&self.buf);
+        self.buf.clear();
+        bytes
+    }
+
     /// Append a single byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.put_u8(v);
@@ -444,6 +459,20 @@ mod tests {
         w.put_slice(b"abc");
         assert_eq!(w.len(), 3);
         assert_eq!(&*w.finish(), b"abc");
+    }
+
+    #[test]
+    fn finish_reset_reuses_the_buffer_across_messages() {
+        let mut w = Writer::with_capacity(16);
+        42u32.encode(&mut w);
+        let first = w.finish_reset();
+        assert_eq!(&*first, &42u32.encode_to_bytes()[..]);
+        assert!(w.is_empty(), "writer must be empty for the next message");
+        7u64.encode(&mut w);
+        let second = w.finish_reset();
+        assert_eq!(&*second, &7u64.encode_to_bytes()[..]);
+        // The first message is untouched by the reuse.
+        assert_eq!(&*first, &42u32.encode_to_bytes()[..]);
     }
 
     #[test]

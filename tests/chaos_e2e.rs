@@ -42,16 +42,35 @@ fn options() -> RunOptions {
     RunOptions { deadline: Duration::from_secs(1), ..RunOptions::default() }
 }
 
-fn run(scenario: &ChaosScenario, transport: TransportKind, seed: u64) -> BatchReport {
+fn run_sharded(
+    scenario: &ChaosScenario,
+    transport: TransportKind,
+    shards: usize,
+    seed: u64,
+) -> BatchReport {
     let (chaos, adversaries) = scenario.faults(seed, M);
     run_batch_with(
         &cfg(),
         Arc::new(DoubleAuctionProgram::new()),
         specs(seed),
         &options(),
-        &BatchConfig { shards: 1, transport, chaos, adversaries },
+        &BatchConfig { shards, transport, chaos, adversaries },
     )
 }
+
+fn run(scenario: &ChaosScenario, transport: TransportKind, seed: u64) -> BatchReport {
+    run_sharded(scenario, transport, 1, seed)
+}
+
+/// The transport matrix every scenario must survive: in-process
+/// channels, a dedicated TCP mesh, and **two shards multiplexed over
+/// one TCP mesh** (`tcp-mux`) — the chaos/adversary stack wraps the mux
+/// lane endpoints exactly as it wraps any other transport.
+const MATRIX: [(TransportKind, usize, &str); 3] = [
+    (TransportKind::InProc, 1, "inproc"),
+    (TransportKind::Tcp, 1, "tcp"),
+    (TransportKind::Tcp, 2, "tcp-mux"),
+];
 
 fn outcome_matrix(report: &BatchReport) -> Vec<Vec<Outcome>> {
     report.sessions.iter().map(|s| s.outcomes.clone()).collect()
@@ -88,11 +107,11 @@ fn every_scenario_terminates_honest_or_bottom_on_both_transports() {
     let honest: Vec<Outcome> = baseline.sessions.iter().map(|s| s.unanimous()).collect();
 
     for scenario in chaos_suite() {
-        for (transport, label) in [(TransportKind::InProc, "inproc"), (TransportKind::Tcp, "tcp")] {
+        for (transport, shards, label) in MATRIX {
             // Returning at all is the termination half of the contract:
             // undecided sessions read ⊥ at the deadline instead of
             // hanging.
-            let report = run(&scenario, transport, seed);
+            let report = run_sharded(&scenario, transport, shards, seed);
             assert_eq!(report.sessions.len(), SESSIONS);
             assert_honest_or_bottom(scenario.name, label, &report, &honest);
             if scenario.expect == Expectation::HonestOnly {
@@ -104,6 +123,42 @@ fn every_scenario_terminates_honest_or_bottom_on_both_transports() {
             }
         }
     }
+}
+
+#[test]
+fn tcp_mux_replays_and_matches_the_fault_free_reference() {
+    // The mux column's replay half: chaos over two lanes of one socket
+    // mesh is still a deterministic function of the seed (fault
+    // decisions are salted per shard, so the reference is another
+    // tcp-mux run, not the single-shard rows), and the benign plan over
+    // the mux is outcome-identical to the unwrapped mux run.
+    let seed = 0xBEEF;
+    for scenario in chaos_suite().iter().filter(|s| s.replayable_outcomes()) {
+        let first = outcome_matrix(&run_sharded(scenario, TransportKind::Tcp, 2, seed));
+        let again = outcome_matrix(&run_sharded(scenario, TransportKind::Tcp, 2, seed));
+        assert_eq!(first, again, "{}: tcp-mux must replay from its seed", scenario.name);
+    }
+    let unwrapped = run_batch_with(
+        &cfg(),
+        Arc::new(DoubleAuctionProgram::new()),
+        specs(88),
+        &options(),
+        &BatchConfig { shards: 2, transport: TransportKind::Tcp, ..BatchConfig::default() },
+    );
+    let wrapped = run_batch_with(
+        &cfg(),
+        Arc::new(DoubleAuctionProgram::new()),
+        specs(88),
+        &options(),
+        &BatchConfig {
+            shards: 2,
+            transport: TransportKind::Tcp,
+            chaos: Some(FaultPlan::seeded(5)),
+            ..BatchConfig::default()
+        },
+    );
+    assert!(wrapped.all_agreed());
+    assert_eq!(outcome_matrix(&unwrapped), outcome_matrix(&wrapped));
 }
 
 #[test]

@@ -208,6 +208,21 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
     }
+
+    /// Bytes the buffer can hold before reallocating.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Reserve capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Drop the contents, keeping the allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
 }
 
 impl BufMut for BytesMut {
@@ -252,6 +267,18 @@ mod tests {
         let frozen = buf.freeze();
         assert_eq!(frozen[0], 1);
         assert_eq!(&frozen[frozen.len() - 2..], b"xy");
+    }
+
+    #[test]
+    fn bytes_mut_clear_keeps_capacity() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_slice(b"scratch");
+        let cap = buf.capacity();
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap, "clear must keep the allocation");
+        buf.reserve(64);
+        assert!(buf.capacity() >= 64);
     }
 
     #[test]
