@@ -47,17 +47,17 @@ def check_throughput(name, key, baseline, current, failures, lines, metric="sess
     lines.append(f"  {name} [{key}] {metric}: {baseline:.1f} -> {current:.1f} ({ratio:.2f}x) {verdict}")
 
 
-def check_latency(name, key, baseline, current, failures, lines):
+def check_latency(name, key, baseline, current, failures, lines, metric="p99 epoch-close latency"):
     bound = max(baseline * LATENCY_CEIL, baseline + LATENCY_GRACE_S)
     verdict = "ok"
     if current > bound:
         verdict = "REGRESSION"
         failures.append(
-            f"{name} [{key}]: p99 epoch-close latency grew {current / baseline if baseline else float('inf'):.1f}x "
+            f"{name} [{key}]: {metric} grew {current / baseline if baseline else float('inf'):.1f}x "
             f"({current * 1e3:.1f}ms vs {baseline * 1e3:.1f}ms, bound {bound * 1e3:.1f}ms)"
         )
     lines.append(
-        f"  {name} [{key}] p99 close: {baseline * 1e3:.1f}ms -> {current * 1e3:.1f}ms {verdict}"
+        f"  {name} [{key}] {metric}: {baseline * 1e3:.1f}ms -> {current * 1e3:.1f}ms {verdict}"
     )
 
 
@@ -106,6 +106,50 @@ def compare_wire(base, cur, failures, lines):
         check_throughput(
             name, label, brow["ops_per_s"], crow["ops_per_s"], failures, lines, metric="ops/s"
         )
+    # Mesh m-sweep: steady-state frames/s through a real reactor mesh,
+    # bring-up time, and the hard O(1) I/O-thread invariant. A relapse to
+    # per-peer threads shows up as io_threads > baseline and fails even
+    # when throughput happens to survive.
+    base_rows = index_rows(base.get("mesh_sweep", []), ("m", "lanes"))
+    cur_rows = index_rows(cur.get("mesh_sweep", []), ("m", "lanes"))
+    for key, brow in base_rows.items():
+        crow = cur_rows.get(key)
+        label = f"mesh m={key[0]} lanes={key[1]}"
+        if crow is None:
+            lines.append(f"  {name} [{label}]: row missing in current run (skipped)")
+            continue
+        check_throughput(
+            name,
+            label,
+            brow["frames_per_s"],
+            crow["frames_per_s"],
+            failures,
+            lines,
+            metric="frames/s",
+        )
+        check_latency(
+            name,
+            label,
+            brow["bring_up_s"],
+            crow["bring_up_s"],
+            failures,
+            lines,
+            metric="mesh bring-up",
+        )
+        if crow["io_threads"] > brow["io_threads"]:
+            failures.append(
+                f"{name} [{label}]: io_threads grew {brow['io_threads']} -> "
+                f"{crow['io_threads']} (per-peer thread relapse)"
+            )
+            lines.append(
+                f"  {name} [{label}] io_threads: {brow['io_threads']} -> "
+                f"{crow['io_threads']} REGRESSION"
+            )
+        else:
+            lines.append(
+                f"  {name} [{label}] io_threads: {brow['io_threads']} -> "
+                f"{crow['io_threads']} ok"
+            )
 
 
 def compare_market_soak(base, cur, failures, lines):

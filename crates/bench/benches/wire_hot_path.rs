@@ -1,13 +1,22 @@
 //! `wire_hot_path` — criterion microbench of the per-frame wire path:
 //! codec encode (fresh vs reused `Writer`), framing (layered allocs vs
 //! the single reserved-header `frame_wire_into` build), the mux
-//! fold/unfold, and the coalescing batch build the socket writers run.
+//! fold/unfold, and the coalescing batch build the reactor's flush runs.
+//!
+//! It also runs the **mesh m-sweep**: real `MuxMesh::loopback` meshes at
+//! m = 4/8/16/32 (override with `--mesh-size M` for a single size) at a
+//! fixed lane count, measuring bring-up time, steady-state frames/s
+//! through the reactor, and the I/O-thread gauge. Under the old design
+//! each mesh paid `2m(m−1)` blocking threads, so bring-up and
+//! steady-state cost grew with m; on the reactor both must stay
+//! flat-to-sublinear and `io_threads` must read 1 at every m.
 //!
 //! Besides the criterion per-op means, `--json` computes sustained ops/s
-//! per operation and writes `BENCH_wire.json`, which
-//! `ci/compare_bench.py` gates against `BENCH_baseline/` — so a
-//! regression on the wire hot path (an accidental extra allocation, a
-//! lost buffer reuse) fails CI as data, not as a prose claim.
+//! per operation and writes `BENCH_wire.json` (ops rows + `mesh_sweep`
+//! rows), which `ci/compare_bench.py` gates against `BENCH_baseline/` —
+//! so a regression on the wire hot path (an accidental extra allocation,
+//! a lost buffer reuse, a thread-per-peer relapse) fails CI as data, not
+//! as a prose claim.
 //!
 //! Run: `cargo bench -p dauctioneer-bench --bench wire_hot_path -- --json`
 
@@ -16,10 +25,12 @@ use std::time::{Duration, Instant};
 use bytes::BytesMut;
 use criterion::{black_box, BenchmarkId, Criterion};
 use dauctioneer_bench::json::{write_bench_file_in, JsonArray, JsonObject};
+use dauctioneer_bench::{flag_value, Table};
 use dauctioneer_net::{
-    frame, frame_wire_into, mux_frame_into, mux_unframe, wire_decode, wire_encode, wire_encode_into,
+    frame, frame_wire_into, mux_frame_into, mux_unframe, wire_decode, wire_encode,
+    wire_encode_into, MuxMesh,
 };
-use dauctioneer_types::{Encode, Writer};
+use dauctioneer_types::{Encode, ProviderId, Writer};
 
 /// A typical protocol message body (commit messages with a 32-byte
 /// digest plus encoded bids land in this range).
@@ -28,6 +39,54 @@ const BODY: &[u8] = &[0xA5; 200];
 /// Frames per simulated coalescing batch (what a loaded writer drains
 /// between two `write_all`s).
 const BATCH: usize = 64;
+
+/// Lane count held fixed across the mesh m-sweep (the shard axis is
+/// `batch_throughput`'s job; here only m varies).
+const MESH_LANES: usize = 2;
+
+/// Frames pushed through each mesh for the steady-state rate.
+const MESH_FRAMES: usize = 20_000;
+
+/// One m-sweep measurement: bring up a real loopback mesh of `m`
+/// providers, then stream [`MESH_FRAMES`] frames corner-to-corner
+/// (node 0 → node m−1) through the reactor.
+fn mesh_point(m: usize) -> (f64, f64, usize) {
+    let start = Instant::now();
+    let mut mesh = MuxMesh::loopback(m, MESH_LANES).expect("loopback mesh bring-up");
+    let bring_up_s = start.elapsed().as_secs_f64();
+    let io_threads = mesh.io_threads();
+    let mut lanes = mesh.take_lane_endpoints();
+    // Move node 0's lane-0 endpoint out (it crosses into the sender
+    // thread below); node m−1 shifts down one slot.
+    let sender = lanes[0].remove(0);
+    let receiver = &lanes[0][m - 2];
+    let to = ProviderId((m - 1) as u32);
+    let payload = frame(42, BODY);
+    let recv_timeout = Duration::from_secs(30);
+    // Warm both directions of the path (connect-time lazies, first-frame
+    // page faults) before the clock starts.
+    for _ in 0..64 {
+        sender.send(to, payload.clone());
+        receiver.recv_timeout(recv_timeout).expect("warm-up frame lost");
+    }
+    // Sender and receiver on separate threads: the bounded per-connection
+    // ring is meant to backpressure a fast producer, so a single-threaded
+    // send-all-then-receive loop would deadlock by design.
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        let payload = payload.clone();
+        s.spawn(move || {
+            for _ in 0..MESH_FRAMES {
+                sender.send(to, payload.clone());
+            }
+        });
+        for _ in 0..MESH_FRAMES {
+            receiver.recv_timeout(recv_timeout).expect("steady-state frame lost");
+        }
+    });
+    let frames_per_s = MESH_FRAMES as f64 / start.elapsed().as_secs_f64();
+    (bring_up_s, frames_per_s, io_threads)
+}
 
 /// Sustained operations per second of `f`, measured over ~200ms after a
 /// short warm-up. Coarse by design: the gate trips on 25% drops, not
@@ -122,6 +181,35 @@ fn main() {
     });
     group.finish();
 
+    // Mesh m-sweep on real sockets: the macro counterpart of the per-op
+    // rows above. `--mesh-size M` narrows it to a single size.
+    let mesh_sizes: Vec<usize> = match flag_value("--mesh-size") {
+        Some(m) => vec![m.max(2)],
+        None => vec![4, 8, 16, 32],
+    };
+    let csv = std::env::args().any(|a| a == "--csv");
+    let mut mesh_rows = JsonArray::new();
+    let mut table = Table::new(&["mesh m", "lanes", "bring-up", "frames/s", "io threads"], csv);
+    for &m in &mesh_sizes {
+        let (bring_up_s, frames_per_s, io_threads) = mesh_point(m);
+        table.row(vec![
+            m.to_string(),
+            MESH_LANES.to_string(),
+            format!("{:.1}ms", bring_up_s * 1e3),
+            format!("{frames_per_s:.0}"),
+            io_threads.to_string(),
+        ]);
+        let mut row = JsonObject::new();
+        row.int("m", m as u64)
+            .int("lanes", MESH_LANES as u64)
+            .num("bring_up_s", bring_up_s)
+            .num("frames_per_s", frames_per_s)
+            .int("io_threads", io_threads as u64);
+        mesh_rows.push(row.finish());
+    }
+    println!("mesh m-sweep ({MESH_LANES} lanes, {MESH_FRAMES} frames corner-to-corner):");
+    print!("{}", table.render());
+
     if !emit_json {
         return;
     }
@@ -143,12 +231,20 @@ fn main() {
     row("mux_fold_roundtrip", ops_per_s(&mut mux_fold_roundtrip));
 
     let mut config = JsonObject::new();
-    config.int("body_bytes", BODY.len() as u64).int("batch_frames", BATCH as u64).int(
-        "host_cores",
-        std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1) as u64,
-    );
+    config
+        .int("body_bytes", BODY.len() as u64)
+        .int("batch_frames", BATCH as u64)
+        .int("mesh_lanes", MESH_LANES as u64)
+        .int("mesh_frames", MESH_FRAMES as u64)
+        .int(
+            "host_cores",
+            std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1) as u64,
+        );
     let mut top = JsonObject::new();
-    top.str("bench", "wire_hot_path").raw("config", &config.finish()).raw("ops", &rows.finish());
+    top.str("bench", "wire_hot_path")
+        .raw("config", &config.finish())
+        .raw("ops", &rows.finish())
+        .raw("mesh_sweep", &mesh_rows.finish());
     // `cargo bench` runs the harness with cwd = the *package* directory;
     // the gate and the other bench bins work from the workspace root, so
     // resolve it (two levels above crates/bench) when cargo tells us.

@@ -15,8 +15,17 @@
 //!    single-core host the sharded and single-hub numbers converge).
 //!
 //! ```text
-//! batch_throughput [--csv] [--json] [--rounds N] [--quick] [--n USERS] [--m PROVIDERS]
+//! batch_throughput [--csv] [--json] [--rounds N] [--quick] [--n USERS]
+//!                  [--m PROVIDERS | --mesh-size PROVIDERS]
 //! ```
+//!
+//! `--mesh-size` (alias of `--m`) is the mesh-size axis of the reactor
+//! m-sweep: rerun the shards × transport sweep at m = 4/8/16/32 and the
+//! TCP rows ride one epoll reactor per mesh — the printed `io thr`
+//! column (the `dauctioneer_net::TrafficSnapshot::io_threads` gauge)
+//! reads 1 however large m and shards grow, where the old design held
+//! 2m(m−1) blocking socket threads per mesh (in-process rows read 0:
+//! channels need no I/O threads).
 //!
 //! `--json` additionally writes `BENCH_batch_throughput.json` —
 //! configuration plus both sweeps, machine-readable — so the perf
@@ -46,7 +55,7 @@ fn main() {
     let common = CommonArgs::parse(3);
     let emit_json = std::env::args().any(|a| a == "--json");
     let n_users = flag_value("--n").unwrap_or(20);
-    let m = flag_value("--m").unwrap_or(3).max(1);
+    let m = flag_value("--m").or_else(|| flag_value("--mesh-size")).unwrap_or(3).max(1);
     let k = (m - 1) / 2;
     let cfg = FrameworkConfig::new(m, k, n_users, m);
     let program = Arc::new(DoubleAuctionProgram::new());
@@ -145,7 +154,7 @@ fn main() {
     ];
     println!();
     let mut table = Table::new(
-        &["sessions", "transport", "shards", "mean", "sessions/s", "vs single hub"],
+        &["sessions", "transport", "shards", "mean", "sessions/s", "vs single hub", "io thr"],
         common.csv,
     );
     for (size_idx, &batch) in shard_batches.iter().enumerate() {
@@ -153,6 +162,7 @@ fn main() {
         for (cfg_idx, &(transport, shards)) in configs.iter().enumerate() {
             let batch_cfg = BatchConfig { shards, transport, ..BatchConfig::default() };
             let mut samples = Vec::with_capacity(common.rounds);
+            let mut io_threads = 0u64;
             for round in 0..common.rounds {
                 let base = 1_000_000
                     + ((round * shard_batches.len() + size_idx) * configs.len() + cfg_idx) as u64
@@ -167,6 +177,10 @@ fn main() {
                     )
                 });
                 assert!(report.all_agreed(), "{} shards={shards} aborted", label(transport));
+                // The I/O-thread gauge of the batch's transport: 1 for a
+                // socket mesh (one reactor regardless of m and shards),
+                // 0 in process.
+                io_threads = report.traffic.io_threads;
                 samples.push(elapsed);
             }
             let stats = Stats::of(&samples);
@@ -178,6 +192,7 @@ fn main() {
                 fmt_secs(stats.mean_s),
                 format!("{:.1}", batch as f64 / stats.mean_s),
                 format!("{:.2}x", baseline / stats.mean_s),
+                io_threads.to_string(),
             ]);
             let mut row = JsonObject::new();
             row.int("sessions", batch as u64)
@@ -185,7 +200,8 @@ fn main() {
                 .int("shards", shards as u64)
                 .num("mean_s", stats.mean_s)
                 .num("sessions_per_s", batch as f64 / stats.mean_s)
-                .num("vs_single_hub", baseline / stats.mean_s);
+                .num("vs_single_hub", baseline / stats.mean_s)
+                .int("io_threads", io_threads);
             json_sharded.push(row.finish());
         }
     }

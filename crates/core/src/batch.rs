@@ -294,8 +294,8 @@ pub fn run_batch_with<P: AllocatorProgram + 'static>(
 
     // Compact away empty shards: transports and worker threads are built
     // only for shards that drew sessions (a socket mesh — m listeners,
-    // m(m−1)/2 connections, reader/writer threads — is far too expensive
-    // to bring up for a shard that clears nothing).
+    // m(m−1)/2 connections, a reactor thread — is far too expensive to
+    // bring up for a shard that clears nothing).
     let mut compact_specs: Vec<Vec<BatchSession>> = Vec::new();
     let mut compact_slots: Vec<Vec<usize>> = Vec::new();
     for (specs, slots) in shard_specs.into_iter().zip(shard_slots) {

@@ -171,21 +171,18 @@ fn two_lanes_of_one_mux_mesh_match_two_independent_meshes_and_inproc() {
 }
 
 #[test]
-fn mux_mesh_thread_roster_is_o_m_while_pool_workers_scale_with_shards() {
+fn mux_mesh_thread_roster_is_o_1_while_pool_workers_scale_with_shards() {
     // The scaling claim, pinned as an accounting identity: the pool's
     // worker roster grows with shards (that is the parallelism knob),
-    // but the TCP mesh underneath keeps the SAME 2·m·(m−1) I/O threads
-    // however many shards share it — previously each shard paid its own
+    // but the TCP mesh underneath runs ONE reactor thread however many
+    // shards share it — previously the mesh paid 2·m·(m−1) blocking
+    // reader/writer threads, and before that each shard paid its own
     // mesh, i.e. O(m²·shards) threads total.
     let cfg = FrameworkConfig::new(3, 1, 2, 1);
     let m = cfg.m;
     for shards in [1usize, 4] {
         let mut mesh = MuxMesh::loopback(m, shards).unwrap();
-        assert_eq!(
-            mesh.io_threads(),
-            2 * m * (m - 1),
-            "{shards} lanes changed the mesh's I/O thread count"
-        );
+        assert_eq!(mesh.io_threads(), 1, "{shards} lanes changed the mesh's I/O thread count");
         let pool = SessionPool::new(
             &cfg,
             &Arc::new(DoubleAuctionProgram::new()),

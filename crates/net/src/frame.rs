@@ -101,7 +101,8 @@ pub fn unframe(message: &[u8]) -> Result<(u64, &[u8]), FrameError> {
 /// allocate what it claims.
 pub const MAX_WIRE_FRAME: usize = 16 * 1024 * 1024;
 
-/// Error decoding a wire frame from a byte stream.
+/// Error decoding a wire frame from a byte stream, or bringing the
+/// stream's connection up in the first place.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
     /// The length header claims more than [`MAX_WIRE_FRAME`] bytes — the
@@ -110,6 +111,14 @@ pub enum WireError {
         /// The claimed payload length.
         claimed: usize,
     },
+    /// Mesh bring-up exhausted its total readiness budget with peer
+    /// connections still outstanding: the named peers never connected,
+    /// never finished their hello, or kept refusing dials. Reported once
+    /// at the deadline instead of silent per-peer retries.
+    BringUpExpired {
+        /// Peer connections still missing when the budget expired.
+        missing: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -117,6 +126,12 @@ impl fmt::Display for WireError {
         match self {
             WireError::Oversized { claimed } => {
                 write!(f, "wire frame claims {claimed} bytes (max {MAX_WIRE_FRAME})")
+            }
+            WireError::BringUpExpired { missing } => {
+                write!(
+                    f,
+                    "mesh bring-up budget expired with {missing} peer connection(s) outstanding"
+                )
             }
         }
     }
@@ -200,6 +215,104 @@ pub fn frame_wire_into(tag: u64, payload: &[u8], buf: &mut BytesMut) {
     buf.put_u32_le(total as u32);
     buf.put_u64_le(tag);
     buf.put_slice(payload);
+}
+
+/// Incremental wire-frame reassembly for nonblocking byte streams.
+///
+/// Under a blocking reader, frames could be split off a private buffer
+/// in one loop; under the reactor's nonblocking reads, bytes arrive in
+/// chunks cut at **arbitrary** boundaries — mid-header, mid-payload, one
+/// byte at a time — and each connection owns one `FrameAssembler` that
+/// accumulates them and yields every complete frame exactly once, in
+/// order. The chunking is invisible: the delivered frame sequence is
+/// byte-identical to feeding the whole stream at once (the proptest
+/// suite drives this with adversarial chunkings).
+///
+/// Internally a single reused buffer with a consumed-prefix cursor:
+/// frames are split off without shifting bytes, and the buffer is
+/// compacted only when the parser runs dry, so steady-state reassembly
+/// costs one copy per inbound byte.
+///
+/// # Example
+///
+/// ```
+/// use dauctioneer_net::{wire_encode, FrameAssembler};
+///
+/// let wire = wire_encode(b"split me");
+/// let mut assembler = FrameAssembler::new();
+/// assembler.extend(&wire[..3]); // mid-header
+/// assert!(assembler.next_frame().unwrap().is_none());
+/// assembler.extend(&wire[3..]);
+/// let frame = assembler.next_frame().unwrap().expect("complete");
+/// assert_eq!(&frame[..], b"split me");
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Append a chunk of stream bytes (any length, any boundary).
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Split the next complete wire frame off the accumulated bytes.
+    ///
+    /// Returns `Ok(None)` when the stream is truncated mid-header or
+    /// mid-payload — call [`extend`](FrameAssembler::extend) with more
+    /// bytes and try again.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`] on a corrupt or hostile length header;
+    /// the connection must be torn down (resynchronising a byte stream
+    /// past a bad length is impossible), so the assembler's state is
+    /// irrelevant afterwards.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, WireError> {
+        Ok(self.next_frame_ref()?.map(Bytes::copy_from_slice))
+    }
+
+    /// [`next_frame`](FrameAssembler::next_frame) without the copy into
+    /// an owned [`Bytes`]: the payload is borrowed straight out of the
+    /// internal buffer. The reactor's mux read path uses this — the lane
+    /// demultiplexer makes its own owned copy anyway, so borrowing here
+    /// keeps inbound reassembly at one copy per byte, matching the old
+    /// blocking reader.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`], exactly as
+    /// [`next_frame`](FrameAssembler::next_frame).
+    pub fn next_frame_ref(&mut self) -> Result<Option<&[u8]>, WireError> {
+        let consumed = match wire_decode(&self.buf[self.start..])? {
+            Some((_, consumed)) => consumed,
+            None => {
+                // Parser ran dry: reclaim the consumed prefix now, so the
+                // buffer never grows past one partial frame + one read.
+                if self.start > 0 {
+                    self.buf.drain(..self.start);
+                    self.start = 0;
+                }
+                return Ok(None);
+            }
+        };
+        // A wire frame is a 4-byte length header, then the payload.
+        let payload = self.start + 4..self.start + consumed;
+        self.start += consumed;
+        Ok(Some(&self.buf[payload]))
+    }
+
+    /// Bytes accumulated but not yet consumed as complete frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
 }
 
 /// Bits of the packed mux tag carrying the lane (= shard) id.

@@ -195,6 +195,10 @@ impl ThreadedHub {
                 .expect("spawn delayer thread");
             (Some(tx), Some(handle))
         };
+        // The in-process transport needs no I/O threads beyond the
+        // optional delayer; the gauge makes that a queryable fact next
+        // to the socket backends' reactor count.
+        metrics.set_io_threads(u64::from(delayer_handle.is_some()));
 
         let endpoints = inboxes_rx
             .into_iter()

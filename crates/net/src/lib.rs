@@ -60,6 +60,7 @@ pub mod frame;
 pub mod hub;
 pub mod latency;
 pub mod metrics;
+mod reactor;
 pub mod shard;
 pub mod tcp;
 pub mod transport;
@@ -67,8 +68,8 @@ pub mod transport;
 pub use chaos::{ChaosStats, ChaosTransport, FaultDecision, FaultPlan, FaultPlanError};
 pub use frame::{
     frame, frame_wire_into, mux_frame_into, mux_pack, mux_unframe, mux_unpack, unframe,
-    wire_decode, wire_encode, wire_encode_into, FrameError, WireError, MAX_WIRE_FRAME,
-    MUX_LANE_BITS, MUX_MAX_LANES, MUX_RAW_TAG, MUX_SESSION_BITS,
+    wire_decode, wire_encode, wire_encode_into, FrameAssembler, FrameError, WireError,
+    MAX_WIRE_FRAME, MUX_LANE_BITS, MUX_MAX_LANES, MUX_RAW_TAG, MUX_SESSION_BITS,
 };
 pub use hub::{Endpoint, RecvError, ThreadedHub};
 pub use latency::LatencyModel;

@@ -58,12 +58,30 @@ impl ProviderTraffic {
 #[derive(Debug, Clone)]
 pub struct TrafficMetrics {
     providers: Arc<Vec<ProviderTraffic>>,
+    io_threads: Arc<AtomicU64>,
 }
 
 impl TrafficMetrics {
     /// Fresh counters for `m` providers.
     pub fn new(m: usize) -> TrafficMetrics {
-        TrafficMetrics { providers: Arc::new((0..m).map(|_| ProviderTraffic::default()).collect()) }
+        TrafficMetrics {
+            providers: Arc::new((0..m).map(|_| ProviderTraffic::default()).collect()),
+            io_threads: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Set the number of OS threads this transport dedicates to I/O
+    /// (reactor threads for the socket backends, delayer threads for the
+    /// in-process hub). A gauge, not a counter: the transport stores its
+    /// roster size once at spawn so the O(1)-I/O-threads property is a
+    /// queryable runtime fact rather than a doc claim.
+    pub fn set_io_threads(&self, n: u64) {
+        self.io_threads.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value of the I/O-thread gauge.
+    pub fn io_threads(&self) -> u64 {
+        self.io_threads.load(Ordering::Relaxed)
     }
 
     /// Record a send by `from` of `bytes` payload bytes.
@@ -94,6 +112,7 @@ impl TrafficMetrics {
     /// run has quiesced).
     pub fn snapshot(&self) -> TrafficSnapshot {
         TrafficSnapshot {
+            io_threads: self.io_threads.load(Ordering::Relaxed),
             per_provider: self
                 .providers
                 .iter()
@@ -133,6 +152,12 @@ pub struct ProviderSnapshot {
 pub struct TrafficSnapshot {
     /// Counters by provider index.
     pub per_provider: Vec<ProviderSnapshot>,
+    /// OS threads the transport dedicates to I/O (see
+    /// [`TrafficMetrics::set_io_threads`]). Summed by [`merge`], so an
+    /// aggregate over independent meshes reports the total roster.
+    ///
+    /// [`merge`]: TrafficSnapshot::merge
+    pub io_threads: u64,
 }
 
 impl TrafficSnapshot {
@@ -151,6 +176,7 @@ impl TrafficSnapshot {
             mine.dropped_messages += theirs.dropped_messages;
             mine.dropped_bytes += theirs.dropped_bytes;
         }
+        self.io_threads += other.io_threads;
     }
 
     /// Total messages sent across all providers.
@@ -216,5 +242,20 @@ mod tests {
         let c = m.clone();
         m.record_send(ProviderId(0), 1);
         assert_eq!(c.snapshot().total_messages(), 1);
+    }
+
+    #[test]
+    fn io_thread_gauge_stores_and_merges() {
+        let a = TrafficMetrics::new(1);
+        assert_eq!(a.io_threads(), 0);
+        a.set_io_threads(1);
+        a.set_io_threads(1); // gauge: stores, never accumulates
+        assert_eq!(a.io_threads(), 1);
+        assert_eq!(a.clone().snapshot().io_threads, 1);
+        let b = TrafficMetrics::new(1);
+        b.set_io_threads(2);
+        let mut total = a.snapshot();
+        total.merge(&b.snapshot());
+        assert_eq!(total.io_threads, 3);
     }
 }

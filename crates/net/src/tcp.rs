@@ -25,30 +25,37 @@
 //! * **one TCP connection per provider pair**, used bidirectionally.
 //!   Provider `i` dials every peer `j < i` and accepts from every
 //!   `j > i`; a 4-byte hello identifies the dialler, so the mesh comes up
-//!   regardless of start order (dialling retries until the peer listens).
+//!   regardless of start order. Bring-up is fully event-driven:
+//!   nonblocking `connect` completion, accept readiness and hello bytes
+//!   are all observed through an epoll poller — no dial-retry or
+//!   accept-poll sleep loops — under one bounded budget
+//!   (`DIAL_TIMEOUT`) whose expiry reports a
+//!   [`WireError::BringUpExpired`] naming the missing peer count.
 //!   [`MuxMesh::loopback`] skips the hello dance entirely and wires the
 //!   pairs up through one ephemeral listener. `TCP_NODELAY` is set on
 //!   every stream, dialled or accepted — the protocol's frames are small
 //!   and latency-critical, the worst case for Nagle's algorithm.
-//! * **one reader thread per peer** — blocks on the socket, splits wire
-//!   frames off the stream, and forwards `(peer, payload)` into the
-//!   endpoint's inbox (the lane's inbox, for a mux). A corrupt length
-//!   header ([`MAX_WIRE_FRAME`][crate::frame::MAX_WIRE_FRAME]) tears the
-//!   connection down rather than trusting it.
-//! * **one coalescing writer thread per peer** — drains the outbound
-//!   queue in batches into one reused buffer and issues a single
-//!   `write_all` per batch, so [`TcpEndpoint::send`] never blocks the
-//!   protocol loop (mirroring the asynchronous sends of the paper's ØMQ
-//!   prototype) and a loaded link pays one syscall per *batch*, not per
-//!   frame.
+//! * **one reactor thread per mesh** (per node, for a multi-host
+//!   deployment) drives *every* connection: nonblocking sockets on an
+//!   epoll event loop (`reactor`), per-connection
+//!   [`FrameAssembler`][crate::FrameAssembler] reassembly on the read
+//!   side, and the coalescing-batch discipline on the write side —
+//!   frames queue into a **bounded per-connection ring**
+//!   (`OUTBOUND_QUEUE_FRAMES`) and leave in one kernel write per batch
+//!   (up to `WRITE_COALESCE_BYTES`), exactly the syscall profile of
+//!   the old per-peer writer threads. What used to be `2m(m−1)` blocking
+//!   threads per mux mesh is now **one thread, independent of both `m`
+//!   and the lane count** — the property the thread-accounting tests and
+//!   the [`TrafficMetrics::io_threads`][crate::TrafficMetrics::io_threads]
+//!   gauge pin down.
 //!
 //! Shutdown is clean on either a decided session or a ⊥-abort: dropping
-//! the endpoint first lets the writers drain every queued frame, then
-//! shuts the sockets down to unblock the readers, then joins all threads.
-//! Peers observe EOF, their readers exit, and their own
-//! [`TcpEndpoint::recv_timeout`] reports [`RecvError::Disconnected`] once
-//! every connection is gone — which the engine's drive loops map to the
-//! external ⊥ of §3.2.
+//! the endpoint blocks until the reactor has flushed every queued frame
+//! of the node to the kernel and half-closed its sockets (FIN *after*
+//! the data). Peers observe EOF, and their own
+//! [`TcpEndpoint::recv_timeout`] reports [`RecvError::Disconnected`]
+//! once every connection is gone — which the engine's drive loops map to
+//! the external ⊥ of §3.2.
 //!
 //! # Example
 //!
@@ -67,51 +74,50 @@
 //! assert_eq!(&payload[..], b"over real sockets");
 //! ```
 
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bytes::{Bytes, BytesMut};
-use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use polling::{connect_nonblocking, Events, Interest, PollMode, Poller};
 
 use dauctioneer_types::ProviderId;
 
-use crate::frame::{mux_frame_into, mux_unframe, wire_decode, wire_encode_into, MUX_MAX_LANES};
+use crate::frame::{WireError, MAX_WIRE_FRAME, MUX_MAX_LANES};
 use crate::hub::RecvError;
 use crate::metrics::TrafficMetrics;
+use crate::reactor::{self, ConnTx, NodeCloser, NodeIo, NodeSpec, ReactorHandle, WireFormat};
 
-/// How long [`TcpEndpoint::establish`] keeps re-dialling a peer whose
-/// listener is not up yet before giving up on the mesh.
+/// Total bring-up budget for [`TcpEndpoint::establish`]: how long dial
+/// completion, accept readiness and hello exchange may take before the
+/// mesh is reported down ([`WireError::BringUpExpired`]).
 const DIAL_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Pause between redial attempts while a peer's listener comes up.
+/// Pacing between redial attempts while a peer's listener comes up.
+/// This is an epoll-wait timeout, not a sleep: any other readiness
+/// (accepts, other dials) is still processed while a redial is pending.
 const DIAL_RETRY: Duration = Duration::from_millis(5);
-
-/// Pause between accept polls while waiting for higher-id peers. Much
-/// shorter than [`DIAL_RETRY`]: on a busy single-core host the dialling
-/// peer often just hasn't been scheduled yet, and a millisecond-scale
-/// sleep here used to dominate whole-mesh bring-up (it is paid once per
-/// accepted connection).
-const ACCEPT_POLL: Duration = Duration::from_micros(200);
 
 /// How long an accepted connection gets to present its 4-byte hello
 /// before it is dropped as a stray.
 const HELLO_TIMEOUT: Duration = Duration::from_secs(2);
 
-/// High-water mark for the coalescing writers: a flush is issued once
-/// the batch buffer reaches this size even if more frames are queued,
-/// so one `write_all` stays comfortably inside socket buffers.
-const WRITE_COALESCE_BYTES: usize = 256 * 1024;
+/// High-water mark for the coalescing write batches: the reactor refills
+/// a connection's write buffer from its ring up to this size and issues
+/// one kernel write per batch, so a loaded link pays one syscall per
+/// *batch*, not per frame — unchanged from the writer-thread design.
+pub(crate) const WRITE_COALESCE_BYTES: usize = 256 * 1024;
 
-/// Bound on a peer's outbound queue (messages). Comfortably above what
-/// protocol rounds burst; it exists so a peer that stops reading cannot
-/// make the sender's memory grow without bound. A full queue briefly
-/// blocks the sender until the writer's batch drain catches up — pure
-/// backpressure, never deadlock, since readers always drain their side.
-/// (Crossbeam preallocates the ring, so the bound is also sized to keep
-/// per-mesh bring-up cost trivial.)
-const OUTBOUND_QUEUE_FRAMES: usize = 1024;
+/// Bound on a peer connection's outbound ring (frames). Comfortably
+/// above what protocol rounds burst; it exists so a peer that stops
+/// reading cannot make the sender's memory grow without bound. A full
+/// ring briefly blocks the sender until the reactor's batch drain
+/// catches up — pure backpressure, never deadlock, since the reactor
+/// always keeps draining read sides.
+pub(crate) const OUTBOUND_QUEUE_FRAMES: usize = 1024;
 
 /// One provider's handle onto a TCP mesh.
 ///
@@ -125,13 +131,14 @@ const OUTBOUND_QUEUE_FRAMES: usize = 1024;
 pub struct TcpEndpoint {
     me: ProviderId,
     m: usize,
-    /// Outbound queue per peer (`None` at our own index).
-    outbound: Vec<Option<Sender<Bytes>>>,
+    /// Outbound ring per peer (`None` at our own index).
+    outbound: Vec<Option<ConnTx>>,
     inbox: Receiver<(ProviderId, Bytes)>,
-    /// Our handle on each peer connection, kept to shut readers down.
-    streams: Vec<Option<TcpStream>>,
-    threads: Vec<std::thread::JoinHandle<()>>,
     metrics: TrafficMetrics,
+    closer: Option<NodeCloser>,
+    /// Shared by every endpoint the same reactor serves; the last drop
+    /// shuts the event loop down.
+    reactor: Arc<ReactorHandle>,
 }
 
 impl TcpEndpoint {
@@ -139,18 +146,20 @@ impl TcpEndpoint {
     ///
     /// `addrs[j]` is provider `j`'s listening address; `listener` must be
     /// bound to `addrs[me]`'s port. The call dials every peer with a
-    /// smaller id (retrying until its listener is up) and accepts a
-    /// connection from every peer with a larger id, so the `m` providers
-    /// may start in any order. It returns once all `m − 1` connections
-    /// are established. Accepted connections that never present a valid
-    /// hello (strays, port scanners) are dropped and accepting continues.
+    /// smaller id (redialling, event-paced, until its listener is up) and
+    /// accepts a connection from every peer with a larger id, so the `m`
+    /// providers may start in any order. It returns once all `m − 1`
+    /// connections are established. Accepted connections that never
+    /// present a valid hello (strays, port scanners) are dropped and
+    /// accepting continues.
     ///
     /// # Errors
     ///
     /// Any socket-level failure, or peers that cannot be reached (dial)
-    /// or do not connect (accept) within the bring-up timeout — so a
-    /// peer whose own bring-up failed leaves this call with an error
-    /// after the timeout, never blocked forever.
+    /// or do not connect (accept) within the bring-up budget — the
+    /// timeout error wraps [`WireError::BringUpExpired`] with the number
+    /// of connections still outstanding, so a peer whose own bring-up
+    /// failed leaves this call with a diagnosis, never blocked forever.
     pub fn establish(
         me: ProviderId,
         listener: TcpListener,
@@ -170,43 +179,36 @@ impl TcpEndpoint {
     ) -> io::Result<TcpEndpoint> {
         let m = addrs.len();
         let streams = establish_streams(me, listener, addrs)?;
-
-        // Spawn the per-peer reader/writer pairs.
         let (inbox_tx, inbox) = unbounded();
-        let mut outbound: Vec<Option<Sender<Bytes>>> = (0..m).map(|_| None).collect();
-        let mut threads = Vec::with_capacity(2 * m.saturating_sub(1));
-        for (peer, slot) in streams.iter().enumerate() {
-            let Some(stream) = slot else { continue };
-            let peer_id = ProviderId(peer as u32);
+        let spec = NodeSpec {
+            me,
+            format: WireFormat::Plain,
+            streams,
+            lanes: vec![inbox_tx],
+            metrics: metrics.clone(),
+        };
+        let (reactor, mut ios) = reactor::spawn(vec![spec])?;
+        let io = ios.pop().expect("one node spec yields one node io");
+        Ok(TcpEndpoint::from_parts(me, m, io, inbox, metrics, reactor))
+    }
 
-            let reader = stream.try_clone()?;
-            let tx = inbox_tx.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("tcp-read-{me}-{peer_id}"))
-                    .spawn(move || read_loop(reader, peer_id, tx))
-                    .expect("spawn tcp reader"),
-            );
-
-            let writer = stream.try_clone()?;
-            let (out_tx, out_rx) = unbounded::<Bytes>();
-            outbound[peer] = Some(out_tx);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("tcp-write-{me}-{peer_id}"))
-                    .spawn(move || {
-                        coalescing_write_loop(writer, out_rx, |payload, buf| {
-                            wire_encode_into(payload, buf)
-                        })
-                    })
-                    .expect("spawn tcp writer"),
-            );
+    fn from_parts(
+        me: ProviderId,
+        m: usize,
+        io: NodeIo,
+        inbox: Receiver<(ProviderId, Bytes)>,
+        metrics: TrafficMetrics,
+        reactor: Arc<ReactorHandle>,
+    ) -> TcpEndpoint {
+        TcpEndpoint {
+            me,
+            m,
+            outbound: io.outbound,
+            inbox,
+            metrics,
+            closer: Some(io.closer),
+            reactor,
         }
-        // `inbox_tx` clones live only in reader threads now: when the last
-        // peer connection dies, the inbox disconnects.
-        drop(inbox_tx);
-
-        Ok(TcpEndpoint { me, m, outbound, inbox, streams, threads, metrics })
     }
 
     /// This endpoint's provider id.
@@ -230,13 +232,27 @@ impl TcpEndpoint {
         self.metrics.clone()
     }
 
-    /// Queue `payload` for `to`. Never blocks: the per-peer writer thread
-    /// performs the socket write. Sends to self or to departed peers are
-    /// dropped silently (the run is over at that point).
+    /// OS threads doing I/O for this endpoint: the reactor's constant
+    /// roster (one), no matter how many peers the mesh has.
+    pub fn io_threads(&self) -> usize {
+        self.reactor.io_threads()
+    }
+
+    /// Queue `payload` for `to`. The reactor performs the socket write;
+    /// a send blocks only when the peer's bounded ring is full
+    /// (backpressure). Sends to self or to departed peers are dropped
+    /// silently (the run is over at that point); payloads exceeding
+    /// [`MAX_WIRE_FRAME`] are dropped and
+    /// counted rather than queued — a panic inside the shared reactor
+    /// would take down the whole mesh's I/O.
     pub fn send(&self, to: ProviderId, payload: Bytes) {
-        let Some(Some(queue)) = self.outbound.get(to.index()) else { return };
+        let Some(Some(conn)) = self.outbound.get(to.index()) else { return };
         self.metrics.record_send(self.me, payload.len());
-        let _ = queue.send(payload);
+        if payload.len() > MAX_WIRE_FRAME {
+            self.metrics.record_drop(self.me, payload.len());
+            return;
+        }
+        conn.send(0, payload);
     }
 
     /// Send `payload` to every other provider.
@@ -276,59 +292,54 @@ impl TcpEndpoint {
 
 impl Drop for TcpEndpoint {
     fn drop(&mut self) {
-        // 1. Close the outbound queues; each writer drains what is queued
-        //    (a decided engine's final sends must reach the peers), half-
-        //    closes its socket, and exits on the queue disconnect.
-        for queue in &mut self.outbound {
-            queue.take();
+        // Block until the reactor has flushed every frame still queued in
+        // our rings to the kernel and half-closed the sockets (FIN after
+        // the data): a decided engine's final sends must reach the peers.
+        if let Some(closer) = self.closer.take() {
+            closer.close();
         }
-        let (writers, readers): (Vec<_>, Vec<_>) = self
-            .threads
-            .drain(..)
-            .partition(|t| t.thread().name().is_some_and(|n| n.starts_with("tcp-write")));
-        for writer in writers {
-            let _ = writer.join();
-        }
-        // 2. Only after every queued frame is flushed, tear the sockets
-        //    down fully so our blocked readers return and can be joined.
-        for stream in self.streams.iter().flatten() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        for reader in readers {
-            let _ = reader.join();
-        }
+        // `reactor` drops with the struct; the last endpoint it serves
+        // shuts the event loop down and joins the thread.
     }
 }
 
-/// Dial `addr`, retrying while the peer's listener comes up.
-fn dial(addr: SocketAddr) -> io::Result<TcpStream> {
-    let deadline = Instant::now() + DIAL_TIMEOUT;
-    loop {
-        match TcpStream::connect(addr) {
-            Ok(stream) => {
-                stream.set_nodelay(true)?;
-                return Ok(stream);
-            }
-            Err(err) if Instant::now() < deadline => {
-                let _ = err;
-                std::thread::sleep(DIAL_RETRY);
-            }
-            Err(err) => return Err(err),
-        }
-    }
+/// In-flight state of one outgoing (dialling) connection during
+/// event-driven bring-up.
+#[derive(Debug)]
+enum Dial {
+    /// Nonblocking connect in flight; writability delivers the verdict.
+    Connecting(TcpStream),
+    /// Connected; the 4-byte hello is partially written.
+    Hello { stream: TcpStream, sent: usize },
+    /// Last attempt failed (listener not up yet); redial at `retry_at`.
+    Backoff { retry_at: Instant },
+    /// Established and handed to `streams`.
+    Done,
+}
+
+/// One accepted connection waiting to present its 4-byte hello.
+#[derive(Debug)]
+struct PendingHello {
+    stream: TcpStream,
+    buf: [u8; 4],
+    got: usize,
+    deadline: Instant,
 }
 
 /// The shared mesh bring-up: one connected, [`TCP_NODELAY`]-enabled
 /// stream per peer (`None` at our own index), regardless of start order.
 ///
-/// Dials every smaller id (retrying until its listener is up, presenting
-/// a 4-byte hello) and accepts from every larger id (the hello tells us
-/// who dialled). The whole accept phase shares one deadline — a peer
-/// whose own bring-up failed must not leave us blocked forever — and
-/// connections that never present a valid hello (port scanners,
-/// misdirected clients) are dropped, not fatal. Accepted streams are
-/// switched back to blocking mode before use, so the writers' final
-/// flush-on-shutdown can never hit a spurious `WouldBlock`.
+/// Fully event-driven on a temporary poller: every dial is a nonblocking
+/// connect whose completion (or refusal) arrives as writability, redials
+/// are paced by the poll timeout instead of sleeps, accepts arrive as
+/// listener readability, and hello bytes as connection readability — so
+/// a whole mesh's bring-up burns no busy-wait cycles anywhere. Dials
+/// present a 4-byte hello; accepted connections must present one within
+/// [`HELLO_TIMEOUT`] (port scanners and misdirected clients are dropped,
+/// not fatal). The whole bring-up shares one `DIAL_TIMEOUT` budget:
+/// expiry reports [`WireError::BringUpExpired`] with the number of
+/// connections still missing. Returned streams are nonblocking — their
+/// next stop is the reactor's poller.
 ///
 /// [`TCP_NODELAY`]: TcpStream::set_nodelay
 fn establish_streams(
@@ -340,134 +351,220 @@ fn establish_streams(
     assert!(me.index() < m, "provider {me} outside address table of {m}");
 
     let mut streams: Vec<Option<TcpStream>> = (0..m).map(|_| None).collect();
-
-    // Dial every smaller id; the listener may not be up yet, so retry.
-    for peer in 0..me.index() {
-        let mut stream = dial(addrs[peer])?;
-        stream.write_all(&(me.index() as u32).to_le_bytes())?;
-        streams[peer] = Some(stream);
+    let dial_count = me.index();
+    let mut expected_accepts = m - 1 - me.index();
+    if dial_count == 0 && expected_accepts == 0 {
+        return Ok(streams);
     }
-    listener.set_nonblocking(true)?;
+
+    // Poller keys: `0..dial_count` are dials (by peer id), `m` is the
+    // listener, `m + 1 ..` are accepted connections awaiting hellos.
+    let poller = Poller::new()?;
+    let listener_key = m;
+    let mut next_pending_key = m + 1;
+    let mut pending: HashMap<usize, PendingHello> = HashMap::new();
+    let mut events = Events::new();
     let deadline = Instant::now() + DIAL_TIMEOUT;
-    let mut expected = m - 1 - me.index();
-    while expected > 0 {
-        match listener.accept() {
-            Ok((mut stream, _)) => {
-                stream.set_nonblocking(false)?;
-                stream.set_read_timeout(Some(HELLO_TIMEOUT))?;
-                let mut hello = [0u8; 4];
-                if stream.read_exact(&mut hello).is_err() {
-                    continue; // silent or torn connection: drop it
-                }
-                let peer = u32::from_le_bytes(hello) as usize;
-                if peer <= me.index() || peer >= m || streams[peer].is_some() {
-                    continue; // not a mesh peer we are waiting for: drop
-                }
-                stream.set_read_timeout(None)?;
-                stream.set_nodelay(true)?;
-                streams[peer] = Some(stream);
-                expected -= 1;
-            }
-            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
-                if Instant::now() >= deadline {
-                    return Err(io::Error::new(
-                        io::ErrorKind::TimedOut,
-                        format!("provider {me}: {expected} peer(s) failed to connect"),
-                    ));
-                }
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(err) => return Err(err),
+    let hello = (me.index() as u32).to_le_bytes();
+
+    listener.set_nonblocking(true)?;
+    if expected_accepts > 0 {
+        poller.add(&listener, listener_key, Interest::READABLE, PollMode::Level)?;
+    }
+    let mut dials: Vec<Dial> = Vec::with_capacity(dial_count);
+    let mut dials_done = 0;
+    for (peer, &addr) in addrs.iter().enumerate().take(dial_count) {
+        dials.push(start_dial(&poller, peer, addr)?);
+    }
+
+    while dials_done < dial_count || expected_accepts > 0 {
+        let now = Instant::now();
+        if now >= deadline {
+            let missing = (dial_count - dials_done) + expected_accepts;
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                WireError::BringUpExpired { missing },
+            ));
         }
+        // Sleep until the next scheduled redial, hello expiry, or the
+        // budget's end — or any readiness, whichever is first.
+        let mut wake_at = deadline;
+        for dial in &dials {
+            if let Dial::Backoff { retry_at } = dial {
+                wake_at = wake_at.min(*retry_at);
+            }
+        }
+        for p in pending.values() {
+            wake_at = wake_at.min(p.deadline);
+        }
+        poller.wait(&mut events, Some(wake_at.saturating_duration_since(now)))?;
+        let now = Instant::now();
+
+        for ev in events.iter() {
+            if ev.key < dial_count {
+                advance_dial(&poller, &mut dials[ev.key], &hello, now, &mut |stream| {
+                    streams[ev.key] = Some(stream);
+                    dials_done += 1;
+                });
+            } else if ev.key == listener_key {
+                // Drain the accept queue; strays join `pending` too and
+                // get weeded out by their hello (or its timeout).
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            let key = next_pending_key;
+                            next_pending_key += 1;
+                            if poller.add(&stream, key, Interest::READABLE, PollMode::Level).is_ok()
+                            {
+                                let deadline = now + HELLO_TIMEOUT;
+                                pending.insert(
+                                    key,
+                                    PendingHello { stream, buf: [0; 4], got: 0, deadline },
+                                );
+                            }
+                        }
+                        Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(err) => return Err(err),
+                    }
+                }
+            } else if let Some(p) = pending.remove(&ev.key) {
+                if let Some((peer, stream)) = advance_hello(&poller, p, ev.key, &mut pending) {
+                    // A valid hello from a peer we are actually waiting
+                    // for; anything else was already dropped.
+                    if peer > me.index() && peer < m && streams[peer].is_none() {
+                        let _ = stream.set_nodelay(true);
+                        streams[peer] = Some(stream);
+                        expected_accepts -= 1;
+                    }
+                }
+            }
+        }
+
+        // Fire due redials and expire stale hellos.
+        for (peer, dial) in dials.iter_mut().enumerate() {
+            if matches!(dial, Dial::Backoff { retry_at } if *retry_at <= now) {
+                *dial = start_dial(&poller, peer, addrs[peer])?;
+            }
+        }
+        pending.retain(|_, p| {
+            if p.deadline <= now {
+                let _ = poller.delete(&p.stream);
+                false
+            } else {
+                true
+            }
+        });
     }
     Ok(streams)
 }
 
-/// The shared read-side stream splitter: accumulate socket bytes,
-/// split complete wire frames off with [`wire_decode`] — the same
-/// decoder the frame tests exercise — and hand each to `deliver` until
-/// the connection dies. `deliver` returning `false` (an undecodable
-/// frame at its layer) tears the connection down: resynchronising a
-/// byte stream past corruption is impossible. A corrupt or hostile
-/// *length header* tears it down here for the same reason.
-fn read_split_loop(mut stream: TcpStream, mut deliver: impl FnMut(&[u8]) -> bool) {
-    let mut pending: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 64 * 1024];
+/// Begin (or re-begin) one nonblocking dial, registering it for
+/// writability. A synchronous failure (no route, etc.) becomes a paced
+/// backoff, exactly like a refused connect — the peer may simply not be
+/// up yet, and the budget in [`establish_streams`] bounds the retrying.
+fn start_dial(poller: &Poller, peer: usize, addr: SocketAddr) -> io::Result<Dial> {
+    match connect_nonblocking(addr) {
+        Ok(stream) => {
+            poller.add(&stream, peer, Interest::WRITABLE, PollMode::Level)?;
+            Ok(Dial::Connecting(stream))
+        }
+        Err(_) => Ok(Dial::Backoff { retry_at: Instant::now() + DIAL_RETRY }),
+    }
+}
+
+/// Writability on a dialling connection: resolve the connect verdict
+/// (`SO_ERROR`), then push hello bytes until done or `WouldBlock`.
+/// Calls `complete` with the established stream on success.
+fn advance_dial(
+    poller: &Poller,
+    dial: &mut Dial,
+    hello: &[u8; 4],
+    now: Instant,
+    complete: &mut dyn FnMut(TcpStream),
+) {
+    let state = std::mem::replace(dial, Dial::Backoff { retry_at: now + DIAL_RETRY });
+    let (stream, mut sent) = match state {
+        Dial::Connecting(stream) => match stream.take_error() {
+            Ok(None) => (stream, 0),
+            Ok(Some(_)) | Err(_) => {
+                // Refused (listener not up yet) or failed: redial later.
+                let _ = poller.delete(&stream);
+                return;
+            }
+        },
+        Dial::Hello { stream, sent } => (stream, sent),
+        done_or_backoff => {
+            *dial = done_or_backoff; // stale event: nothing to advance
+            return;
+        }
+    };
     loop {
-        let n = match stream.read(&mut chunk) {
-            Ok(0) | Err(_) => return, // EOF or torn connection: peer gone
-            Ok(n) => n,
-        };
-        pending.extend_from_slice(&chunk[..n]);
-        let mut consumed_total = 0;
-        loop {
-            match wire_decode(&pending[consumed_total..]) {
-                Ok(Some((payload, consumed))) => {
-                    consumed_total += consumed;
-                    if !deliver(payload) {
-                        let _ = stream.shutdown(Shutdown::Both);
-                        return;
-                    }
-                }
-                Ok(None) => break, // truncated: need more bytes from the socket
-                Err(_) => {
-                    let _ = stream.shutdown(Shutdown::Both);
+        match (&stream).write(&hello[sent..]) {
+            Ok(n) => {
+                sent += n;
+                if sent == hello.len() {
+                    let _ = poller.delete(&stream);
+                    let _ = stream.set_nodelay(true);
+                    complete(stream);
+                    *dial = Dial::Done;
                     return;
                 }
             }
-        }
-        pending.drain(..consumed_total);
-    }
-}
-
-/// Reader half of one dedicated-mesh peer connection: every frame goes
-/// to the endpoint's single inbox. A dropped endpoint (send fails) just
-/// ends the loop — the teardown path shuts the stream down anyway.
-fn read_loop(stream: TcpStream, peer: ProviderId, inbox: Sender<(ProviderId, Bytes)>) {
-    read_split_loop(stream, move |payload| {
-        inbox.send((peer, Bytes::copy_from_slice(payload))).is_ok()
-    });
-}
-
-/// Writer half of one peer connection: the **coalescing** drain loop
-/// shared by [`TcpEndpoint`] and [`MuxEndpoint`]. Block for the next
-/// message, then opportunistically drain everything already queued into
-/// one reused [`BytesMut`] (up to [`WRITE_COALESCE_BYTES`]) and issue a
-/// **single** `write_all` — under load this turns one syscall per frame
-/// into one syscall per batch, and the buffer's allocation is warm after
-/// the first round.
-///
-/// Exits when the socket dies (peer gone) or the queue disconnects
-/// (clean shutdown): remaining queued frames are still drained and
-/// flushed — crossbeam delivers buffered messages after disconnect — and
-/// the write half is shut down so the peer sees EOF.
-fn coalescing_write_loop<T>(
-    mut stream: TcpStream,
-    outbound: Receiver<T>,
-    encode_into: impl Fn(&T, &mut BytesMut),
-) {
-    let mut buf = BytesMut::with_capacity(64 * 1024);
-    while let Ok(item) = outbound.recv() {
-        buf.clear();
-        encode_into(&item, &mut buf);
-        while buf.len() < WRITE_COALESCE_BYTES {
-            match outbound.try_recv() {
-                Ok(item) => encode_into(&item, &mut buf),
-                Err(_) => break, // queue momentarily empty (or closing)
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                *dial = Dial::Hello { stream, sent };
+                return;
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                let _ = poller.delete(&stream);
+                return; // connection died mid-hello: redial later
             }
         }
-        if stream.write_all(&buf).is_err() {
-            return;
+    }
+}
+
+/// Readability on an accepted connection: read hello bytes. Returns the
+/// identified `(peer, stream)` once the hello is complete; re-inserts
+/// into `pending` on `WouldBlock`; drops torn or silent strays.
+fn advance_hello(
+    poller: &Poller,
+    mut p: PendingHello,
+    key: usize,
+    pending: &mut HashMap<usize, PendingHello>,
+) -> Option<(usize, TcpStream)> {
+    loop {
+        match (&p.stream).read(&mut p.buf[p.got..]) {
+            Ok(0) => {
+                let _ = poller.delete(&p.stream);
+                return None; // torn before the hello finished: drop
+            }
+            Ok(n) => {
+                p.got += n;
+                if p.got == p.buf.len() {
+                    let _ = poller.delete(&p.stream);
+                    return Some((u32::from_le_bytes(p.buf) as usize, p.stream));
+                }
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                pending.insert(key, p);
+                return None;
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                let _ = poller.delete(&p.stream);
+                return None;
+            }
         }
     }
-    // Queue closed and fully drained: flush politely and let the peer
-    // see EOF. The stream is in blocking mode, so the kernel accepts the
-    // final bytes before shutdown returns.
-    let _ = stream.shutdown(Shutdown::Write);
 }
 
 /// A full in-process TCP mesh over loopback sockets: every provider pair
-/// connected, all endpoints sharing one set of traffic counters.
+/// connected, all endpoints sharing one set of traffic counters **and
+/// one reactor thread**.
 ///
 /// This is the single-host stand-in for a real LAN deployment (where each
 /// provider process calls [`TcpEndpoint::establish`] itself); it is what
@@ -480,7 +577,8 @@ pub struct TcpMesh {
 
 impl TcpMesh {
     /// Bring up a full mesh of `m` providers over `127.0.0.1` (ephemeral
-    /// ports), establishing all connections concurrently.
+    /// ports), establishing all connections concurrently, then driving
+    /// every node from **one** shared reactor thread.
     ///
     /// # Errors
     ///
@@ -494,35 +592,64 @@ impl TcpMesh {
             addrs.push(listener.local_addr()?);
             listeners.push(listener);
         }
+        // Bring every node's connections up concurrently: the dial /
+        // accept / hello protocol needs all nodes progressing at once.
         let handles: Vec<_> = listeners
             .into_iter()
             .enumerate()
             .map(|(i, listener)| {
                 let addrs = addrs.clone();
-                let metrics = metrics.clone();
                 std::thread::Builder::new()
                     .name(format!("tcp-mesh-up-{i}"))
-                    .spawn(move || {
-                        TcpEndpoint::establish_with(ProviderId(i as u32), listener, &addrs, metrics)
-                    })
+                    .spawn(move || establish_streams(ProviderId(i as u32), listener, &addrs))
                     .expect("spawn mesh bring-up thread")
             })
             .collect();
         // Join every bring-up thread before reporting, so a failure on
-        // one provider (its peers unblock at the accept deadline) never
+        // one provider (its peers unblock at the bring-up deadline) never
         // leaves detached threads behind.
-        let mut endpoints = Vec::with_capacity(m);
+        let mut rows = Vec::with_capacity(m);
         let mut first_err = None;
         for handle in handles {
             match handle.join().expect("mesh bring-up thread panicked") {
-                Ok(endpoint) => endpoints.push(endpoint),
+                Ok(row) => rows.push(row),
                 Err(err) => first_err = first_err.or(Some(err)),
             }
         }
-        match first_err {
-            None => Ok(TcpMesh { endpoints, metrics }),
-            Some(err) => Err(err),
+        if let Some(err) = first_err {
+            return Err(err);
         }
+        // One reactor serves all m nodes.
+        let mut specs = Vec::with_capacity(m);
+        let mut inboxes = Vec::with_capacity(m);
+        for (i, row) in rows.into_iter().enumerate() {
+            let (inbox_tx, inbox_rx) = unbounded();
+            specs.push(NodeSpec {
+                me: ProviderId(i as u32),
+                format: WireFormat::Plain,
+                streams: row,
+                lanes: vec![inbox_tx],
+                metrics: metrics.clone(),
+            });
+            inboxes.push(inbox_rx);
+        }
+        let (reactor, ios) = reactor::spawn(specs)?;
+        let endpoints = ios
+            .into_iter()
+            .zip(inboxes)
+            .enumerate()
+            .map(|(i, (io, inbox))| {
+                TcpEndpoint::from_parts(
+                    ProviderId(i as u32),
+                    m,
+                    io,
+                    inbox,
+                    metrics.clone(),
+                    Arc::clone(&reactor),
+                )
+            })
+            .collect();
+        Ok(TcpMesh { endpoints, metrics })
     }
 
     /// Take ownership of the endpoints (one per provider, in id order).
@@ -541,48 +668,35 @@ impl TcpMesh {
     }
 }
 
-/// One provider's physical half of a [`MuxMesh`]: the per-peer sockets
-/// and reader/writer threads that **every lane shares**. Lane endpoints
-/// hold it behind an [`Arc`]; when the last one drops, teardown runs
+/// One provider's share of the reactor wiring that **every lane
+/// shares**. Lane endpoints hold it behind an [`Arc`]; when the last one
+/// drops, the node's rings are flushed and its sockets half-closed —
 /// drain-then-shutdown exactly like [`TcpEndpoint`]'s.
 #[derive(Debug)]
 struct MuxNodeCore {
-    streams: Vec<Option<TcpStream>>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    closer: Option<NodeCloser>,
+    /// Keeps the event loop alive while any lane endpoint lives.
+    reactor: Arc<ReactorHandle>,
 }
 
 impl Drop for MuxNodeCore {
     fn drop(&mut self) {
         // Reached only after every lane endpoint of this provider is
-        // gone — i.e. all outbound senders are dropped, so the writers
-        // are draining their final frames.
-        let (writers, readers): (Vec<_>, Vec<_>) = self
-            .threads
-            .drain(..)
-            .partition(|t| t.thread().name().is_some_and(|n| n.starts_with("mux-write")));
-        // 1. Writers first: they flush every queued frame of every lane,
-        //    half-close their sockets, and exit on the queue disconnect.
-        for writer in writers {
-            let _ = writer.join();
-        }
-        // 2. Only then tear the sockets down fully so our blocked
-        //    readers return and can be joined.
-        for stream in self.streams.iter().flatten() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        for reader in readers {
-            let _ = reader.join();
+        // gone; the reactor drains every lane's final frames to the
+        // kernel before half-closing and acking.
+        if let Some(closer) = self.closer.take() {
+            closer.close();
         }
     }
 }
 
 /// One provider's handle onto **one lane** of a multiplexed TCP mesh.
 ///
-/// All lanes of a provider share the same physical sockets and
-/// reader/writer threads ([`MuxMesh`]); a lane is purely a routing
-/// namespace — the lane id is folded into the u64 tag slot of every wire
-/// frame ([`mux_pack`][crate::frame::mux_pack]) and incoming frames are
-/// demultiplexed to the lane's own inbox. The API mirrors
+/// All lanes of a provider share the same physical sockets and the
+/// mesh's single reactor thread ([`MuxMesh`]); a lane is purely a
+/// routing namespace — the lane id is folded into the u64 tag slot of
+/// every wire frame ([`mux_pack`][crate::frame::mux_pack]) and incoming
+/// frames are demultiplexed to the lane's own inbox. The API mirrors
 /// [`TcpEndpoint`], so the protocol layer cannot tell a lane of a shared
 /// mesh from a dedicated mesh.
 #[derive(Debug)]
@@ -590,10 +704,8 @@ pub struct MuxEndpoint {
     me: ProviderId,
     m: usize,
     lane: usize,
-    /// Per-peer shared writer queues (`None` at our own index). Declared
-    /// before `core`: the senders must disconnect before the core joins
-    /// the writer threads.
-    outbound: Vec<Option<Sender<(usize, Bytes)>>>,
+    /// Per-peer shared outbound rings (`None` at our own index).
+    outbound: Vec<Option<ConnTx>>,
     inbox: Receiver<(ProviderId, Bytes)>,
     metrics: TrafficMetrics,
     core: Arc<MuxNodeCore>,
@@ -609,7 +721,7 @@ impl MuxEndpoint {
     /// # Errors
     ///
     /// Any socket-level failure, or peers unreachable within the
-    /// bring-up timeout — as for [`TcpEndpoint::establish`].
+    /// bring-up budget — as for [`TcpEndpoint::establish`].
     ///
     /// # Panics
     ///
@@ -621,8 +733,20 @@ impl MuxEndpoint {
         listener: TcpListener,
         addrs: &[SocketAddr],
     ) -> io::Result<Vec<MuxEndpoint>> {
+        let m = addrs.len();
         let streams = establish_streams(me, listener, addrs)?;
-        spawn_mux_node(me, addrs.len(), lanes, streams, TrafficMetrics::new(addrs.len()))
+        let metrics = TrafficMetrics::new(m);
+        let (lane_txs, lane_rxs) = make_lane_channels(lanes);
+        let spec = NodeSpec {
+            me,
+            format: WireFormat::Mux,
+            streams,
+            lanes: lane_txs,
+            metrics: metrics.clone(),
+        };
+        let (reactor, mut ios) = reactor::spawn(vec![spec])?;
+        let io = ios.pop().expect("one node spec yields one node io");
+        Ok(build_lane_endpoints(me, m, io, lane_rxs, metrics, &reactor))
     }
 
     /// This endpoint's provider id.
@@ -650,31 +774,33 @@ impl MuxEndpoint {
         self.metrics.clone()
     }
 
-    /// Reader/writer threads serving this provider's node — shared by
-    /// **all** of its lanes, so the count is `2 × (m − 1)` no matter how
-    /// many lanes are multiplexed.
+    /// OS threads doing I/O for this provider's node: the reactor's
+    /// constant roster (one), shared by **all** of its lanes and — for a
+    /// loopback mesh — all of its fellow providers, no matter how many
+    /// peers or lanes are multiplexed.
     pub fn io_threads(&self) -> usize {
-        self.core.threads.len()
+        self.core.reactor.io_threads()
     }
 
-    /// Queue `payload` for `to` on this lane. The shared per-peer writer
-    /// thread folds the lane into the wire tag and performs the socket
-    /// write; sends to self or to departed peers are dropped silently
-    /// (the run is over at that point).
+    /// Queue `payload` for `to` on this lane. The reactor folds the lane
+    /// into the wire tag and performs the socket write; sends to self or
+    /// to departed peers are dropped silently (the run is over at that
+    /// point).
     ///
     /// Payloads too large for even the raw-escape wire frame (within 8
-    /// header bytes of [`MAX_WIRE_FRAME`][crate::frame::MAX_WIRE_FRAME])
+    /// header bytes of [`MAX_WIRE_FRAME`])
     /// are dropped and counted rather than queued: protocol messages are
-    /// orders of magnitude smaller, and a panic inside the shared writer
-    /// thread would take down **every** lane's traffic to that peer.
+    /// orders of magnitude smaller, and a panic inside the shared
+    /// reactor thread would take down **every** lane's traffic to every
+    /// peer.
     pub fn send(&self, to: ProviderId, payload: Bytes) {
-        let Some(Some(queue)) = self.outbound.get(to.index()) else { return };
+        let Some(Some(conn)) = self.outbound.get(to.index()) else { return };
         self.metrics.record_send(self.me, payload.len());
-        if payload.len() > crate::frame::MAX_WIRE_FRAME - 8 {
+        if payload.len() > MAX_WIRE_FRAME - 8 {
             self.metrics.record_drop(self.me, payload.len());
             return;
         }
-        let _ = queue.send((self.lane, payload));
+        conn.send(self.lane, payload);
     }
 
     /// Send `payload` to every other provider on this lane, sharing the
@@ -713,119 +839,56 @@ impl MuxEndpoint {
     }
 }
 
-/// Spawn one provider's shared reader/writer threads over its
-/// already-established streams and hand back its `lanes` endpoints.
-fn spawn_mux_node(
-    me: ProviderId,
-    m: usize,
+/// Per-lane inbox channels for one node.
+///
+/// # Panics
+///
+/// Panics if `lanes` is zero or exceeds [`MUX_MAX_LANES`].
+#[allow(clippy::type_complexity)]
+fn make_lane_channels(
     lanes: usize,
-    streams: Vec<Option<TcpStream>>,
-    metrics: TrafficMetrics,
-) -> io::Result<Vec<MuxEndpoint>> {
+) -> (Vec<Sender<(ProviderId, Bytes)>>, Vec<Receiver<(ProviderId, Bytes)>>) {
     assert!(lanes > 0, "a mux mesh has at least one lane");
     assert!(lanes <= MUX_MAX_LANES, "{lanes} lanes exceed the {MUX_MAX_LANES}-lane tag space");
+    (0..lanes).map(|_| unbounded()).unzip()
+}
 
-    let mut lane_txs: Vec<Sender<(ProviderId, Bytes)>> = Vec::with_capacity(lanes);
-    let mut lane_rxs: Vec<Receiver<(ProviderId, Bytes)>> = Vec::with_capacity(lanes);
-    for _ in 0..lanes {
-        let (tx, rx) = unbounded();
-        lane_txs.push(tx);
-        lane_rxs.push(rx);
-    }
-
-    let mut outbound: Vec<Option<Sender<(usize, Bytes)>>> = (0..m).map(|_| None).collect();
-    let mut threads = Vec::with_capacity(2 * m.saturating_sub(1));
-    for (peer, slot) in streams.iter().enumerate() {
-        let Some(stream) = slot else { continue };
-        let peer_id = ProviderId(peer as u32);
-
-        let reader = stream.try_clone()?;
-        let txs = lane_txs.clone();
-        let reader_metrics = metrics.clone();
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("mux-read-{me}-{peer_id}"))
-                .spawn(move || mux_read_loop(reader, peer_id, me, txs, reader_metrics))
-                .expect("spawn mux reader"),
-        );
-
-        let writer = stream.try_clone()?;
-        // Bounded: a peer that stops draining cannot grow our memory
-        // without bound; the coalescing drain keeps the bound unfelt in
-        // honest runs.
-        let (out_tx, out_rx) = bounded::<(usize, Bytes)>(OUTBOUND_QUEUE_FRAMES);
-        outbound[peer] = Some(out_tx);
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("mux-write-{me}-{peer_id}"))
-                .spawn(move || {
-                    coalescing_write_loop(writer, out_rx, |(lane, payload), buf| {
-                        mux_frame_into(*lane, payload, buf)
-                    })
-                })
-                .expect("spawn mux writer"),
-        );
-    }
-    // `lane_txs` clones live only in reader threads now: when the last
-    // peer connection dies, every lane inbox disconnects.
-    drop(lane_txs);
-
-    let core = Arc::new(MuxNodeCore { streams, threads });
-    Ok(lane_rxs
+/// Wrap one node's reactor wiring into its per-lane endpoints.
+fn build_lane_endpoints(
+    me: ProviderId,
+    m: usize,
+    io: NodeIo,
+    lane_rxs: Vec<Receiver<(ProviderId, Bytes)>>,
+    metrics: TrafficMetrics,
+    reactor: &Arc<ReactorHandle>,
+) -> Vec<MuxEndpoint> {
+    let core = Arc::new(MuxNodeCore { closer: Some(io.closer), reactor: Arc::clone(reactor) });
+    lane_rxs
         .into_iter()
         .enumerate()
         .map(|(lane, inbox)| MuxEndpoint {
             me,
             m,
             lane,
-            outbound: outbound.clone(),
+            outbound: io.outbound.clone(),
             inbox,
             metrics: metrics.clone(),
             core: Arc::clone(&core),
         })
-        .collect())
-}
-
-/// Reader half of one mux peer connection: unfold the lane from each
-/// frame's packed tag, restore the original payload, and forward it to
-/// the lane's inbox until the connection dies. Frames for lanes whose
-/// endpoints are gone are counted as drops (a straggler of a finished
-/// epoch, never an error); a frame shorter than the packed tag or
-/// naming a lane outside the mesh's range means the stream is corrupt,
-/// and the connection is torn down like any other undecodable stream.
-fn mux_read_loop(
-    stream: TcpStream,
-    peer: ProviderId,
-    me: ProviderId,
-    lanes: Vec<Sender<(ProviderId, Bytes)>>,
-    metrics: TrafficMetrics,
-) {
-    read_split_loop(stream, move |wire_frame| {
-        let Ok((lane, payload)) = mux_unframe(wire_frame) else {
-            return false; // shorter than a packed tag: corrupt
-        };
-        let Some(tx) = lanes.get(lane) else {
-            return false; // lane outside the mesh: corrupt
-        };
-        let len = payload.len();
-        if tx.send((peer, payload)).is_err() {
-            // This lane's endpoint is gone; other lanes may still be
-            // live. Count, drop, carry on.
-            metrics.record_drop(me, len);
-        }
-        true
-    });
+        .collect()
 }
 
 /// A full multiplexed TCP mesh over loopback sockets: **one connection
 /// per provider pair, shared by every lane**, with `lanes` logical
-/// endpoint sets demultiplexed over it.
+/// endpoint sets demultiplexed over it — all driven by **one reactor
+/// thread**.
 ///
 /// This is what [`ShardedHub`][crate::ShardedHub]'s socket flavour rides
 /// on: `N` shards become `N` lanes over one physical mesh, so the
-/// connection count is `m(m−1)/2` and the I/O thread count `2m(m−1)` —
-/// both independent of the shard count, where the previous
-/// mesh-per-shard wiring paid both costs `N` times over.
+/// connection count is `m(m−1)/2` and the I/O thread count **one** —
+/// both independent of the shard count, where the previous design paid
+/// `2m(m−1)` blocking reader/writer threads (and, before that, a whole
+/// mesh per shard).
 ///
 /// # Example
 ///
@@ -835,6 +898,7 @@ fn mux_read_loop(
 /// use std::time::Duration;
 ///
 /// let mut mesh = MuxMesh::loopback(2, 2).unwrap();
+/// assert_eq!(mesh.io_threads(), 1);
 /// let lanes = mesh.take_lane_endpoints();
 /// // lanes[lane][provider]: two isolated namespaces, one socket.
 /// lanes[1][0].send(lanes[1][1].me(), Bytes::from_static(b"lane one"));
@@ -853,7 +917,8 @@ pub struct MuxMesh {
 
 impl MuxMesh {
     /// Bring up a full mesh of `m` providers over `127.0.0.1` with
-    /// `lanes` multiplexed lanes, one TCP connection per provider pair.
+    /// `lanes` multiplexed lanes, one TCP connection per provider pair,
+    /// one reactor thread for the whole mesh.
     ///
     /// Connections are created pairwise through one ephemeral listener —
     /// no per-provider listeners, hello exchanges, or retry sleeps — so
@@ -893,13 +958,37 @@ impl MuxMesh {
             rows[i][j] = Some(ours);
             rows[j][i] = Some(theirs);
         }
-        let mut per_provider = Vec::with_capacity(m);
-        let mut io_threads = 0;
+        // One reactor serves all m nodes × all lanes.
+        let mut specs = Vec::with_capacity(m);
+        let mut rx_rows = Vec::with_capacity(m);
         for (i, row) in rows.into_iter().enumerate() {
-            let endpoints = spawn_mux_node(ProviderId(i as u32), m, lanes, row, metrics.clone())?;
-            io_threads += endpoints.first().map_or(0, MuxEndpoint::io_threads);
-            per_provider.push(endpoints);
+            let (lane_txs, lane_rxs) = make_lane_channels(lanes);
+            specs.push(NodeSpec {
+                me: ProviderId(i as u32),
+                format: WireFormat::Mux,
+                streams: row,
+                lanes: lane_txs,
+                metrics: metrics.clone(),
+            });
+            rx_rows.push(lane_rxs);
         }
+        let (reactor, ios) = reactor::spawn(specs)?;
+        let io_threads = reactor.io_threads();
+        let per_provider: Vec<Vec<MuxEndpoint>> = ios
+            .into_iter()
+            .zip(rx_rows)
+            .enumerate()
+            .map(|(i, (io, lane_rxs))| {
+                build_lane_endpoints(
+                    ProviderId(i as u32),
+                    m,
+                    io,
+                    lane_rxs,
+                    metrics.clone(),
+                    &reactor,
+                )
+            })
+            .collect();
         // Transpose [provider][lane] → [lane][provider].
         let mut endpoints: Vec<Vec<MuxEndpoint>> = (0..lanes).map(|_| Vec::new()).collect();
         for provider_lanes in per_provider {
@@ -930,9 +1019,10 @@ impl MuxMesh {
         self.metrics.clone()
     }
 
-    /// Total reader/writer threads serving the mesh: `2·m·(m−1)`,
-    /// independent of the lane count — the accounting the thread-roster
-    /// tests pin down against the old mesh-per-shard `O(m·shards)`.
+    /// Total I/O threads serving the mesh: **one reactor**, independent
+    /// of both the provider count and the lane count — the accounting
+    /// the thread-roster tests pin down against the old per-peer
+    /// `2m(m−1)` reader/writer design.
     pub fn io_threads(&self) -> usize {
         self.io_threads
     }

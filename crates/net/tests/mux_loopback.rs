@@ -1,7 +1,8 @@
 //! Integration tests for the multiplexed TCP mesh: lane isolation over
 //! shared sockets, raw-frame transparency, coalesced flush on shutdown,
-//! the `TCP_NODELAY` loopback-latency contract, and the O(m) I/O-thread
-//! accounting that replaces the old mesh-per-shard O(m·shards).
+//! the `TCP_NODELAY` loopback-latency contract, and the O(1) reactor
+//! I/O-thread accounting that replaces the old per-peer O(m) roster
+//! (which itself replaced the mesh-per-shard O(m·shards)).
 
 use std::time::{Duration, Instant};
 
@@ -80,18 +81,27 @@ fn raw_payloads_cross_the_mux_verbatim() {
 }
 
 #[test]
-fn io_threads_are_o_m_not_o_m_times_lanes() {
-    // The whole point of the mux: 4 lanes over 3 providers must cost
-    // exactly the reader/writer threads of ONE mesh.
-    let m = 3;
-    let one_lane = MuxMesh::loopback(m, 1).unwrap();
-    let four_lanes = MuxMesh::loopback(m, 4).unwrap();
-    assert_eq!(one_lane.io_threads(), 2 * m * (m - 1));
-    assert_eq!(
-        four_lanes.io_threads(),
-        one_lane.io_threads(),
-        "lane count leaked into the I/O thread roster"
-    );
+fn io_threads_are_o_1_regardless_of_mesh_size_and_lanes() {
+    // The whole point of the reactor: one I/O thread per mesh, no
+    // matter how many providers or lanes — where the old design paid
+    // 2m(m−1) blocking reader/writer threads per mesh. (The matching
+    // OS-level /proc accounting lives in `thread_roster.rs`, which
+    // needs a process of its own to count exactly.)
+    for (m, lanes) in [(2, 1), (3, 4), (4, 1), (4, 4)] {
+        let mesh = MuxMesh::loopback(m, lanes).unwrap();
+        assert_eq!(
+            mesh.io_threads(),
+            1,
+            "m={m} lanes={lanes}: mesh size or lane count leaked into the I/O thread roster"
+        );
+        // The gauge agrees through the traffic snapshot.
+        assert_eq!(mesh.metrics().snapshot().io_threads, 1);
+    }
+    // Endpoints report the same constant.
+    let mut mesh = MuxMesh::loopback(3, 2).unwrap();
+    let lanes = mesh.take_lane_endpoints();
+    assert_eq!(lanes[0][0].io_threads(), 1);
+    assert_eq!(lanes[1][2].io_threads(), 1);
 }
 
 #[test]

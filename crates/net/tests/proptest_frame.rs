@@ -1,20 +1,60 @@
 //! Property tests for the framing layers: the session/channel frame
 //! (`frame`/`unframe`), the stream-delimiting wire frame
-//! (`wire_encode`/`wire_decode`) and the multiplexed tag namespace
-//! (`mux_pack`/`mux_frame_into`), including truncated, oversized and
-//! garbage inputs.
+//! (`wire_encode`/`wire_decode`), the multiplexed tag namespace
+//! (`mux_pack`/`mux_frame_into`), and the reactor's incremental
+//! reassembly (`FrameAssembler`) under arbitrary byte-boundary
+//! chunkings — including truncated, oversized and garbage inputs.
 
 use bytes::BytesMut;
 use proptest::prelude::*;
 
 use dauctioneer_net::{
     frame, frame_wire_into, mux_frame_into, mux_pack, mux_unframe, mux_unpack, unframe,
-    wire_decode, wire_encode, wire_encode_into, WireError, MAX_WIRE_FRAME, MUX_MAX_LANES,
-    MUX_RAW_TAG,
+    wire_decode, wire_encode, wire_encode_into, FrameAssembler, WireError, MAX_WIRE_FRAME,
+    MUX_MAX_LANES, MUX_RAW_TAG,
 };
 
 fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(any::<u8>(), 0..300)
+}
+
+/// Decode `stream` the reference way: whole buffer at once, repeated
+/// `wire_decode`, collecting every complete frame.
+fn whole_stream_frames(stream: &[u8]) -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    let mut offset = 0;
+    while let Some((payload, consumed)) = wire_decode(&stream[offset..]).unwrap() {
+        frames.push(payload.to_vec());
+        offset += consumed;
+    }
+    frames
+}
+
+/// Feed `stream` to a [`FrameAssembler`] in chunks cut at `cuts`
+/// (positions derived from arbitrary seeds), draining complete frames
+/// after every chunk — exactly what the reactor does per socket read.
+fn chunked_stream_frames(stream: &[u8], chunk_sizes: impl Iterator<Item = usize>) -> Vec<Vec<u8>> {
+    let mut assembler = FrameAssembler::new();
+    let mut frames = Vec::new();
+    let mut offset = 0;
+    for size in chunk_sizes {
+        if offset >= stream.len() {
+            break;
+        }
+        let end = (offset + size.max(1)).min(stream.len());
+        assembler.extend(&stream[offset..end]);
+        offset = end;
+        while let Some(frame) = assembler.next_frame().unwrap() {
+            frames.push(frame.to_vec());
+        }
+    }
+    if offset < stream.len() {
+        assembler.extend(&stream[offset..]);
+        while let Some(frame) = assembler.next_frame().unwrap() {
+            frames.push(frame.to_vec());
+        }
+    }
+    frames
 }
 
 proptest! {
@@ -65,6 +105,7 @@ proptest! {
             }
             Ok(None) => {} // truncated: needs more bytes
             Err(WireError::Oversized { claimed }) => prop_assert!(claimed > MAX_WIRE_FRAME),
+            Err(other) => prop_assert!(false, "wire_decode produced a non-framing error: {other}"),
         }
     }
 
@@ -151,6 +192,77 @@ proptest! {
         let (got_lane, restored) = mux_unframe(wire_frame).unwrap();
         prop_assert_eq!(got_lane, lane);
         prop_assert_eq!(&restored[..], &payload[..]);
+    }
+
+    #[test]
+    fn reassembly_is_chunking_invariant(
+        payloads in proptest::collection::vec(arb_payload(), 0..8),
+        chunks in proptest::collection::vec(1usize..64, 1..64),
+    ) {
+        // The reactor's per-connection assembler must deliver the exact
+        // frame sequence of the whole-buffer decoder no matter where the
+        // kernel cuts the reads — mid-header, mid-payload, anywhere.
+        let mut stream = Vec::new();
+        for payload in &payloads {
+            stream.extend_from_slice(&wire_encode(payload));
+        }
+        let reference = whole_stream_frames(&stream);
+        prop_assert_eq!(&reference, &payloads, "reference decoder disagrees with the encoder");
+        let chunked = chunked_stream_frames(&stream, chunks.into_iter());
+        prop_assert_eq!(chunked, reference, "chunk boundaries changed the delivered stream");
+    }
+
+    #[test]
+    fn one_byte_drips_reassemble_exactly(
+        payloads in proptest::collection::vec(arb_payload(), 1..5),
+    ) {
+        // Worst case fragmentation: every read returns a single byte, so
+        // every 4-byte header straddles reads and no frame ever arrives
+        // whole.
+        let mut stream = Vec::new();
+        for payload in &payloads {
+            stream.extend_from_slice(&wire_encode(payload));
+        }
+        let dripped = chunked_stream_frames(&stream, std::iter::repeat(1));
+        prop_assert_eq!(dripped, payloads);
+    }
+
+    #[test]
+    fn header_straddling_splits_reassemble_exactly(
+        first in arb_payload(),
+        second in arb_payload(),
+        split_in_header in 1usize..4,
+    ) {
+        // Cut the stream inside the second frame's length header: the
+        // assembler holds the partial header across reads and still
+        // yields both frames byte-identically.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&wire_encode(&first));
+        let cut = stream.len() + split_in_header;
+        stream.extend_from_slice(&wire_encode(&second));
+        let chunks = [cut, stream.len() - cut];
+        let got = chunked_stream_frames(&stream, chunks.into_iter());
+        prop_assert_eq!(got, vec![first, second]);
+    }
+
+    #[test]
+    fn assembler_surfaces_oversized_headers_mid_stream(
+        good in arb_payload(),
+        extra in 1u32..1024,
+    ) {
+        // A valid frame followed by a poisoned header: the good frame is
+        // delivered, then the assembler reports the same fatal error the
+        // whole-buffer decoder would.
+        let mut assembler = FrameAssembler::new();
+        assembler.extend(&wire_encode(&good));
+        let claimed = MAX_WIRE_FRAME as u32 + extra;
+        assembler.extend(&claimed.to_le_bytes());
+        let frame = assembler.next_frame().unwrap().expect("good frame lost");
+        prop_assert_eq!(&frame[..], &good[..]);
+        prop_assert_eq!(
+            assembler.next_frame().unwrap_err(),
+            WireError::Oversized { claimed: claimed as usize }
+        );
     }
 
     #[test]

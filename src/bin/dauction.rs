@@ -287,6 +287,11 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
 
     let mut market = MarketService::start(config, Arc::new(DoubleAuctionProgram::new()))
         .map_err(|e| format!("cannot start market: {e}"))?;
+    println!(
+        "transport up: io_threads={} (epoll reactor: O(1) per socket mesh; 0 = in-process \
+         channels)",
+        market.traffic().io_threads
+    );
     let outcomes = market.take_outcomes().expect("outcomes not yet taken");
     let handle = market.handle();
 

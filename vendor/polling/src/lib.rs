@@ -1,0 +1,651 @@
+//! Minimal, offline re-implementation of the subset of the [`polling`]
+//! crate's API this workspace uses: a Linux `epoll` wrapper.
+//!
+//! The socket transports used to spend two OS threads per peer
+//! connection (a blocking reader and a coalescing writer); this crate is
+//! what lets one reactor thread drive *every* nonblocking socket of a
+//! mesh instead. The surface is the same shape as `polling`'s:
+//!
+//! * [`Poller::new`] — `epoll_create1`, plus an `eventfd` **waker**
+//!   registered under a reserved key so other threads can interrupt a
+//!   blocked [`Poller::wait`] ([`Poller::notify`]);
+//! * [`Poller::add`] / [`Poller::modify`] / [`Poller::delete`] —
+//!   `epoll_ctl`, with per-source readable/writable [`Interest`] and
+//!   level- or edge-triggered [`PollMode`];
+//! * [`Poller::wait`] — `epoll_wait` into a reusable [`Events`] buffer,
+//!   with an optional timeout.
+//!
+//! [`connect_nonblocking`] rounds the subset out: a `SOCK_NONBLOCK`
+//! TCP dial whose completion is *observed through the poller* (writable
+//! readiness, then `TcpStream::take_error` for the `SO_ERROR` verdict)
+//! instead of blocking the calling thread — what event-driven mesh
+//! bring-up needs in place of dial-retry sleep loops.
+//!
+//! Everything is direct FFI onto the C library the Rust standard library
+//! already links; there are no external dependencies. Non-Linux targets
+//! get a stub that fails with `io::ErrorKind::Unsupported` at runtime,
+//! keeping the workspace compiling (the transports that need a poller
+//! are only ever exercised on Linux hosts).
+//!
+//! [`polling`]: https://docs.rs/polling
+
+#![deny(missing_docs)]
+
+/// Readiness interest for a registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the source becomes readable (or hangs up).
+    pub readable: bool,
+    /// Wake when the source becomes writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READABLE: Interest = Interest { readable: true, writable: false };
+    /// Writable only.
+    pub const WRITABLE: Interest = Interest { readable: false, writable: true };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+    /// Neither — the source stays registered but delivers nothing.
+    pub const NONE: Interest = Interest { readable: false, writable: false };
+}
+
+/// Level- or edge-triggered delivery for a registered source.
+///
+/// Level (`EPOLLLT`, the default) re-reports readiness on every wait
+/// until the condition is drained — forgiving, and what the reactor uses
+/// for reads. Edge (`EPOLLET`) reports each readiness *transition* once;
+/// the caller must drain to `WouldBlock` or lose the wakeup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollMode {
+    /// Level-triggered readiness (epoll's default).
+    #[default]
+    Level,
+    /// Edge-triggered readiness (`EPOLLET`).
+    Edge,
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key the source was registered under.
+    pub key: usize,
+    /// The source is readable — or hung up / errored, which a read will
+    /// surface as EOF or an error, so it is folded in here.
+    pub readable: bool,
+    /// The source is writable — or errored, which a write will surface.
+    pub writable: bool,
+}
+
+/// Reusable buffer of readiness events for [`Poller::wait`].
+#[derive(Debug)]
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// An empty buffer with room for a typical mesh's worth of events.
+    pub fn new() -> Events {
+        Events::with_capacity(256)
+    }
+
+    /// An empty buffer reporting at most `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { inner: Vec::with_capacity(capacity.max(1)), capacity: capacity.max(1) }
+    }
+
+    /// Iterate over the events delivered by the last wait.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.inner.iter().copied()
+    }
+
+    /// Number of events delivered by the last wait.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` when the last wait delivered nothing (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drop the events of the last wait.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl Default for Events {
+    fn default() -> Events {
+        Events::new()
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Events, Interest, PollMode};
+    use std::io;
+    use std::net::{SocketAddr, TcpStream};
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::time::Duration;
+
+    // The handful of C library symbols this crate rides on. The Rust
+    // standard library already links libc, so these resolve without any
+    // build-script or external-crate machinery.
+    mod ffi {
+        use std::os::raw::{c_int, c_uint, c_void};
+
+        // The kernel's `struct epoll_event` is packed on x86-64 (12
+        // bytes, no padding before `data`) and naturally aligned
+        // everywhere else — mirroring glibc's declaration exactly.
+        #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+        #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+        #[derive(Clone, Copy)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        extern "C" {
+            pub fn epoll_create1(flags: c_int) -> c_int;
+            pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+            pub fn epoll_wait(
+                epfd: c_int,
+                events: *mut EpollEvent,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+            pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+            pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+            pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+            pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+            pub fn connect(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+        }
+
+        pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+        pub const EPOLL_CTL_ADD: c_int = 1;
+        pub const EPOLL_CTL_DEL: c_int = 2;
+        pub const EPOLL_CTL_MOD: c_int = 3;
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLLRDHUP: u32 = 0x2000;
+        pub const EPOLLET: u32 = 1 << 31;
+        pub const EFD_CLOEXEC: c_int = 0o2000000;
+        pub const EFD_NONBLOCK: c_int = 0o4000;
+        pub const AF_INET: c_int = 2;
+        pub const AF_INET6: c_int = 10;
+        pub const SOCK_STREAM: c_int = 1;
+        pub const SOCK_NONBLOCK: c_int = 0o4000;
+        pub const SOCK_CLOEXEC: c_int = 0o2000000;
+
+        // `struct sockaddr_in` / `sockaddr_in6`, laid out by hand so no
+        // libc *crate* is needed. Network byte order for port/address.
+        #[repr(C)]
+        pub struct SockAddrIn {
+            pub sin_family: u16,
+            pub sin_port: u16,
+            pub sin_addr: u32,
+            pub sin_zero: [u8; 8],
+        }
+
+        #[repr(C)]
+        pub struct SockAddrIn6 {
+            pub sin6_family: u16,
+            pub sin6_port: u16,
+            pub sin6_flowinfo: u32,
+            pub sin6_addr: [u8; 16],
+            pub sin6_scope_id: u32,
+        }
+    }
+
+    /// Key [`Poller::notify`]'s internal eventfd is registered under;
+    /// never reported to callers.
+    const WAKER_KEY: u64 = u64::MAX;
+
+    /// An epoll instance plus its eventfd waker.
+    #[derive(Debug)]
+    pub struct Poller {
+        epoll: OwnedFd,
+        waker: OwnedFd,
+    }
+
+    fn last_err() -> io::Error {
+        io::Error::last_os_error()
+    }
+
+    impl Poller {
+        /// `epoll_create1` plus an `eventfd` waker registered under a
+        /// reserved key.
+        ///
+        /// # Errors
+        ///
+        /// Any syscall failure (fd exhaustion, kernel limits).
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: plain syscalls; fds are immediately wrapped in
+            // OwnedFd so they cannot leak.
+            let ep = unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) };
+            if ep < 0 {
+                return Err(last_err());
+            }
+            let epoll = unsafe { OwnedFd::from_raw_fd(ep) };
+            let ev = unsafe { ffi::eventfd(0, ffi::EFD_CLOEXEC | ffi::EFD_NONBLOCK) };
+            if ev < 0 {
+                return Err(last_err());
+            }
+            let waker = unsafe { OwnedFd::from_raw_fd(ev) };
+            let poller = Poller { epoll, waker };
+            poller.ctl(
+                ffi::EPOLL_CTL_ADD,
+                poller.waker.as_raw_fd(),
+                Some((WAKER_KEY, ffi::EPOLLIN)),
+            )?;
+            Ok(poller)
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, spec: Option<(u64, u32)>) -> io::Result<()> {
+            let mut ev = ffi::EpollEvent { events: 0, data: 0 };
+            let ptr = match spec {
+                Some((data, events)) => {
+                    ev.events = events;
+                    ev.data = data;
+                    &mut ev as *mut ffi::EpollEvent
+                }
+                None => std::ptr::null_mut(),
+            };
+            // SAFETY: fd is a live descriptor owned by the caller; the
+            // event struct outlives the call.
+            if unsafe { ffi::epoll_ctl(self.epoll.as_raw_fd(), op, fd, ptr) } < 0 {
+                return Err(last_err());
+            }
+            Ok(())
+        }
+
+        fn mask(interest: Interest, mode: PollMode) -> u32 {
+            let mut events = ffi::EPOLLRDHUP;
+            if interest.readable {
+                events |= ffi::EPOLLIN;
+            }
+            if interest.writable {
+                events |= ffi::EPOLLOUT;
+            }
+            if mode == PollMode::Edge {
+                events |= ffi::EPOLLET;
+            }
+            events
+        }
+
+        /// Register `source` under `key` with the given interest.
+        ///
+        /// # Errors
+        ///
+        /// `epoll_ctl` failure (already registered, bad fd, …).
+        ///
+        /// # Panics
+        ///
+        /// Panics on the reserved waker key (`usize::MAX`).
+        pub fn add(
+            &self,
+            source: &impl AsRawFd,
+            key: usize,
+            interest: Interest,
+            mode: PollMode,
+        ) -> io::Result<()> {
+            assert!((key as u64) != WAKER_KEY, "key reserved for the poller's waker");
+            self.ctl(
+                ffi::EPOLL_CTL_ADD,
+                source.as_raw_fd(),
+                Some((key as u64, Self::mask(interest, mode))),
+            )
+        }
+
+        /// Re-arm an already-registered `source` with new interest.
+        ///
+        /// # Errors
+        ///
+        /// `epoll_ctl` failure (not registered, bad fd, …).
+        ///
+        /// # Panics
+        ///
+        /// Panics on the reserved waker key (`usize::MAX`).
+        pub fn modify(
+            &self,
+            source: &impl AsRawFd,
+            key: usize,
+            interest: Interest,
+            mode: PollMode,
+        ) -> io::Result<()> {
+            assert!((key as u64) != WAKER_KEY, "key reserved for the poller's waker");
+            self.ctl(
+                ffi::EPOLL_CTL_MOD,
+                source.as_raw_fd(),
+                Some((key as u64, Self::mask(interest, mode))),
+            )
+        }
+
+        /// Deregister `source` entirely.
+        ///
+        /// # Errors
+        ///
+        /// `epoll_ctl` failure (not registered, bad fd, …).
+        pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+            self.ctl(ffi::EPOLL_CTL_DEL, source.as_raw_fd(), None)
+        }
+
+        /// Block until readiness events arrive, `timeout` expires
+        /// (`Ok(0)`), or [`Poller::notify`] is called; `EINTR` retries
+        /// internally, waker events are drained and never reported.
+        ///
+        /// # Errors
+        ///
+        /// Any non-`EINTR` `epoll_wait` failure.
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            events.inner.clear();
+            // Round sub-millisecond timeouts *up*: epoll_wait(…, 0) would
+            // turn a 100µs deadline into a busy spin.
+            let timeout_ms = match timeout {
+                None => -1,
+                Some(t) => {
+                    let ms = t.as_millis() + u128::from(t.subsec_nanos() % 1_000_000 != 0);
+                    ms.min(i32::MAX as u128) as i32
+                }
+            };
+            let mut raw: Vec<ffi::EpollEvent> =
+                vec![ffi::EpollEvent { events: 0, data: 0 }; events.capacity];
+            // SAFETY: raw is a live buffer of capacity entries.
+            let n = loop {
+                let n = unsafe {
+                    ffi::epoll_wait(
+                        self.epoll.as_raw_fd(),
+                        raw.as_mut_ptr(),
+                        raw.len() as i32,
+                        timeout_ms,
+                    )
+                };
+                if n >= 0 {
+                    break n as usize;
+                }
+                let err = last_err();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for ev in &raw[..n] {
+                if ev.data == WAKER_KEY {
+                    // Drain the eventfd so the next notify() re-arms it.
+                    let mut scratch = [0u8; 8];
+                    // SAFETY: 8-byte read from a nonblocking eventfd.
+                    unsafe {
+                        ffi::read(self.waker.as_raw_fd(), scratch.as_mut_ptr().cast(), 8);
+                    }
+                    continue;
+                }
+                let err = ev.events & (ffi::EPOLLERR | ffi::EPOLLHUP) != 0;
+                events.inner.push(Event {
+                    key: ev.data as usize,
+                    readable: ev.events & (ffi::EPOLLIN | ffi::EPOLLRDHUP) != 0 || err,
+                    writable: ev.events & ffi::EPOLLOUT != 0 || err,
+                });
+            }
+            Ok(events.inner.len())
+        }
+
+        /// Wake a concurrent [`Poller::wait`] from any thread
+        /// (idempotent until the next wait drains the waker).
+        ///
+        /// # Errors
+        ///
+        /// `write` failure on the eventfd other than `EAGAIN`.
+        pub fn notify(&self) -> io::Result<()> {
+            let one: u64 = 1;
+            // SAFETY: 8-byte write to a live eventfd. EAGAIN means the
+            // counter is already nonzero — the wakeup is pending, which
+            // is all notify promises.
+            let n = unsafe { ffi::write(self.waker.as_raw_fd(), (&one as *const u64).cast(), 8) };
+            if n < 0 {
+                let err = last_err();
+                if err.kind() != io::ErrorKind::WouldBlock {
+                    return Err(err);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    /// Begin a nonblocking TCP dial: the returned stream is either
+    /// connected already or connecting in the background; completion is
+    /// observed as poller writability, with `TcpStream::take_error`
+    /// delivering the `SO_ERROR` verdict.
+    ///
+    /// # Errors
+    ///
+    /// Socket creation failure, or a `connect` failure other than
+    /// `EINPROGRESS`.
+    pub fn connect_nonblocking(addr: SocketAddr) -> io::Result<TcpStream> {
+        let (domain, sockaddr, len): (_, Vec<u8>, u32) = match addr {
+            SocketAddr::V4(v4) => {
+                let sa = ffi::SockAddrIn {
+                    sin_family: ffi::AF_INET as u16,
+                    sin_port: v4.port().to_be(),
+                    sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+                    sin_zero: [0; 8],
+                };
+                // SAFETY: plain-old-data struct reinterpreted as bytes.
+                let bytes = unsafe {
+                    std::slice::from_raw_parts(
+                        (&sa as *const ffi::SockAddrIn).cast::<u8>(),
+                        std::mem::size_of::<ffi::SockAddrIn>(),
+                    )
+                }
+                .to_vec();
+                (ffi::AF_INET, bytes, std::mem::size_of::<ffi::SockAddrIn>() as u32)
+            }
+            SocketAddr::V6(v6) => {
+                let sa = ffi::SockAddrIn6 {
+                    sin6_family: ffi::AF_INET6 as u16,
+                    sin6_port: v6.port().to_be(),
+                    sin6_flowinfo: v6.flowinfo().to_be(),
+                    sin6_addr: v6.ip().octets(),
+                    sin6_scope_id: v6.scope_id(),
+                };
+                // SAFETY: plain-old-data struct reinterpreted as bytes.
+                let bytes = unsafe {
+                    std::slice::from_raw_parts(
+                        (&sa as *const ffi::SockAddrIn6).cast::<u8>(),
+                        std::mem::size_of::<ffi::SockAddrIn6>(),
+                    )
+                }
+                .to_vec();
+                (ffi::AF_INET6, bytes, std::mem::size_of::<ffi::SockAddrIn6>() as u32)
+            }
+        };
+        // SAFETY: fd is checked and immediately wrapped in TcpStream.
+        let fd = unsafe {
+            ffi::socket(domain, ffi::SOCK_STREAM | ffi::SOCK_NONBLOCK | ffi::SOCK_CLOEXEC, 0)
+        };
+        if fd < 0 {
+            return Err(last_err());
+        }
+        // SAFETY: fd is a fresh, owned TCP socket descriptor.
+        let stream = unsafe { TcpStream::from_raw_fd(fd) };
+        // SAFETY: sockaddr is a valid, correctly-sized address struct.
+        let rc = unsafe { ffi::connect(stream.as_raw_fd(), sockaddr.as_ptr().cast(), len) };
+        if rc == 0 {
+            return Ok(stream); // connected synchronously (loopback often does)
+        }
+        let err = last_err();
+        match err.raw_os_error() {
+            Some(code) if code == EINPROGRESS => Ok(stream),
+            _ => Err(err),
+        }
+    }
+
+    const EINPROGRESS: i32 = 115;
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::{Events, Interest, PollMode};
+    use std::io;
+    use std::net::{SocketAddr, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "polling: epoll is Linux-only in this vendored subset",
+        )
+    }
+
+    /// Stub poller for non-Linux targets: everything fails at runtime.
+    #[derive(Debug)]
+    pub struct Poller;
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Err(unsupported())
+        }
+        pub fn add(&self, _: &impl AsRawFd, _: usize, _: Interest, _: PollMode) -> io::Result<()> {
+            Err(unsupported())
+        }
+        pub fn modify(
+            &self,
+            _: &impl AsRawFd,
+            _: usize,
+            _: Interest,
+            _: PollMode,
+        ) -> io::Result<()> {
+            Err(unsupported())
+        }
+        pub fn delete(&self, _: &impl AsRawFd) -> io::Result<()> {
+            Err(unsupported())
+        }
+        pub fn wait(&self, _: &mut Events, _: Option<Duration>) -> io::Result<usize> {
+            Err(unsupported())
+        }
+        pub fn notify(&self) -> io::Result<()> {
+            Err(unsupported())
+        }
+    }
+
+    pub fn connect_nonblocking(_: SocketAddr) -> io::Result<TcpStream> {
+        Err(unsupported())
+    }
+}
+
+pub use sys::connect_nonblocking;
+pub use sys::Poller;
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn timeout_expires_with_no_events() {
+        let poller = Poller::new().unwrap();
+        let mut events = Events::new();
+        let start = Instant::now();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.notify().unwrap();
+        });
+        let mut events = Events::new();
+        // Indefinite wait: only the notify can end it.
+        let n = poller.wait(&mut events, None).unwrap();
+        assert_eq!(n, 0, "waker events are filtered, not reported");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn readable_socket_reports_its_key() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server, 42, Interest::READABLE, PollMode::Level).unwrap();
+        client.write_all(b"ping").unwrap();
+
+        let mut events = Events::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        let ev = events.iter().find(|e| e.key == 42).expect("socket readiness");
+        assert!(ev.readable);
+
+        // Level-triggered: still readable on the next wait until drained.
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == 42 && e.readable));
+        let mut buf = [0u8; 8];
+        let mut server = server;
+        assert_eq!(server.read(&mut buf).unwrap(), 4);
+        poller.delete(&server).unwrap();
+    }
+
+    #[test]
+    fn writable_interest_toggles_via_modify() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        // A fresh socket's send buffer is empty: writable fires at once.
+        poller.add(&client, 7, Interest::WRITABLE, PollMode::Level).unwrap();
+        let mut events = Events::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == 7 && e.writable));
+        // Drop write interest: nothing fires any more.
+        poller.modify(&client, 7, Interest::READABLE, PollMode::Level).unwrap();
+        poller.wait(&mut events, Some(Duration::from_millis(30))).unwrap();
+        assert!(!events.iter().any(|e| e.key == 7));
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_through_the_poller() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = connect_nonblocking(addr).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&stream, 1, Interest::WRITABLE, PollMode::Level).unwrap();
+        let mut events = Events::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == 1 && e.writable));
+        assert!(stream.take_error().unwrap().is_none(), "SO_ERROR clean after connect");
+        let _ = listener.accept().unwrap();
+    }
+
+    #[test]
+    fn edge_mode_reports_a_transition_once() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&server, 9, Interest::READABLE, PollMode::Edge).unwrap();
+        client.write_all(b"edge").unwrap();
+        let mut events = Events::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.key == 9 && e.readable));
+        // Without draining the socket, the edge does not re-fire.
+        poller.wait(&mut events, Some(Duration::from_millis(30))).unwrap();
+        assert!(!events.iter().any(|e| e.key == 9));
+    }
+}
