@@ -6,7 +6,12 @@ Fails (exit 1) when, for any row present in both baseline and current:
 
   * a sessions/s throughput metric drops below 75% of baseline, or
   * the market p99 epoch-close latency grows beyond 2x baseline
-    (with a small absolute grace so microsecond noise cannot trip it).
+    (with a small absolute grace so microsecond noise cannot trip it), or
+  * journal durability costs regress: journaled ingest throughput falls
+    below 75% of its baseline, the in-file overhead of `fsync=never`
+    journaling exceeds the ingest-overhead ceiling (journaled ingest
+    under 30% of the unjournaled row of the SAME run), or crash
+    recovery time grows beyond the recovery-time ceiling (2x baseline).
 
 Rows only present on one side are reported but never fail the gate, so
 adding a sweep point does not require touching the baseline in the same
@@ -15,7 +20,8 @@ commit. Regenerate baselines with:
     cargo run --release -p dauctioneer-bench --bin market_soak -- --quick --json
     cargo run --release -p dauctioneer-bench --bin batch_throughput -- --quick --rounds 1 --json
     cargo bench -p dauctioneer-bench --bench wire_hot_path -- --json
-    mv BENCH_market_soak.json BENCH_batch_throughput.json BENCH_wire.json BENCH_baseline/
+    mv BENCH_market_soak.json BENCH_journal.json BENCH_batch_throughput.json \
+       BENCH_wire.json BENCH_baseline/
 """
 
 import argparse
@@ -26,6 +32,13 @@ from pathlib import Path
 THROUGHPUT_FLOOR = 0.75  # current must be >= 75% of baseline sessions/s
 LATENCY_CEIL = 2.0  # current p99 must be <= 2x baseline
 LATENCY_GRACE_S = 0.050  # absolute slack below which p99 growth is noise
+# Ingest-overhead ceiling: buffered (fsync=never) journaling may not eat
+# more than 70% of the unjournaled ingest throughput of the same run.
+# In-file and generous on purpose: it catches a hot-path disaster (a
+# sync or copy snuck into every append), not scheduler jitter.
+JOURNAL_OVERHEAD_FLOOR = 0.30
+# The recovery-time ceiling reuses LATENCY_CEIL/LATENCY_GRACE_S: crash
+# recovery may not take more than 2x baseline (plus the noise grace).
 
 
 def load(path: Path):
@@ -173,6 +186,52 @@ def compare_market_soak(base, cur, failures, lines):
         )
 
 
+def compare_journal(base, cur, failures, lines):
+    name = "journal"
+    base_rows = index_rows(base.get("runs", []), ("mode",))
+    cur_rows = index_rows(cur.get("runs", []), ("mode",))
+    for key, brow in base_rows.items():
+        crow = cur_rows.get(key)
+        label = f"mode={key[0]}"
+        if crow is None:
+            lines.append(f"  {name} [{label}]: row missing in current run (skipped)")
+            continue
+        check_throughput(
+            name,
+            label,
+            brow["ingest_bids_per_sec"],
+            crow["ingest_bids_per_sec"],
+            failures,
+            lines,
+            metric="ingest bids/s",
+        )
+    # Ingest-overhead ceiling, *within* the current run so a uniformly
+    # slower CI host cannot mask a journal hot-path regression.
+    plain = cur_rows.get(("unjournaled",))
+    buffered = cur_rows.get(("fsync=never",))
+    if plain and buffered and plain["ingest_bids_per_sec"] > 0:
+        ratio = buffered["ingest_bids_per_sec"] / plain["ingest_bids_per_sec"]
+        verdict = "ok"
+        if ratio < JOURNAL_OVERHEAD_FLOOR:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name} [overhead]: fsync=never ingest is {ratio:.0%} of unjournaled "
+                f"(ceiling: no less than {JOURNAL_OVERHEAD_FLOOR:.0%})"
+            )
+        lines.append(f"  {name} [overhead] fsync=never/unjournaled ingest: {ratio:.2f}x {verdict}")
+    brec, crec = base.get("recovery"), cur.get("recovery")
+    if brec and crec:
+        check_latency(
+            name,
+            f"recovery epochs={crec.get('unsealed_epochs')}",
+            brec["recovery_time_s"],
+            crec["recovery_time_s"],
+            failures,
+            lines,
+            metric="crash recovery time",
+        )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, default=Path("BENCH_baseline"))
@@ -182,6 +241,7 @@ def main():
     comparisons = [
         ("BENCH_batch_throughput.json", compare_batch_throughput),
         ("BENCH_market_soak.json", compare_market_soak),
+        ("BENCH_journal.json", compare_journal),
         ("BENCH_wire.json", compare_wire),
     ]
     failures, lines = [], []

@@ -17,15 +17,24 @@
 //! ```
 //!
 //! `--json` writes `BENCH_market_soak.json` (config, per-rate rows) so
-//! the perf trajectory has machine-readable data points.
+//! the perf trajectory has machine-readable data points — plus
+//! `BENCH_journal.json`: the durability cost surface (ingest throughput
+//! unjournaled vs `fsync=never` vs `fsync=always`) and the crash
+//! recovery time for a journal full of unsealed epochs. Both are gated
+//! by `ci/compare_bench.py`.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dauctioneer_bench::json::{write_bench_file, JsonArray, JsonObject};
 use dauctioneer_bench::{flag_value, fmt_secs, Table};
 use dauctioneer_core::DoubleAuctionProgram;
-use dauctioneer_market::{Backpressure, EpochPolicy, MarketConfig, MarketService, MarketStats};
+use dauctioneer_market::{
+    Backpressure, EpochPolicy, FsyncPolicy, Journal, JournalConfig, MarketConfig, MarketService,
+    MarketStats,
+};
+use dauctioneer_types::{Bw, Money, UserBid, UserId};
 use dauctioneer_workload::{epoch_supply, ArrivalProcess};
 
 struct SoakResult {
@@ -37,6 +46,7 @@ struct SoakResult {
     feed: Duration,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn soak(
     label: &str,
     rate: Option<f64>,
@@ -45,6 +55,7 @@ fn soak(
     n_users: usize,
     m: usize,
     seed: u64,
+    journal: Option<(PathBuf, FsyncPolicy)>,
 ) -> SoakResult {
     // §6.2-shaped supply sized to the expected epoch demand, shared
     // with `dauction serve` (see workload::epoch_supply).
@@ -57,6 +68,10 @@ fn soak(
             max_wait: Duration::from_millis(250),
         });
     config.seed = seed;
+    if let Some((path, fsync)) = &journal {
+        let _ = std::fs::remove_file(path);
+        config.journal = Some(JournalConfig::new(path).with_fsync(*fsync));
+    }
     match rate {
         // Paced replay: never lose a bid, propagate the market's pace.
         Some(_) => config.backpressure = Backpressure::Block,
@@ -122,9 +137,10 @@ fn main() {
             n_users,
             m,
             1_000 + i as u64,
+            None,
         ));
     }
-    results.push(soak("firehose", None, bids, epoch_bids, n_users, m, 9_999));
+    results.push(soak("firehose", None, bids, epoch_bids, n_users, m, 9_999, None));
 
     let mut table = Table::new(
         &[
@@ -200,6 +216,148 @@ fn main() {
         match write_bench_file("market_soak", &top.finish()) {
             Ok(path) => println!("wrote {}", path.display()),
             Err(e) => eprintln!("failed to write BENCH_market_soak.json: {e}"),
+        }
+    }
+
+    journal_sweep(csv, emit_json, quick, n_users, m, bids, epoch_bids);
+}
+
+fn journal_temp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dauction-soak-journal-{name}-{}", std::process::id()));
+    p
+}
+
+/// The durability cost surface: the same saturating paced stream (block
+/// policy, so every bid is accepted and the feed time *is* the ingest
+/// time) run unjournaled, journaled with `fsync=never`, and journaled
+/// with `fsync=always` — plus the recovery time for a journal holding
+/// nothing but unsealed epochs, the worst crash recovery can face.
+fn journal_sweep(
+    csv: bool,
+    emit_json: bool,
+    quick: bool,
+    n_users: usize,
+    m: usize,
+    bids: usize,
+    epoch_bids: usize,
+) {
+    println!();
+    println!(
+        "journal cost: {bids} bids at saturation (blocking ingress), unjournaled vs \
+         write-ahead journal at each fsync policy"
+    );
+    let modes: [(&str, Option<FsyncPolicy>); 3] = [
+        ("unjournaled", None),
+        ("fsync=never", Some(FsyncPolicy::Never)),
+        ("fsync=always", Some(FsyncPolicy::Always)),
+    ];
+    let mut table = Table::new(
+        &["mode", "bids", "ingest bids/s", "sess/s", "p99", "journal bytes", "fsyncs", "fsync p̄"],
+        csv,
+    );
+    let mut json_rows = JsonArray::new();
+    for (mode, fsync) in modes {
+        let journal = fsync.map(|f| (journal_temp(mode), f));
+        let path = journal.as_ref().map(|(p, _)| p.clone());
+        // A paced stream with ~zero gaps + Block backpressure: lossless
+        // saturation, so ingest throughput is bids / feed-time.
+        let r = soak(mode, Some(1_000_000.0), bids, epoch_bids, n_users, m, 4_242, journal);
+        let ingest = r.bids as f64 / r.feed.as_secs_f64();
+        let s = &r.stats;
+        table.row(vec![
+            mode.to_string(),
+            r.bids.to_string(),
+            format!("{ingest:.0}"),
+            format!("{:.1}", s.sessions_per_sec),
+            fmt_secs(s.epoch_latency_p99.as_secs_f64()),
+            s.journal_bytes.to_string(),
+            s.journal_fsyncs.to_string(),
+            fmt_secs(s.journal_fsync_mean.as_secs_f64()),
+        ]);
+        let mut row = JsonObject::new();
+        row.str("mode", mode)
+            .int("bids_submitted", r.bids as u64)
+            .num("ingest_bids_per_sec", ingest)
+            .num("sessions_per_sec", s.sessions_per_sec)
+            .num("epoch_latency_p99_s", s.epoch_latency_p99.as_secs_f64())
+            .int("journal_bytes", s.journal_bytes)
+            .int("journal_fsyncs", s.journal_fsyncs)
+            .num("fsync_mean_s", s.journal_fsync_mean.as_secs_f64())
+            .num("fsync_max_s", s.journal_fsync_max.as_secs_f64());
+        json_rows.push(row.finish());
+        if let Some(path) = path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    print!("{}", table.render());
+
+    // Recovery time: a journal of nothing but unsealed epochs, each
+    // re-cleared as a full auction session at startup.
+    let epochs = if quick { 8u64 } else { 32 };
+    let path = journal_temp("recovery");
+    let _ = std::fs::remove_file(&path);
+    let journal = Journal::create(&path, FsyncPolicy::Never).expect("create recovery journal");
+    let per_epoch = epoch_bids.min(n_users);
+    for epoch in 0..epochs {
+        for u in 0..per_epoch {
+            let bid = UserBid::new(
+                Money::from_f64(0.8 + 0.02 * u as f64 + 0.001 * epoch as f64),
+                Bw::from_f64(0.5),
+            );
+            journal.append_accepted(epoch, UserId(u as u32), bid).expect("append");
+        }
+    }
+    journal.sync().expect("sync");
+    drop(journal);
+
+    let mut config = MarketConfig::new(m, (m - 1) / 2, n_users, m)
+        .with_asks(epoch_supply(m, epoch_bids as f64))
+        .with_epoch(EpochPolicy::Hybrid {
+            count: epoch_bids,
+            max_wait: Duration::from_millis(250),
+        });
+    config.seed = 4_242;
+    config.journal = Some(JournalConfig::new(&path).recovering());
+    let started = Instant::now();
+    let market = MarketService::start(config, Arc::new(DoubleAuctionProgram::new()))
+        .expect("recover market");
+    let recovery_time = started.elapsed();
+    let replayed = market.recovery_report().map_or(0, |r| r.replayed.len());
+    market.shutdown();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(replayed as u64, epochs, "every unsealed epoch must be re-cleared");
+    println!(
+        "recovery: {epochs} unsealed epochs ({} bids) re-cleared in {} \
+         ({:.1} epochs/s)",
+        epochs as usize * per_epoch,
+        fmt_secs(recovery_time.as_secs_f64()),
+        epochs as f64 / recovery_time.as_secs_f64(),
+    );
+
+    if emit_json {
+        let mut config = JsonObject::new();
+        config
+            .int("n_users", n_users as u64)
+            .int("m", m as u64)
+            .int("bids_per_run", bids as u64)
+            .int("epoch_bids", epoch_bids as u64)
+            .bool("quick", quick);
+        let mut recovery = JsonObject::new();
+        recovery
+            .int("unsealed_epochs", epochs)
+            .int("journaled_bids", (epochs as usize * per_epoch) as u64)
+            .int("replayed_epochs", replayed as u64)
+            .num("recovery_time_s", recovery_time.as_secs_f64())
+            .num("epochs_per_sec", epochs as f64 / recovery_time.as_secs_f64());
+        let mut top = JsonObject::new();
+        top.str("bench", "journal")
+            .raw("config", &config.finish())
+            .raw("runs", &json_rows.finish())
+            .raw("recovery", &recovery.finish());
+        match write_bench_file("journal", &top.finish()) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write BENCH_journal.json: {e}"),
         }
     }
 }

@@ -1,0 +1,178 @@
+//! The settlement hash chain: tamper-evident linking of sealed epoch
+//! records.
+//!
+//! A continuous market seals every cleared epoch into an append-only
+//! settlement log. To make that log *auditable by third parties* — not
+//! just readable — each seal commits to the digest of the seal before
+//! it: `dᵢ = H(domain ‖ dᵢ₋₁ ‖ contentᵢ)`, anchored at a fixed,
+//! domain-separated genesis digest. Any modification of a sealed record,
+//! and any removal, insertion, or reordering of seals, breaks every
+//! digest from that point on, so a verifier holding only the log can
+//! name the first seal at which history diverges.
+//!
+//! This module is deliberately tiny: one genesis constant, one link
+//! function, and a cursor ([`SettlementChain`]) that both the sealing
+//! writer and the offline verifier drive — using the *same* code path is
+//! what makes "verifier accepts what the writer wrote" a tautology
+//! rather than a test obligation.
+//!
+//! # Example
+//!
+//! ```
+//! use dauctioneer_crypto::SettlementChain;
+//!
+//! let mut writer = SettlementChain::new();
+//! let d0 = writer.extend(b"epoch 0 outcome");
+//! let d1 = writer.extend(b"epoch 1 outcome");
+//!
+//! // An independent verifier replays the log and reaches the same tip.
+//! let mut verifier = SettlementChain::new();
+//! assert_eq!(verifier.extend(b"epoch 0 outcome"), d0);
+//! assert_eq!(verifier.extend(b"epoch 1 outcome"), d1);
+//! assert_eq!(verifier.tip(), writer.tip());
+//! ```
+
+use crate::sha256::{Digest, Sha256};
+
+/// Domain-separation prefix for settlement-chain links, disjoint from
+/// the commitment domain so chain digests can never collide with
+/// commitment hashes.
+const CHAIN_DOMAIN: &[u8] = b"dauctioneer/settlement-chain/v1";
+
+/// The fixed genesis digest every settlement chain starts from:
+/// `H(domain ‖ "genesis")`. A constant (rather than the zero digest) so
+/// an all-zeroes file cannot masquerade as a valid empty chain.
+pub fn chain_genesis() -> Digest {
+    let mut h = Sha256::new();
+    h.update(CHAIN_DOMAIN);
+    h.update(b"genesis");
+    h.finalize()
+}
+
+/// One chain link: the digest committing to `content` *and* the entire
+/// history before it, `H(domain ‖ prev ‖ content)`.
+pub fn chain_link(prev: &Digest, content: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(CHAIN_DOMAIN);
+    h.update(prev.as_bytes());
+    h.update(content);
+    h.finalize()
+}
+
+/// A running settlement chain: the tip digest plus the extend operation.
+///
+/// The sealing writer extends it once per sealed epoch; the offline
+/// verifier extends an independent instance over the same record bytes
+/// and compares digests link by link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SettlementChain {
+    tip: Digest,
+    links: u64,
+}
+
+impl Default for SettlementChain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SettlementChain {
+    /// A fresh chain at [`chain_genesis`].
+    pub fn new() -> SettlementChain {
+        SettlementChain { tip: chain_genesis(), links: 0 }
+    }
+
+    /// Resume a chain from a known tip (e.g. after recovering a journal
+    /// whose sealed suffix was already verified).
+    pub fn resume(tip: Digest, links: u64) -> SettlementChain {
+        SettlementChain { tip, links }
+    }
+
+    /// Append one link over `content`; returns the new tip.
+    pub fn extend(&mut self, content: &[u8]) -> Digest {
+        self.tip = chain_link(&self.tip, content);
+        self.links += 1;
+        self.tip
+    }
+
+    /// The digest of the latest link (genesis when empty).
+    pub fn tip(&self) -> Digest {
+        self.tip
+    }
+
+    /// Number of links extended so far.
+    pub fn links(&self) -> u64 {
+        self.links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    #[test]
+    fn genesis_is_stable_and_domain_separated() {
+        assert_eq!(chain_genesis(), chain_genesis());
+        assert_ne!(chain_genesis(), sha256(b"genesis"), "domain prefix must matter");
+        assert_ne!(chain_genesis(), Digest::default(), "genesis is not the zero digest");
+    }
+
+    #[test]
+    fn identical_histories_reach_identical_tips() {
+        let mut a = SettlementChain::new();
+        let mut b = SettlementChain::new();
+        for content in [b"one".as_slice(), b"two", b"three"] {
+            assert_eq!(a.extend(content), b.extend(content));
+        }
+        assert_eq!(a.tip(), b.tip());
+        assert_eq!(a.links(), 3);
+    }
+
+    #[test]
+    fn any_divergence_breaks_every_later_link() {
+        let mut honest = SettlementChain::new();
+        let mut tampered = SettlementChain::new();
+        honest.extend(b"epoch 0");
+        tampered.extend(b"epoch 0");
+        honest.extend(b"epoch 1");
+        tampered.extend(b"epoch 1 (tampered)");
+        assert_ne!(honest.tip(), tampered.tip());
+        // The chains never re-converge, even over identical suffixes.
+        for content in [b"epoch 2".as_slice(), b"epoch 3"] {
+            assert_ne!(honest.extend(content), tampered.extend(content));
+        }
+    }
+
+    #[test]
+    fn reordering_links_changes_the_tip() {
+        let mut ab = SettlementChain::new();
+        ab.extend(b"a");
+        ab.extend(b"b");
+        let mut ba = SettlementChain::new();
+        ba.extend(b"b");
+        ba.extend(b"a");
+        assert_ne!(ab.tip(), ba.tip());
+    }
+
+    #[test]
+    fn resume_continues_the_same_chain() {
+        let mut full = SettlementChain::new();
+        full.extend(b"a");
+        let mid_tip = full.extend(b"b");
+        full.extend(b"c");
+
+        let mut resumed = SettlementChain::resume(mid_tip, 2);
+        resumed.extend(b"c");
+        assert_eq!(resumed.tip(), full.tip());
+        assert_eq!(resumed.links(), full.links());
+    }
+
+    #[test]
+    fn link_depends_on_prev_and_content() {
+        let g = chain_genesis();
+        let d = chain_link(&g, b"x");
+        assert_ne!(chain_link(&g, b"y"), d);
+        assert_ne!(chain_link(&d, b"x"), d);
+    }
+}

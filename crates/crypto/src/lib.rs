@@ -29,10 +29,12 @@
 //! assert_eq!(opening.payload(), b"my random value");
 //! ```
 
+pub mod chain;
 pub mod commit;
 pub mod seed;
 pub mod sha256;
 
+pub use chain::{chain_genesis, chain_link, SettlementChain};
 pub use commit::{Commitment, CommitmentOpening};
 pub use seed::{derive_seed, SeedDomain};
 pub use sha256::{sha256, Digest, Sha256};

@@ -3,11 +3,14 @@
 
 use std::error::Error;
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use dauctioneer_core::{Adversary, AdversaryKind, ConfigError, FrameworkConfig, TransportKind};
 use dauctioneer_net::{FaultPlan, FaultPlanError, LatencyModel};
 use dauctioneer_types::{ProviderAsk, ProviderId};
+
+use crate::journal::{FsyncPolicy, JournalError};
 
 /// When the service closes the open epoch and clears it as one auction
 /// session.
@@ -47,6 +50,40 @@ pub enum Backpressure {
     /// No submission is ever shed, at the cost of propagating the
     /// market's pace back into the submitters.
     Block,
+}
+
+/// Durability configuration: where the write-ahead epoch journal
+/// lives, how eagerly it reaches the disk, and whether the service
+/// resumes an existing journal instead of creating a fresh one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// The journal file.
+    pub path: PathBuf,
+    /// When appended records are fsynced.
+    pub fsync: FsyncPolicy,
+    /// Recover the journal at `path` (replaying unsealed epochs) instead
+    /// of requiring a fresh file.
+    pub recover: bool,
+}
+
+impl JournalConfig {
+    /// Journal to `path` with the default [`FsyncPolicy::Always`] — the
+    /// nothing-acknowledged-is-ever-lost setting.
+    pub fn new(path: impl Into<PathBuf>) -> JournalConfig {
+        JournalConfig { path: path.into(), fsync: FsyncPolicy::Always, recover: false }
+    }
+
+    /// Set the fsync policy.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> JournalConfig {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Recover the existing journal instead of creating a fresh one.
+    pub fn recovering(mut self) -> JournalConfig {
+        self.recover = true;
+        self
+    }
 }
 
 /// Configuration of a [`crate::MarketService`].
@@ -100,6 +137,9 @@ pub struct MarketConfig {
     /// Providers running an adversarial strategy instead of the honest
     /// protocol (everyone unlisted is honest).
     pub adversaries: Vec<Adversary>,
+    /// Write-ahead epoch journal; `None` runs the market without crash
+    /// durability (accepted bids die with the process).
+    pub journal: Option<JournalConfig>,
 }
 
 impl MarketConfig {
@@ -123,6 +163,7 @@ impl MarketConfig {
             first_session: 0,
             chaos: None,
             adversaries: Vec::new(),
+            journal: None,
         }
     }
 
@@ -154,6 +195,12 @@ impl MarketConfig {
     /// Run `provider` under `kind` instead of the honest protocol.
     pub fn with_adversary(mut self, provider: ProviderId, kind: AdversaryKind) -> MarketConfig {
         self.adversaries.push(Adversary::new(provider, kind));
+        self
+    }
+
+    /// Journal accepted bids and sealed epochs to disk.
+    pub fn with_journal(mut self, journal: JournalConfig) -> MarketConfig {
+        self.journal = Some(journal);
         self
     }
 
@@ -209,6 +256,13 @@ impl MarketConfig {
                 });
             }
         }
+        if let Some(journal) = &self.journal {
+            if journal.fsync == FsyncPolicy::EveryN(0) {
+                return Err(MarketError::Journal(JournalError::BadFsyncPolicy(
+                    "every=0".to_string(),
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -252,6 +306,9 @@ pub enum MarketError {
         /// Providers in the mesh.
         m: usize,
     },
+    /// The write-ahead journal could not be created, recovered, or is
+    /// misconfigured.
+    Journal(JournalError),
 }
 
 impl fmt::Display for MarketError {
@@ -283,6 +340,7 @@ impl fmt::Display for MarketError {
             MarketError::AdversaryOutOfRange { provider, m } => {
                 write!(f, "adversary names provider {provider} but the mesh has {m} providers")
             }
+            MarketError::Journal(e) => write!(f, "journal: {e}"),
         }
     }
 }
@@ -292,6 +350,7 @@ impl Error for MarketError {
         match self {
             MarketError::Framework(e) => Some(e),
             MarketError::Chaos(e) => Some(e),
+            MarketError::Journal(e) => Some(e),
             _ => None,
         }
     }

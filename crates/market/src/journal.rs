@@ -1,0 +1,935 @@
+//! The write-ahead epoch journal: crash durability for the continuous
+//! market, plus the hash-chained settlement log that makes its history
+//! auditable offline.
+//!
+//! # On-disk format
+//!
+//! The journal is an append-only file of length-prefixed records, framed
+//! with the exact same builders the TCP mesh uses
+//! ([`dauctioneer_net::wire_encode_into`] / [`dauctioneer_net::wire_decode`]):
+//!
+//! ```text
+//! [len: u32 LE] [record: JournalRecord codec bytes] [crc32(record): u32 LE]
+//! ```
+//!
+//! where `len` covers the record bytes *and* the trailing CRC-32 (IEEE
+//! polynomial, implemented in this module — the workspace carries no
+//! checksum dependency). A crash can tear the final record at any byte;
+//! the CRC plus the length prefix let recovery find the **longest valid
+//! prefix** and drop the torn tail, never a phantom record.
+//!
+//! # Write-ahead discipline
+//!
+//! The scheduler appends an [`JournalRecord::Accepted`] record — and
+//! makes it durable per the [`FsyncPolicy`] — *before* the acceptance
+//! becomes observable anywhere (stats counters, epoch-close triggers).
+//! A journal write failure is therefore fail-stop by design: a durable
+//! market must not acknowledge what it cannot journal.
+//!
+//! # Settlement chain
+//!
+//! Every cleared epoch is sealed by a [`SealRecord`] whose digest is a
+//! [`dauctioneer_crypto::chain_link`] over the seal's content and the
+//! previous seal's digest. [`verify_log`] walks the chain offline and
+//! names the first seal at which a tampered history diverges.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use dauctioneer_crypto::{Digest, SettlementChain};
+use dauctioneer_net::{wire_decode, wire_encode_into};
+use dauctioneer_types::{
+    BidVector, Decode, Encode, JournalRecord, Outcome, ProviderAsk, SealRecord, SessionId, UserBid,
+    UserId,
+};
+
+/// When an appended record is pushed through the page cache to the disk.
+///
+/// The policy is the journal's one durability/throughput trade-off knob:
+/// `Always` loses nothing on power failure, `EveryN` bounds the loss to
+/// the last `n − 1` acknowledged records, `Never` leaves flushing to the
+/// OS (a `kill -9` of the process alone still loses nothing — the page
+/// cache survives the process — but a machine crash may).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every record: nothing acknowledged is ever lost.
+    Always,
+    /// `fdatasync` after every `n` records.
+    EveryN(u32),
+    /// Never sync explicitly; the OS flushes on its own schedule.
+    Never,
+}
+
+impl FromStr for FsyncPolicy {
+    type Err = JournalError;
+
+    fn from_str(s: &str) -> Result<FsyncPolicy, JournalError> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            _ => match s.strip_prefix("every=").and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) if n > 0 => Ok(FsyncPolicy::EveryN(n)),
+                _ => Err(JournalError::BadFsyncPolicy(s.to_string())),
+            },
+        }
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every={n}"),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// Why a journal could not be created, recovered, or verified.
+#[derive(Debug)]
+pub enum JournalError {
+    /// A filesystem operation failed.
+    Io {
+        /// The operation that failed.
+        op: &'static str,
+        /// The journal path.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// `--journal` names an existing file but `--recover` was not given;
+    /// refusing to clobber a journal is the safe default.
+    AlreadyExists(PathBuf),
+    /// An fsync policy string was not `always`, `never`, or `every=N`
+    /// with `N ≥ 1`.
+    BadFsyncPolicy(String),
+    /// The settlement chain diverged: the journal was tampered with.
+    Tampered(Divergence),
+    /// Strict verification found bytes after the last valid record (a
+    /// torn tail — run recovery before verifying, or the file is
+    /// corrupt beyond its tail).
+    TornTail {
+        /// Bytes of valid records.
+        valid_bytes: u64,
+        /// Trailing bytes that decode to no valid record.
+        dropped_bytes: u64,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { op, path, source } => {
+                write!(f, "journal {op} failed for {}: {source}", path.display())
+            }
+            JournalError::AlreadyExists(path) => {
+                write!(f, "journal {} already exists; pass --recover to resume it", path.display())
+            }
+            JournalError::BadFsyncPolicy(s) => {
+                write!(f, "fsync policy must be always, never, or every=N (got {s:?})")
+            }
+            JournalError::Tampered(d) => write!(f, "settlement chain diverged: {d}"),
+            JournalError::TornTail { valid_bytes, dropped_bytes } => write!(
+                f,
+                "torn tail: {dropped_bytes} trailing bytes after {valid_bytes} valid bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// The first point at which a settlement log stops matching the history
+/// its chain commits to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Zero-based index of the offending seal in file order.
+    pub seal_index: u64,
+    /// The epoch the offending seal claims to settle.
+    pub epoch: u64,
+    /// What failed at that seal.
+    pub fault: ChainFault,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seal #{} (epoch {}): {}", self.seal_index, self.epoch, self.fault)
+    }
+}
+
+/// What a chain walk found wrong at one seal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainFault {
+    /// `prev` does not match the digest of the seal before it — a seal
+    /// was removed, inserted, or reordered.
+    PrevMismatch,
+    /// The recorded digest does not match `chain_link(prev, content)` —
+    /// the seal's content was modified after sealing.
+    DigestMismatch,
+    /// The seal's accepted-bid count disagrees with the `Accepted`
+    /// records journaled for its epoch.
+    CountMismatch {
+        /// Accepted bids the seal claims.
+        sealed: u64,
+        /// `Accepted` records present in the journal.
+        journaled: u64,
+    },
+}
+
+impl fmt::Display for ChainFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainFault::PrevMismatch => {
+                write!(f, "prev digest does not chain to the preceding seal")
+            }
+            ChainFault::DigestMismatch => write!(f, "digest does not match the sealed content"),
+            ChainFault::CountMismatch { sealed, journaled } => {
+                write!(f, "seal claims {sealed} accepted bids but the journal holds {journaled}")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial), table-driven, no dependency.
+// ---------------------------------------------------------------------------
+
+/// The byte-reversed IEEE polynomial used by zlib, PNG, and Ethernet.
+const CRC32_POLY: u32 = 0xEDB8_8320;
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ CRC32_POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes` — the per-record corruption check of the
+/// journal file. Catches torn writes and random bit rot; *deliberate*
+/// tampering is the settlement chain's job.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Scanning (pure — shared by recovery, verification, and the proptests)
+// ---------------------------------------------------------------------------
+
+/// The outcome of scanning a journal byte stream: every record of the
+/// longest valid prefix, and how much tail was dropped to get there.
+#[derive(Debug, Clone)]
+pub struct ScanResult {
+    /// Records of the longest valid prefix, in file order.
+    pub records: Vec<JournalRecord>,
+    /// Length of the valid prefix in bytes.
+    pub valid_bytes: u64,
+    /// Trailing bytes past the valid prefix (0 for a cleanly closed
+    /// journal).
+    pub dropped_bytes: u64,
+}
+
+/// Scan a journal byte stream for its longest valid prefix.
+///
+/// Stops — without error — at the first truncated frame, oversized
+/// length prefix, CRC mismatch, or undecodable record: everything from
+/// that point on is a torn tail. This is deliberately infallible; a
+/// journal that a crash tore mid-record must recover, not panic.
+pub fn scan(bytes: &[u8]) -> ScanResult {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    // A decode of `Ok(None)` (truncated mid-header or mid-payload) or
+    // `Err` (length prefix past the frame cap — a torn length field)
+    // ends the valid prefix: the tail from here on is dropped whole.
+    while let Ok(Some((payload, consumed))) = wire_decode(&bytes[offset..]) {
+        let Some(body_len) = payload.len().checked_sub(4) else { break };
+        let (body, crc_bytes) = payload.split_at(body_len);
+        if crc32(body) != u32::from_le_bytes(crc_bytes.try_into().expect("4 crc bytes")) {
+            break;
+        }
+        let Ok(record) = JournalRecord::decode_all(body) else { break };
+        records.push(record);
+        offset += consumed;
+    }
+    ScanResult { records, valid_bytes: offset as u64, dropped_bytes: (bytes.len() - offset) as u64 }
+}
+
+/// Read and [`scan`] a journal file.
+///
+/// # Errors
+///
+/// [`JournalError::Io`] if the file cannot be opened or read. Torn tails
+/// are *not* errors — they are reported in the [`ScanResult`].
+pub fn read_journal(path: &Path) -> Result<ScanResult, JournalError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|source| JournalError::Io { op: "read", path: path.to_path_buf(), source })?;
+    Ok(scan(&bytes))
+}
+
+// ---------------------------------------------------------------------------
+// Offline verification
+// ---------------------------------------------------------------------------
+
+/// What [`verify_log`] certifies about an intact journal.
+#[derive(Debug, Clone)]
+pub struct VerifySummary {
+    /// Total records in the journal.
+    pub records: u64,
+    /// Sealed epochs on the settlement chain.
+    pub seals: u64,
+    /// `Accepted` records across all epochs.
+    pub accepted: u64,
+    /// The chain tip after the last seal.
+    pub tip: Digest,
+}
+
+/// Walk a journal's settlement chain offline and certify it.
+///
+/// Strict where [`scan`] is lenient: a torn tail, a broken chain link, a
+/// modified seal, or a seal whose accepted count disagrees with the
+/// journaled `Accepted` records is an error naming the first divergence.
+///
+/// # Errors
+///
+/// [`JournalError::Io`] on filesystem failure, [`JournalError::TornTail`]
+/// on trailing garbage, [`JournalError::Tampered`] with the first
+/// divergent seal on any chain break.
+pub fn verify_log(path: &Path) -> Result<VerifySummary, JournalError> {
+    let result = read_journal(path)?;
+    if result.dropped_bytes > 0 {
+        return Err(JournalError::TornTail {
+            valid_bytes: result.valid_bytes,
+            dropped_bytes: result.dropped_bytes,
+        });
+    }
+    let mut chain = SettlementChain::new();
+    let mut accepted_per_epoch: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut accepted = 0u64;
+    let mut seals = 0u64;
+    for record in &result.records {
+        match record {
+            JournalRecord::Accepted { epoch, .. } => {
+                *accepted_per_epoch.entry(*epoch).or_insert(0) += 1;
+                accepted += 1;
+            }
+            JournalRecord::AskSet { .. } => {}
+            JournalRecord::Sealed(seal) => {
+                let diverged = |fault| {
+                    JournalError::Tampered(Divergence {
+                        seal_index: seals,
+                        epoch: seal.epoch,
+                        fault,
+                    })
+                };
+                if &seal.prev != chain.tip().as_bytes() {
+                    return Err(diverged(ChainFault::PrevMismatch));
+                }
+                let digest = chain.extend(&seal.content_bytes());
+                if &seal.digest != digest.as_bytes() {
+                    return Err(diverged(ChainFault::DigestMismatch));
+                }
+                let journaled = accepted_per_epoch.get(&seal.epoch).copied().unwrap_or(0);
+                if seal.accepted != journaled {
+                    return Err(diverged(ChainFault::CountMismatch {
+                        sealed: seal.accepted,
+                        journaled,
+                    }));
+                }
+                seals += 1;
+            }
+        }
+    }
+    Ok(VerifySummary { records: result.records.len() as u64, seals, accepted, tip: chain.tip() })
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+/// An epoch the journal holds records for but no seal — it was open (or
+/// closed but not yet cleared) when the process died, and recovery must
+/// re-clear it deterministically.
+#[derive(Debug, Clone)]
+pub struct InFlightEpoch {
+    /// The epoch index.
+    pub epoch: u64,
+    /// Accepted bids, in acceptance order.
+    pub bids: Vec<(UserId, UserBid)>,
+    /// Streamed asks, in application order (last write per slot wins).
+    pub asks: Vec<(u64, ProviderAsk)>,
+}
+
+/// Everything recovery learned from the journal, before any re-clearing.
+#[derive(Debug, Clone)]
+pub struct RecoveredLog {
+    /// Seals already on the settlement chain, in chain order.
+    pub sealed: Vec<SealRecord>,
+    /// Epochs with accepted bids but no seal, in epoch order; the
+    /// resumed service re-clears each with its original session and
+    /// seed.
+    pub in_flight: Vec<InFlightEpoch>,
+    /// Streamed asks of a trailing zero-bid epoch: nothing to re-clear
+    /// (no bid was accepted), but the asks must pre-populate the resumed
+    /// scheduler's first collector, which reuses that epoch's index.
+    pub pending_asks: Vec<(u64, ProviderAsk)>,
+    /// The epoch index the resumed scheduler starts at.
+    pub next_epoch: u64,
+    /// Torn-tail bytes dropped (and truncated from the file) to reach
+    /// the longest valid prefix.
+    pub dropped_bytes: u64,
+}
+
+/// The append half of the journal: one file, one settlement chain, one
+/// fsync policy, shared by the scheduler (accepted bids, asks) and the
+/// per-shard clearers (seals) behind a mutex — the lock order *is* the
+/// chain order.
+#[derive(Debug)]
+pub struct Journal {
+    inner: Mutex<JournalInner>,
+    path: PathBuf,
+    bytes_written: AtomicU64,
+    fsyncs: AtomicU64,
+    fsync_nanos: AtomicU64,
+    fsync_nanos_max: AtomicU64,
+}
+
+#[derive(Debug)]
+struct JournalInner {
+    file: File,
+    /// Warm scratch for frame assembly; one `write_all` per record.
+    buf: BytesMut,
+    chain: SettlementChain,
+    policy: FsyncPolicy,
+    since_sync: u32,
+}
+
+impl Journal {
+    /// Create a fresh journal at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::AlreadyExists`] if the path already holds a file
+    /// (recover it instead of silently clobbering history);
+    /// [`JournalError::Io`] on filesystem failure.
+    pub fn create(path: &Path, policy: FsyncPolicy) -> Result<Journal, JournalError> {
+        let file = match OpenOptions::new().write(true).create_new(true).open(path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                return Err(JournalError::AlreadyExists(path.to_path_buf()))
+            }
+            Err(source) => {
+                return Err(JournalError::Io { op: "create", path: path.to_path_buf(), source })
+            }
+        };
+        Ok(Journal::from_parts(path, file, SettlementChain::new(), policy))
+    }
+
+    /// Recover the journal at `path`: find the longest valid prefix,
+    /// truncate the torn tail away, verify and resume the settlement
+    /// chain, and classify every unsealed epoch for re-clearing.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem failure and
+    /// [`JournalError::Tampered`] if the surviving prefix fails chain
+    /// verification — a torn *tail* is expected crash damage, a broken
+    /// *chain* is tampering, and recovery must not resume a forged
+    /// history.
+    pub fn recover(
+        path: &Path,
+        policy: FsyncPolicy,
+    ) -> Result<(Journal, RecoveredLog), JournalError> {
+        let result = read_journal(path)?;
+
+        // Verify the surviving prefix before trusting it. The chain walk
+        // below re-derives every digest, so a recovered-then-reverified
+        // journal is accepted by construction.
+        let mut chain = SettlementChain::new();
+        let mut sealed = Vec::new();
+        let mut drafts: BTreeMap<u64, InFlightEpoch> = BTreeMap::new();
+        let mut max_epoch: Option<u64> = None;
+        for record in &result.records {
+            match record {
+                JournalRecord::Accepted { epoch, user, bid } => {
+                    max_epoch = Some(max_epoch.map_or(*epoch, |m| m.max(*epoch)));
+                    drafts
+                        .entry(*epoch)
+                        .or_insert_with(|| InFlightEpoch {
+                            epoch: *epoch,
+                            bids: Vec::new(),
+                            asks: Vec::new(),
+                        })
+                        .bids
+                        .push((*user, *bid));
+                }
+                JournalRecord::AskSet { epoch, slot, ask } => {
+                    max_epoch = Some(max_epoch.map_or(*epoch, |m| m.max(*epoch)));
+                    drafts
+                        .entry(*epoch)
+                        .or_insert_with(|| InFlightEpoch {
+                            epoch: *epoch,
+                            bids: Vec::new(),
+                            asks: Vec::new(),
+                        })
+                        .asks
+                        .push((*slot, *ask));
+                }
+                JournalRecord::Sealed(seal) => {
+                    max_epoch = Some(max_epoch.map_or(seal.epoch, |m| m.max(seal.epoch)));
+                    let diverged = |fault| {
+                        JournalError::Tampered(Divergence {
+                            seal_index: sealed.len() as u64,
+                            epoch: seal.epoch,
+                            fault,
+                        })
+                    };
+                    if &seal.prev != chain.tip().as_bytes() {
+                        return Err(diverged(ChainFault::PrevMismatch));
+                    }
+                    let digest = chain.extend(&seal.content_bytes());
+                    if &seal.digest != digest.as_bytes() {
+                        return Err(diverged(ChainFault::DigestMismatch));
+                    }
+                    drafts.remove(&seal.epoch);
+                    sealed.push(seal.clone());
+                }
+            }
+        }
+
+        // A trailing draft with no accepted bid was the open collector:
+        // nothing to re-clear, but its asks (and its epoch index) carry
+        // over into the resumed scheduler. Any other zero-bid draft can
+        // only arise from a torn tail that ate the bids; re-clearing
+        // nothing for it is exactly "the longest valid prefix".
+        let mut pending_asks = Vec::new();
+        let mut next_epoch = max_epoch.map_or(0, |m| m + 1);
+        if let Some((&last, draft)) = drafts.iter().next_back() {
+            if draft.bids.is_empty() && Some(last) == max_epoch {
+                pending_asks = draft.asks.clone();
+                next_epoch = last;
+                drafts.remove(&last);
+            }
+        }
+        let in_flight: Vec<InFlightEpoch> =
+            drafts.into_values().filter(|d| !d.bids.is_empty()).collect();
+
+        // Truncate the torn tail so the file *is* its valid prefix, then
+        // append from there — `verify_log` accepts every recovered
+        // journal because recovery leaves nothing it would reject.
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|source| JournalError::Io { op: "open", path: path.to_path_buf(), source })?;
+        file.set_len(result.valid_bytes)
+            .and_then(|()| file.seek(SeekFrom::End(0)).map(|_| ()))
+            .map_err(|source| JournalError::Io {
+                op: "truncate",
+                path: path.to_path_buf(),
+                source,
+            })?;
+
+        let journal = Journal::from_parts(path, file, chain, policy);
+        journal.bytes_written.store(result.valid_bytes, Ordering::Relaxed);
+        let log = RecoveredLog {
+            sealed,
+            in_flight,
+            pending_asks,
+            next_epoch,
+            dropped_bytes: result.dropped_bytes,
+        };
+        Ok((journal, log))
+    }
+
+    fn from_parts(path: &Path, file: File, chain: SettlementChain, policy: FsyncPolicy) -> Journal {
+        Journal {
+            inner: Mutex::new(JournalInner {
+                file,
+                buf: BytesMut::with_capacity(4096),
+                chain,
+                policy,
+                since_sync: 0,
+            }),
+            path: path.to_path_buf(),
+            bytes_written: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            fsync_nanos: AtomicU64::new(0),
+            fsync_nanos_max: AtomicU64::new(0),
+        }
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Journal an accepted bid — the write-ahead half of the ack.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the append or sync fails; the caller must
+    /// treat that as fail-stop, not as a recoverable verdict.
+    pub fn append_accepted(
+        &self,
+        epoch: u64,
+        user: UserId,
+        bid: UserBid,
+    ) -> Result<(), JournalError> {
+        self.append(&JournalRecord::Accepted { epoch, user, bid })
+    }
+
+    /// Journal a streamed ask applied to the open epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] as for [`Journal::append_accepted`].
+    pub fn append_ask(&self, epoch: u64, slot: u64, ask: ProviderAsk) -> Result<(), JournalError> {
+        self.append(&JournalRecord::AskSet { epoch, slot, ask })
+    }
+
+    /// Seal a cleared epoch onto the settlement chain and journal the
+    /// seal. The chain digest is computed under the journal lock, so
+    /// concurrent clearers serialize and the chain order is the append
+    /// order. Returns the seal as written.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] as for [`Journal::append_accepted`].
+    pub fn append_seal(
+        &self,
+        epoch: u64,
+        session: SessionId,
+        seed: u64,
+        accepted: u64,
+        bids: BidVector,
+        outcome: Outcome,
+    ) -> Result<SealRecord, JournalError> {
+        let mut inner = self.inner.lock().expect("journal lock");
+        let prev = *inner.chain.tip().as_bytes();
+        let mut seal =
+            SealRecord { epoch, session, seed, accepted, bids, outcome, prev, digest: [0u8; 32] };
+        seal.digest = *inner.chain.extend(&seal.content_bytes()).as_bytes();
+        let record = JournalRecord::Sealed(seal.clone());
+        self.write_locked(&mut inner, &record)?;
+        Ok(seal)
+    }
+
+    /// Force an fsync regardless of policy (drain-then-shutdown's last
+    /// act: nothing acknowledged may sit only in the page cache when the
+    /// process exits on purpose).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the sync fails.
+    pub fn sync(&self) -> Result<(), JournalError> {
+        let mut inner = self.inner.lock().expect("journal lock");
+        self.sync_locked(&mut inner)
+    }
+
+    /// Total bytes appended (including a recovered valid prefix).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Explicit fsyncs performed so far.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Mean fsync latency (zero before the first sync).
+    pub fn fsync_mean(&self) -> Duration {
+        let n = self.fsyncs.load(Ordering::Relaxed);
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.fsync_nanos.load(Ordering::Relaxed) / n)
+    }
+
+    /// Worst fsync latency observed.
+    pub fn fsync_max(&self) -> Duration {
+        Duration::from_nanos(self.fsync_nanos_max.load(Ordering::Relaxed))
+    }
+
+    /// The settlement chain tip (genesis until the first seal).
+    pub fn chain_tip(&self) -> Digest {
+        self.inner.lock().expect("journal lock").chain.tip()
+    }
+
+    fn append(&self, record: &JournalRecord) -> Result<(), JournalError> {
+        let mut inner = self.inner.lock().expect("journal lock");
+        self.write_locked(&mut inner, record)
+    }
+
+    fn write_locked(
+        &self,
+        inner: &mut JournalInner,
+        record: &JournalRecord,
+    ) -> Result<(), JournalError> {
+        let body = record.encode_to_bytes();
+        let mut payload = Vec::with_capacity(body.len() + 4);
+        payload.extend_from_slice(&body);
+        payload.extend_from_slice(&crc32(&body).to_le_bytes());
+        let JournalInner { file, buf, .. } = &mut *inner;
+        buf.clear();
+        wire_encode_into(&payload, buf);
+        file.write_all(buf).map_err(|source| JournalError::Io {
+            op: "append",
+            path: self.path.clone(),
+            source,
+        })?;
+        self.bytes_written.fetch_add(inner.buf.len() as u64, Ordering::Relaxed);
+        let due = match inner.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Never => false,
+            FsyncPolicy::EveryN(n) => {
+                inner.since_sync += 1;
+                inner.since_sync >= n
+            }
+        };
+        if due {
+            self.sync_locked(inner)?;
+        }
+        Ok(())
+    }
+
+    fn sync_locked(&self, inner: &mut JournalInner) -> Result<(), JournalError> {
+        let started = Instant::now();
+        inner.file.sync_data().map_err(|source| JournalError::Io {
+            op: "sync",
+            path: self.path.clone(),
+            source,
+        })?;
+        let nanos = started.elapsed().as_nanos() as u64;
+        inner.since_sync = 0;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.fsync_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.fsync_nanos_max.fetch_max(nanos, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dauctioneer_types::{Bw, Money};
+
+    fn bid(v: f64) -> UserBid {
+        UserBid::new(Money::from_f64(v), Bw::from_f64(0.5))
+    }
+
+    fn ask() -> ProviderAsk {
+        ProviderAsk::new(Money::from_f64(0.2), Bw::from_f64(2.0))
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dauction-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The canonical CRC-32/IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_displays() {
+        assert_eq!("always".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::Always);
+        assert_eq!("never".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::Never);
+        assert_eq!("every=8".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::EveryN(8));
+        for bad in ["", "sometimes", "every=0", "every=x"] {
+            assert!(bad.parse::<FsyncPolicy>().is_err(), "{bad:?}");
+        }
+        assert_eq!(FsyncPolicy::EveryN(8).to_string(), "every=8");
+    }
+
+    #[test]
+    fn append_scan_roundtrip_and_torn_tail() {
+        let path = temp_path("roundtrip");
+        let journal = Journal::create(&path, FsyncPolicy::Never).unwrap();
+        journal.append_accepted(0, UserId(1), bid(1.1)).unwrap();
+        journal.append_ask(0, 0, ask()).unwrap();
+        journal.append_accepted(0, UserId(2), bid(0.9)).unwrap();
+        drop(journal);
+
+        let full = std::fs::read(&path).unwrap();
+        let result = scan(&full);
+        assert_eq!(result.records.len(), 3);
+        assert_eq!(result.dropped_bytes, 0);
+        assert_eq!(result.valid_bytes, full.len() as u64);
+
+        // Any truncation yields a (possibly shorter) valid prefix, never
+        // a panic or a phantom record.
+        for cut in 0..full.len() {
+            let torn = scan(&full[..cut]);
+            assert!(torn.records.len() <= 3);
+            assert_eq!(torn.valid_bytes + torn.dropped_bytes, cut as u64);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_to_clobber() {
+        let path = temp_path("clobber");
+        let _journal = Journal::create(&path, FsyncPolicy::Never).unwrap();
+        assert!(matches!(
+            Journal::create(&path, FsyncPolicy::Never),
+            Err(JournalError::AlreadyExists(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recovery_truncates_torn_tail_and_resumes_chain() {
+        let path = temp_path("recover");
+        let journal = Journal::create(&path, FsyncPolicy::Always).unwrap();
+        journal.append_accepted(0, UserId(0), bid(1.2)).unwrap();
+        let seal = journal
+            .append_seal(
+                0,
+                SessionId(100),
+                7919,
+                1,
+                BidVector::builder(1, 0).user_bid(0, bid(1.2)).build(),
+                Outcome::Abort,
+            )
+            .unwrap();
+        journal.append_accepted(1, UserId(1), bid(0.8)).unwrap();
+        drop(journal);
+
+        // Tear the tail mid-record.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+
+        let (recovered, log) = Journal::recover(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(log.sealed, vec![seal.clone()]);
+        assert!(log.in_flight.is_empty(), "the torn accepted record is gone");
+        assert_eq!(log.next_epoch, 1);
+        assert!(log.dropped_bytes > 0);
+        assert_eq!(recovered.chain_tip().as_bytes(), &seal.digest);
+        // The file now *is* the valid prefix: verification accepts it.
+        drop(recovered);
+        let summary = verify_log(&path).unwrap();
+        assert_eq!(summary.seals, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recovery_classifies_in_flight_and_pending() {
+        let path = temp_path("inflight");
+        let journal = Journal::create(&path, FsyncPolicy::Never).unwrap();
+        journal.append_accepted(0, UserId(0), bid(1.0)).unwrap();
+        journal.append_accepted(0, UserId(1), bid(1.1)).unwrap();
+        journal.append_ask(1, 0, ask()).unwrap();
+        drop(journal);
+
+        let (_journal, log) = Journal::recover(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(log.sealed.len(), 0);
+        assert_eq!(log.in_flight.len(), 1);
+        assert_eq!(log.in_flight[0].epoch, 0);
+        assert_eq!(log.in_flight[0].bids.len(), 2);
+        assert_eq!(log.pending_asks, vec![(0, ask())]);
+        assert_eq!(log.next_epoch, 1, "the zero-bid trailing epoch keeps its index");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tampered_seal_is_localized_by_the_chain() {
+        let path = temp_path("tamper");
+        let journal = Journal::create(&path, FsyncPolicy::Never).unwrap();
+        for epoch in 0..3u64 {
+            journal.append_accepted(epoch, UserId(0), bid(1.0)).unwrap();
+            journal
+                .append_seal(
+                    epoch,
+                    SessionId(100 + epoch),
+                    epoch,
+                    1,
+                    BidVector::builder(1, 0).user_bid(0, bid(1.0)).build(),
+                    Outcome::Abort,
+                )
+                .unwrap();
+        }
+        drop(journal);
+        assert_eq!(verify_log(&path).unwrap().seals, 3);
+
+        // Flip one bit inside seal #1's seed field and re-fix the CRC so
+        // only the *chain* can catch it.
+        let bytes = std::fs::read(&path).unwrap();
+        let result = scan(&bytes);
+        let mut records = result.records;
+        let JournalRecord::Sealed(seal) = &mut records[3] else { panic!("expected seal") };
+        assert_eq!(seal.epoch, 1);
+        seal.seed ^= 1;
+        let path2 = temp_path("tamper-rewritten");
+        let rewritten = Journal::create(&path2, FsyncPolicy::Never).unwrap();
+        for record in &records {
+            rewritten.append(record).unwrap();
+        }
+        drop(rewritten);
+
+        match verify_log(&path2) {
+            Err(JournalError::Tampered(d)) => {
+                assert_eq!(d.seal_index, 1);
+                assert_eq!(d.epoch, 1);
+                assert_eq!(d.fault, ChainFault::DigestMismatch);
+            }
+            other => panic!("expected divergence at seal 1, got {other:?}"),
+        }
+        // Recovery refuses a forged history outright.
+        assert!(matches!(
+            Journal::recover(&path2, FsyncPolicy::Never),
+            Err(JournalError::Tampered(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path2).unwrap();
+    }
+
+    #[test]
+    fn every_n_policy_batches_syncs() {
+        let path = temp_path("everyn");
+        let journal = Journal::create(&path, FsyncPolicy::EveryN(3)).unwrap();
+        for i in 0..7u32 {
+            journal.append_accepted(0, UserId(i), bid(1.0)).unwrap();
+        }
+        assert_eq!(journal.fsyncs(), 2, "7 records at every=3 → 2 syncs");
+        journal.sync().unwrap();
+        assert_eq!(journal.fsyncs(), 3);
+        assert!(journal.bytes_written() > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -37,6 +37,11 @@
 //!   folds every already-queued submission into a final epoch, clears
 //!   it, and only then tears the pool and mesh down — no accepted bid
 //!   is ever lost.
+//! * [`journal`] — crash durability: a write-ahead epoch journal
+//!   (accepted bids hit the disk *before* they count), a hash-chained
+//!   settlement log sealing every cleared epoch, and deterministic
+//!   recovery ([`JournalConfig::recovering`]) that replays unsealed
+//!   epochs to byte-identical outcomes after a `kill -9`.
 //!
 //! [`ShardedHub`]: dauctioneer_net::ShardedHub
 //! [`SessionPool`]: dauctioneer_core::SessionPool
@@ -46,10 +51,15 @@
 
 pub mod config;
 pub mod ingress;
+pub mod journal;
 pub mod service;
 pub mod stats;
 
-pub use config::{Backpressure, EpochPolicy, MarketConfig, MarketError};
+pub use config::{Backpressure, EpochPolicy, JournalConfig, MarketConfig, MarketError};
 pub use ingress::{Submission, SubmitError};
-pub use service::{EpochOutcome, MarketHandle, MarketService};
+pub use journal::{
+    crc32, read_journal, scan, verify_log, ChainFault, Divergence, FsyncPolicy, InFlightEpoch,
+    Journal, JournalError, RecoveredLog, ScanResult, VerifySummary,
+};
+pub use service::{EpochOutcome, MarketHandle, MarketService, RecoveryReport};
 pub use stats::MarketStats;

@@ -11,10 +11,11 @@ use dauctioneer_core::{
     unanimous, AllocatorProgram, BatchSession, BidCollector, SessionPool, TransportKind,
 };
 use dauctioneer_net::{shard_for, MuxMesh, ShardedHub, TrafficMetrics, TrafficSnapshot};
-use dauctioneer_types::{BidVector, Outcome, ProviderAsk, SessionId, UserBid, UserId};
+use dauctioneer_types::{BidVector, Outcome, ProviderAsk, SealRecord, SessionId, UserBid, UserId};
 
 use crate::config::{EpochPolicy, MarketConfig, MarketError};
 use crate::ingress::{IngressQueue, Pop, Submission, SubmitError};
+use crate::journal::Journal;
 use crate::stats::{MarketStats, StatsShared};
 
 /// A cloneable submitter handle onto a running market.
@@ -81,6 +82,29 @@ pub struct EpochOutcome {
     pub latency: Duration,
 }
 
+/// What [`MarketService::start`] reconstructed from a recovered journal
+/// before accepting any new submission.
+///
+/// Sealed epochs are restored as written; unsealed (in-flight) epochs
+/// are **re-cleared** on the fresh pool with their original session ids
+/// and seeds (`first_session + e`, `seed + (e+1)·7919`), so every
+/// replayed [`EpochOutcome`] is byte-identical to what the crashed
+/// process would have produced. Replayed outcomes are reported here
+/// rather than on the subscription channel, which does not exist yet at
+/// recovery time.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Epochs already sealed on the settlement chain, in chain order.
+    pub sealed: Vec<SealRecord>,
+    /// In-flight epochs re-cleared during recovery, in epoch order
+    /// (their new seals follow the recovered chain tip).
+    pub replayed: Vec<EpochOutcome>,
+    /// The epoch index the resumed scheduler continues from.
+    pub next_epoch: u64,
+    /// Torn-tail bytes truncated from the journal file.
+    pub dropped_bytes: u64,
+}
+
 /// The persistent mesh a market runs over, kept alive for the life of
 /// the scheduler and torn down only after the pool's workers are gone.
 /// The fields exist purely for their ownership (Drop order), never read.
@@ -126,6 +150,8 @@ pub struct MarketService {
     subscribed: Arc<AtomicBool>,
     scheduler: Option<JoinHandle<()>>,
     worker_ids: Vec<Vec<ThreadId>>,
+    journal: Option<Arc<Journal>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl std::fmt::Debug for MarketService {
@@ -152,6 +178,24 @@ impl MarketService {
         config.validate()?;
         let shards = config.shards.max(1);
         let framework = config.framework();
+
+        // Durability comes up before the mesh: a market that cannot
+        // journal must not open for business at all. Recovery reads the
+        // journal's longest valid prefix, truncates the torn tail, and
+        // classifies every unsealed epoch — the re-clearing itself waits
+        // until the pool exists.
+        let (journal, recovered) = match &config.journal {
+            None => (None, None),
+            Some(jc) if jc.recover => {
+                let (journal, log) =
+                    Journal::recover(&jc.path, jc.fsync).map_err(MarketError::Journal)?;
+                (Some(Arc::new(journal)), Some(log))
+            }
+            Some(jc) => {
+                let journal = Journal::create(&jc.path, jc.fsync).map_err(MarketError::Journal)?;
+                (Some(Arc::new(journal)), None)
+            }
+        };
 
         // The one and only transport/thread bring-up of the service's
         // life: every epoch reuses this mesh and these workers.
@@ -189,14 +233,92 @@ impl MarketService {
         let subscribed = Arc::new(AtomicBool::new(false));
         let (outcomes_tx, outcomes_rx) = unbounded();
 
+        // Replay any recovered in-flight epochs on the fresh pool,
+        // synchronously and in epoch order, before the scheduler (or any
+        // submitter) exists. Each re-clear reuses the epoch's original
+        // session and seed, so the outcome is byte-identical to what the
+        // crashed process would have produced; the new seals extend the
+        // recovered settlement chain.
+        let (recovery, start_epoch, pending_asks) = match recovered {
+            None => (None, 0, Vec::new()),
+            Some(log) => {
+                let journal = journal.as_ref().expect("recovery implies a journal");
+                let mut replayed = Vec::with_capacity(log.in_flight.len());
+                for in_flight in &log.in_flight {
+                    let mut collector = fresh_collector(&config);
+                    for (slot, ask) in &in_flight.asks {
+                        if (*slot as usize) < config.n_asks {
+                            collector.set_ask(*slot as usize, *ask);
+                        }
+                    }
+                    let mut accepted = 0usize;
+                    for (user, bid) in &in_flight.bids {
+                        // Journaled bids were accepted once, so the
+                        // collector rules accept the same stream again.
+                        if collector.submit(*user, *bid).is_accepted() {
+                            accepted += 1;
+                        }
+                    }
+                    let session = SessionId(config.first_session + in_flight.epoch);
+                    let seed = config.seed.wrapping_add((in_flight.epoch + 1).wrapping_mul(7919));
+                    let bids = collector.close();
+                    let closed_at = Instant::now();
+                    let shard = shard_for(session, pool.num_shards());
+                    let (outcomes, outcome) =
+                        run_clear(&config, &pool, shard, session, seed, &bids);
+                    let latency = closed_at.elapsed();
+                    journal
+                        .append_seal(
+                            in_flight.epoch,
+                            session,
+                            seed,
+                            accepted as u64,
+                            bids.clone(),
+                            outcome.clone(),
+                        )
+                        .map_err(MarketError::Journal)?;
+                    stats.record_epoch(latency, outcome.is_abort());
+                    replayed.push(EpochOutcome {
+                        epoch: in_flight.epoch,
+                        session,
+                        seed,
+                        accepted_bids: accepted,
+                        bids,
+                        outcomes,
+                        outcome,
+                        latency,
+                    });
+                }
+                let report = RecoveryReport {
+                    sealed: log.sealed,
+                    replayed,
+                    next_epoch: log.next_epoch,
+                    dropped_bytes: log.dropped_bytes,
+                };
+                (Some(report), log.next_epoch, log.pending_asks)
+            }
+        };
+
         let scheduler = {
             let queue = Arc::clone(&queue);
             let stats = Arc::clone(&stats);
             let subscribed = Arc::clone(&subscribed);
+            let journal = journal.clone();
             std::thread::Builder::new()
                 .name("market-scheduler".into())
                 .spawn(move || {
-                    run_scheduler(config, queue, stats, pool, mesh, outcomes_tx, subscribed)
+                    run_scheduler(
+                        config,
+                        queue,
+                        stats,
+                        pool,
+                        mesh,
+                        outcomes_tx,
+                        subscribed,
+                        journal,
+                        start_epoch,
+                        pending_asks,
+                    )
                 })
                 .expect("spawn market scheduler thread")
         };
@@ -209,6 +331,8 @@ impl MarketService {
             subscribed,
             scheduler: Some(scheduler),
             worker_ids,
+            journal,
+            recovery,
         })
     }
 
@@ -240,7 +364,20 @@ impl MarketService {
             self.queue.shed_asks_count(),
             self.queue.enqueued_count(),
             self.queue.depth(),
+            self.journal.as_deref(),
         )
+    }
+
+    /// What recovery reconstructed from the journal, if this service was
+    /// started with [`crate::JournalConfig::recovering`]. `None` for
+    /// fresh (or journal-less) services.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// The write-ahead journal, if the service runs with one.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_deref()
     }
 
     /// Traffic counters of the persistent mesh, cumulative since
@@ -288,6 +425,7 @@ impl Drop for MarketService {
 
 /// The epoch scheduler: single consumer of the ingress queue, sole
 /// driver of the worker pool.
+#[allow(clippy::too_many_arguments)] // one call site; the args are the service's wiring
 fn run_scheduler(
     config: MarketConfig,
     queue: Arc<IngressQueue>,
@@ -296,6 +434,9 @@ fn run_scheduler(
     mesh: Mesh,
     outcomes_tx: Sender<EpochOutcome>,
     subscribed: Arc<AtomicBool>,
+    journal: Option<Arc<Journal>>,
+    start_epoch: u64,
+    pending_asks: Vec<(u64, ProviderAsk)>,
 ) {
     // One clearer thread per shard, spawned once alongside the workers:
     // a closed epoch is handed to its session's shard-clearer, so epochs
@@ -323,12 +464,22 @@ fn run_scheduler(
         let pool = Arc::clone(&pool);
         let outcomes_tx = outcomes_tx.clone();
         let subscribed = Arc::clone(&subscribed);
+        let journal = journal.clone();
         clearers.push(
             std::thread::Builder::new()
                 .name(format!("market-clearer-{shard}"))
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
-                        clear_epoch(&config, &stats, &pool, &outcomes_tx, &subscribed, shard, job);
+                        clear_epoch(
+                            &config,
+                            &stats,
+                            &pool,
+                            &outcomes_tx,
+                            &subscribed,
+                            journal.as_deref(),
+                            shard,
+                            job,
+                        );
                     }
                 })
                 .expect("spawn market clearer thread"),
@@ -337,10 +488,19 @@ fn run_scheduler(
     }
     drop(outcomes_tx); // the clearers hold the only publishing handles
 
-    let mut epoch_index = 0u64;
+    let mut epoch_index = start_epoch;
+    // Streamed asks a recovered journal attributed to the resumed
+    // scheduler's first epoch: already journaled under `start_epoch`, so
+    // they pre-populate the first collector without being re-journaled.
+    let mut pending_asks = pending_asks;
     let mut draining = false;
     while !draining {
         let mut collector = fresh_collector(&config);
+        for (slot, ask) in pending_asks.drain(..) {
+            if (slot as usize) < config.n_asks {
+                collector.set_ask(slot as usize, ask);
+            }
+        }
         let mut accepted = 0usize;
         // The staleness window starts at the first **accepted** bid
         // (asks and rejected bids keep the epoch unopened), as the
@@ -374,7 +534,7 @@ fn run_scheduler(
             };
             match pop {
                 Pop::Item(s) => {
-                    if apply(&config, &stats, &mut collector, s) {
+                    if apply(&config, &stats, journal.as_deref(), epoch_index, &mut collector, s) {
                         accepted += 1;
                         opened.get_or_insert_with(Instant::now);
                     }
@@ -413,6 +573,12 @@ fn run_scheduler(
     drop(clear_txs);
     for clearer in clearers {
         let _ = clearer.join();
+    }
+    // A deliberate exit must leave nothing in the page cache: whatever
+    // the policy deferred is synced now, once, before the process can
+    // end. (Crash exits are the journal's whole point and skip this.)
+    if let Some(journal) = &journal {
+        journal.sync().expect("final journal sync");
     }
     // Workers joined (and their endpoints dropped) before the mesh goes.
     Arc::try_unwrap(pool).expect("all clearers joined").shutdown();
@@ -454,9 +620,17 @@ fn fresh_collector(config: &MarketConfig) -> BidCollector {
 /// Fold one submission into the epoch's collector, updating the verdict
 /// counters. Returns `true` iff a bid was accepted (the unit the epoch
 /// policies count).
+///
+/// This is where the write-ahead discipline lives: an accepted bid is
+/// journaled — and made durable per the fsync policy — *before* its
+/// verdict is counted or can trigger an epoch close. A journal append
+/// failure is fail-stop by design (`expect`): a durable market must not
+/// acknowledge what it cannot journal.
 fn apply(
     config: &MarketConfig,
     stats: &StatsShared,
+    journal: Option<&Journal>,
+    epoch: u64,
     collector: &mut BidCollector,
     submission: Submission,
 ) -> bool {
@@ -464,6 +638,11 @@ fn apply(
     match submission {
         Submission::Bid { user, bid } => {
             let verdict = collector.submit(user, bid);
+            if verdict.is_accepted() {
+                if let Some(journal) = journal {
+                    journal.append_accepted(epoch, user, bid).expect("journal accepted bid");
+                }
+            }
             let counter = match verdict {
                 dauctioneer_core::SubmissionOutcome::Accepted => &stats.bids_accepted,
                 dauctioneer_core::SubmissionOutcome::RejectedInvalid => {
@@ -483,6 +662,9 @@ fn apply(
                 stats.asks_rejected.fetch_add(1, Ordering::Relaxed);
                 return false;
             }
+            if let Some(journal) = journal {
+                journal.append_ask(epoch, slot as u64, ask).expect("journal ask");
+            }
             collector.set_ask(slot, ask);
             stats.asks_set.fetch_add(1, Ordering::Relaxed);
             false
@@ -490,27 +672,62 @@ fn apply(
     }
 }
 
+/// Run one closed epoch as a session on `shard` of the persistent pool
+/// and reduce the per-provider columns to the unanimous Definition-1
+/// outcome. Shared by the clearer threads and recovery's synchronous
+/// re-clears — one code path is what makes "replayed outcomes are
+/// byte-identical" structural rather than coincidental.
+fn run_clear(
+    config: &MarketConfig,
+    pool: &SessionPool,
+    shard: usize,
+    session: SessionId,
+    seed: u64,
+    bids: &BidVector,
+) -> (Vec<Outcome>, Outcome) {
+    let collected: Vec<BidVector> = vec![bids.clone(); config.m];
+    let mut shard_specs: Vec<Vec<BatchSession>> = vec![Vec::new(); pool.num_shards()];
+    shard_specs[shard].push(BatchSession { session, collected, seed });
+
+    let columns = pool.run_epoch(shard_specs, config.session_deadline);
+    let outcomes: Vec<Outcome> =
+        columns[shard].iter().map(|provider| provider[0].clone()).collect();
+    let outcome = unanimous(outcomes.iter().map(Some));
+    (outcomes, outcome)
+}
+
 /// Clear one closed epoch as a session on this clearer's shard of the
-/// persistent pool, publishing the outcome if anyone subscribed.
+/// persistent pool, sealing it onto the settlement chain (when
+/// journaling) and publishing the outcome if anyone subscribed.
+#[allow(clippy::too_many_arguments)] // one call site; the args are the clearer's wiring
 fn clear_epoch(
     config: &MarketConfig,
     stats: &StatsShared,
     pool: &SessionPool,
     outcomes_tx: &Sender<EpochOutcome>,
     subscribed: &AtomicBool,
+    journal: Option<&Journal>,
     shard: usize,
     job: ClearJob,
 ) {
-    let collected: Vec<BidVector> = vec![job.bids.clone(); config.m];
-    let mut shard_specs: Vec<Vec<BatchSession>> = vec![Vec::new(); pool.num_shards()];
-    shard_specs[shard].push(BatchSession { session: job.session, collected, seed: job.seed });
-
-    let columns = pool.run_epoch(shard_specs, config.session_deadline);
+    let (outcomes, outcome) = run_clear(config, pool, shard, job.session, job.seed, &job.bids);
     let latency = job.closed_at.elapsed();
-
-    let outcomes: Vec<Outcome> =
-        columns[shard].iter().map(|provider| provider[0].clone()).collect();
-    let outcome = unanimous(outcomes.iter().map(Some));
+    // The seal is appended before the epoch is counted or published —
+    // the same write-ahead ordering the accepted bids get. Concurrent
+    // clearers serialize on the journal lock; the chain order is the
+    // append order.
+    if let Some(journal) = journal {
+        journal
+            .append_seal(
+                job.epoch,
+                job.session,
+                job.seed,
+                job.accepted as u64,
+                job.bids.clone(),
+                outcome.clone(),
+            )
+            .expect("journal epoch seal");
+    }
     stats.record_epoch(latency, outcome.is_abort());
     // Publication starts with the subscription; unobserved epochs are
     // not buffered (and a dropped receiver must not kill the market).

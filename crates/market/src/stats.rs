@@ -6,6 +6,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use crate::journal::Journal;
+
 /// How many of the most recent epoch latencies the percentile window
 /// keeps. Bounds memory and per-snapshot sort cost for a daemon that
 /// closes epochs for weeks; 4096 epochs is plenty for stable p50/p99.
@@ -70,6 +72,7 @@ impl StatsShared {
         shed_asks: u64,
         enqueued: u64,
         queue_depth: usize,
+        journal: Option<&Journal>,
     ) -> MarketStats {
         let latencies: Vec<Duration> =
             self.latencies.lock().expect("stats lock").iter().copied().collect();
@@ -100,6 +103,10 @@ impl StatsShared {
                 epochs_closed as f64 / uptime.as_secs_f64()
             },
             worker_threads: self.worker_threads,
+            journal_bytes: journal.map_or(0, Journal::bytes_written),
+            journal_fsyncs: journal.map_or(0, Journal::fsyncs),
+            journal_fsync_mean: journal.map_or(Duration::ZERO, Journal::fsync_mean),
+            journal_fsync_max: journal.map_or(Duration::ZERO, Journal::fsync_max),
         }
     }
 }
@@ -161,6 +168,16 @@ pub struct MarketStats {
     /// Provider worker threads spawned at startup (`m × shards`);
     /// constant for the life of the service — epochs never spawn.
     pub worker_threads: usize,
+    /// Bytes appended to the write-ahead journal (0 when journaling is
+    /// off; includes a recovered journal's valid prefix).
+    pub journal_bytes: u64,
+    /// Explicit journal fsyncs performed (0 under
+    /// [`crate::FsyncPolicy::Never`] until shutdown's final sync).
+    pub journal_fsyncs: u64,
+    /// Mean journal fsync latency.
+    pub journal_fsync_mean: Duration,
+    /// Worst journal fsync latency observed.
+    pub journal_fsync_max: Duration,
 }
 
 impl MarketStats {
@@ -194,7 +211,7 @@ mod tests {
         s.bids_accepted.store(10, Ordering::Relaxed);
         s.record_epoch(Duration::from_millis(5), false);
         s.record_epoch(Duration::from_millis(7), true);
-        let snap = s.snapshot(3, 2, 14, 1);
+        let snap = s.snapshot(3, 2, 14, 1, None);
         assert_eq!(snap.epochs_closed, 2);
         assert_eq!(snap.epochs_cleared, 1);
         assert_eq!(snap.epochs_aborted, 1);
@@ -216,7 +233,7 @@ mod tests {
         for i in 0..(LATENCY_WINDOW as u64 + 500) {
             s.record_epoch(Duration::from_micros(i), false);
         }
-        let snap = s.snapshot(0, 0, 0, 0);
+        let snap = s.snapshot(0, 0, 0, 0, None);
         assert_eq!(snap.epochs_closed, LATENCY_WINDOW as u64 + 500);
         // The window dropped the oldest samples: the median reflects the
         // recent half, not the all-time half.

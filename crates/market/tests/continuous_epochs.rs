@@ -1,7 +1,10 @@
 //! The continuous-market acceptance suite: many consecutive epochs over
 //! ONE persistent mesh, each equivalent to a one-shot session, with no
-//! per-epoch thread/transport churn and a lossless drain-then-shutdown.
+//! per-epoch thread/transport churn and a lossless drain-then-shutdown —
+//! plus journal replay-equivalence: a recovered market re-clears
+//! unsealed epochs to **byte-identical** outcomes.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -9,9 +12,11 @@ use dauctioneer_core::{
     run_session, DoubleAuctionProgram, FrameworkConfig, RunOptions, TransportKind,
 };
 use dauctioneer_market::{
-    Backpressure, EpochOutcome, EpochPolicy, MarketConfig, MarketService, SubmitError,
+    crc32, scan, verify_log, Backpressure, EpochOutcome, EpochPolicy, FsyncPolicy, JournalConfig,
+    MarketConfig, MarketService, SubmitError,
 };
-use dauctioneer_types::{Bw, Money, ProviderAsk, UserBid, UserId};
+use dauctioneer_net::{wire_encode, FaultPlan};
+use dauctioneer_types::{Bw, Encode, JournalRecord, Money, ProviderAsk, UserBid, UserId};
 
 /// Distinct, valid §6.2-style bids: user `u` of round `round`.
 fn bid(round: u64, u: u32) -> UserBid {
@@ -298,4 +303,142 @@ fn block_backpressure_never_sheds() {
     let stats = market.shutdown();
     assert_eq!(stats.bids_shed, 0);
     assert_eq!(stats.bids_accepted, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Journal replay equivalence
+// ---------------------------------------------------------------------------
+
+fn temp_journal(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dauction-replay-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Rewrite the journal at `path` without the seals of `epochs` — the
+/// on-disk state of a process killed after accepting those epochs' bids
+/// but before (durably) sealing their outcomes.
+fn strip_seals(path: &Path, epochs: &[u64]) {
+    let records = scan(&std::fs::read(path).unwrap()).records;
+    let mut stream = Vec::new();
+    for record in &records {
+        if let JournalRecord::Sealed(seal) = record {
+            if epochs.contains(&seal.epoch) {
+                continue;
+            }
+        }
+        let body = record.encode_to_bytes();
+        let mut payload = body.to_vec();
+        payload.extend_from_slice(&crc32(&body).to_le_bytes());
+        stream.extend_from_slice(&wire_encode(&payload));
+    }
+    std::fs::write(path, &stream).unwrap();
+}
+
+/// Assert two epoch outcomes are byte-identical, not merely equal: the
+/// acceptance bar for recovery is that a re-cleared epoch is
+/// indistinguishable on the wire from the live one.
+fn assert_byte_identical(live: &EpochOutcome, replayed: &EpochOutcome) {
+    assert_eq!(live.epoch, replayed.epoch);
+    assert_eq!(live.session, replayed.session);
+    assert_eq!(live.seed, replayed.seed);
+    assert_eq!(live.accepted_bids, replayed.accepted_bids);
+    assert_eq!(
+        live.bids.encode_to_bytes(),
+        replayed.bids.encode_to_bytes(),
+        "epoch {}: recovered bid vector differs",
+        live.epoch
+    );
+    assert_eq!(
+        live.outcome.encode_to_bytes(),
+        replayed.outcome.encode_to_bytes(),
+        "epoch {}: recovered outcome differs",
+        live.epoch
+    );
+}
+
+/// Run 3 journaled epochs live, strip the last two seals (simulating a
+/// crash after the bids were journaled but before the seals were), and
+/// recover in a fresh service: the replayed outcomes must be
+/// byte-identical to the live ones, the sealed epoch must survive
+/// verbatim, and the recovered journal must pass offline verification.
+fn replay_equivalence(transport: TransportKind, name: &str) {
+    let path = temp_journal(name);
+    let mut config = market_config(transport, 1);
+    config.journal = Some(JournalConfig::new(&path).with_fsync(FsyncPolicy::Never));
+    let mut live =
+        MarketService::start(config, Arc::new(DoubleAuctionProgram::new())).expect("live market");
+    let lived = drive_epochs(&mut live, 3);
+    live.shutdown();
+    assert_eq!(verify_log(&path).unwrap().seals, 3, "live run sealed every epoch");
+
+    strip_seals(&path, &[1, 2]);
+
+    let mut config = market_config(transport, 1);
+    config.journal = Some(JournalConfig::new(&path).recovering());
+    let recovered = MarketService::start(config, Arc::new(DoubleAuctionProgram::new()))
+        .expect("recovered market");
+    let report = recovered.recovery_report().expect("recovery happened").clone();
+    assert_eq!(report.sealed.len(), 1, "epoch 0's seal survived");
+    assert_eq!(report.sealed[0].epoch, 0);
+    assert_eq!(
+        report.sealed[0].outcome.encode_to_bytes(),
+        lived[0].outcome.encode_to_bytes(),
+        "sealed outcome must survive verbatim"
+    );
+    assert_eq!(report.replayed.len(), 2, "epochs 1 and 2 re-cleared");
+    assert_eq!(report.next_epoch, 3);
+    for (live_epoch, replayed) in lived[1..].iter().zip(&report.replayed) {
+        assert_byte_identical(live_epoch, replayed);
+    }
+    recovered.shutdown();
+
+    // Recovery re-sealed the replayed epochs: the journal verifies
+    // offline and carries all three seals again.
+    assert_eq!(verify_log(&path).unwrap().seals, 3, "replayed epochs re-sealed");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn recovered_inproc_market_replays_byte_identical_outcomes() {
+    replay_equivalence(TransportKind::InProc, "inproc");
+}
+
+#[test]
+fn recovered_tcp_market_replays_byte_identical_outcomes() {
+    replay_equivalence(TransportKind::Tcp, "tcp");
+}
+
+/// Replay equivalence under chaos: a corrupt-only fault plan (faults
+/// that never change the message *count*, so the per-link fault schedule
+/// seen by epoch 0 on a fresh mesh is reproducible on the recovered
+/// service's fresh mesh). One live epoch, seal stripped, re-cleared
+/// after recovery — byte-identical outcome, ⊥ or not.
+#[test]
+fn recovered_chaos_epoch_replays_byte_identically() {
+    let path = temp_journal("chaos");
+    let mut config = market_config(TransportKind::InProc, 1);
+    config.chaos = Some(FaultPlan::seeded(1234).with_corrupt(0.35));
+    config.session_deadline = Duration::from_secs(5);
+    config.journal = Some(JournalConfig::new(&path).with_fsync(FsyncPolicy::Never));
+    let mut live = MarketService::start(config, Arc::new(DoubleAuctionProgram::new()))
+        .expect("live chaos market");
+    let lived = drive_epochs(&mut live, 1);
+    live.shutdown();
+
+    strip_seals(&path, &[0]);
+
+    let mut config = market_config(TransportKind::InProc, 1);
+    config.chaos = Some(FaultPlan::seeded(1234).with_corrupt(0.35));
+    config.session_deadline = Duration::from_secs(5);
+    config.journal = Some(JournalConfig::new(&path).recovering());
+    let recovered = MarketService::start(config, Arc::new(DoubleAuctionProgram::new()))
+        .expect("recovered chaos market");
+    let report = recovered.recovery_report().expect("recovery happened").clone();
+    assert_eq!(report.replayed.len(), 1);
+    assert_byte_identical(&lived[0], &report.replayed[0]);
+    recovered.shutdown();
+    assert!(verify_log(&path).is_ok());
+    std::fs::remove_file(&path).unwrap();
 }

@@ -38,6 +38,7 @@ pub mod bids;
 pub mod codec;
 pub mod error;
 pub mod ids;
+pub mod journal;
 pub mod outcome;
 pub mod payments;
 pub mod quantity;
@@ -47,6 +48,7 @@ pub use bids::{BidEntry, BidVector, BidVectorBuilder, ProviderAsk, UserBid};
 pub use codec::{Decode, Encode, Reader, Writer};
 pub use error::CodecError;
 pub use ids::{BidderId, ProviderId, SessionId, UserId};
+pub use journal::{JournalRecord, SealRecord};
 pub use outcome::{AuctionResult, Outcome};
 pub use payments::Payments;
 pub use quantity::{Bw, Money, MICRO};

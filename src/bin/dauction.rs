@@ -7,6 +7,9 @@
 //! * **`serve`**: run the continuous market daemon — a persistent
 //!   provider mesh clearing epoch after epoch from a seeded open-world
 //!   arrival stream, printing each epoch's outcome as it closes.
+//! * **`verify-log`**: walk a journal's hash-chained settlement log
+//!   offline and certify it (exit 1 naming the first divergent seal on
+//!   tamper).
 //!
 //! ```text
 //! dauction [--auction double|standard] [--n USERS] [--m PROVIDERS] [--k COALITION]
@@ -15,6 +18,8 @@
 //! dauction serve [--rate BIDS_PER_SEC] [--epochs E] [--epoch-bids N] [--epoch-ms D]
 //!          [--n USERS] [--m PROVIDERS] [--k COALITION] [--seed SEED]
 //!          [--transport inproc|tcp] [--shards S] [--chaos SPEC]
+//!          [--journal PATH] [--fsync always|never|every=N] [--recover]
+//! dauction verify-log <PATH>
 //! ```
 //!
 //! `--chaos` injects seeded link faults into the persistent mesh; the
@@ -22,6 +27,12 @@
 //! `drop=0.05,dup=0.01,delay=0.2,delay-ms=1..10,corrupt=0.01,seed=7`).
 //! The end-of-run summary then reports survivability: epochs cleared
 //! vs ⊥-aborted under the plan.
+//!
+//! `--journal` arms the write-ahead epoch journal: accepted bids hit the
+//! disk before they count, every cleared epoch is sealed onto a SHA-256
+//! settlement chain. `--recover` resumes an existing journal after a
+//! crash, re-clearing unsealed epochs to byte-identical outcomes
+//! (`--recover --epochs 0` recovers, reports, and exits).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -31,7 +42,9 @@ use dauctioneer::core::{
     run_session, DoubleAuctionProgram, FrameworkConfig, RunOptions, StandardAuctionProgram,
     TransportKind,
 };
-use dauctioneer::market::{EpochPolicy, MarketConfig, MarketService};
+use dauctioneer::market::{
+    verify_log, EpochPolicy, FsyncPolicy, JournalConfig, MarketConfig, MarketService,
+};
 use dauctioneer::mechanisms::solver::BranchBoundConfig;
 use dauctioneer::mechanisms::{StandardAuction, StandardAuctionConfig};
 use dauctioneer::net::LatencyModel;
@@ -100,7 +113,8 @@ const HELP: &str = "usage: dauction [--auction double|standard] [--n USERS] [--m
 [--epsilon PPM] [--budget NODES]\n       dauction serve [--rate BIDS_PER_SEC] [--epochs E] \
 [--epoch-bids N] [--epoch-ms D] [--n USERS] [--m PROVIDERS] [--k COALITION] [--seed SEED] \
 [--transport inproc|tcp] [--shards S] [--deadline-ms D] [--chaos drop=P,dup=P,reorder=P,\
-delay=P,delay-ms=A..B,corrupt=P,seed=S,hold-ms=H]";
+delay=P,delay-ms=A..B,corrupt=P,seed=S,hold-ms=H] [--journal PATH] \
+[--fsync always|never|every=N] [--recover]\n       dauction verify-log PATH";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -112,6 +126,9 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if argv.first().map(String::as_str) == Some("verify-log") {
+        std::process::exit(verify_log_main(&argv[1..]));
     }
     let args = match Args::parse() {
         Ok(a) => a,
@@ -192,6 +209,33 @@ fn main() {
     }
 }
 
+/// The `verify-log` subcommand: walk a settlement journal offline,
+/// re-deriving the hash chain seal by seal. Prints a certification
+/// summary and exits 0 on success; prints the first divergence (which
+/// seal, which fault) and exits 1 on tamper or a torn tail.
+fn verify_log_main(argv: &[String]) -> i32 {
+    let [path] = argv else {
+        eprintln!("usage: dauction verify-log PATH");
+        return 2;
+    };
+    match verify_log(std::path::Path::new(path)) {
+        Ok(summary) => {
+            println!(
+                "verify-log: OK — {} records, {} sealed epochs, {} accepted bids, chain tip {}",
+                summary.records,
+                summary.seals,
+                summary.accepted,
+                summary.tip.to_hex()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("verify-log: FAILED — {e}");
+            1
+        }
+    }
+}
+
 /// The `serve` subcommand: a continuous double-auction market fed by a
 /// seeded Poisson arrival stream, printing each epoch as it closes and a
 /// stats summary at the end. Bounded by `--epochs`.
@@ -208,12 +252,21 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
     let mut shards = 1usize;
     let mut chaos: Option<dauctioneer::net::FaultPlan> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut journal_path: Option<std::path::PathBuf> = None;
+    let mut fsync = FsyncPolicy::Always;
+    let mut recover = false;
 
     let mut i = 0;
     while i < argv.len() {
         let flag = argv[i].as_str();
         if flag == "--help" || flag == "-h" {
             return Err(HELP.to_string());
+        }
+        // Boolean flag: takes no value.
+        if flag == "--recover" {
+            recover = true;
+            i += 1;
+            continue;
         }
         let value = argv.get(i + 1).ok_or_else(|| format!("missing value for {flag}"))?;
         match flag {
@@ -239,6 +292,8 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
             "--deadline-ms" => {
                 deadline_ms = Some(value.parse().map_err(|e| format!("--deadline-ms: {e}"))?)
             }
+            "--journal" => journal_path = Some(std::path::PathBuf::from(value)),
+            "--fsync" => fsync = value.parse().map_err(|e| format!("--fsync: {e}"))?,
             other => return Err(format!("unknown serve flag {other}\n{HELP}")),
         }
         i += 2;
@@ -275,6 +330,17 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
         None if config.chaos.is_some() => Duration::from_secs(5),
         None => config.session_deadline,
     };
+    match journal_path {
+        Some(path) => {
+            let mut jc = JournalConfig::new(path).with_fsync(fsync);
+            if recover {
+                jc = jc.recovering();
+            }
+            config.journal = Some(jc);
+        }
+        None if recover => return Err("--recover requires --journal PATH".into()),
+        None => {}
+    }
 
     println!(
         "dauction serve: continuous double auction, m={m} providers (k={k}), {n} user \
@@ -285,8 +351,45 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
         println!("chaos plane armed: {plan} (replay any epoch from this spec)");
     }
 
+    if let Some(jc) = &config.journal {
+        println!(
+            "journal armed: {} (fsync {}{})",
+            jc.path.display(),
+            jc.fsync,
+            if jc.recover { ", recovering" } else { "" }
+        );
+    }
+
     let mut market = MarketService::start(config, Arc::new(DoubleAuctionProgram::new()))
         .map_err(|e| format!("cannot start market: {e}"))?;
+    if let Some(report) = market.recovery_report() {
+        println!(
+            "recovered: {} sealed epochs intact, {} in-flight epoch(s) re-cleared, {} torn \
+             bytes dropped; resuming at epoch {}",
+            report.sealed.len(),
+            report.replayed.len(),
+            report.dropped_bytes,
+            report.next_epoch
+        );
+        for epoch in &report.replayed {
+            match &epoch.outcome {
+                Outcome::Abort => println!(
+                    "  replayed epoch {:>3} (session {}): {} bids, outcome ⊥",
+                    epoch.epoch, epoch.session, epoch.accepted_bids
+                ),
+                Outcome::Agreed(result) => println!(
+                    "  replayed epoch {:>3} (session {}): {} bids → {} winners, volume {}, \
+                     payments {}",
+                    epoch.epoch,
+                    epoch.session,
+                    epoch.accepted_bids,
+                    result.allocation.winners().len(),
+                    result.allocation.total(),
+                    result.payments.total_user_payments(),
+                ),
+            }
+        }
+    }
     println!(
         "transport up: io_threads={} (epoll reactor: O(1) per socket mesh; 0 = in-process \
          channels)",
@@ -296,9 +399,10 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
     let handle = market.handle();
 
     // Feeder: replay the seeded arrival stream in real time until told
-    // to stop (the stream itself is infinite).
+    // to stop (the stream itself is infinite). `--epochs 0` skips it —
+    // recover/report/exit without admitting a single new bid.
     let stop = Arc::new(AtomicBool::new(false));
-    let feeder = {
+    let feeder = (epochs > 0).then(|| {
         let stop = Arc::clone(&stop);
         let process = ArrivalProcess::poisson(n, rate, seed);
         std::thread::spawn(move || {
@@ -314,7 +418,7 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
                 }
             });
         })
-    };
+    });
 
     let mut seen = 0u64;
     while seen < epochs {
@@ -343,7 +447,9 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
     }
 
     stop.store(true, Ordering::Relaxed);
-    let _ = feeder.join();
+    if let Some(feeder) = feeder {
+        let _ = feeder.join();
+    }
     let stats = market.shutdown();
     println!(
         "survivability: {} epochs cleared, {} ⊥-aborted",
@@ -364,6 +470,15 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
         stats.bids_rejected_duplicate,
         stats.bids_rejected_unknown,
     );
+    if stats.journal_bytes > 0 {
+        println!(
+            "journal: {} bytes, {} fsyncs (mean {:?}, max {:?})",
+            stats.journal_bytes,
+            stats.journal_fsyncs,
+            stats.journal_fsync_mean,
+            stats.journal_fsync_max,
+        );
+    }
     Ok(())
 }
 
