@@ -11,7 +11,11 @@ Fails (exit 1) when, for any row present in both baseline and current:
     below 75% of its baseline, the in-file overhead of `fsync=never`
     journaling exceeds the ingest-overhead ceiling (journaled ingest
     under 30% of the unjournaled row of the SAME run), or crash
-    recovery time grows beyond the recovery-time ceiling (2x baseline).
+    recovery time grows beyond the recovery-time ceiling (2x baseline), or
+  * the telemetry plane gets expensive: the in-run telemetry-on/off
+    ingest ratio reported by BENCH_telemetry.json falls below 95% —
+    flight ring, epoch traces, and a live scrape endpoint together may
+    cost at most 5% of saturated ingest throughput.
 
 Rows only present on one side are reported but never fail the gate, so
 adding a sweep point does not require touching the baseline in the same
@@ -20,8 +24,8 @@ commit. Regenerate baselines with:
     cargo run --release -p dauctioneer-bench --bin market_soak -- --quick --json
     cargo run --release -p dauctioneer-bench --bin batch_throughput -- --quick --rounds 1 --json
     cargo bench -p dauctioneer-bench --bench wire_hot_path -- --json
-    mv BENCH_market_soak.json BENCH_journal.json BENCH_batch_throughput.json \
-       BENCH_wire.json BENCH_baseline/
+    mv BENCH_market_soak.json BENCH_journal.json BENCH_telemetry.json \
+       BENCH_batch_throughput.json BENCH_wire.json BENCH_baseline/
 """
 
 import argparse
@@ -39,6 +43,12 @@ LATENCY_GRACE_S = 0.050  # absolute slack below which p99 growth is noise
 JOURNAL_OVERHEAD_FLOOR = 0.30
 # The recovery-time ceiling reuses LATENCY_CEIL/LATENCY_GRACE_S: crash
 # recovery may not take more than 2x baseline (plus the noise grace).
+# Telemetry overhead ceiling: with the full plane on (flight recorder,
+# epoch traces, metrics collectors, a scraped endpoint), saturated
+# ingest must stay within 5% of the telemetry-off run of the SAME
+# interleaved sweep. In-run on purpose: a slow CI host shifts both
+# modes together, so the ratio isolates the plane's own cost.
+TELEMETRY_OVERHEAD_FLOOR = 0.95
 
 
 def load(path: Path):
@@ -232,6 +242,46 @@ def compare_journal(base, cur, failures, lines):
         )
 
 
+def compare_telemetry(base, cur, failures, lines):
+    name = "telemetry"
+    base_rows = index_rows(base.get("runs", []), ("mode",))
+    cur_rows = index_rows(cur.get("runs", []), ("mode",))
+    for key, brow in base_rows.items():
+        crow = cur_rows.get(key)
+        label = f"telemetry={key[0]}"
+        if crow is None:
+            lines.append(f"  {name} [{label}]: row missing in current run (skipped)")
+            continue
+        check_throughput(
+            name,
+            label,
+            brow["ingest_bids_per_sec"],
+            crow["ingest_bids_per_sec"],
+            failures,
+            lines,
+            metric="ingest bids/s",
+        )
+    # The headline gate: the in-run on/off ratio. Both runs of the pair
+    # come from the same interleaved best-of-N sweep on the same host,
+    # so anything below the floor is the telemetry plane itself.
+    ratio = cur.get("overhead_ratio")
+    if ratio is not None:
+        verdict = "ok"
+        if ratio < TELEMETRY_OVERHEAD_FLOOR:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name} [overhead]: telemetry-on ingest is {ratio:.1%} of telemetry-off "
+                f"(floor {TELEMETRY_OVERHEAD_FLOOR:.0%} — the plane may cost at most "
+                f"{1 - TELEMETRY_OVERHEAD_FLOOR:.0%})"
+            )
+        lines.append(f"  {name} [overhead] on/off ingest ratio: {ratio:.3f} {verdict}")
+    # The on-run must actually have been observed, else the ratio is a
+    # comparison of nothing: zero scrapes means the endpoint was dead.
+    on_row = cur_rows.get(("on",))
+    if on_row is not None and on_row.get("scrapes_served", 0) == 0:
+        failures.append(f"{name} [on]: zero scrapes served — the metrics endpoint never answered")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, default=Path("BENCH_baseline"))
@@ -242,6 +292,7 @@ def main():
         ("BENCH_batch_throughput.json", compare_batch_throughput),
         ("BENCH_market_soak.json", compare_market_soak),
         ("BENCH_journal.json", compare_journal),
+        ("BENCH_telemetry.json", compare_telemetry),
         ("BENCH_wire.json", compare_wire),
     ]
     failures, lines = [], []

@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 use criterion::{black_box, BenchmarkId, Criterion};
-use dauctioneer_bench::json::{write_bench_file_in, JsonArray, JsonObject};
+use dauctioneer_bench::json::{provenance, write_bench_file_in, JsonArray, JsonObject};
 use dauctioneer_bench::{flag_value, Table};
 use dauctioneer_net::{
     frame, frame_wire_into, mux_frame_into, mux_unframe, wire_decode, wire_encode,
@@ -242,6 +242,7 @@ fn main() {
         );
     let mut top = JsonObject::new();
     top.str("bench", "wire_hot_path")
+        .raw("provenance", &provenance())
         .raw("config", &config.finish())
         .raw("ops", &rows.finish())
         .raw("mesh_sweep", &mesh_rows.finish());

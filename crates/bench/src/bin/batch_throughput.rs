@@ -35,7 +35,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use dauctioneer_bench::json::{write_bench_file, JsonArray, JsonObject};
+use dauctioneer_bench::json::{provenance, write_bench_file, JsonArray, JsonObject};
 use dauctioneer_bench::{flag_value, fmt_secs, time_once, CommonArgs, Stats, Table};
 use dauctioneer_core::{
     run_batch, run_batch_with, run_session, BatchConfig, BatchSession, DoubleAuctionProgram,
@@ -223,6 +223,7 @@ fn main() {
             .int("host_cores", cores as u64);
         let mut top = JsonObject::new();
         top.str("bench", "batch_throughput")
+            .raw("provenance", &provenance())
             .raw("config", &config.finish())
             .raw("batched_vs_sequential", &json_batched.finish())
             .raw("shards_x_transport", &json_sharded.finish());

@@ -34,7 +34,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use dauctioneer_bench::json::{write_bench_file, JsonArray, JsonObject};
+use dauctioneer_bench::json::{provenance, write_bench_file, JsonArray, JsonObject};
 use dauctioneer_bench::{flag_value, fmt_secs, time_once, Table};
 use dauctioneer_core::{
     run_batch_with, BatchConfig, BatchReport, BatchSession, DoubleAuctionProgram, FrameworkConfig,
@@ -301,6 +301,7 @@ fn main() -> ExitCode {
             .num("deadline_s", deadline.as_secs_f64());
         let mut top = JsonObject::new();
         top.str("bench", "chaos_sweep")
+            .raw("provenance", &provenance())
             .raw("config", &config.finish())
             .bool("all_contracts_hold", violations.is_empty())
             .raw("rows", &json_rows.finish());

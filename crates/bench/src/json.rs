@@ -134,6 +134,30 @@ pub fn fmt_f64(value: f64) -> String {
     }
 }
 
+/// A provenance stamp for bench output, answering "what produced this
+/// file" when a `BENCH_*.json` is compared weeks later: the git commit
+/// (best-effort — `"unknown"` outside a work tree), the host's core
+/// count (throughput rows are meaningless without it), and the unix
+/// timestamp. Embed it with [`JsonObject::raw`] under a `"provenance"`
+/// key.
+pub fn provenance() -> String {
+    let sha = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into());
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get() as u64);
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut o = JsonObject::new();
+    o.str("git_sha", &sha).int("host_cores", cores).int("unix_time", unix_time);
+    o.finish()
+}
+
 /// Write `content` to `BENCH_<name>.json` in the current directory and
 /// return the path.
 ///

@@ -259,11 +259,32 @@ where
     P: AllocatorProgram,
     T: Transport,
 {
+    drive_multi_timed(engines, transport, deadline).0
+}
+
+/// [`drive_multi`] that also reports *when* each engine decided, as an
+/// offset from loop entry (`None` = never decided before the deadline →
+/// its outcome is the forced ⊥). The telemetry plane turns these into
+/// per-session span blocks; the cost over plain [`drive_multi`] is one
+/// `Instant::elapsed` per decision, so there is no untimed fast path.
+pub fn drive_multi_timed<P, T>(
+    engines: &mut [SessionEngine<P>],
+    transport: &mut T,
+    deadline: Duration,
+) -> (Vec<Outcome>, Vec<Option<Duration>>)
+where
+    P: AllocatorProgram,
+    T: Transport,
+{
     let started = Instant::now();
     for engine in engines.iter_mut() {
         let mut ctx = TransportCtx { transport };
         engine.start(&mut ctx);
     }
+    // Degenerate engines (single provider, empty programs) can decide
+    // inside start() itself; stamp those immediately.
+    let mut decided_at: Vec<Option<Duration>> =
+        engines.iter().map(|e| if e.decided() { Some(started.elapsed()) } else { None }).collect();
     let mut undecided = engines.iter().filter(|e| !e.decided()).count();
     while undecided > 0 {
         let left = deadline.saturating_sub(started.elapsed());
@@ -275,13 +296,15 @@ where
                 let Ok((tag, inner)) = unframe(&payload) else {
                     continue; // not even a session frame: drop
                 };
-                let Some(engine) = engines.iter_mut().find(|e| e.session.eq(&tag)) else {
+                let Some(slot) = engines.iter().position(|e| e.session.eq(&tag)) else {
                     continue; // stale message from another session: drop
                 };
+                let engine = &mut engines[slot];
                 let was_decided = engine.decided();
                 let mut ctx = TransportCtx { transport };
                 engine.deliver_unframed(from, inner, &mut ctx);
                 if !was_decided && engine.decided() {
+                    decided_at[slot] = Some(started.elapsed());
                     undecided -= 1;
                 }
             }
@@ -289,13 +312,14 @@ where
             Err(RecvError::Disconnected) => break, // external abort
         }
     }
-    engines
+    let outcomes = engines
         .iter_mut()
         .map(|engine| {
             engine.force_abort();
             engine.outcome().expect("decided or force-aborted")
         })
-        .collect()
+        .collect();
+    (outcomes, decided_at)
 }
 
 #[cfg(test)]

@@ -88,7 +88,7 @@ pub use batch::{
 pub use block::{Block, BlockResult, Ctx, OutboxCtx, SubSlot, TaggedCtx};
 pub use config::{ConfigError, FrameworkConfig};
 pub use distribution::Distribution;
-pub use engine::{drive, drive_multi, unanimous, SessionEngine, Transport};
+pub use engine::{drive, drive_multi, drive_multi_timed, unanimous, SessionEngine, Transport};
 pub use pool::SessionPool;
 pub use runtime::{run_session, RunOptions, SessionReport};
 pub use submission::{BidCollector, SubmissionOutcome};

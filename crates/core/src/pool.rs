@@ -10,7 +10,7 @@
 //! worker threads **once**, hands each worker its transport endpoint
 //! **once**, and then feeds the workers work orders over control
 //! channels: each call to [`SessionPool::run_epoch`] drives one batch of
-//! sessions through [`drive_multi`] on the existing threads.
+//! sessions through [`drive_multi_timed`] on the existing threads.
 //!
 //! Session-tag framing makes the reuse safe: a straggler frame of epoch
 //! *e* still sitting in an endpoint's inbox when epoch *e+1* starts
@@ -27,13 +27,13 @@ use std::thread::{JoinHandle, ThreadId};
 use std::time::Duration;
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use dauctioneer_net::{ChaosTransport, FaultPlan};
+use dauctioneer_net::{ChaosMetrics, ChaosTransport, FaultPlan};
 use dauctioneer_types::{BidVector, Outcome, ProviderId, SessionId};
 
 use crate::adversary::{strategy_for, Adversary, AdversaryTransport};
 use crate::allocator::AllocatorProgram;
 use crate::config::FrameworkConfig;
-use crate::engine::{drive_multi, SessionEngine, Transport};
+use crate::engine::{drive_multi_timed, SessionEngine, Transport};
 
 /// One epoch's worth of work for a single provider worker.
 struct WorkOrder {
@@ -43,9 +43,10 @@ struct WorkOrder {
     specs: Vec<(SessionId, BidVector, u64)>,
     /// Wall-clock budget for the epoch; undecided sessions read ⊥.
     deadline: Duration,
-    /// Where to deliver this provider's outcomes, in spec order, stamped
-    /// with the worker's thread id (the churn detector).
-    reply: Sender<(ThreadId, Vec<Outcome>)>,
+    /// Where to deliver this provider's outcomes and per-session decide
+    /// offsets, in spec order, stamped with the worker's thread id (the
+    /// churn detector).
+    reply: Sender<(ThreadId, Vec<Outcome>, Vec<Option<Duration>>)>,
 }
 
 /// A persistent pool of provider worker threads over long-lived
@@ -129,6 +130,37 @@ impl SessionPool {
         P: AllocatorProgram + 'static,
         T: Transport + Send + 'static,
     {
+        SessionPool::new_with_faults_metrics(
+            cfg,
+            program,
+            shard_endpoints,
+            chaos,
+            adversaries,
+            None,
+        )
+    }
+
+    /// [`SessionPool::new_with_faults`] with a [`ChaosMetrics`] handle
+    /// cloned into every chaos wrapper, so fault injections by the
+    /// worker-owned transports are countable from outside the pool
+    /// while the run is live (the scrape endpoint's view).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`SessionPool::new_with_faults`].
+    pub fn new_with_faults_metrics<P, T>(
+        cfg: &FrameworkConfig,
+        program: &Arc<P>,
+        shard_endpoints: Vec<Vec<T>>,
+        chaos: Option<FaultPlan>,
+        adversaries: &[Adversary],
+        chaos_metrics: Option<ChaosMetrics>,
+    ) -> SessionPool
+    where
+        P: AllocatorProgram + 'static,
+        T: Transport + Send + 'static,
+    {
         if let Some(plan) = &chaos {
             plan.validate().expect("invalid fault plan");
         }
@@ -149,8 +181,12 @@ impl SessionPool {
                     .into_iter()
                     .enumerate()
                     .map(|(j, endpoint)| {
+                        let mut chaos = ChaosTransport::with_salt(endpoint, plan, s as u64);
+                        if let Some(metrics) = &chaos_metrics {
+                            chaos = chaos.with_metrics(metrics.clone());
+                        }
                         AdversaryTransport::new(
-                            ChaosTransport::with_salt(endpoint, plan, s as u64),
+                            chaos,
                             strategy_for(adversaries, ProviderId(j as u32)),
                         )
                     })
@@ -203,8 +239,9 @@ impl SessionPool {
                                     )
                                 })
                                 .collect();
-                            let outcomes = drive_multi(&mut engines, &mut endpoint, order.deadline);
-                            let _ = order.reply.send((me, outcomes));
+                            let (outcomes, decided_at) =
+                                drive_multi_timed(&mut engines, &mut endpoint, order.deadline);
+                            let _ = order.reply.send((me, outcomes, decided_at));
                         }
                     })
                     .expect("spawn pool worker thread");
@@ -261,10 +298,29 @@ impl SessionPool {
         shard_specs: Vec<Vec<crate::batch::BatchSession>>,
         deadline: Duration,
     ) -> Vec<Vec<Vec<Outcome>>> {
+        self.run_epoch_traced(shard_specs, deadline).0
+    }
+
+    /// [`SessionPool::run_epoch`] that also returns *when* each provider
+    /// decided each session: `timings[s][j][i]` is provider `j`'s decide
+    /// offset (from its drive-loop entry) for shard `s`'s `i`-th
+    /// session, `None` when that provider never decided (its outcome is
+    /// ⊥). The market's epoch traces render these as the per-session
+    /// span blocks under the dispatch span.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`SessionPool::run_epoch`].
+    #[allow(clippy::type_complexity)]
+    pub fn run_epoch_traced(
+        &self,
+        shard_specs: Vec<Vec<crate::batch::BatchSession>>,
+        deadline: Duration,
+    ) -> (Vec<Vec<Vec<Outcome>>>, Vec<Vec<Vec<Option<Duration>>>>) {
         assert_eq!(shard_specs.len(), self.controls.len(), "one spec list per shard");
         // Dispatch every shard before collecting any reply, so shards run
         // concurrently exactly as in the one-shot batch path.
-        type Replies = Vec<Receiver<(ThreadId, Vec<Outcome>)>>;
+        type Replies = Vec<Receiver<(ThreadId, Vec<Outcome>, Vec<Option<Duration>>)>>;
         let mut pending: Vec<Option<(Replies, usize)>> = Vec::with_capacity(shard_specs.len());
         for (shard_controls, specs) in self.controls.iter().zip(shard_specs) {
             if specs.is_empty() {
@@ -296,28 +352,38 @@ impl SessionPool {
             }
             pending.push(Some((replies, n_sessions)));
         }
-        pending
-            .into_iter()
-            .enumerate()
-            .map(|(s, shard)| match shard {
-                None => Vec::new(),
-                Some((replies, n_sessions)) => replies
-                    .into_iter()
-                    .enumerate()
-                    .map(|(j, rx)| match rx.recv() {
-                        Ok((worker, outcomes)) => {
-                            assert_eq!(
-                                worker, self.ids[s][j],
-                                "shard {s} provider {j}: epoch served by a different \
-                                 thread than was spawned — per-epoch worker churn"
-                            );
-                            outcomes
+        let mut columns = Vec::with_capacity(pending.len());
+        let mut timings = Vec::with_capacity(pending.len());
+        for (s, shard) in pending.into_iter().enumerate() {
+            let (shard_columns, shard_timings) = match shard {
+                None => (Vec::new(), Vec::new()),
+                Some((replies, n_sessions)) => {
+                    let mut shard_columns = Vec::with_capacity(replies.len());
+                    let mut shard_timings = Vec::with_capacity(replies.len());
+                    for (j, rx) in replies.into_iter().enumerate() {
+                        match rx.recv() {
+                            Ok((worker, outcomes, decided_at)) => {
+                                assert_eq!(
+                                    worker, self.ids[s][j],
+                                    "shard {s} provider {j}: epoch served by a different \
+                                     thread than was spawned — per-epoch worker churn"
+                                );
+                                shard_columns.push(outcomes);
+                                shard_timings.push(decided_at);
+                            }
+                            Err(_) => {
+                                shard_columns.push(vec![Outcome::Abort; n_sessions]);
+                                shard_timings.push(vec![None; n_sessions]);
+                            }
                         }
-                        Err(_) => vec![Outcome::Abort; n_sessions],
-                    })
-                    .collect(),
-            })
-            .collect()
+                    }
+                    (shard_columns, shard_timings)
+                }
+            };
+            columns.push(shard_columns);
+            timings.push(shard_timings);
+        }
+        (columns, timings)
     }
 
     /// Stop the workers and join them. Dropping the pool does the same;

@@ -86,6 +86,37 @@ impl JournalConfig {
     }
 }
 
+/// Telemetry-plane sizing for a market: how much post-mortem evidence
+/// the service retains in memory. Both rings are bounded; `0` disables
+/// that pillar entirely (a disabled flight recorder or trace ring costs
+/// one branch per event).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Events the crash flight recorder retains (dumped on SIGUSR1 and
+    /// on fail-stop journal errors). `0` disables recording.
+    pub flight_capacity: usize,
+    /// Finished [`dauctioneer_telemetry::EpochTrace`]s the trace ring
+    /// retains. `0` disables per-epoch tracing.
+    pub trace_capacity: usize,
+    /// Where a fail-stop journal error writes its flight dump before the
+    /// process dies; `None` keeps the dump in memory only (still
+    /// reachable over SIGUSR1 until the abort).
+    pub flight_dump_path: Option<PathBuf>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig { flight_capacity: 512, trace_capacity: 64, flight_dump_path: None }
+    }
+}
+
+impl TelemetryConfig {
+    /// Telemetry fully off: no flight events, no traces.
+    pub fn disabled() -> TelemetryConfig {
+        TelemetryConfig { flight_capacity: 0, trace_capacity: 0, flight_dump_path: None }
+    }
+}
+
 /// Configuration of a [`crate::MarketService`].
 #[derive(Debug, Clone)]
 pub struct MarketConfig {
@@ -140,6 +171,8 @@ pub struct MarketConfig {
     /// Write-ahead epoch journal; `None` runs the market without crash
     /// durability (accepted bids die with the process).
     pub journal: Option<JournalConfig>,
+    /// In-memory telemetry retention (flight recorder and epoch traces).
+    pub telemetry: TelemetryConfig,
 }
 
 impl MarketConfig {
@@ -164,6 +197,7 @@ impl MarketConfig {
             chaos: None,
             adversaries: Vec::new(),
             journal: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -201,6 +235,12 @@ impl MarketConfig {
     /// Journal accepted bids and sealed epochs to disk.
     pub fn with_journal(mut self, journal: JournalConfig) -> MarketConfig {
         self.journal = Some(journal);
+        self
+    }
+
+    /// Size the in-memory telemetry retention.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> MarketConfig {
+        self.telemetry = telemetry;
         self
     }
 

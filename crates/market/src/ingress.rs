@@ -58,11 +58,22 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// A submission plus the instant it entered the queue — the stamp the
+/// epoch traces turn into the ingress span (queue wait of the bid that
+/// opened the epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Queued {
+    /// When the submission was pushed.
+    pub(crate) at: Instant,
+    /// The submission itself.
+    pub(crate) submission: Submission,
+}
+
 /// What one pop attempt produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Pop {
-    /// A submission.
-    Item(Submission),
+    /// A submission, stamped with its queue-entry time.
+    Item(Queued),
     /// Nothing arrived within the timeout.
     Timeout,
     /// The queue is closed **and drained**: no submission will ever
@@ -73,7 +84,7 @@ pub(crate) enum Pop {
 
 #[derive(Debug)]
 struct Inner {
-    buf: VecDeque<Submission>,
+    buf: VecDeque<Queued>,
     closed: bool,
 }
 
@@ -117,7 +128,7 @@ impl IngressQueue {
                 return Err(SubmitError::Closed);
             }
             if inner.buf.len() < self.capacity {
-                inner.buf.push_back(submission);
+                inner.buf.push_back(Queued { at: Instant::now(), submission });
                 self.enqueued.fetch_add(1, Ordering::Relaxed);
                 self.not_empty.notify_one();
                 return Ok(());
@@ -224,14 +235,29 @@ mod tests {
         }
     }
 
+    /// The submission inside a pop, panicking on timeout/closed.
+    fn item(pop: Pop) -> Submission {
+        match pop {
+            Pop::Item(q) => q.submission,
+            other => panic!("expected an item, got {other:?}"),
+        }
+    }
+
     #[test]
     fn fifo_roundtrip() {
         let q = IngressQueue::new(4, Backpressure::Shed);
+        let before = Instant::now();
         q.push(bid(0)).unwrap();
         q.push(bid(1)).unwrap();
         assert_eq!(q.depth(), 2);
-        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Pop::Item(bid(0)));
-        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Pop::Item(bid(1)));
+        match q.pop_timeout(Duration::from_millis(10)) {
+            Pop::Item(queued) => {
+                assert_eq!(queued.submission, bid(0));
+                assert!(queued.at >= before, "queue stamp must be the push instant");
+            }
+            other => panic!("expected an item, got {other:?}"),
+        }
+        assert_eq!(item(q.pop_timeout(Duration::from_millis(10))), bid(1));
         assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Timeout);
         assert_eq!(q.enqueued_count(), 2);
     }
@@ -270,8 +296,8 @@ mod tests {
         q.push(bid(1)).unwrap();
         q.close();
         assert_eq!(q.push(bid(2)), Err(SubmitError::Closed));
-        assert_eq!(q.pop(), Pop::Item(bid(0)));
-        assert_eq!(q.pop(), Pop::Item(bid(1)));
+        assert_eq!(item(q.pop()), bid(0));
+        assert_eq!(item(q.pop()), bid(1));
         assert_eq!(q.pop(), Pop::Closed);
         assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Closed);
     }

@@ -37,6 +37,13 @@
 //!   folds every already-queued submission into a final epoch, clears
 //!   it, and only then tears the pool and mesh down — no accepted bid
 //!   is ever lost.
+//! * Observability — [`MarketService::watch`] hands out a cloneable
+//!   [`MarketWatch`], and [`register_market_metrics`] re-exports every
+//!   market/net/chaos/journal counter as Prometheus families on a
+//!   [`dauctioneer_telemetry::Registry`]. Every aborted epoch carries an
+//!   [`AbortReason`], per-epoch span trees land in a bounded trace ring,
+//!   and a crash flight recorder keeps the last N structured events for
+//!   post-mortem dumps.
 //! * [`journal`] — crash durability: a write-ahead epoch journal
 //!   (accepted bids hit the disk *before* they count), a hash-chained
 //!   settlement log sealing every cleared epoch, and deterministic
@@ -54,12 +61,17 @@ pub mod ingress;
 pub mod journal;
 pub mod service;
 pub mod stats;
+pub mod telemetry;
 
-pub use config::{Backpressure, EpochPolicy, JournalConfig, MarketConfig, MarketError};
+pub use config::{
+    Backpressure, EpochPolicy, JournalConfig, MarketConfig, MarketError, TelemetryConfig,
+};
+pub use dauctioneer_telemetry::AbortReason;
 pub use ingress::{Submission, SubmitError};
 pub use journal::{
     crc32, read_journal, scan, verify_log, ChainFault, Divergence, FsyncPolicy, InFlightEpoch,
     Journal, JournalError, RecoveredLog, ScanResult, VerifySummary,
 };
-pub use service::{EpochOutcome, MarketHandle, MarketService, RecoveryReport};
-pub use stats::MarketStats;
+pub use service::{EpochOutcome, MarketHandle, MarketService, MarketWatch, RecoveryReport};
+pub use stats::{AbortBreakdown, MarketStats};
+pub use telemetry::register_market_metrics;

@@ -1,6 +1,7 @@
 //! The long-lived market daemon: streaming ingestion in, epoch outcomes
 //! out, one persistent mesh underneath.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{JoinHandle, ThreadId};
@@ -10,12 +11,17 @@ use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
 use dauctioneer_core::{
     unanimous, AllocatorProgram, BatchSession, BidCollector, SessionPool, TransportKind,
 };
-use dauctioneer_net::{shard_for, MuxMesh, ShardedHub, TrafficMetrics, TrafficSnapshot};
+use dauctioneer_net::{
+    shard_for, ChaosMetrics, ChaosStats, MuxMesh, ShardedHub, TrafficMetrics, TrafficSnapshot,
+};
+use dauctioneer_telemetry::{
+    AbortReason, EpochTrace, FlightLevel, FlightRecorder, Histogram, TraceRing,
+};
 use dauctioneer_types::{BidVector, Outcome, ProviderAsk, SealRecord, SessionId, UserBid, UserId};
 
 use crate::config::{EpochPolicy, MarketConfig, MarketError};
 use crate::ingress::{IngressQueue, Pop, Submission, SubmitError};
-use crate::journal::Journal;
+use crate::journal::{Journal, JournalError};
 use crate::stats::{MarketStats, StatsShared};
 
 /// A cloneable submitter handle onto a running market.
@@ -117,6 +123,151 @@ enum Mesh {
     Tcp(MuxMesh),
 }
 
+/// The telemetry plumbing one market shares across its scheduler,
+/// clearers, and watchers: the crash flight recorder, the epoch trace
+/// ring, the chaos fault counters, and the fail-stop dump path.
+#[derive(Debug, Clone)]
+pub(crate) struct Telemetry {
+    pub(crate) flight: Arc<FlightRecorder>,
+    pub(crate) traces: Arc<TraceRing>,
+    pub(crate) chaos: ChaosMetrics,
+    dump_path: Option<PathBuf>,
+}
+
+impl Telemetry {
+    fn new(config: &MarketConfig) -> Telemetry {
+        Telemetry {
+            flight: Arc::new(FlightRecorder::new(config.telemetry.flight_capacity)),
+            traces: Arc::new(TraceRing::new(config.telemetry.trace_capacity)),
+            chaos: ChaosMetrics::new(),
+            dump_path: config.telemetry.flight_dump_path.clone(),
+        }
+    }
+}
+
+/// Attribute an aborted epoch to the configuration that forced it.
+///
+/// The classification is a structural argument, not guesswork: if every
+/// provider decided a real outcome yet unanimity still failed, the abort
+/// is ⊥-divergence by Definition 1. Otherwise at least one provider
+/// pinned ⊥, and the configured disturbances own it in order of intent —
+/// adversaries are targeted (they *aim* to force ⊥), chaos is
+/// environmental, and a clean configuration that still timed out is a
+/// plain deadline miss.
+fn classify_abort(
+    config: &MarketConfig,
+    outcomes: &[Outcome],
+    agreed: &Outcome,
+) -> Option<AbortReason> {
+    if !agreed.is_abort() {
+        return None;
+    }
+    if !outcomes.is_empty() && outcomes.iter().all(|o| !o.is_abort()) {
+        return Some(AbortReason::Divergence);
+    }
+    if !config.adversaries.is_empty() {
+        return Some(AbortReason::Adversary);
+    }
+    if config.chaos.as_ref().is_some_and(|plan| !plan.is_benign()) {
+        return Some(AbortReason::ChaosFault);
+    }
+    Some(AbortReason::Deadline)
+}
+
+/// The journal fail-stop path with a black box: record the error as a
+/// flight event, count the abort under its own reason, write the flight
+/// dump where the config asked for it, and only then die. The dump is
+/// best-effort — a failing disk must not mask the original panic.
+fn journal_fail_stop(
+    telemetry: &Telemetry,
+    stats: &StatsShared,
+    what: &str,
+    err: &JournalError,
+) -> ! {
+    stats.record_abort_reason(AbortReason::JournalFailStop);
+    telemetry.flight.record(
+        FlightLevel::Error,
+        "journal_fail_stop",
+        &[("what", what.to_string()), ("error", err.to_string())],
+    );
+    if let Some(path) = &telemetry.dump_path {
+        let _ = std::fs::write(path, telemetry.flight.dump_json());
+    }
+    panic!("journal {what}: {err}");
+}
+
+/// A cloneable, read-only observation handle onto a running market: the
+/// bridge between the service and a metrics registry, scrape endpoint,
+/// heartbeat printer, or signal-triggered flight dump. Everything here
+/// reads shared state the market updates anyway — holding a watch costs
+/// the hot path nothing.
+#[derive(Debug, Clone)]
+pub struct MarketWatch {
+    queue: Arc<IngressQueue>,
+    stats: Arc<StatsShared>,
+    journal: Option<Arc<Journal>>,
+    metrics: Vec<TrafficMetrics>,
+    telemetry: Telemetry,
+}
+
+impl MarketWatch {
+    /// Live counters and latency percentiles (same as
+    /// [`MarketService::stats`]).
+    pub fn stats(&self) -> MarketStats {
+        self.stats.snapshot(
+            self.queue.shed_bids_count(),
+            self.queue.shed_asks_count(),
+            self.queue.enqueued_count(),
+            self.queue.depth(),
+            self.journal.as_deref(),
+            self.telemetry.chaos.snapshot(),
+        )
+    }
+
+    /// Traffic counters of the persistent mesh, merged across shards.
+    pub fn traffic(&self) -> TrafficSnapshot {
+        let mut total = TrafficSnapshot::default();
+        for m in &self.metrics {
+            total.merge(&m.snapshot());
+        }
+        total
+    }
+
+    /// Chaos fault-injection counters, cumulative since startup.
+    pub fn chaos(&self) -> ChaosStats {
+        self.telemetry.chaos.snapshot()
+    }
+
+    /// The live epoch close-latency histogram (log2 buckets, in µs).
+    /// The clone shares the underlying cells — it keeps counting.
+    pub fn close_latency_histogram(&self) -> Histogram {
+        self.stats.close_latency_us.clone()
+    }
+
+    /// Dump the crash flight recorder as JSON (the `dauction
+    /// flight-dump` input format).
+    pub fn flight_dump_json(&self) -> String {
+        self.telemetry.flight.dump_json()
+    }
+
+    /// Events recorded by the flight recorder so far.
+    pub fn flight_recorded(&self) -> u64 {
+        self.telemetry.flight.recorded()
+    }
+
+    /// Snapshot the retained per-epoch traces, oldest first.
+    pub fn recent_traces(&self) -> Vec<EpochTrace> {
+        self.telemetry.traces.recent()
+    }
+
+    /// Record a custom flight event (e.g. the daemon noting "serve
+    /// started" or "shutdown requested" so operator actions land in the
+    /// same black box as market events).
+    pub fn record_flight(&self, level: FlightLevel, kind: &str, fields: &[(&str, String)]) {
+        self.telemetry.flight.record(level, kind, fields);
+    }
+}
+
 /// A long-lived auction daemon: accepts streaming bid/ask submissions,
 /// closes epochs under an [`EpochPolicy`], and clears each epoch as one
 /// paper session over a **persistent** [`SessionPool`] — no thread or
@@ -152,6 +303,7 @@ pub struct MarketService {
     worker_ids: Vec<Vec<ThreadId>>,
     journal: Option<Arc<Journal>>,
     recovery: Option<RecoveryReport>,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for MarketService {
@@ -178,6 +330,7 @@ impl MarketService {
         config.validate()?;
         let shards = config.shards.max(1);
         let framework = config.framework();
+        let telemetry = Telemetry::new(&config);
 
         // Durability comes up before the mesh: a market that cannot
         // journal must not open for business at all. Recovery reads the
@@ -203,12 +356,13 @@ impl MarketService {
             TransportKind::InProc => {
                 let mut hub = ShardedHub::new(config.m, shards, config.latency, config.seed);
                 let metrics = hub.shard_metrics();
-                let pool = SessionPool::new_with_faults(
+                let pool = SessionPool::new_with_faults_metrics(
                     &framework,
                     &program,
                     hub.take_endpoints(),
                     config.chaos,
                     &config.adversaries,
+                    Some(telemetry.chaos.clone()),
                 );
                 (Mesh::InProc(hub), metrics, pool)
             }
@@ -216,12 +370,13 @@ impl MarketService {
                 let mut mesh = MuxMesh::loopback(config.m, shards)
                     .map_err(|e| MarketError::Transport(e.to_string()))?;
                 let metrics = vec![mesh.metrics()];
-                let pool = SessionPool::new_with_faults(
+                let pool = SessionPool::new_with_faults_metrics(
                     &framework,
                     &program,
                     mesh.take_lane_endpoints(),
                     config.chaos,
                     &config.adversaries,
+                    Some(telemetry.chaos.clone()),
                 );
                 (Mesh::Tcp(mesh), metrics, pool)
             }
@@ -264,7 +419,7 @@ impl MarketService {
                     let bids = collector.close();
                     let closed_at = Instant::now();
                     let shard = shard_for(session, pool.num_shards());
-                    let (outcomes, outcome) =
+                    let (outcomes, outcome, _timings) =
                         run_clear(&config, &pool, shard, session, seed, &bids);
                     let latency = closed_at.elapsed();
                     journal
@@ -277,7 +432,16 @@ impl MarketService {
                             outcome.clone(),
                         )
                         .map_err(MarketError::Journal)?;
-                    stats.record_epoch(latency, outcome.is_abort());
+                    stats.record_epoch(latency, classify_abort(&config, &outcomes, &outcome));
+                    telemetry.flight.record(
+                        FlightLevel::Info,
+                        "recovery_replay",
+                        &[
+                            ("epoch", in_flight.epoch.to_string()),
+                            ("accepted", accepted.to_string()),
+                            ("aborted", outcome.is_abort().to_string()),
+                        ],
+                    );
                     replayed.push(EpochOutcome {
                         epoch: in_flight.epoch,
                         session,
@@ -289,6 +453,15 @@ impl MarketService {
                         latency,
                     });
                 }
+                telemetry.flight.record(
+                    FlightLevel::Info,
+                    "recovery_complete",
+                    &[
+                        ("sealed", log.sealed.len().to_string()),
+                        ("replayed", replayed.len().to_string()),
+                        ("dropped_bytes", log.dropped_bytes.to_string()),
+                    ],
+                );
                 let report = RecoveryReport {
                     sealed: log.sealed,
                     replayed,
@@ -304,6 +477,7 @@ impl MarketService {
             let stats = Arc::clone(&stats);
             let subscribed = Arc::clone(&subscribed);
             let journal = journal.clone();
+            let telemetry = telemetry.clone();
             std::thread::Builder::new()
                 .name("market-scheduler".into())
                 .spawn(move || {
@@ -316,6 +490,7 @@ impl MarketService {
                         outcomes_tx,
                         subscribed,
                         journal,
+                        telemetry,
                         start_epoch,
                         pending_asks,
                     )
@@ -333,6 +508,7 @@ impl MarketService {
             worker_ids,
             journal,
             recovery,
+            telemetry,
         })
     }
 
@@ -365,7 +541,37 @@ impl MarketService {
             self.queue.enqueued_count(),
             self.queue.depth(),
             self.journal.as_deref(),
+            self.telemetry.chaos.snapshot(),
         )
+    }
+
+    /// A cloneable, read-only observation handle: everything a metrics
+    /// registry, heartbeat printer, or flight-dump trigger needs,
+    /// without keeping a borrow of the service alive.
+    pub fn watch(&self) -> MarketWatch {
+        MarketWatch {
+            queue: Arc::clone(&self.queue),
+            stats: Arc::clone(&self.stats),
+            journal: self.journal.clone(),
+            metrics: self.metrics.clone(),
+            telemetry: self.telemetry.clone(),
+        }
+    }
+
+    /// Chaos fault-injection counters, cumulative since startup.
+    pub fn chaos_stats(&self) -> ChaosStats {
+        self.telemetry.chaos.snapshot()
+    }
+
+    /// Dump the crash flight recorder as JSON (the `dauction
+    /// flight-dump` input format).
+    pub fn flight_dump_json(&self) -> String {
+        self.telemetry.flight.dump_json()
+    }
+
+    /// Snapshot the retained per-epoch traces, oldest first.
+    pub fn recent_traces(&self) -> Vec<EpochTrace> {
+        self.telemetry.traces.recent()
     }
 
     /// What recovery reconstructed from the journal, if this service was
@@ -435,6 +641,7 @@ fn run_scheduler(
     outcomes_tx: Sender<EpochOutcome>,
     subscribed: Arc<AtomicBool>,
     journal: Option<Arc<Journal>>,
+    telemetry: Telemetry,
     start_epoch: u64,
     pending_asks: Vec<(u64, ProviderAsk)>,
 ) {
@@ -465,6 +672,7 @@ fn run_scheduler(
         let outcomes_tx = outcomes_tx.clone();
         let subscribed = Arc::clone(&subscribed);
         let journal = journal.clone();
+        let telemetry = telemetry.clone();
         clearers.push(
             std::thread::Builder::new()
                 .name(format!("market-clearer-{shard}"))
@@ -477,6 +685,7 @@ fn run_scheduler(
                             &outcomes_tx,
                             &subscribed,
                             journal.as_deref(),
+                            &telemetry,
                             shard,
                             job,
                         );
@@ -506,6 +715,11 @@ fn run_scheduler(
         // (asks and rejected bids keep the epoch unopened), as the
         // [`EpochPolicy`] contract states.
         let mut opened: Option<Instant> = None;
+        // The trace origin is the queue-push instant of the epoch's
+        // opening bid: the ingress span is the queue wait the epoch's
+        // first bidder actually experienced.
+        let mut origin: Option<Instant> = None;
+        let mut ingress_wait = Duration::ZERO;
 
         // Fold submissions until the policy closes the epoch or the
         // queue closes (drain-then-shutdown flushes the rest). With
@@ -533,10 +747,25 @@ fn run_scheduler(
                 }
             };
             match pop {
-                Pop::Item(s) => {
-                    if apply(&config, &stats, journal.as_deref(), epoch_index, &mut collector, s) {
+                Pop::Item(queued) => {
+                    let pushed_at = queued.at;
+                    let was_accepted = apply(
+                        &config,
+                        &stats,
+                        journal.as_deref(),
+                        &telemetry,
+                        epoch_index,
+                        &mut collector,
+                        queued.submission,
+                    );
+                    if was_accepted {
                         accepted += 1;
-                        opened.get_or_insert_with(Instant::now);
+                        if opened.is_none() {
+                            let now = Instant::now();
+                            opened = Some(now);
+                            origin = Some(pushed_at);
+                            ingress_wait = now.saturating_duration_since(pushed_at);
+                        }
                     }
                 }
                 Pop::Timeout => {} // re-check `due`
@@ -552,13 +781,28 @@ fn run_scheduler(
             // A distinct, reproducible seed per epoch (7919 = the
             // 1000th prime, an arbitrary odd stride).
             let seed = config.seed.wrapping_add((epoch_index + 1).wrapping_mul(7919));
+            let opened_at = opened.expect("accepted > 0 implies an opened epoch");
+            let origin = origin.unwrap_or(opened_at);
+            let closed_at = Instant::now();
+            let trace = (config.telemetry.trace_capacity > 0).then(|| {
+                let mut trace = EpochTrace::new(epoch_index, session.0, seed);
+                trace.span("ingress", Duration::ZERO, ingress_wait);
+                trace.span(
+                    "collect",
+                    opened_at.saturating_duration_since(origin),
+                    closed_at.saturating_duration_since(opened_at),
+                );
+                trace
+            });
             let job = ClearJob {
                 epoch: epoch_index,
                 session,
                 seed,
                 accepted,
                 bids: collector.close(),
-                closed_at: Instant::now(),
+                closed_at,
+                origin,
+                trace,
             };
             let shard = shard_for(session, num_shards);
             // A dead clearer (panicked shard) drops this epoch's
@@ -578,7 +822,9 @@ fn run_scheduler(
     // the policy deferred is synced now, once, before the process can
     // end. (Crash exits are the journal's whole point and skip this.)
     if let Some(journal) = &journal {
-        journal.sync().expect("final journal sync");
+        if let Err(err) = journal.sync() {
+            journal_fail_stop(&telemetry, &stats, "final sync", &err);
+        }
     }
     // Workers joined (and their endpoints dropped) before the mesh goes.
     Arc::try_unwrap(pool).expect("all clearers joined").shutdown();
@@ -601,6 +847,13 @@ struct ClearJob {
     /// When the epoch closed — the latency clock includes any wait for
     /// the shard's clearer, which is real backlog, not measurement slack.
     closed_at: Instant,
+    /// The trace origin: the queue-push instant of the opening bid
+    /// (equal to the open instant when no stamp was available).
+    origin: Instant,
+    /// The epoch's span tree so far (ingress + collect recorded by the
+    /// scheduler); the clearer appends dispatch/session/seal and
+    /// finishes it. `None` when tracing is disabled.
+    trace: Option<EpochTrace>,
 }
 
 /// A fresh collector for a new epoch, with the configured default asks
@@ -624,12 +877,14 @@ fn fresh_collector(config: &MarketConfig) -> BidCollector {
 /// This is where the write-ahead discipline lives: an accepted bid is
 /// journaled — and made durable per the fsync policy — *before* its
 /// verdict is counted or can trigger an epoch close. A journal append
-/// failure is fail-stop by design (`expect`): a durable market must not
-/// acknowledge what it cannot journal.
+/// failure is fail-stop by design ([`journal_fail_stop`]): a durable
+/// market must not acknowledge what it cannot journal — but it does
+/// leave a flight dump behind on the way down.
 fn apply(
     config: &MarketConfig,
     stats: &StatsShared,
     journal: Option<&Journal>,
+    telemetry: &Telemetry,
     epoch: u64,
     collector: &mut BidCollector,
     submission: Submission,
@@ -640,7 +895,9 @@ fn apply(
             let verdict = collector.submit(user, bid);
             if verdict.is_accepted() {
                 if let Some(journal) = journal {
-                    journal.append_accepted(epoch, user, bid).expect("journal accepted bid");
+                    if let Err(err) = journal.append_accepted(epoch, user, bid) {
+                        journal_fail_stop(telemetry, stats, "accepted bid", &err);
+                    }
                 }
             }
             let counter = match verdict {
@@ -663,7 +920,9 @@ fn apply(
                 return false;
             }
             if let Some(journal) = journal {
-                journal.append_ask(epoch, slot as u64, ask).expect("journal ask");
+                if let Err(err) = journal.append_ask(epoch, slot as u64, ask) {
+                    journal_fail_stop(telemetry, stats, "ask", &err);
+                }
             }
             collector.set_ask(slot, ask);
             stats.asks_set.fetch_add(1, Ordering::Relaxed);
@@ -677,6 +936,11 @@ fn apply(
 /// outcome. Shared by the clearer threads and recovery's synchronous
 /// re-clears — one code path is what makes "replayed outcomes are
 /// byte-identical" structural rather than coincidental.
+///
+/// The third element is each provider's decide offset within the drive
+/// (`None` for a provider that never decided — a ⊥ column), feeding the
+/// per-session child spans of the epoch trace.
+#[allow(clippy::type_complexity)] // the tuple IS the contract: columns, agreement, timings
 fn run_clear(
     config: &MarketConfig,
     pool: &SessionPool,
@@ -684,16 +948,18 @@ fn run_clear(
     session: SessionId,
     seed: u64,
     bids: &BidVector,
-) -> (Vec<Outcome>, Outcome) {
+) -> (Vec<Outcome>, Outcome, Vec<Option<Duration>>) {
     let collected: Vec<BidVector> = vec![bids.clone(); config.m];
     let mut shard_specs: Vec<Vec<BatchSession>> = vec![Vec::new(); pool.num_shards()];
     shard_specs[shard].push(BatchSession { session, collected, seed });
 
-    let columns = pool.run_epoch(shard_specs, config.session_deadline);
+    let (columns, decided) = pool.run_epoch_traced(shard_specs, config.session_deadline);
     let outcomes: Vec<Outcome> =
         columns[shard].iter().map(|provider| provider[0].clone()).collect();
+    let timings: Vec<Option<Duration>> =
+        decided[shard].iter().map(|provider| provider[0]).collect();
     let outcome = unanimous(outcomes.iter().map(Some));
-    (outcomes, outcome)
+    (outcomes, outcome, timings)
 }
 
 /// Clear one closed epoch as a session on this clearer's shard of the
@@ -707,28 +973,75 @@ fn clear_epoch(
     outcomes_tx: &Sender<EpochOutcome>,
     subscribed: &AtomicBool,
     journal: Option<&Journal>,
+    telemetry: &Telemetry,
     shard: usize,
     job: ClearJob,
 ) {
-    let (outcomes, outcome) = run_clear(config, pool, shard, job.session, job.seed, &job.bids);
+    let drive_started = Instant::now();
+    let (outcomes, outcome, timings) =
+        run_clear(config, pool, shard, job.session, job.seed, &job.bids);
+    let drive_duration = drive_started.elapsed();
+    let reason = classify_abort(config, &outcomes, &outcome);
     let latency = job.closed_at.elapsed();
     // The seal is appended before the epoch is counted or published —
     // the same write-ahead ordering the accepted bids get. Concurrent
     // clearers serialize on the journal lock; the chain order is the
     // append order.
+    let seal_started = Instant::now();
     if let Some(journal) = journal {
-        journal
-            .append_seal(
-                job.epoch,
-                job.session,
-                job.seed,
-                job.accepted as u64,
-                job.bids.clone(),
-                outcome.clone(),
-            )
-            .expect("journal epoch seal");
+        if let Err(err) = journal.append_seal(
+            job.epoch,
+            job.session,
+            job.seed,
+            job.accepted as u64,
+            job.bids.clone(),
+            outcome.clone(),
+        ) {
+            journal_fail_stop(telemetry, stats, "epoch seal", &err);
+        }
     }
-    stats.record_epoch(latency, outcome.is_abort());
+    let seal_duration = seal_started.elapsed();
+    stats.record_epoch(latency, reason);
+    match reason {
+        None => telemetry.flight.record(
+            FlightLevel::Info,
+            "epoch_cleared",
+            &[
+                ("epoch", job.epoch.to_string()),
+                ("accepted", job.accepted.to_string()),
+                ("latency_us", latency.as_micros().to_string()),
+            ],
+        ),
+        Some(reason) => telemetry.flight.record(
+            FlightLevel::Warn,
+            "epoch_aborted",
+            &[
+                ("epoch", job.epoch.to_string()),
+                ("reason", reason.label().to_string()),
+                ("latency_us", latency.as_micros().to_string()),
+            ],
+        ),
+    }
+    if let Some(mut trace) = job.trace {
+        // All span offsets are relative to the trace origin (the opening
+        // bid's queue-push instant); the dispatch span covers the clear
+        // backlog wait plus the drive itself.
+        let dispatch_start = drive_started.saturating_duration_since(job.origin);
+        let dispatch = trace.span("dispatch", dispatch_start, drive_duration);
+        for (j, decided) in timings.iter().enumerate() {
+            // A provider that never decided spans the whole drive: its
+            // worker held the session until the deadline pinned ⊥.
+            trace.span_under(
+                dispatch,
+                &format!("session[{j}]"),
+                dispatch_start,
+                decided.unwrap_or(drive_duration),
+            );
+        }
+        trace.span("seal", dispatch_start + drive_duration, seal_duration);
+        trace.finish(job.origin.elapsed(), reason);
+        telemetry.traces.push(trace);
+    }
     // Publication starts with the subscription; unobserved epochs are
     // not buffered (and a dropped receiver must not kill the market).
     if subscribed.load(Ordering::Acquire) {

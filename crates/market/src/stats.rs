@@ -1,10 +1,14 @@
 //! Live observability for a running market: counters, epoch-close
-//! latency percentiles, and sustained throughput.
+//! latency percentiles, per-reason abort attribution, and sustained
+//! throughput.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use dauctioneer_net::ChaosStats;
+use dauctioneer_telemetry::{AbortReason, Histogram};
 
 use crate::journal::Journal;
 
@@ -28,6 +32,14 @@ pub(crate) struct StatsShared {
     /// Epoch close → unanimous outcome latency, the most recent
     /// [`LATENCY_WINDOW`] samples (one per epoch).
     latencies: Mutex<VecDeque<Duration>>,
+    /// The same latencies as a live log₂ histogram (microseconds),
+    /// unbounded in time: this is what the scrape endpoint exposes as
+    /// cumulative `_bucket` rows, next to the windowed percentiles.
+    pub(crate) close_latency_us: Histogram,
+    /// Aborted epochs by [`AbortReason`], indexed per
+    /// [`AbortReason::ALL`]. Sums to `epochs_aborted` by construction:
+    /// both are bumped in [`StatsShared::record_epoch`].
+    aborted_by_reason: [AtomicU64; AbortReason::ALL.len()],
     worker_threads: usize,
 }
 
@@ -44,26 +56,47 @@ impl StatsShared {
             asks_set: AtomicU64::new(0),
             asks_rejected: AtomicU64::new(0),
             latencies: Mutex::new(VecDeque::with_capacity(64)),
+            close_latency_us: Histogram::new(),
+            aborted_by_reason: std::array::from_fn(|_| AtomicU64::new(0)),
             worker_threads,
         }
     }
 
-    pub(crate) fn record_epoch(&self, latency: Duration, aborted: bool) {
+    /// Index of `reason` in the per-reason counter array.
+    fn reason_slot(reason: AbortReason) -> usize {
+        AbortReason::ALL.iter().position(|r| *r == reason).expect("reason in ALL")
+    }
+
+    pub(crate) fn record_epoch(&self, latency: Duration, abort: Option<AbortReason>) {
         // The per-epoch survivability split: under fault injection the
         // interesting question is how many epochs still cleared. The
         // closed total is *derived* from the split at snapshot time, so
         // `epochs_closed == epochs_cleared + epochs_aborted` holds in
         // every snapshot by construction, not by update ordering.
-        if aborted {
-            self.epochs_aborted.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.epochs_cleared.fetch_add(1, Ordering::Relaxed);
+        match abort {
+            Some(reason) => {
+                self.epochs_aborted.fetch_add(1, Ordering::Relaxed);
+                self.aborted_by_reason[StatsShared::reason_slot(reason)]
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.epochs_cleared.fetch_add(1, Ordering::Relaxed);
+            }
         }
+        self.close_latency_us.observe(latency.as_micros().min(u64::MAX as u128) as u64);
         let mut window = self.latencies.lock().expect("stats lock");
         if window.len() == LATENCY_WINDOW {
             window.pop_front();
         }
         window.push_back(latency);
+    }
+
+    /// Count an abort attribution without closing an epoch: the
+    /// journal's fail-stop path records its reason here right before the
+    /// process dies, so the flight dump's final stats carry it.
+    pub(crate) fn record_abort_reason(&self, reason: AbortReason) {
+        self.epochs_aborted.fetch_add(1, Ordering::Relaxed);
+        self.aborted_by_reason[StatsShared::reason_slot(reason)].fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(
@@ -73,6 +106,7 @@ impl StatsShared {
         enqueued: u64,
         queue_depth: usize,
         journal: Option<&Journal>,
+        chaos: ChaosStats,
     ) -> MarketStats {
         let latencies: Vec<Duration> =
             self.latencies.lock().expect("stats lock").iter().copied().collect();
@@ -85,6 +119,10 @@ impl StatsShared {
             epochs_closed,
             epochs_cleared,
             epochs_aborted,
+            epochs_aborted_by_reason: AbortBreakdown {
+                counts: std::array::from_fn(|i| self.aborted_by_reason[i].load(Ordering::Relaxed)),
+            },
+            chaos,
             bids_enqueued: enqueued,
             bids_accepted: self.bids_accepted.load(Ordering::Relaxed),
             bids_shed: shed_bids,
@@ -122,6 +160,33 @@ fn percentile(samples: &[Duration], q: f64) -> Duration {
     sorted[rank - 1]
 }
 
+/// Aborted-epoch counts broken down by [`AbortReason`] — the answer to
+/// *why* epochs aborted, where [`MarketStats::epochs_aborted`] only says
+/// how many.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AbortBreakdown {
+    /// Counts indexed per [`AbortReason::ALL`].
+    counts: [u64; AbortReason::ALL.len()],
+}
+
+impl AbortBreakdown {
+    /// Aborts attributed to `reason`.
+    pub fn get(&self, reason: AbortReason) -> u64 {
+        self.counts[AbortReason::ALL.iter().position(|r| *r == reason).expect("reason in ALL")]
+    }
+
+    /// Sum over all reasons; equals [`MarketStats::epochs_aborted`] in
+    /// any snapshot.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(reason, count)` pairs in [`AbortReason::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (AbortReason, u64)> + '_ {
+        AbortReason::ALL.into_iter().zip(self.counts.iter().copied())
+    }
+}
+
 /// Point-in-time view of a running (or just-drained) market.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MarketStats {
@@ -136,6 +201,12 @@ pub struct MarketStats {
     /// Epochs whose session read ⊥ (deadline, faults, or adversarial
     /// providers).
     pub epochs_aborted: u64,
+    /// `epochs_aborted` broken down by [`AbortReason`]; the totals
+    /// agree in every snapshot.
+    pub epochs_aborted_by_reason: AbortBreakdown,
+    /// Faults the chaos plan actually injected into the persistent mesh
+    /// (all zeros on a clean network).
+    pub chaos: ChaosStats,
     /// Submissions (bids and asks) that entered the ingress queue.
     pub bids_enqueued: u64,
     /// Bids accepted into an epoch's collectors.
@@ -209,13 +280,15 @@ mod tests {
     fn snapshot_reports_counters() {
         let s = StatsShared::new(6);
         s.bids_accepted.store(10, Ordering::Relaxed);
-        s.record_epoch(Duration::from_millis(5), false);
-        s.record_epoch(Duration::from_millis(7), true);
-        let snap = s.snapshot(3, 2, 14, 1, None);
+        s.record_epoch(Duration::from_millis(5), None);
+        s.record_epoch(Duration::from_millis(7), Some(AbortReason::Deadline));
+        let snap = s.snapshot(3, 2, 14, 1, None, ChaosStats::default());
         assert_eq!(snap.epochs_closed, 2);
         assert_eq!(snap.epochs_cleared, 1);
         assert_eq!(snap.epochs_aborted, 1);
         assert_eq!(snap.epochs_cleared + snap.epochs_aborted, snap.epochs_closed);
+        assert_eq!(snap.epochs_aborted_by_reason.get(AbortReason::Deadline), 1);
+        assert_eq!(snap.epochs_aborted_by_reason.total(), snap.epochs_aborted);
         assert_eq!(snap.bids_accepted, 10);
         assert_eq!(snap.bids_shed, 3);
         assert_eq!(snap.asks_shed, 2);
@@ -225,15 +298,36 @@ mod tests {
         assert_eq!(snap.epoch_latency_p99, Duration::from_millis(7));
         assert_eq!(snap.bids_seen(), 13, "shed asks must not count as bids");
         assert!(snap.sessions_per_sec > 0.0);
+        assert_eq!(snap.chaos.total(), 0);
+        // The live histogram saw both epochs.
+        assert_eq!(s.close_latency_us.count(), 2);
+        assert_eq!(s.close_latency_us.sum(), 12_000);
+    }
+
+    #[test]
+    fn abort_breakdown_attributes_every_reason() {
+        let s = StatsShared::new(1);
+        for reason in AbortReason::ALL {
+            s.record_epoch(Duration::from_millis(1), Some(reason));
+        }
+        s.record_abort_reason(AbortReason::JournalFailStop);
+        let snap = s.snapshot(0, 0, 0, 0, None, ChaosStats::default());
+        assert_eq!(snap.epochs_aborted, AbortReason::ALL.len() as u64 + 1);
+        assert_eq!(snap.epochs_aborted_by_reason.total(), snap.epochs_aborted);
+        assert_eq!(snap.epochs_aborted_by_reason.get(AbortReason::JournalFailStop), 2);
+        for (reason, count) in snap.epochs_aborted_by_reason.iter() {
+            let expected = if reason == AbortReason::JournalFailStop { 2 } else { 1 };
+            assert_eq!(count, expected, "{reason}");
+        }
     }
 
     #[test]
     fn latency_window_is_bounded() {
         let s = StatsShared::new(1);
         for i in 0..(LATENCY_WINDOW as u64 + 500) {
-            s.record_epoch(Duration::from_micros(i), false);
+            s.record_epoch(Duration::from_micros(i), None);
         }
-        let snap = s.snapshot(0, 0, 0, 0, None);
+        let snap = s.snapshot(0, 0, 0, 0, None, ChaosStats::default());
         assert_eq!(snap.epochs_closed, LATENCY_WINDOW as u64 + 500);
         // The window dropped the oldest samples: the median reflects the
         // recent half, not the all-time half.

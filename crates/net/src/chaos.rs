@@ -390,6 +390,62 @@ impl ChaosStats {
     pub fn total(&self) -> u64 {
         self.dropped + self.duplicated + self.reordered + self.delayed + self.corrupted
     }
+
+    /// Add `other`'s counters into this snapshot (used to aggregate the
+    /// per-worker transports of a pool).
+    pub fn merge(&mut self, other: &ChaosStats) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.delayed += other.delayed;
+        self.corrupted += other.corrupted;
+    }
+}
+
+/// Shared, cloneable fault counters — the live-observability twin of the
+/// per-transport [`ChaosStats`] snapshot.
+///
+/// A [`ChaosTransport`] is owned by its worker thread, so its private
+/// `stats()` are only readable at teardown; attach a `ChaosMetrics` (one
+/// handle per pool, cloned into every wrapper) and the same counts
+/// become visible mid-run to a scrape endpoint. Cloning shares the
+/// cells, mirroring [`TrafficMetrics`](crate::TrafficMetrics).
+#[derive(Debug, Clone, Default)]
+pub struct ChaosMetrics {
+    cells: std::sync::Arc<ChaosCells>,
+}
+
+#[derive(Debug, Default)]
+struct ChaosCells {
+    dropped: std::sync::atomic::AtomicU64,
+    duplicated: std::sync::atomic::AtomicU64,
+    reordered: std::sync::atomic::AtomicU64,
+    delayed: std::sync::atomic::AtomicU64,
+    corrupted: std::sync::atomic::AtomicU64,
+}
+
+impl ChaosMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> ChaosMetrics {
+        ChaosMetrics::default()
+    }
+
+    fn bump(&self, cell: &std::sync::atomic::AtomicU64) {
+        cell.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the counters (relaxed reads; exact once
+    /// the run has quiesced).
+    pub fn snapshot(&self) -> ChaosStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        ChaosStats {
+            dropped: self.cells.dropped.load(Relaxed),
+            duplicated: self.cells.duplicated.load(Relaxed),
+            reordered: self.cells.reordered.load(Relaxed),
+            delayed: self.cells.delayed.load(Relaxed),
+            corrupted: self.cells.corrupted.load(Relaxed),
+        }
+    }
 }
 
 /// A message parked in the delay stage.
@@ -462,6 +518,9 @@ pub struct ChaosTransport<T> {
     ready: VecDeque<(ProviderId, Bytes)>,
     seq: u64,
     stats: ChaosStats,
+    /// Optional shared counters bumped alongside `stats`, so a pool can
+    /// aggregate fault counts across its worker-owned transports live.
+    metrics: Option<ChaosMetrics>,
 }
 
 impl<T: Transport> ChaosTransport<T> {
@@ -485,7 +544,16 @@ impl<T: Transport> ChaosTransport<T> {
             ready: VecDeque::new(),
             seq: 0,
             stats: ChaosStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Attach shared counters: every future fault bump also lands in
+    /// `metrics`, making this wrapper's injections visible outside its
+    /// owning thread. Builder-style so it chains onto the constructors.
+    pub fn with_metrics(mut self, metrics: ChaosMetrics) -> ChaosTransport<T> {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The plan this wrapper is executing.
@@ -520,16 +588,25 @@ impl<T: Transport> ChaosTransport<T> {
             // The held message (if any) keeps waiting for the next
             // *delivered* successor or its hold bound.
             self.stats.dropped += 1;
+            if let Some(m) = &self.metrics {
+                m.bump(&m.cells.dropped);
+            }
             return;
         }
         let payload = if decision.corrupt {
             self.stats.corrupted += 1;
+            if let Some(m) = &self.metrics {
+                m.bump(&m.cells.corrupted);
+            }
             FaultPlan::corrupt_payload(&payload, decision.entropy)
         } else {
             payload
         };
         let copies = if decision.duplicate {
             self.stats.duplicated += 1;
+            if let Some(m) = &self.metrics {
+                m.bump(&m.cells.duplicated);
+            }
             2
         } else {
             1
@@ -545,12 +622,18 @@ impl<T: Transport> ChaosTransport<T> {
         for _ in 0..copies {
             if swap.is_none() && decision.reorder && self.held[slot].is_none() {
                 self.stats.reordered += 1;
+                if let Some(m) = &self.metrics {
+                    m.bump(&m.cells.reordered);
+                }
                 self.held[slot] = Some(Held {
                     payload: payload.clone(),
                     release_at: now + self.plan.reorder_hold,
                 });
             } else if let Some(extra) = decision.delay {
                 self.stats.delayed += 1;
+                if let Some(m) = &self.metrics {
+                    m.bump(&m.cells.delayed);
+                }
                 successor_at = now + extra;
                 self.park(from, payload.clone(), successor_at);
             } else {

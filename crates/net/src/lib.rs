@@ -65,7 +65,9 @@ pub mod shard;
 pub mod tcp;
 pub mod transport;
 
-pub use chaos::{ChaosStats, ChaosTransport, FaultDecision, FaultPlan, FaultPlanError};
+pub use chaos::{
+    ChaosMetrics, ChaosStats, ChaosTransport, FaultDecision, FaultPlan, FaultPlanError,
+};
 pub use frame::{
     frame, frame_wire_into, mux_frame_into, mux_pack, mux_unframe, mux_unpack, unframe,
     wire_decode, wire_encode, wire_encode_into, FrameAssembler, FrameError, WireError,

@@ -1,0 +1,569 @@
+//! The crash flight recorder: a bounded ring of the last N structured
+//! events, dumped as JSON on SIGUSR1, on fail-stop journal errors, and
+//! by `dauction flight-dump` — so the post-mortem of a crashed daemon
+//! starts from evidence, not a debugger.
+//!
+//! ## Ring design
+//!
+//! Writers claim a slot with one `fetch_add` on the head ticket —
+//! wait-free, no writer ever blocks another for the claim. The slot
+//! *contents* are exchanged under a per-slot spinlock (an `AtomicBool`
+//! guarding an `UnsafeCell`), held only for the duration of one
+//! `Option<FlightEvent>` swap. Two writers contend on the same slot
+//! only after the ring has wrapped a full capacity between them, so in
+//! practice the spin never spins; a mutexed ring would instead put
+//! every writer behind every other writer. Readers take the same
+//! per-slot locks slot-by-slot, so a dump never stalls recording for
+//! longer than one slot swap.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Severity of a flight event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlightLevel {
+    /// Normal lifecycle (epoch cleared, recovery replayed, …).
+    Info,
+    /// Degraded but alive (epoch aborted, bids shed, …).
+    Warn,
+    /// Fail-stop territory (journal error); a dump usually follows.
+    Error,
+}
+
+impl FlightLevel {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlightLevel::Info => "info",
+            FlightLevel::Warn => "warn",
+            FlightLevel::Error => "error",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<FlightLevel> {
+        [FlightLevel::Info, FlightLevel::Warn, FlightLevel::Error]
+            .into_iter()
+            .find(|l| l.label() == s)
+    }
+}
+
+/// One structured event in the ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEvent {
+    /// Monotonic sequence number, assigned by the ring at push.
+    pub seq: u64,
+    /// Offset from process telemetry start (the recorder's clock).
+    pub at: Duration,
+    /// Severity.
+    pub level: FlightLevel,
+    /// Event kind (`epoch_cleared`, `epoch_aborted`, `journal_error`,
+    /// `recovery`, `shed`, …).
+    pub kind: String,
+    /// Free-form key=value detail pairs.
+    pub fields: Vec<(String, String)>,
+}
+
+impl FlightEvent {
+    fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"at_us\":{},\"level\":\"{}\",\"kind\":\"{}\"",
+            self.seq,
+            self.at.as_micros(),
+            self.level.label(),
+            json_escape(&self.kind),
+        );
+        for (k, v) in &self.fields {
+            out.push_str(&format!(",\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+struct Slot {
+    taken: AtomicBool,
+    event: UnsafeCell<Option<FlightEvent>>,
+}
+
+// SAFETY: the `UnsafeCell` is only ever accessed while `taken` is held
+// (acquired via compare_exchange, released with a Release store), which
+// serializes all access to the cell.
+unsafe impl Sync for Slot {}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot { taken: AtomicBool::new(false), event: UnsafeCell::new(None) }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Option<FlightEvent>) -> R) -> R {
+        while self
+            .taken
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        // SAFETY: we hold the slot lock (see the Sync impl above).
+        let r = f(unsafe { &mut *self.event.get() });
+        self.taken.store(false, Ordering::Release);
+        r
+    }
+}
+
+/// A bounded ring of the last N [`FlightEvent`]s. Capacity 0 disables
+/// recording entirely (every push is a no-op), so a disabled recorder
+/// costs one branch.
+pub struct FlightRecorder {
+    slots: Vec<Slot>,
+    head: AtomicU64,
+    origin: std::time::Instant,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` events.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            head: AtomicU64::new(0),
+            origin: std::time::Instant::now(),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Record an event. Wait-free slot claim; see the module docs.
+    pub fn record(&self, level: FlightLevel, kind: &str, fields: &[(&str, String)]) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let event = FlightEvent {
+            seq,
+            at: self.origin.elapsed(),
+            level,
+            kind: kind.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        };
+        self.slots[(seq % self.slots.len() as u64) as usize].with(|slot| *slot = Some(event));
+    }
+
+    /// Snapshot the retained events in sequence order.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        let mut events: Vec<FlightEvent> =
+            self.slots.iter().filter_map(|slot| slot.with(|e| e.clone())).collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Dump the ring as a JSON object (`{"recorded":N,"events":[...]}`),
+    /// newline-terminated — the format `dauction flight-dump` reads.
+    pub fn dump_json(&self) -> String {
+        let events = self.events();
+        let mut out = format!(
+            "{{\"recorded\":{},\"capacity\":{},\"events\":[",
+            self.recorded(),
+            self.capacity()
+        );
+        for (i, event) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&event.to_json());
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A decoded flight dump, as produced by [`FlightRecorder::dump_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// Total events ever recorded by the dumping process.
+    pub recorded: u64,
+    /// Ring capacity of the dumping process.
+    pub capacity: u64,
+    /// The retained events.
+    pub events: Vec<FlightEvent>,
+}
+
+impl FlightDump {
+    /// Parse a dump produced by [`FlightRecorder::dump_json`]. This is
+    /// a minimal single-purpose JSON reader (the build is offline — no
+    /// serde), strict about the dump's own shape and tolerant of
+    /// unknown string fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct.
+    pub fn parse(text: &str) -> Result<FlightDump, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos < p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        let obj = value.as_object().ok_or("top level is not an object")?;
+        let recorded =
+            obj.get("recorded").and_then(Json::as_u64).ok_or("missing numeric \"recorded\"")?;
+        let capacity =
+            obj.get("capacity").and_then(Json::as_u64).ok_or("missing numeric \"capacity\"")?;
+        let raw_events =
+            obj.get("events").and_then(Json::as_array).ok_or("missing array \"events\"")?;
+        let mut events = Vec::with_capacity(raw_events.len());
+        for raw in raw_events {
+            let event = raw.as_object().ok_or("event is not an object")?;
+            let seq = event.get("seq").and_then(Json::as_u64).ok_or("event missing seq")?;
+            let at_us = event.get("at_us").and_then(Json::as_u64).ok_or("event missing at_us")?;
+            let level = event
+                .get("level")
+                .and_then(Json::as_str)
+                .and_then(FlightLevel::from_label)
+                .ok_or("event missing level")?;
+            let kind =
+                event.get("kind").and_then(Json::as_str).ok_or("event missing kind")?.to_string();
+            let fields = event
+                .iter()
+                .filter(|(k, _)| !matches!(k.as_str(), "seq" | "at_us" | "level" | "kind"))
+                .filter_map(|(k, v)| v.as_str().map(|s| (k.clone(), s.to_string())))
+                .collect();
+            events.push(FlightEvent { seq, at: Duration::from_micros(at_us), level, kind, fields });
+        }
+        Ok(FlightDump { recorded, capacity, events })
+    }
+}
+
+/// The tiny JSON value model the parser produces. Objects keep
+/// insertion order (a Vec, not a map) so field order survives decoding.
+enum Json {
+    Null,
+    // The dump format never reads booleans back, but the parser must
+    // still accept them to stay a total JSON reader.
+    #[allow(dead_code)]
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&Vec<(String, Json)>> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Ordered-object field lookup.
+trait FieldLookup {
+    fn get(&self, key: &str) -> Option<&Json>;
+}
+
+impl FieldLookup for Vec<(String, Json)> {
+    fn get(&self, key: &str) -> Option<&Json> {
+        self.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected '{word}' at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x80 => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                c => {
+                    return Err(format!("expected ',' or ']' got '{}' at {}", c as char, self.pos))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                c => {
+                    return Err(format!("expected ',' or '}}' got '{}' at {}", c as char, self.pos))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let recorder = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            recorder.record(FlightLevel::Info, "tick", &[("i", i.to_string())]);
+        }
+        assert_eq!(recorder.recorded(), 10);
+        let events = recorder.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        assert_eq!(events[0].fields, vec![("i".to_string(), "6".to_string())]);
+    }
+
+    #[test]
+    fn capacity_zero_disables() {
+        let recorder = FlightRecorder::new(0);
+        recorder.record(FlightLevel::Error, "boom", &[]);
+        assert_eq!(recorder.recorded(), 0);
+        assert!(recorder.events().is_empty());
+        assert!(recorder.dump_json().contains("\"events\":[]"));
+    }
+
+    #[test]
+    fn dump_roundtrips_through_parse() {
+        let recorder = FlightRecorder::new(8);
+        recorder.record(FlightLevel::Info, "epoch_cleared", &[("epoch", "0".into())]);
+        recorder.record(
+            FlightLevel::Warn,
+            "epoch_aborted",
+            &[("epoch", "1".into()), ("reason", "deadline".into())],
+        );
+        recorder.record(
+            FlightLevel::Error,
+            "journal_error",
+            &[("detail", "disk \"full\"\n".into())],
+        );
+        let dump = FlightDump::parse(&recorder.dump_json()).expect("parse");
+        assert_eq!(dump.recorded, 3);
+        assert_eq!(dump.capacity, 8);
+        assert_eq!(dump.events.len(), 3);
+        assert_eq!(dump.events[1].kind, "epoch_aborted");
+        assert_eq!(dump.events[1].fields[1], ("reason".to_string(), "deadline".to_string()));
+        assert_eq!(dump.events[2].level, FlightLevel::Error);
+        assert_eq!(dump.events[2].fields[0].1, "disk \"full\"\n");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(FlightDump::parse("").is_err());
+        assert!(FlightDump::parse("[]").is_err());
+        assert!(FlightDump::parse("{\"recorded\":1}").is_err());
+        assert!(FlightDump::parse("{\"recorded\":1,\"capacity\":2,\"events\":[}").is_err());
+        assert!(FlightDump::parse("{\"recorded\":1,\"capacity\":2,\"events\":[]} x").is_err());
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_the_claim() {
+        let recorder = std::sync::Arc::new(FlightRecorder::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let r = std::sync::Arc::clone(&recorder);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    r.record(FlightLevel::Info, "w", &[("t", t.to_string()), ("i", i.to_string())]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("writer");
+        }
+        assert_eq!(recorder.recorded(), 2000);
+        let events = recorder.events();
+        assert_eq!(events.len(), 64);
+        // The retained window is the last 64 sequence numbers.
+        assert!(events.iter().all(|e| e.seq >= 2000 - 64));
+    }
+}

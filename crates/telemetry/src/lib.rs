@@ -1,0 +1,39 @@
+//! The unified telemetry plane for the distributed auctioneer.
+//!
+//! Three pillars, one std-only crate (offline build, zero new vendored
+//! deps — the same from-scratch discipline as the CRC-32/SHA-256):
+//!
+//! 1. **Metrics** ([`metrics`]): lock-free [`Counter`]/[`Gauge`] cells
+//!    and log₂-bucketed [`Histogram`]s behind a global-free
+//!    [`Registry`] handle, plus scrape-time collectors that adapt the
+//!    stack's existing snapshot APIs (`TrafficSnapshot`, `MarketStats`,
+//!    `ChaosStats`) into named families — rendered in the Prometheus
+//!    text exposition format and served by [`MetricsServer`] over a
+//!    hand-rolled HTTP/1.0 responder.
+//! 2. **Tracing** ([`trace`]): a per-epoch [`EpochTrace`] span tree
+//!    (ingress → collect → dispatch → session blocks → clear/seal) with
+//!    seeded-deterministic [`SpanId`]s — identical runs produce
+//!    byte-identical traces — and the [`AbortReason`] taxonomy that
+//!    explains every aborted epoch.
+//! 3. **Flight recorder** ([`flight`]): a bounded wait-free-claim ring
+//!    of the last N structured events, dumped as JSON on SIGUSR1, on
+//!    fail-stop journal errors, and by `dauction flight-dump`.
+//!
+//! This crate sits below every other workspace crate (it depends on
+//! nothing but std) so any layer can emit telemetry without creating a
+//! dependency cycle.
+
+#![deny(missing_docs)]
+
+pub mod flight;
+pub mod metrics;
+pub mod scrape;
+pub mod trace;
+
+pub use flight::{FlightDump, FlightEvent, FlightLevel, FlightRecorder};
+pub use metrics::{
+    bucket_upper_bound, Counter, Family, Gauge, Histogram, MetricKind, Registry, Sample,
+    HISTOGRAM_BUCKETS,
+};
+pub use scrape::{MetricsServer, EXPOSITION_CONTENT_TYPE};
+pub use trace::{AbortReason, EpochTrace, SpanId, SpanRecord, TraceRing};

@@ -1,0 +1,182 @@
+//! A minimal HTTP/1.0 scrape endpoint for a [`Registry`].
+//!
+//! Hand-rolled on `std::net::TcpListener` in the same from-scratch
+//! spirit as the vendored CRC-32/SHA-256: a scrape server needs exactly
+//! one verb (`GET`), one status line, and `Connection: close` semantics,
+//! so an HTTP library would be all liability and no leverage. One
+//! accept-loop thread serves each connection inline — scrapes are rare
+//! (seconds apart) and responses are small, so per-connection threads
+//! would only add moving parts.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::Registry;
+
+/// How long a single scrape connection may take to send its request
+/// line before being dropped: a scraper that stalls must not wedge the
+/// accept loop.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The content type of the Prometheus text exposition format.
+pub const EXPOSITION_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// A running scrape server. Dropping the handle shuts the listener
+/// down and joins the accept thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn bind(addr: &str, registry: Registry) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_thread = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("metrics-scrape".into())
+            .spawn(move || accept_loop(listener, registry, stop_thread))
+            .expect("spawn metrics-scrape thread");
+        Ok(MetricsServer { addr, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in accept(); a throwaway self-connect
+        // wakes it so it can observe the stop flag and exit.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Registry, stop: Arc<AtomicBool>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // A misbehaving client only loses its own connection.
+        let _ = serve_connection(stream, &registry);
+    }
+}
+
+/// Read the request line, route, respond, close.
+fn serve_connection(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(REQUEST_TIMEOUT))?;
+    stream.set_write_timeout(Some(REQUEST_TIMEOUT))?;
+
+    // Read until the end of the request line; the rest of the request
+    // (headers, if any) is irrelevant to a scrape and is discarded.
+    let mut buf = [0u8; 1024];
+    let mut request = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        request.extend_from_slice(&buf[..n]);
+        if request.contains(&b'\n') || request.len() >= 8 * 1024 {
+            break;
+        }
+    }
+    let line = String::from_utf8_lossy(&request);
+    let line = line.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => ("200 OK", EXPOSITION_CONTENT_TYPE, registry.render()),
+        ("GET", "/") => ("200 OK", "text/plain; charset=utf-8", "see /metrics\n".to_string()),
+        ("GET", _) => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+        _ => ("405 Method Not Allowed", "text/plain; charset=utf-8", "GET only\n".to_string()),
+    };
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes()).expect("write request");
+        let mut reader = BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).expect("status line");
+        let mut body = String::new();
+        let mut in_body = false;
+        let mut line = String::new();
+        while reader.read_line(&mut line).expect("read") > 0 {
+            if in_body {
+                body.push_str(&line);
+            } else if line == "\r\n" {
+                in_body = true;
+            }
+            line.clear();
+        }
+        (status, body)
+    }
+
+    #[test]
+    fn serves_metrics_and_404s() {
+        let registry = Registry::new();
+        let c = registry.counter("scrapes_total", "Scrapes.");
+        c.add(2);
+        let mut server = MetricsServer::bind("127.0.0.1:0", registry).expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = http_get(addr, "/metrics");
+        assert!(status.starts_with("HTTP/1.0 200"), "{status}");
+        assert!(body.contains("scrapes_total 2\n"), "{body}");
+
+        let (status, _) = http_get(addr, "/nope");
+        assert!(status.starts_with("HTTP/1.0 404"), "{status}");
+
+        server.shutdown();
+        // Shutdown is idempotent and the port is released.
+        server.shutdown();
+    }
+}

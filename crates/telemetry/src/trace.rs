@@ -1,0 +1,334 @@
+//! Structured epoch tracing: a per-epoch span tree with
+//! seeded-deterministic span IDs, and the [`AbortReason`] taxonomy that
+//! turns the market's single opaque abort counter into an explanation.
+//!
+//! Spans are recorded as flat [`SpanRecord`]s carrying a parent ID
+//! rather than a nested structure: the tree is reconstructed by readers
+//! (the JSON dump groups by parent), while writers never allocate more
+//! than the one record they are pushing.
+//!
+//! Span IDs are **deterministic**: derived from the epoch's trace seed,
+//! the parent span ID, and the span name via splitmix64. Two runs of the
+//! same seeded configuration produce byte-identical span IDs, so traces
+//! can be diffed across runs — the same reproducibility contract the
+//! engine already honours for auction outcomes.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Why an epoch aborted. Recorded on every aborted epoch; `Unknown`
+/// never appears in practice (the market classifies every abort) but
+/// exists so decoding unversioned dumps stays total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbortReason {
+    /// A session missed its deadline and the engine pinned ⊥.
+    Deadline,
+    /// Providers decided but disagreed (⊥-divergence under Definition 1).
+    Divergence,
+    /// A configured chaos plan perturbed the wire (drop/dup/reorder/
+    /// delay/corrupt) and the epoch failed under it.
+    ChaosFault,
+    /// A configured adversary strategy (equivocation, selective
+    /// silence, …) forced the abort.
+    Adversary,
+    /// The write-ahead journal fail-stopped mid-epoch.
+    JournalFailStop,
+    /// Classification was impossible (only in decoded foreign dumps).
+    Unknown,
+}
+
+impl AbortReason {
+    /// All reasons, in display order — the scrape output emits one
+    /// labelled row per reason so the set is fixed, not data-driven.
+    pub const ALL: [AbortReason; 6] = [
+        AbortReason::Deadline,
+        AbortReason::Divergence,
+        AbortReason::ChaosFault,
+        AbortReason::Adversary,
+        AbortReason::JournalFailStop,
+        AbortReason::Unknown,
+    ];
+
+    /// Stable lowercase label (used in metric labels and JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::Deadline => "deadline",
+            AbortReason::Divergence => "divergence",
+            AbortReason::ChaosFault => "chaos_fault",
+            AbortReason::Adversary => "adversary",
+            AbortReason::JournalFailStop => "journal_fail_stop",
+            AbortReason::Unknown => "unknown",
+        }
+    }
+
+    /// Inverse of [`AbortReason::label`]; `None` for foreign strings.
+    pub fn from_label(s: &str) -> Option<AbortReason> {
+        AbortReason::ALL.into_iter().find(|r| r.label() == s)
+    }
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// splitmix64 — the same tiny deterministic mixer the engine family
+/// uses for seed fan-out. Good dispersion, no state, no allocation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a span name: folds the name into the ID derivation so
+/// sibling spans get distinct IDs.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A span identifier: deterministic given (trace seed, parent, name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The root span ID of a trace with the given seed.
+    pub fn root(seed: u64) -> SpanId {
+        SpanId(splitmix64(seed))
+    }
+
+    /// Derive a child span ID. Same parent + same name → same ID, so
+    /// names of siblings must be distinct (the market suffixes repeated
+    /// names with an index, e.g. `session[3]`).
+    pub fn child(self, seed: u64, name: &str) -> SpanId {
+        SpanId(splitmix64(seed ^ self.0.rotate_left(17) ^ fnv1a(name)))
+    }
+}
+
+/// One completed span: a flat record in its trace's span list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// This span's deterministic ID.
+    pub id: SpanId,
+    /// Parent span ID (`None` for the root).
+    pub parent: Option<SpanId>,
+    /// Span name (`ingress`, `collect`, `dispatch`, `session[i]`,
+    /// `clear`, `seal`).
+    pub name: String,
+    /// Offset of the span start from the trace origin.
+    pub start: Duration,
+    /// Span duration.
+    pub duration: Duration,
+}
+
+/// A per-epoch span tree, built incrementally as the epoch moves
+/// through the market pipeline (ingress → collect → dispatch → session
+/// blocks → clear/seal) and finished exactly once.
+#[derive(Debug, Clone)]
+pub struct EpochTrace {
+    /// Epoch index within the run.
+    pub epoch: u64,
+    /// Session ID the epoch cleared under.
+    pub session: u64,
+    /// The seed span IDs derive from.
+    pub seed: u64,
+    /// Root span ID.
+    pub root: SpanId,
+    /// Completed spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Whether the epoch cleared (`None`) or why it aborted.
+    pub abort: Option<AbortReason>,
+    /// Total epoch duration (root span length), set at finish.
+    pub total: Duration,
+}
+
+impl EpochTrace {
+    /// Open a trace for `epoch` clearing under `session`, with the
+    /// epoch's deterministic seed.
+    pub fn new(epoch: u64, session: u64, seed: u64) -> EpochTrace {
+        EpochTrace {
+            epoch,
+            session,
+            seed,
+            root: SpanId::root(seed),
+            spans: Vec::with_capacity(8),
+            abort: None,
+            total: Duration::ZERO,
+        }
+    }
+
+    /// Record a completed child of the root.
+    pub fn span(&mut self, name: &str, start: Duration, duration: Duration) -> SpanId {
+        self.span_under(self.root, name, start, duration)
+    }
+
+    /// Record a completed span under an explicit parent. Returns the
+    /// new span's ID so callers can hang grandchildren off it.
+    pub fn span_under(
+        &mut self,
+        parent: SpanId,
+        name: &str,
+        start: Duration,
+        duration: Duration,
+    ) -> SpanId {
+        let id = parent.child(self.seed, name);
+        self.spans.push(SpanRecord {
+            id,
+            parent: Some(parent),
+            name: name.to_string(),
+            start,
+            duration,
+        });
+        id
+    }
+
+    /// Finish the trace: record the root span and the outcome.
+    pub fn finish(&mut self, total: Duration, abort: Option<AbortReason>) {
+        self.total = total;
+        self.abort = abort;
+        self.spans.push(SpanRecord {
+            id: self.root,
+            parent: None,
+            name: "epoch".to_string(),
+            start: Duration::ZERO,
+            duration: total,
+        });
+    }
+
+    /// Serialize as a single JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.spans.len() * 96);
+        out.push_str(&format!(
+            "{{\"epoch\":{},\"session\":{},\"seed\":{},\"abort\":",
+            self.epoch, self.session, self.seed
+        ));
+        match self.abort {
+            Some(reason) => out.push_str(&format!("\"{}\"", reason.label())),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(",\"total_us\":{},\"spans\":[", self.total.as_micros()));
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":\"{:016x}\",\"parent\":{},\"name\":\"{}\",\"start_us\":{},\"duration_us\":{}}}",
+                span.id.0,
+                match span.parent {
+                    Some(p) => format!("\"{:016x}\"", p.0),
+                    None => "null".to_string(),
+                },
+                span.name,
+                span.start.as_micros(),
+                span.duration.as_micros(),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A bounded ring of the most recent finished traces. Writers push
+/// under a mutex (trace completion is once per epoch — far off any hot
+/// path); readers snapshot the whole ring.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    ring: Mutex<Vec<EpochTrace>>,
+}
+
+impl TraceRing {
+    /// A ring holding the last `capacity` traces (0 disables pushes).
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing { capacity, ring: Mutex::new(Vec::new()) }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Push a finished trace, evicting the oldest beyond capacity.
+    pub fn push(&self, trace: EpochTrace) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("trace ring lock");
+        if ring.len() == self.capacity {
+            ring.remove(0);
+        }
+        ring.push(trace);
+    }
+
+    /// Snapshot the retained traces, oldest first.
+    pub fn recent(&self) -> Vec<EpochTrace> {
+        self.ring.lock().expect("trace ring lock").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_ids_are_deterministic() {
+        let a = EpochTrace::new(3, 10, 424_242);
+        let b = EpochTrace::new(3, 10, 424_242);
+        assert_eq!(a.root, b.root);
+        assert_eq!(a.root.child(a.seed, "collect"), b.root.child(b.seed, "collect"));
+        // Different seeds, names, or parents diverge.
+        assert_ne!(a.root, SpanId::root(424_243));
+        assert_ne!(a.root.child(a.seed, "collect"), a.root.child(a.seed, "dispatch"));
+        let c1 = a.root.child(a.seed, "dispatch");
+        assert_ne!(c1.child(a.seed, "session[0]"), a.root.child(a.seed, "session[0]"));
+    }
+
+    #[test]
+    fn trace_builds_a_tree_and_serializes() {
+        let mut t = EpochTrace::new(0, 1, 7);
+        t.span("ingress", Duration::from_micros(0), Duration::from_micros(5));
+        let dispatch = t.span("dispatch", Duration::from_micros(5), Duration::from_micros(20));
+        t.span_under(dispatch, "session[0]", Duration::from_micros(6), Duration::from_micros(10));
+        t.finish(Duration::from_micros(30), Some(AbortReason::Deadline));
+        assert_eq!(t.spans.len(), 4);
+        assert_eq!(t.spans.last().unwrap().name, "epoch");
+        let json = t.to_json();
+        assert!(json.contains("\"abort\":\"deadline\""), "{json}");
+        assert!(json.contains("\"name\":\"session[0]\""), "{json}");
+        assert!(json.contains("\"total_us\":30"), "{json}");
+    }
+
+    #[test]
+    fn abort_reason_labels_roundtrip() {
+        for reason in AbortReason::ALL {
+            assert_eq!(AbortReason::from_label(reason.label()), Some(reason));
+        }
+        assert_eq!(AbortReason::from_label("gremlins"), None);
+    }
+
+    #[test]
+    fn trace_ring_is_bounded() {
+        let ring = TraceRing::new(2);
+        for epoch in 0..5 {
+            let mut t = EpochTrace::new(epoch, 1, epoch);
+            t.finish(Duration::ZERO, None);
+            ring.push(t);
+        }
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].epoch, 3);
+        assert_eq!(recent[1].epoch, 4);
+        // Capacity 0 disables retention entirely.
+        let off = TraceRing::new(0);
+        let mut t = EpochTrace::new(0, 1, 0);
+        t.finish(Duration::ZERO, None);
+        off.push(t);
+        assert!(off.recent().is_empty());
+    }
+}

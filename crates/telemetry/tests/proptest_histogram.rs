@@ -1,0 +1,100 @@
+//! Property tests for the log₂ histogram: the two invariants the scrape
+//! output relies on, checked over arbitrary observation sets.
+//!
+//! * **Count conservation**: the per-bucket counts sum exactly to the
+//!   observation count, the cumulative `_bucket` rows are monotone, the
+//!   `+Inf` row equals `_count`, and `_sum` is the exact sum — no
+//!   observation is ever lost or double-counted by the bucketing.
+//! * **Bounded relative quantile error**: for any quantile `q`, the
+//!   estimate `e` and the true nearest-rank quantile `v` satisfy
+//!   `v ≤ e` and `e < 2·max(v, 1)` — the log₂ boundary guarantee.
+
+use proptest::prelude::*;
+
+use dauctioneer_telemetry::{bucket_upper_bound, Histogram, HISTOGRAM_BUCKETS};
+
+/// Nearest-rank true quantile of a sorted sample.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Observation sets that cover every bucket regime: small dense values,
+/// wide magnitudes, and the saturating top end.
+fn arb_observations() -> impl Strategy<Value = Vec<u64>> {
+    let small = 0u64..64;
+    let wide = (0u32..63).prop_map(|shift| 1u64 << shift);
+    let extreme = prop_oneof![Just(0u64), Just(u64::MAX), Just(u64::MAX - 1)];
+    proptest::collection::vec(prop_oneof![4 => small, 3 => wide, 1 => extreme], 1..200)
+}
+
+proptest! {
+    #[test]
+    fn buckets_conserve_counts(values in arb_observations()) {
+        let h = Histogram::new();
+        let mut sum = 0u128;
+        for &v in &values {
+            h.observe(v);
+            sum += v as u128;
+        }
+        let counts = h.bucket_counts();
+        prop_assert_eq!(counts.len(), HISTOGRAM_BUCKETS);
+        prop_assert_eq!(counts.iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        // The sum cell is a u64 accumulator: exact modulo 2^64, which
+        // equals the true sum whenever it fits (the realistic case for
+        // microsecond latencies).
+        prop_assert_eq!(h.sum(), sum as u64);
+
+        // Every observation landed in a bucket whose bounds contain it.
+        for &v in &values {
+            let i = counts
+                .iter()
+                .enumerate()
+                .position(|(i, _)| v <= bucket_upper_bound(i))
+                .expect("some bucket bounds v");
+            prop_assert!(counts[i] > 0, "value {} maps to an empty bucket {}", v, i);
+        }
+
+        // Exposition rows: cumulative, monotone, +Inf == _count.
+        let samples = h.to_samples(&[]);
+        let bucket_values: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.suffix == "_bucket")
+            .map(|s| s.value)
+            .collect();
+        prop_assert!(bucket_values.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*bucket_values.last().expect("+Inf row"), values.len() as f64);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded(
+        values in arb_observations(),
+        q in 0.01f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &v in &values {
+            h.observe(v);
+        }
+        let truth = true_quantile(&sorted, q);
+        let estimate = h.quantile(q);
+        // Never under-reports…
+        prop_assert!(
+            estimate >= truth,
+            "estimate {} under-reports true quantile {}",
+            estimate, truth
+        );
+        // …and over-reports by strictly less than 2× (the bucket's
+        // lower bound is half its upper bound), except the unbounded
+        // top bucket whose estimate saturates at u64::MAX.
+        if truth < (1u64 << 63) {
+            prop_assert!(
+                estimate < 2 * truth.max(1),
+                "estimate {} exceeds 2x true quantile {}",
+                estimate, truth
+            );
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Scrape-endpoint contract tests: a golden exposition-format check
+//! against a fixed registry, and a concurrent scrape-under-load smoke.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dauctioneer_telemetry::{
+    Family, MetricKind, MetricsServer, Registry, Sample, EXPOSITION_CONTENT_TYPE,
+};
+
+fn http_get(addr: SocketAddr, path: &str) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").as_bytes())
+        .expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    let mut lines = head.lines();
+    let status = lines.next().expect("status line").to_string();
+    let content_type =
+        lines.filter_map(|l| l.strip_prefix("Content-Type: ")).next().unwrap_or("").to_string();
+    (status, content_type, body.to_string())
+}
+
+/// A fixed registry must render byte-for-byte the expected exposition —
+/// the golden file for the text format this crate promises.
+#[test]
+fn golden_exposition_format() {
+    let registry = Registry::new();
+    let cleared = registry.counter("market_epochs_cleared_total", "Epochs cleared.");
+    cleared.add(41);
+    let depth = registry.gauge("market_ingress_queue_depth", "Bids waiting.");
+    depth.set(7.0);
+    let lat = registry.histogram("epoch_close_latency_us", "Close latency in microseconds.");
+    lat.observe(0);
+    lat.observe(3);
+    lat.observe(3);
+    registry.register_collector(|| {
+        vec![Family {
+            name: "chaos_faults_injected_total".into(),
+            help: "Faults by kind.".into(),
+            kind: MetricKind::Counter,
+            samples: vec![
+                Sample::labelled("kind", "dropped", 5.0),
+                Sample::labelled("kind", "corrupted", 2.0),
+            ],
+        }]
+    });
+
+    let golden = "\
+# HELP market_epochs_cleared_total Epochs cleared.
+# TYPE market_epochs_cleared_total counter
+market_epochs_cleared_total 41
+# HELP market_ingress_queue_depth Bids waiting.
+# TYPE market_ingress_queue_depth gauge
+market_ingress_queue_depth 7
+# HELP epoch_close_latency_us Close latency in microseconds.
+# TYPE epoch_close_latency_us histogram
+epoch_close_latency_us_bucket{le=\"0\"} 1
+epoch_close_latency_us_bucket{le=\"1\"} 1
+epoch_close_latency_us_bucket{le=\"3\"} 3
+epoch_close_latency_us_bucket{le=\"+Inf\"} 3
+epoch_close_latency_us_sum 6
+epoch_close_latency_us_count 3
+# HELP chaos_faults_injected_total Faults by kind.
+# TYPE chaos_faults_injected_total counter
+chaos_faults_injected_total{kind=\"dropped\"} 5
+chaos_faults_injected_total{kind=\"corrupted\"} 2
+";
+    assert_eq!(registry.render(), golden);
+
+    // And the same bytes arrive over HTTP with the exposition content type.
+    let server = MetricsServer::bind("127.0.0.1:0", registry).expect("bind");
+    let (status, content_type, body) = http_get(server.local_addr(), "/metrics");
+    assert!(status.starts_with("HTTP/1.0 200"), "{status}");
+    assert_eq!(content_type, EXPOSITION_CONTENT_TYPE);
+    assert_eq!(body, golden);
+}
+
+/// Scrapes racing live instrument updates must always see a parseable,
+/// internally consistent exposition — never a torn line or a histogram
+/// whose +Inf row disagrees with its count's monotonicity.
+#[test]
+fn concurrent_scrape_under_load_smoke() {
+    let registry = Registry::new();
+    let counter = registry.counter("load_ops_total", "Ops.");
+    let hist = registry.histogram("load_latency_us", "Latency.");
+    let server = MetricsServer::bind("127.0.0.1:0", registry).expect("bind");
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer_stop = Arc::clone(&stop);
+    let writer = std::thread::spawn(move || {
+        let mut v = 0u64;
+        while !writer_stop.load(Ordering::Relaxed) {
+            counter.inc();
+            hist.observe(v % 10_000);
+            v = v.wrapping_add(97);
+        }
+    });
+
+    let scrapers: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut last_count = 0.0f64;
+                for _ in 0..20 {
+                    let (status, _, body) = http_get(addr, "/metrics");
+                    assert!(status.starts_with("HTTP/1.0 200"), "{status}");
+                    // Every line is either a comment or `name[{labels}] value`.
+                    for line in body.lines() {
+                        if line.starts_with('#') {
+                            continue;
+                        }
+                        let value = line.rsplit(' ').next().expect("value column");
+                        value.parse::<f64>().unwrap_or_else(|_| {
+                            panic!("unparseable sample line under load: {line}")
+                        });
+                    }
+                    // The counter never goes backwards across scrapes.
+                    let count: f64 = body
+                        .lines()
+                        .find(|l| l.starts_with("load_ops_total "))
+                        .and_then(|l| l.rsplit(' ').next())
+                        .and_then(|v| v.parse().ok())
+                        .expect("load_ops_total present");
+                    assert!(count >= last_count, "counter regressed: {count} < {last_count}");
+                    last_count = count;
+                }
+            })
+        })
+        .collect();
+
+    for s in scrapers {
+        s.join().expect("scraper");
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer");
+    std::thread::sleep(Duration::from_millis(1));
+}

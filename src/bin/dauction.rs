@@ -10,6 +10,8 @@
 //! * **`verify-log`**: walk a journal's hash-chained settlement log
 //!   offline and certify it (exit 1 naming the first divergent seal on
 //!   tamper).
+//! * **`flight-dump`**: pretty-print a crash flight-recorder dump (the
+//!   JSON a SIGUSR1 or a fail-stop journal error writes).
 //!
 //! ```text
 //! dauction [--auction double|standard] [--n USERS] [--m PROVIDERS] [--k COALITION]
@@ -19,7 +21,9 @@
 //!          [--n USERS] [--m PROVIDERS] [--k COALITION] [--seed SEED]
 //!          [--transport inproc|tcp] [--shards S] [--chaos SPEC]
 //!          [--journal PATH] [--fsync always|never|every=N] [--recover]
+//!          [--metrics-addr HOST:PORT] [--flight-path PATH] [--heartbeat-ms D]
 //! dauction verify-log <PATH>
+//! dauction flight-dump <PATH>
 //! ```
 //!
 //! `--chaos` injects seeded link faults into the persistent mesh; the
@@ -33,6 +37,14 @@
 //! settlement chain. `--recover` resumes an existing journal after a
 //! crash, re-clearing unsealed epochs to byte-identical outcomes
 //! (`--recover --epochs 0` recovers, reports, and exits).
+//!
+//! `--metrics-addr` serves every market/net/chaos/journal counter in the
+//! Prometheus text exposition format (`curl http://HOST:PORT/metrics`).
+//! While serving, `kill -USR1 <pid>` dumps the crash flight recorder —
+//! the last N structured market events — as JSON to `--flight-path` (or
+//! stdout); a fail-stop journal error writes the same dump on its way
+//! down. `--heartbeat-ms` prints a one-line stats heartbeat at that
+//! cadence (0 disables; default 2000).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -43,12 +55,14 @@ use dauctioneer::core::{
     TransportKind,
 };
 use dauctioneer::market::{
-    verify_log, EpochPolicy, FsyncPolicy, JournalConfig, MarketConfig, MarketService,
+    register_market_metrics, verify_log, EpochPolicy, FsyncPolicy, JournalConfig, MarketConfig,
+    MarketService,
 };
 use dauctioneer::mechanisms::solver::BranchBoundConfig;
 use dauctioneer::mechanisms::{StandardAuction, StandardAuctionConfig};
 use dauctioneer::net::LatencyModel;
 use dauctioneer::sim::{run_timed_auction, LinkModel};
+use dauctioneer::telemetry::{FlightDump, MetricsServer, Registry};
 use dauctioneer::types::{Outcome, ProviderId, UserId};
 use dauctioneer::workload::{
     epoch_supply, ArrivalProcess, DoubleAuctionWorkload, StandardAuctionWorkload,
@@ -114,7 +128,8 @@ const HELP: &str = "usage: dauction [--auction double|standard] [--n USERS] [--m
 [--epoch-bids N] [--epoch-ms D] [--n USERS] [--m PROVIDERS] [--k COALITION] [--seed SEED] \
 [--transport inproc|tcp] [--shards S] [--deadline-ms D] [--chaos drop=P,dup=P,reorder=P,\
 delay=P,delay-ms=A..B,corrupt=P,seed=S,hold-ms=H] [--journal PATH] \
-[--fsync always|never|every=N] [--recover]\n       dauction verify-log PATH";
+[--fsync always|never|every=N] [--recover] [--metrics-addr HOST:PORT] [--flight-path PATH] \
+[--heartbeat-ms D]\n       dauction verify-log PATH\n       dauction flight-dump PATH";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -129,6 +144,9 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("verify-log") {
         std::process::exit(verify_log_main(&argv[1..]));
+    }
+    if argv.first().map(String::as_str) == Some("flight-dump") {
+        std::process::exit(flight_dump_main(&argv[1..]));
     }
     let args = match Args::parse() {
         Ok(a) => a,
@@ -236,6 +254,90 @@ fn verify_log_main(argv: &[String]) -> i32 {
     }
 }
 
+/// The `flight-dump` subcommand: read a flight-recorder JSON dump (as
+/// written on SIGUSR1 or by a fail-stop journal error) and pretty-print
+/// it one event per line. Exits 1 on an unreadable or malformed dump.
+fn flight_dump_main(argv: &[String]) -> i32 {
+    let [path] = argv else {
+        eprintln!("usage: dauction flight-dump PATH");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("flight-dump: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let dump = match FlightDump::parse(&text) {
+        Ok(dump) => dump,
+        Err(e) => {
+            eprintln!("flight-dump: malformed dump: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "flight-dump: {} events retained (capacity {}), {} recorded in total",
+        dump.events.len(),
+        dump.capacity,
+        dump.recorded
+    );
+    for event in &dump.events {
+        let fields: Vec<String> = event.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!(
+            "  #{:<6} +{:>10.3?} {:<5} {:<18} {}",
+            event.seq,
+            event.at,
+            event.level.label(),
+            event.kind,
+            fields.join(" ")
+        );
+    }
+    0
+}
+
+/// SIGUSR1 → flight dump, without a signal-handling dependency: the
+/// handler only flips an atomic; a poller thread in `serve_main` does
+/// the actual dump. Non-Linux builds compile the stub that never fires.
+#[cfg(target_os = "linux")]
+mod usr1 {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+    /// SIGUSR1 on every Linux ABI this builds for (x86-64, aarch64).
+    const SIGUSR1: i32 = 10;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_usr1(_: i32) {
+        // Only an atomic store: async-signal-safe by construction.
+        TRIGGERED.store(true, Ordering::Relaxed);
+    }
+
+    /// Install the handler (idempotent).
+    pub fn install() {
+        unsafe {
+            signal(SIGUSR1, on_usr1 as *const () as usize);
+        }
+    }
+
+    /// Consume a pending trigger.
+    pub fn take() -> bool {
+        TRIGGERED.swap(false, Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod usr1 {
+    pub fn install() {}
+    pub fn take() -> bool {
+        false
+    }
+}
+
 /// The `serve` subcommand: a continuous double-auction market fed by a
 /// seeded Poisson arrival stream, printing each epoch as it closes and a
 /// stats summary at the end. Bounded by `--epochs`.
@@ -255,6 +357,9 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
     let mut journal_path: Option<std::path::PathBuf> = None;
     let mut fsync = FsyncPolicy::Always;
     let mut recover = false;
+    let mut metrics_addr: Option<String> = None;
+    let mut flight_path: Option<std::path::PathBuf> = None;
+    let mut heartbeat_ms = 2000u64;
 
     let mut i = 0;
     while i < argv.len() {
@@ -294,6 +399,11 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
             }
             "--journal" => journal_path = Some(std::path::PathBuf::from(value)),
             "--fsync" => fsync = value.parse().map_err(|e| format!("--fsync: {e}"))?,
+            "--metrics-addr" => metrics_addr = Some(value.clone()),
+            "--flight-path" => flight_path = Some(std::path::PathBuf::from(value)),
+            "--heartbeat-ms" => {
+                heartbeat_ms = value.parse().map_err(|e| format!("--heartbeat-ms: {e}"))?
+            }
             other => return Err(format!("unknown serve flag {other}\n{HELP}")),
         }
         i += 2;
@@ -341,6 +451,7 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
         None if recover => return Err("--recover requires --journal PATH".into()),
         None => {}
     }
+    config.telemetry.flight_dump_path = flight_path.clone();
 
     println!(
         "dauction serve: continuous double auction, m={m} providers (k={k}), {n} user \
@@ -397,6 +508,75 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
     );
     let outcomes = market.take_outcomes().expect("outcomes not yet taken");
     let handle = market.handle();
+    let watch = market.watch();
+
+    // The unified telemetry plane: a scrape endpoint over the market's
+    // own counters, a SIGUSR1-triggered flight dump, and a periodic
+    // one-line heartbeat. All read-only observers of shared state.
+    let metrics_server = match &metrics_addr {
+        Some(addr) => {
+            let registry = Registry::new();
+            register_market_metrics(&registry, watch.clone());
+            let server = MetricsServer::bind(addr, registry)
+                .map_err(|e| format!("cannot bind metrics endpoint {addr}: {e}"))?;
+            println!("metrics up: http://{}/metrics (Prometheus text format)", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
+    let ops_stop = Arc::new(AtomicBool::new(false));
+    usr1::install();
+    let flight_poller = {
+        let watch = watch.clone();
+        let ops_stop = Arc::clone(&ops_stop);
+        let flight_path = flight_path.clone();
+        std::thread::spawn(move || {
+            while !ops_stop.load(Ordering::Relaxed) {
+                if usr1::take() {
+                    let dump = watch.flight_dump_json();
+                    match &flight_path {
+                        Some(path) => match std::fs::write(path, &dump) {
+                            Ok(()) => eprintln!("flight dump written to {}", path.display()),
+                            Err(e) => eprintln!("flight dump to {} failed: {e}", path.display()),
+                        },
+                        None => print!("{dump}"),
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        })
+    };
+    let heartbeat = (heartbeat_ms > 0).then(|| {
+        let watch = watch.clone();
+        let ops_stop = Arc::clone(&ops_stop);
+        std::thread::spawn(move || {
+            let period = Duration::from_millis(heartbeat_ms);
+            loop {
+                // Sleep in short slices so shutdown never waits a full
+                // heartbeat period.
+                let woke = std::time::Instant::now();
+                while woke.elapsed() < period {
+                    if ops_stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                let stats = watch.stats();
+                println!(
+                    "[heartbeat] epochs {} cleared / {} aborted, {:.1}/s, queue {}, bids {} \
+                     accepted / {} shed, chaos faults {}, journal {} B",
+                    stats.epochs_cleared,
+                    stats.epochs_aborted,
+                    stats.sessions_per_sec,
+                    stats.queue_depth,
+                    stats.bids_accepted,
+                    stats.bids_shed,
+                    stats.chaos.total(),
+                    stats.journal_bytes,
+                );
+            }
+        })
+    });
 
     // Feeder: replay the seeded arrival stream in real time until told
     // to stop (the stream itself is infinite). `--epochs 0` skips it —
@@ -450,11 +630,37 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
     if let Some(feeder) = feeder {
         let _ = feeder.join();
     }
+    ops_stop.store(true, Ordering::Relaxed);
+    let _ = flight_poller.join();
+    if let Some(heartbeat) = heartbeat {
+        let _ = heartbeat.join();
+    }
     let stats = market.shutdown();
+    if let Some(mut server) = metrics_server {
+        server.shutdown();
+    }
+    let aborted_by: Vec<String> = stats
+        .epochs_aborted_by_reason
+        .iter()
+        .filter(|(_, count)| *count > 0)
+        .map(|(reason, count)| format!("{reason}={count}"))
+        .collect();
     println!(
-        "survivability: {} epochs cleared, {} ⊥-aborted",
-        stats.epochs_cleared, stats.epochs_aborted
+        "survivability: {} epochs cleared, {} ⊥-aborted{}",
+        stats.epochs_cleared,
+        stats.epochs_aborted,
+        if aborted_by.is_empty() { String::new() } else { format!(" ({})", aborted_by.join(", ")) }
     );
+    if stats.chaos.total() > 0 {
+        println!(
+            "chaos injected: {} dropped, {} duplicated, {} reordered, {} delayed, {} corrupted",
+            stats.chaos.dropped,
+            stats.chaos.duplicated,
+            stats.chaos.reordered,
+            stats.chaos.delayed,
+            stats.chaos.corrupted,
+        );
+    }
     println!(
         "served {} epochs in {:?}: {:.1} sessions/s sustained, epoch latency p50 {:?} / p99 \
          {:?}; bids: {} accepted, {} shed, {} rejected (invalid {}, duplicate {}, unknown {})",

@@ -14,6 +14,7 @@
 //! | [`core`] | `dauctioneer-core` | the framework: bid agreement, coin, allocator, auctioneer |
 //! | [`sim`] | `dauctioneer-sim` | game-theoretic simulator, deviations, utilities |
 //! | [`workload`] | `dauctioneer-workload` | the paper's §6 workload generators |
+//! | [`telemetry`] | `dauctioneer-telemetry` | metrics registry, scrape endpoint, epoch traces, flight recorder |
 //!
 //! ## Quick start: one session
 //!
@@ -104,5 +105,6 @@ pub use dauctioneer_market as market;
 pub use dauctioneer_mechanisms as mechanisms;
 pub use dauctioneer_net as net;
 pub use dauctioneer_sim as sim;
+pub use dauctioneer_telemetry as telemetry;
 pub use dauctioneer_types as types;
 pub use dauctioneer_workload as workload;

@@ -16,7 +16,7 @@ use dauctioneer::core::{
     run_batch_with, AdversaryKind, BatchConfig, BatchReport, BatchSession, DoubleAuctionProgram,
     FrameworkConfig, RunOptions, TransportKind,
 };
-use dauctioneer::market::{EpochPolicy, MarketConfig, MarketService};
+use dauctioneer::market::{AbortReason, EpochPolicy, MarketConfig, MarketService};
 use dauctioneer::net::FaultPlan;
 use dauctioneer::types::{Bw, Money, Outcome, ProviderAsk, ProviderId, SessionId, UserBid, UserId};
 use dauctioneer::workload::{chaos_suite, ChaosScenario, DoubleAuctionWorkload, Expectation};
@@ -230,6 +230,19 @@ fn market_survivability_counters_account_for_every_epoch() {
         stats.epochs_closed,
         "every epoch is exactly one of cleared or aborted"
     );
+    // Telemetry contract: every abort is classified — the per-reason
+    // breakdown accounts for each aborted epoch and none reads unknown.
+    assert_eq!(
+        stats.epochs_aborted_by_reason.total(),
+        stats.epochs_aborted,
+        "every aborted epoch carries exactly one abort reason"
+    );
+    assert_eq!(
+        stats.epochs_aborted_by_reason.get(AbortReason::Unknown),
+        0,
+        "no abort under a known fault plan may classify as unknown"
+    );
+    assert!(stats.chaos.dropped > 0, "the mesh fault counters surface in MarketStats");
     let mut seen = 0;
     while let Ok(epoch) = outcomes.try_recv() {
         seen += 1;
@@ -260,6 +273,12 @@ fn market_with_crashed_provider_aborts_every_epoch_but_keeps_serving() {
     assert_eq!(stats.epochs_closed, 2);
     assert_eq!(stats.epochs_aborted, 2, "a crashed provider ⊥s every epoch (m=3, k=1)");
     assert_eq!(stats.epochs_cleared, 0);
+    assert_eq!(
+        stats.epochs_aborted_by_reason.get(AbortReason::Adversary),
+        2,
+        "aborts caused by a configured adversary classify as adversary"
+    );
+    assert_eq!(stats.epochs_aborted_by_reason.get(AbortReason::Unknown), 0);
     while let Ok(epoch) = outcomes.try_recv() {
         assert!(epoch.outcome.is_abort());
     }
