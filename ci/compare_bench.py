@@ -15,7 +15,14 @@ Fails (exit 1) when, for any row present in both baseline and current:
   * the telemetry plane gets expensive: the in-run telemetry-on/off
     ingest ratio reported by BENCH_telemetry.json falls below 95% —
     flight ring, epoch traces, and a live scrape endpoint together may
-    cost at most 5% of saturated ingest throughput.
+    cost at most 5% of saturated ingest throughput, or
+  * combinatorial winner determination slows down: BENCH_wd.json's
+    per-size best solve time grows beyond 2x baseline (same grace as
+    latency), the node budget stops being a hard cap, or a row's
+    certified optimality bound (bound_ppm_min) collapses below 90% of
+    the baseline's certification. The fallback rate is reported per
+    size so a budget-accounting bug (fallback never engaging at 10^4
+    bids) is visible in the summary.
 
 Rows only present on one side are reported but never fail the gate, so
 adding a sweep point does not require touching the baseline in the same
@@ -23,9 +30,10 @@ commit. Regenerate baselines with:
 
     cargo run --release -p dauctioneer-bench --bin market_soak -- --quick --json
     cargo run --release -p dauctioneer-bench --bin batch_throughput -- --quick --rounds 1 --json
+    cargo run --release -p dauctioneer-bench --bin winner_determination -- --quick --json
     cargo bench -p dauctioneer-bench --bench wire_hot_path -- --json
     mv BENCH_market_soak.json BENCH_journal.json BENCH_telemetry.json \
-       BENCH_batch_throughput.json BENCH_wire.json BENCH_baseline/
+       BENCH_batch_throughput.json BENCH_wire.json BENCH_wd.json BENCH_baseline/
 """
 
 import argparse
@@ -49,6 +57,11 @@ JOURNAL_OVERHEAD_FLOOR = 0.30
 # interleaved sweep. In-run on purpose: a slow CI host shifts both
 # modes together, so the ratio isolates the plane's own cost.
 TELEMETRY_OVERHEAD_FLOOR = 0.95
+# Certified-bound floor for the budgeted winner-determination fallback:
+# a row's bound_ppm_min may not fall below 90% of the baseline's. The
+# bound is a *certificate* (welfare / root fractional bound), so a
+# collapse means either the greedy seed or the search got worse.
+WD_BOUND_FLOOR = 0.90
 
 
 def load(path: Path):
@@ -282,6 +295,50 @@ def compare_telemetry(base, cur, failures, lines):
         failures.append(f"{name} [on]: zero scrapes served — the metrics endpoint never answered")
 
 
+def compare_wd(base, cur, failures, lines):
+    name = "winner_determination"
+    base_rows = index_rows(base.get("runs", []), ("bids",))
+    cur_rows = index_rows(cur.get("runs", []), ("bids",))
+    for key, brow in base_rows.items():
+        crow = cur_rows.get(key)
+        label = f"bids={key[0]}"
+        if crow is None:
+            lines.append(f"  {name} [{label}]: row missing in current run (skipped)")
+            continue
+        check_latency(
+            name,
+            label,
+            brow["wd_time_s"],
+            crow["wd_time_s"],
+            failures,
+            lines,
+            metric="WD solve time",
+        )
+        # The node budget is a determinism invariant, not a perf knob: a
+        # replica that visits more nodes than the budget diverges from
+        # its peers, so any excursion fails outright.
+        if crow["nodes"] > crow["node_budget"]:
+            failures.append(
+                f"{name} [{label}]: visited {crow['nodes']} nodes over a "
+                f"{crow['node_budget']}-node budget — the cap must be hard"
+            )
+        # Certified-bound floor: the fallback must keep certifying about
+        # as much of the optimum as it used to.
+        bb, cb = brow.get("bound_ppm_min", 0), crow.get("bound_ppm_min", 0)
+        if bb > 0:
+            verdict = "ok"
+            if cb < bb * WD_BOUND_FLOOR:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name} [{label}]: certified bound fell {bb} -> {cb} ppm "
+                    f"(floor {WD_BOUND_FLOOR:.0%} of baseline)"
+                )
+            lines.append(
+                f"  {name} [{label}] certified bound: {bb} -> {cb} ppm, "
+                f"fallback rate {crow.get('fallback_rate', 0):.0%} {verdict}"
+            )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, default=Path("BENCH_baseline"))
@@ -294,6 +351,7 @@ def main():
         ("BENCH_journal.json", compare_journal),
         ("BENCH_telemetry.json", compare_telemetry),
         ("BENCH_wire.json", compare_wire),
+        ("BENCH_wd.json", compare_wd),
     ]
     failures, lines = [], []
     compared = 0

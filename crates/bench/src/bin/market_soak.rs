@@ -13,8 +13,14 @@
 //!
 //! ```text
 //! market_soak [--csv] [--json] [--quick] [--n USERS] [--m PROVIDERS]
-//!             [--bids N] [--epoch-bids N]
+//!             [--bids N] [--epoch-bids N] [--mechanism SPEC]
 //! ```
+//!
+//! `--mechanism` accepts the same spec grammar as `dauction serve`
+//! (`double | standard[,eps=..] | combinatorial[,budget=..] |
+//! divisible[,beta=..]`) and drives the soak sweep and the journal
+//! recovery run under that mechanism; the telemetry sweep always runs
+//! the double auction so its on/off ratio stays comparable to baseline.
 //!
 //! `--json` writes `BENCH_market_soak.json` (config, per-rate rows) so
 //! the perf trajectory has machine-readable data points — plus
@@ -34,7 +40,7 @@ use dauctioneer_bench::{flag_value, fmt_secs, Table};
 use dauctioneer_core::DoubleAuctionProgram;
 use dauctioneer_market::{
     register_market_metrics, Backpressure, EpochPolicy, FsyncPolicy, Journal, JournalConfig,
-    MarketConfig, MarketService, MarketStats, TelemetryConfig,
+    MarketConfig, MarketService, MarketStats, MechanismSpec, TelemetryConfig,
 };
 use dauctioneer_telemetry::{MetricsServer, Registry};
 use dauctioneer_types::{Bw, Money, UserBid, UserId};
@@ -59,6 +65,7 @@ fn soak(
     m: usize,
     seed: u64,
     journal: Option<(PathBuf, FsyncPolicy)>,
+    mechanism: MechanismSpec,
 ) -> SoakResult {
     // §6.2-shaped supply sized to the expected epoch demand, shared
     // with `dauction serve` (see workload::epoch_supply).
@@ -66,10 +73,8 @@ fn soak(
         .with_asks(epoch_supply(m, epoch_bids as f64))
         // The count target closes epochs under load; the staleness bound
         // flushes the stragglers of a finished stream.
-        .with_epoch(EpochPolicy::Hybrid {
-            count: epoch_bids,
-            max_wait: Duration::from_millis(250),
-        });
+        .with_epoch(EpochPolicy::Hybrid { count: epoch_bids, max_wait: Duration::from_millis(250) })
+        .with_mechanism(mechanism);
     config.seed = seed;
     if let Some((path, fsync)) = &journal {
         let _ = std::fs::remove_file(path);
@@ -84,8 +89,7 @@ fn soak(
             config.ingress_capacity = 64;
         }
     }
-    let mut market =
-        MarketService::start(config, Arc::new(DoubleAuctionProgram::new())).expect("start market");
+    let mut market = MarketService::start_from_spec(config).expect("start market");
     let outcomes = market.take_outcomes().expect("first take");
     let handle = market.handle();
 
@@ -123,11 +127,20 @@ fn main() {
     let m = flag_value("--m").unwrap_or(3).max(1);
     let bids = flag_value("--bids").unwrap_or(if quick { 60 } else { 400 });
     let epoch_bids = flag_value("--epoch-bids").unwrap_or(8);
+    let mechanism: MechanismSpec =
+        match args.iter().position(|a| a == "--mechanism").and_then(|i| args.get(i + 1)) {
+            Some(spec) => spec.parse().unwrap_or_else(|e| {
+                eprintln!("market_soak: {e}");
+                std::process::exit(2);
+            }),
+            None => MechanismSpec::default(),
+        };
     let rates: &[f64] = if quick { &[500.0] } else { &[250.0, 1000.0, 4000.0] };
 
     println!(
-        "market soak: double auction, n={n_users} user slots, m={m} providers, \
-         {bids} bids/run, epochs close at {epoch_bids} bids (or 250ms)"
+        "market soak: {} (spec `{mechanism}`), n={n_users} user slots, m={m} providers, \
+         {bids} bids/run, epochs close at {epoch_bids} bids (or 250ms)",
+        mechanism.name()
     );
 
     let mut results = Vec::new();
@@ -141,9 +154,10 @@ fn main() {
             m,
             1_000 + i as u64,
             None,
+            mechanism,
         ));
     }
-    results.push(soak("firehose", None, bids, epoch_bids, n_users, m, 9_999, None));
+    results.push(soak("firehose", None, bids, epoch_bids, n_users, m, 9_999, None, mechanism));
 
     let mut table = Table::new(
         &[
@@ -207,6 +221,7 @@ fn main() {
             .int("k", ((m - 1) / 2) as u64)
             .int("bids_per_run", bids as u64)
             .int("epoch_bids", epoch_bids as u64)
+            .str("mechanism", mechanism.name())
             .bool("quick", quick)
             .int(
                 "host_cores",
@@ -223,7 +238,7 @@ fn main() {
         }
     }
 
-    journal_sweep(csv, emit_json, quick, n_users, m, bids, epoch_bids);
+    journal_sweep(csv, emit_json, quick, n_users, m, bids, epoch_bids, mechanism);
     telemetry_sweep(csv, emit_json, quick, n_users, m, bids, epoch_bids);
 }
 
@@ -238,6 +253,7 @@ fn journal_temp(name: &str) -> PathBuf {
 /// time) run unjournaled, journaled with `fsync=never`, and journaled
 /// with `fsync=always` — plus the recovery time for a journal holding
 /// nothing but unsealed epochs, the worst crash recovery can face.
+#[allow(clippy::too_many_arguments)]
 fn journal_sweep(
     csv: bool,
     emit_json: bool,
@@ -246,6 +262,7 @@ fn journal_sweep(
     m: usize,
     bids: usize,
     epoch_bids: usize,
+    mechanism: MechanismSpec,
 ) {
     println!();
     println!(
@@ -267,7 +284,8 @@ fn journal_sweep(
         let path = journal.as_ref().map(|(p, _)| p.clone());
         // A paced stream with ~zero gaps + Block backpressure: lossless
         // saturation, so ingest throughput is bids / feed-time.
-        let r = soak(mode, Some(1_000_000.0), bids, epoch_bids, n_users, m, 4_242, journal);
+        let r =
+            soak(mode, Some(1_000_000.0), bids, epoch_bids, n_users, m, 4_242, journal, mechanism);
         let ingest = r.bids as f64 / r.feed.as_secs_f64();
         let s = &r.stats;
         table.row(vec![
@@ -318,15 +336,12 @@ fn journal_sweep(
 
     let mut config = MarketConfig::new(m, (m - 1) / 2, n_users, m)
         .with_asks(epoch_supply(m, epoch_bids as f64))
-        .with_epoch(EpochPolicy::Hybrid {
-            count: epoch_bids,
-            max_wait: Duration::from_millis(250),
-        });
+        .with_epoch(EpochPolicy::Hybrid { count: epoch_bids, max_wait: Duration::from_millis(250) })
+        .with_mechanism(mechanism);
     config.seed = 4_242;
     config.journal = Some(JournalConfig::new(&path).recovering());
     let started = Instant::now();
-    let market = MarketService::start(config, Arc::new(DoubleAuctionProgram::new()))
-        .expect("recover market");
+    let market = MarketService::start_from_spec(config).expect("recover market");
     let recovery_time = started.elapsed();
     let replayed = market.recovery_report().map_or(0, |r| r.replayed.len());
     market.shutdown();

@@ -66,6 +66,13 @@ pub trait AllocatorProgram: Send + Sync {
     /// Decode the final task's output into the auction result. `None`
     /// signals malformed bytes, which aborts the allocator.
     fn finish(&self, bids: &BidVector, final_value: &Bytes) -> Option<AuctionResult>;
+
+    /// Short machine-readable name of the mechanism this program executes
+    /// (mirrors `Mechanism::name`). Recorded on epoch outcomes and inside
+    /// journal seal content for mechanism provenance.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
 }
 
 /// The parallel-allocator block run by one provider.

@@ -24,9 +24,13 @@
 //!   independently tested against the properties of §4.
 //! * [`ParallelAllocator`] / [`AllocatorProgram`] — the task-graph
 //!   execution of the allocation algorithm; ≥ k+1 replicas per task.
-//! * [`DoubleAuctionProgram`] / [`StandardAuctionProgram`] — the §5 case
-//!   studies: the sequential double auction and the Algorithm-1
-//!   parallelisation of the (1−ε)-optimal VCG standard auction.
+//! * [`DoubleAuctionProgram`] / [`StandardAuctionProgram`] /
+//!   [`CombinatorialAuctionProgram`] / [`DivisibleAuctionProgram`] — the
+//!   mechanism programs: the sequential double auction, the Algorithm-1
+//!   parallelisation of the (1−ε)-optimal VCG standard auction, the
+//!   node-budgeted multi-unit combinatorial auction, and the divisible
+//!   Clarke-pivot VCG auction. [`DynProgram`] erases any of them behind
+//!   `Arc<dyn AllocatorProgram>` for runtime mechanism selection.
 //! * [`engine::SessionEngine`] — the shared per-provider protocol loop
 //!   (session framing, dispatch, external ⊥) that every runtime drives:
 //!   the threaded [`runtime::run_session`], and `dauctioneer-sim`'s
@@ -77,7 +81,10 @@ pub mod runtime;
 pub mod submission;
 pub mod task_graph;
 
-pub use adapters::{DoubleAuctionProgram, StandardAuctionProgram};
+pub use adapters::{
+    CombinatorialAuctionProgram, DivisibleAuctionProgram, DoubleAuctionProgram, DynProgram,
+    StandardAuctionProgram,
+};
 pub use adversary::{strategy_for, Adversary, AdversaryKind, AdversaryTransport};
 pub use allocator::{AllocatorProgram, ParallelAllocator};
 pub use auctioneer::Auctioneer;

@@ -1,0 +1,159 @@
+//! Integration tests for the combinatorial and divisible mechanism
+//! programs under the parallel allocator, plus the `DynProgram` erasure
+//! used for runtime mechanism selection.
+
+use std::sync::Arc;
+
+use dauctioneer_core::{
+    AllocatorProgram, Block, BlockResult, CombinatorialAuctionProgram, DivisibleAuctionProgram,
+    DoubleAuctionProgram, DynProgram, FrameworkConfig, OutboxCtx, ParallelAllocator,
+    StandardAuctionProgram,
+};
+use dauctioneer_mechanisms::{
+    CombinatorialAuction, CombinatorialAuctionConfig, DivisibleAuction, DivisibleAuctionConfig,
+    Mechanism, SharedRng, StandardAuction, StandardAuctionConfig,
+};
+use dauctioneer_types::{AuctionResult, BidVector, Bw, ProviderId, UserId};
+use dauctioneer_workload::StandardAuctionWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Drive a vector of allocator blocks to quiescence.
+fn drive<P: AllocatorProgram>(blocks: &mut [ParallelAllocator<P>]) {
+    let m = blocks.len();
+    let mut ctxs: Vec<OutboxCtx> =
+        (0..m).map(|i| OutboxCtx::new(ProviderId(i as u32), m)).collect();
+    for (b, c) in blocks.iter_mut().zip(&mut ctxs) {
+        b.start(c);
+    }
+    loop {
+        let mut moved = false;
+        for i in 0..m {
+            for (to, payload) in ctxs[i].drain() {
+                moved = true;
+                let mut ctx = OutboxCtx::new(to, m);
+                blocks[to.index()].on_message(ProviderId(i as u32), &payload, &mut ctx);
+                ctxs[to.index()].outbox.extend(ctx.drain());
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+fn run_distributed<P: AllocatorProgram>(
+    cfg: &FrameworkConfig,
+    program: Arc<P>,
+    bids: &BidVector,
+) -> AuctionResult {
+    let mut blocks: Vec<ParallelAllocator<P>> = (0..cfg.m)
+        .map(|i| {
+            ParallelAllocator::new(
+                cfg.clone(),
+                ProviderId(i as u32),
+                Arc::clone(&program),
+                bids.clone(),
+                &mut StdRng::seed_from_u64(300 + i as u64),
+            )
+        })
+        .collect();
+    drive(&mut blocks);
+    let first = blocks[0].result().cloned().expect("decided");
+    for b in &blocks {
+        assert_eq!(b.result(), Some(&first), "replicas must agree byte-for-byte");
+    }
+    let BlockResult::Value(result) = first else {
+        panic!("honest run aborted");
+    };
+    result
+}
+
+#[test]
+fn combinatorial_program_runs_as_a_single_replicated_task() {
+    let (bids, capacities) = StandardAuctionWorkload::new(8, 2, 11).generate();
+    let mechanism = CombinatorialAuction::new(CombinatorialAuctionConfig::new(capacities.clone()));
+    let program = Arc::new(CombinatorialAuctionProgram::new(mechanism));
+    let cfg = FrameworkConfig::new(4, 1, 8, 0);
+
+    // One node-budgeted NP-hard solve ⇒ one global task, no transfers.
+    let spec = program.task_graph(&cfg);
+    assert_eq!(spec.len(), 1);
+    assert!(spec.transfer_edges().is_empty());
+
+    let result = run_distributed(&cfg, program, &bids);
+    assert!(result.payments.is_budget_balanced());
+    // Multi-unit capacity respected per provider.
+    for (p, cap) in capacities.iter().enumerate() {
+        assert!(result.allocation.provider_total(ProviderId(p as u32)) <= *cap);
+    }
+    // Pay-as-bid: winners pay something, losers pay nothing.
+    for u in 0..bids.num_users() {
+        let user = UserId(u as u32);
+        if result.allocation.user_total(user).is_zero() {
+            assert_eq!(result.payments.user_payment(user).micro(), 0);
+        }
+    }
+}
+
+#[test]
+fn divisible_program_matches_the_centralised_mechanism() {
+    let (bids, capacities) = StandardAuctionWorkload::new(6, 2, 23).generate();
+    let mechanism = DivisibleAuction::new(DivisibleAuctionConfig::new(capacities.clone()));
+    let program = Arc::new(DivisibleAuctionProgram::new(mechanism.clone()));
+    let cfg = FrameworkConfig::new(4, 1, 6, 0);
+
+    // Algorithm-1 shape: allocation + p payment groups + gather.
+    let spec = program.task_graph(&cfg);
+    assert_eq!(spec.len(), 2 + cfg.parallelism());
+
+    let distributed = run_distributed(&cfg, program, &bids);
+    // The divisible mechanism consumes no randomness, so the distributed
+    // outcome equals the centralised run under *any* coin material.
+    let centralised = mechanism.run(&bids, &SharedRng::from_material(b"unused"));
+    assert_eq!(distributed, centralised);
+    let demand: Bw = bids.valid_user_bids().map(|(_, b)| b.demand()).sum();
+    let capacity: Bw = capacities.iter().copied().sum();
+    assert_eq!(distributed.allocation.total(), demand.min(capacity));
+}
+
+#[test]
+fn dyn_program_preserves_graph_and_outcome() {
+    let (bids, capacities) = StandardAuctionWorkload::new(5, 2, 31).generate();
+    let mechanism = DivisibleAuction::new(DivisibleAuctionConfig::new(capacities));
+    let concrete = Arc::new(DivisibleAuctionProgram::new(mechanism));
+    let erased = DynProgram::new(concrete.clone() as Arc<dyn AllocatorProgram>);
+    let cfg = FrameworkConfig::new(3, 1, 5, 0);
+
+    assert_eq!(erased.name(), "divisible-auction");
+    assert_eq!(erased.task_graph(&cfg).len(), concrete.task_graph(&cfg).len());
+
+    let direct = run_distributed(&cfg, Arc::clone(&concrete), &bids);
+    let through_dyn = run_distributed(&cfg, Arc::new(erased), &bids);
+    assert_eq!(direct, through_dyn);
+}
+
+#[test]
+fn program_names_mirror_their_mechanisms() {
+    let caps = vec![Bw::from_f64(1.0)];
+    assert_eq!(DoubleAuctionProgram::new().name(), "double-auction");
+    assert_eq!(
+        StandardAuctionProgram::new(StandardAuction::new(StandardAuctionConfig::exact(
+            caps.clone()
+        )))
+        .name(),
+        "standard-auction"
+    );
+    assert_eq!(
+        CombinatorialAuctionProgram::new(CombinatorialAuction::new(
+            CombinatorialAuctionConfig::new(caps.clone())
+        ))
+        .name(),
+        "combinatorial-auction"
+    );
+    assert_eq!(
+        DivisibleAuctionProgram::new(DivisibleAuction::new(DivisibleAuctionConfig::new(caps)))
+            .name(),
+        "divisible-auction"
+    );
+}

@@ -11,6 +11,7 @@ use dauctioneer_net::{FaultPlan, FaultPlanError, LatencyModel};
 use dauctioneer_types::{ProviderAsk, ProviderId};
 
 use crate::journal::{FsyncPolicy, JournalError};
+use crate::mechanism::MechanismSpec;
 
 /// When the service closes the open epoch and clears it as one auction
 /// session.
@@ -173,6 +174,10 @@ pub struct MarketConfig {
     pub journal: Option<JournalConfig>,
     /// In-memory telemetry retention (flight recorder and epoch traces).
     pub telemetry: TelemetryConfig,
+    /// Which mechanism [`crate::MarketService::start_from_spec`] clears
+    /// epochs with (ignored by `start`, which takes an explicit
+    /// program). Defaults to the double auction.
+    pub mechanism: MechanismSpec,
 }
 
 impl MarketConfig {
@@ -198,7 +203,15 @@ impl MarketConfig {
             adversaries: Vec::new(),
             journal: None,
             telemetry: TelemetryConfig::default(),
+            mechanism: MechanismSpec::default(),
         }
+    }
+
+    /// Clear epochs with `mechanism` (used by
+    /// [`crate::MarketService::start_from_spec`]).
+    pub fn with_mechanism(mut self, mechanism: MechanismSpec) -> MarketConfig {
+        self.mechanism = mechanism;
+        self
     }
 
     /// Set the epoch policy.
@@ -349,6 +362,23 @@ pub enum MarketError {
     /// The write-ahead journal could not be created, recovered, or is
     /// misconfigured.
     Journal(JournalError),
+    /// A mechanism spec string does not parse (unknown mechanism, or a
+    /// parameter that does not belong to it).
+    MechanismSpec {
+        /// The spec text as given.
+        spec: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A recovered journal was sealed under a different mechanism than
+    /// the one this market is configured to clear with; re-clearing its
+    /// unsealed epochs would fork the settlement history.
+    MechanismMismatch {
+        /// Mechanism name recorded in the journal's seals.
+        journaled: String,
+        /// Mechanism the market was configured to run.
+        configured: String,
+    },
 }
 
 impl fmt::Display for MarketError {
@@ -381,6 +411,15 @@ impl fmt::Display for MarketError {
                 write!(f, "adversary names provider {provider} but the mesh has {m} providers")
             }
             MarketError::Journal(e) => write!(f, "journal: {e}"),
+            MarketError::MechanismSpec { spec, reason } => {
+                write!(f, "mechanism spec `{spec}`: {reason}")
+            }
+            MarketError::MechanismMismatch { journaled, configured } => write!(
+                f,
+                "journal was sealed under mechanism `{journaled}` but this market is \
+                 configured for `{configured}`; refusing to re-clear recovered epochs \
+                 under a different mechanism"
+            ),
         }
     }
 }

@@ -189,6 +189,10 @@ pub enum ChainFault {
         /// `Accepted` records present in the journal.
         journaled: u64,
     },
+    /// The seal names a different mechanism than the seals before it: a
+    /// journal must never be re-cleared under a different allocation
+    /// algorithm, or the "byte-identical replay" guarantee is void.
+    MechanismMismatch,
 }
 
 impl fmt::Display for ChainFault {
@@ -200,6 +204,9 @@ impl fmt::Display for ChainFault {
             ChainFault::DigestMismatch => write!(f, "digest does not match the sealed content"),
             ChainFault::CountMismatch { sealed, journaled } => {
                 write!(f, "seal claims {sealed} accepted bids but the journal holds {journaled}")
+            }
+            ChainFault::MechanismMismatch => {
+                write!(f, "seal names a different mechanism than the preceding seals")
             }
         }
     }
@@ -310,6 +317,9 @@ pub struct VerifySummary {
     pub seals: u64,
     /// `Accepted` records across all epochs.
     pub accepted: u64,
+    /// The mechanism every seal was cleared under (`None` for a journal
+    /// with no seals yet). Verification refuses mixed-mechanism logs.
+    pub mechanism: Option<String>,
     /// The chain tip after the last seal.
     pub tip: Digest,
 }
@@ -337,6 +347,7 @@ pub fn verify_log(path: &Path) -> Result<VerifySummary, JournalError> {
     let mut accepted_per_epoch: BTreeMap<u64, u64> = BTreeMap::new();
     let mut accepted = 0u64;
     let mut seals = 0u64;
+    let mut mechanism: Option<String> = None;
     for record in &result.records {
         match record {
             JournalRecord::Accepted { epoch, .. } => {
@@ -366,11 +377,24 @@ pub fn verify_log(path: &Path) -> Result<VerifySummary, JournalError> {
                         journaled,
                     }));
                 }
+                match &mechanism {
+                    None => mechanism = Some(seal.mechanism.clone()),
+                    Some(m) if *m != seal.mechanism => {
+                        return Err(diverged(ChainFault::MechanismMismatch))
+                    }
+                    Some(_) => {}
+                }
                 seals += 1;
             }
         }
     }
-    Ok(VerifySummary { records: result.records.len() as u64, seals, accepted, tip: chain.tip() })
+    Ok(VerifySummary {
+        records: result.records.len() as u64,
+        seals,
+        accepted,
+        mechanism,
+        tip: chain.tip(),
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -405,6 +429,11 @@ pub struct RecoveredLog {
     pub pending_asks: Vec<(u64, ProviderAsk)>,
     /// The epoch index the resumed scheduler starts at.
     pub next_epoch: u64,
+    /// The mechanism the sealed history was cleared under (`None` when
+    /// no epoch was sealed yet). The resumed service must refuse to
+    /// re-clear under a *different* mechanism — replays would no longer
+    /// be byte-identical to the crashed process's outcomes.
+    pub mechanism: Option<String>,
     /// Torn-tail bytes dropped (and truncated from the file) to reach
     /// the longest valid prefix.
     pub dropped_bytes: u64,
@@ -479,6 +508,7 @@ impl Journal {
         let mut sealed = Vec::new();
         let mut drafts: BTreeMap<u64, InFlightEpoch> = BTreeMap::new();
         let mut max_epoch: Option<u64> = None;
+        let mut mechanism: Option<String> = None;
         for record in &result.records {
             match record {
                 JournalRecord::Accepted { epoch, user, bid } => {
@@ -520,6 +550,13 @@ impl Journal {
                     let digest = chain.extend(&seal.content_bytes());
                     if &seal.digest != digest.as_bytes() {
                         return Err(diverged(ChainFault::DigestMismatch));
+                    }
+                    match &mechanism {
+                        None => mechanism = Some(seal.mechanism.clone()),
+                        Some(m) if *m != seal.mechanism => {
+                            return Err(diverged(ChainFault::MechanismMismatch))
+                        }
+                        Some(_) => {}
                     }
                     drafts.remove(&seal.epoch);
                     sealed.push(seal.clone());
@@ -566,6 +603,7 @@ impl Journal {
             in_flight,
             pending_asks,
             next_epoch,
+            mechanism,
             dropped_bytes: result.dropped_bytes,
         };
         Ok((journal, log))
@@ -620,11 +658,14 @@ impl Journal {
     /// Seal a cleared epoch onto the settlement chain and journal the
     /// seal. The chain digest is computed under the journal lock, so
     /// concurrent clearers serialize and the chain order is the append
-    /// order. Returns the seal as written.
+    /// order. `mechanism` is the name of the allocation program that
+    /// cleared the epoch — signed content, so a journal cannot silently
+    /// change mechanism mid-history. Returns the seal as written.
     ///
     /// # Errors
     ///
     /// [`JournalError::Io`] as for [`Journal::append_accepted`].
+    #[allow(clippy::too_many_arguments)] // the seal's content fields, in seal order
     pub fn append_seal(
         &self,
         epoch: u64,
@@ -632,12 +673,22 @@ impl Journal {
         seed: u64,
         accepted: u64,
         bids: BidVector,
+        mechanism: &str,
         outcome: Outcome,
     ) -> Result<SealRecord, JournalError> {
         let mut inner = self.inner.lock().expect("journal lock");
         let prev = *inner.chain.tip().as_bytes();
-        let mut seal =
-            SealRecord { epoch, session, seed, accepted, bids, outcome, prev, digest: [0u8; 32] };
+        let mut seal = SealRecord {
+            epoch,
+            session,
+            seed,
+            accepted,
+            bids,
+            mechanism: mechanism.to_string(),
+            outcome,
+            prev,
+            digest: [0u8; 32],
+        };
         seal.digest = *inner.chain.extend(&seal.content_bytes()).as_bytes();
         let record = JournalRecord::Sealed(seal.clone());
         self.write_locked(&mut inner, &record)?;
@@ -825,6 +876,7 @@ mod tests {
                 7919,
                 1,
                 BidVector::builder(1, 0).user_bid(0, bid(1.2)).build(),
+                "double-auction",
                 Outcome::Abort,
             )
             .unwrap();
@@ -880,6 +932,7 @@ mod tests {
                     epoch,
                     1,
                     BidVector::builder(1, 0).user_bid(0, bid(1.0)).build(),
+                    "double-auction",
                     Outcome::Abort,
                 )
                 .unwrap();
@@ -917,6 +970,69 @@ mod tests {
         ));
         std::fs::remove_file(&path).unwrap();
         std::fs::remove_file(&path2).unwrap();
+    }
+
+    #[test]
+    fn mixed_mechanism_journals_are_refused() {
+        // A journal whose seals name different mechanisms is not a valid
+        // history — neither verification nor recovery may accept it,
+        // even though every individual chain link is intact.
+        let path = temp_path("mixed-mechanism");
+        let journal = Journal::create(&path, FsyncPolicy::Never).unwrap();
+        for (epoch, mechanism) in [(0u64, "double-auction"), (1u64, "combinatorial-auction")] {
+            journal.append_accepted(epoch, UserId(0), bid(1.0)).unwrap();
+            journal
+                .append_seal(
+                    epoch,
+                    SessionId(100 + epoch),
+                    epoch,
+                    1,
+                    BidVector::builder(1, 0).user_bid(0, bid(1.0)).build(),
+                    mechanism,
+                    Outcome::Abort,
+                )
+                .unwrap();
+        }
+        drop(journal);
+
+        match verify_log(&path) {
+            Err(JournalError::Tampered(d)) => {
+                assert_eq!(d.seal_index, 1);
+                assert_eq!(d.fault, ChainFault::MechanismMismatch);
+            }
+            other => panic!("expected mechanism mismatch at seal 1, got {other:?}"),
+        }
+        assert!(matches!(
+            Journal::recover(&path, FsyncPolicy::Never),
+            Err(JournalError::Tampered(Divergence { fault: ChainFault::MechanismMismatch, .. }))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn consistent_mechanism_is_certified_and_recovered() {
+        let path = temp_path("mechanism-consistent");
+        let journal = Journal::create(&path, FsyncPolicy::Never).unwrap();
+        for epoch in 0..2u64 {
+            journal.append_accepted(epoch, UserId(0), bid(1.0)).unwrap();
+            journal
+                .append_seal(
+                    epoch,
+                    SessionId(epoch),
+                    epoch,
+                    1,
+                    BidVector::builder(1, 0).user_bid(0, bid(1.0)).build(),
+                    "divisible-auction",
+                    Outcome::Abort,
+                )
+                .unwrap();
+        }
+        drop(journal);
+        let summary = verify_log(&path).unwrap();
+        assert_eq!(summary.mechanism.as_deref(), Some("divisible-auction"));
+        let (_journal, log) = Journal::recover(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(log.mechanism.as_deref(), Some("divisible-auction"));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -49,6 +49,13 @@
 //!   settlement log sealing every cleared epoch, and deterministic
 //!   recovery ([`JournalConfig::recovering`]) that replays unsealed
 //!   epochs to byte-identical outcomes after a `kill -9`.
+//! * [`mechanism`] — runtime mechanism selection: the
+//!   [`MechanismSpec`] grammar (`double | standard[,eps=..] |
+//!   combinatorial[,budget=..] | divisible[,beta=..]`) parsed from the
+//!   `--mechanism` flag, the factory building the matching allocator
+//!   program, and mechanism provenance threaded through every
+//!   [`EpochOutcome`] and journal seal — recovery refuses to re-clear
+//!   a journal under a different mechanism than it was sealed with.
 //!
 //! [`ShardedHub`]: dauctioneer_net::ShardedHub
 //! [`SessionPool`]: dauctioneer_core::SessionPool
@@ -59,6 +66,7 @@
 pub mod config;
 pub mod ingress;
 pub mod journal;
+pub mod mechanism;
 pub mod service;
 pub mod stats;
 pub mod telemetry;
@@ -72,6 +80,7 @@ pub use journal::{
     crc32, read_journal, scan, verify_log, ChainFault, Divergence, FsyncPolicy, InFlightEpoch,
     Journal, JournalError, RecoveredLog, ScanResult, VerifySummary,
 };
+pub use mechanism::{build_program, market_capacities, MechanismSpec, DEFAULT_EPSILON_PPM};
 pub use service::{EpochOutcome, MarketHandle, MarketService, MarketWatch, RecoveryReport};
 pub use stats::{AbortBreakdown, MarketStats};
 pub use telemetry::register_market_metrics;

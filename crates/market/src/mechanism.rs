@@ -1,0 +1,335 @@
+//! Runtime mechanism selection: the spec grammar operators type on the
+//! command line, its parser, and the factory that turns a parsed spec
+//! into the [`AllocatorProgram`] a market clears its epochs with.
+//!
+//! # Grammar
+//!
+//! ```text
+//! spec  := "double"
+//!        | "standard"      [ ",eps=" PPM ]
+//!        | "combinatorial" [ ",budget=" NODES ]
+//!        | "divisible"     [ ",beta=" PRICE ]
+//! ```
+//!
+//! `eps` is the branch-and-bound optimality gap in parts per million
+//! (default 10 000 = 1 %); `budget` is the deterministic node cap of the
+//! combinatorial winner-determination search (default
+//! [`DEFAULT_NODE_BUDGET`]); `beta` is the divisible auction's reserve
+//! price per unit in currency units (default 0). Parsing is strict —
+//! unknown mechanisms and parameters that do not belong to the named
+//! mechanism are typed [`MarketError::MechanismSpec`] errors, not
+//! silently ignored. [`fmt::Display`] prints the canonical form
+//! (parameters only when they differ from the default), and
+//! `parse ∘ display` is the identity.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use dauctioneer_core::{
+    AllocatorProgram, CombinatorialAuctionProgram, DivisibleAuctionProgram, DoubleAuctionProgram,
+    DynProgram, StandardAuctionProgram,
+};
+use dauctioneer_mechanisms::combinatorial::DEFAULT_NODE_BUDGET;
+use dauctioneer_mechanisms::solver::BranchBoundConfig;
+use dauctioneer_mechanisms::{
+    CombinatorialAuction, CombinatorialAuctionConfig, DivisibleAuction, DivisibleAuctionConfig,
+    StandardAuction, StandardAuctionConfig,
+};
+use dauctioneer_types::{Bw, Money};
+
+use crate::config::{MarketConfig, MarketError};
+
+/// Default branch-and-bound optimality gap for `standard`: 1 %.
+pub const DEFAULT_EPSILON_PPM: u32 = 10_000;
+
+/// Which mechanism a market clears its epochs with, plus the
+/// mechanism-specific tuning the spec grammar exposes.
+///
+/// The variants mirror the four production mechanisms; see
+/// [`MechanismSpec::build_program`] for the mapping onto allocator
+/// programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MechanismSpec {
+    /// The sequential double auction (uniform clearing price).
+    Double,
+    /// The (1−ε)-optimal VCG standard auction, parallelised per
+    /// Algorithm 1.
+    Standard {
+        /// Branch-and-bound optimality gap in parts per million.
+        epsilon_ppm: u32,
+    },
+    /// The node-budgeted multi-unit combinatorial auction (XOR bundles,
+    /// greedy fallback with a reported bound when the budget exhausts).
+    Combinatorial {
+        /// Deterministic node cap of the winner-determination search.
+        budget: u64,
+    },
+    /// The divisible-resource water-filling auction with Clarke-pivot
+    /// VCG payments.
+    Divisible {
+        /// Reserve price per unit; bids below it are never filled.
+        reserve: Money,
+    },
+}
+
+impl Default for MechanismSpec {
+    /// `double` — the mechanism every market cleared with before specs
+    /// existed, so defaulted configs keep their historical behaviour.
+    fn default() -> MechanismSpec {
+        MechanismSpec::Double
+    }
+}
+
+impl MechanismSpec {
+    /// The machine-readable mechanism name recorded on epoch outcomes
+    /// and inside journal seal content (mirrors `Mechanism::name` of
+    /// the mechanism this spec builds).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MechanismSpec::Double => "double-auction",
+            MechanismSpec::Standard { .. } => "standard-auction",
+            MechanismSpec::Combinatorial { .. } => "combinatorial-auction",
+            MechanismSpec::Divisible { .. } => "divisible-auction",
+        }
+    }
+
+    /// Build the allocator program this spec describes, selling
+    /// `capacities` (provider `i` offers `capacities[i]`). The double
+    /// auction prices from the epoch's own asks and ignores
+    /// `capacities`.
+    pub fn build_program(&self, capacities: Vec<Bw>) -> Arc<dyn AllocatorProgram> {
+        match *self {
+            MechanismSpec::Double => Arc::new(DoubleAuctionProgram::new()),
+            MechanismSpec::Standard { epsilon_ppm } => {
+                // The node cap keeps worst-case epoch clearing bounded;
+                // because it counts *nodes*, every replica stops at the
+                // same point and replication still byte-agrees.
+                let solver = BranchBoundConfig {
+                    epsilon_ppm,
+                    max_nodes: DEFAULT_NODE_BUDGET,
+                    shuffle_providers: true,
+                };
+                Arc::new(StandardAuctionProgram::new(StandardAuction::new(StandardAuctionConfig {
+                    capacities,
+                    solver,
+                })))
+            }
+            MechanismSpec::Combinatorial { budget } => {
+                Arc::new(CombinatorialAuctionProgram::new(CombinatorialAuction::new(
+                    CombinatorialAuctionConfig::new(capacities).with_budget(budget),
+                )))
+            }
+            MechanismSpec::Divisible { reserve } => {
+                Arc::new(DivisibleAuctionProgram::new(DivisibleAuction::new(
+                    DivisibleAuctionConfig::new(capacities).with_reserve(reserve),
+                )))
+            }
+        }
+    }
+}
+
+/// The per-provider capacities a mechanism built from `config` sells:
+/// the configured default asks' capacities when present, else one unit
+/// per provider (a neutral symmetric market for ask-less configs).
+pub fn market_capacities(config: &MarketConfig) -> Vec<Bw> {
+    if config.asks.is_empty() {
+        vec![Bw::from_f64(1.0); config.m]
+    } else {
+        config.asks.iter().map(|a| a.capacity()).collect()
+    }
+}
+
+/// Build the type-erased program for `config.mechanism` selling
+/// [`market_capacities`].
+pub fn build_program(config: &MarketConfig) -> DynProgram {
+    DynProgram::new(config.mechanism.build_program(market_capacities(config)))
+}
+
+impl fmt::Display for MechanismSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MechanismSpec::Double => write!(f, "double"),
+            MechanismSpec::Standard { epsilon_ppm } => {
+                if epsilon_ppm == DEFAULT_EPSILON_PPM {
+                    write!(f, "standard")
+                } else {
+                    write!(f, "standard,eps={epsilon_ppm}")
+                }
+            }
+            MechanismSpec::Combinatorial { budget } => {
+                if budget == DEFAULT_NODE_BUDGET {
+                    write!(f, "combinatorial")
+                } else {
+                    write!(f, "combinatorial,budget={budget}")
+                }
+            }
+            MechanismSpec::Divisible { reserve } => {
+                if reserve == Money::ZERO {
+                    write!(f, "divisible")
+                } else {
+                    write!(f, "divisible,beta={reserve}")
+                }
+            }
+        }
+    }
+}
+
+impl FromStr for MechanismSpec {
+    type Err = MarketError;
+
+    fn from_str(s: &str) -> Result<MechanismSpec, MarketError> {
+        let err = |reason: String| MarketError::MechanismSpec { spec: s.to_string(), reason };
+        let mut parts = s.split(',');
+        let kind = parts.next().unwrap_or("").trim();
+        let mut spec = match kind {
+            "double" => MechanismSpec::Double,
+            "standard" => MechanismSpec::Standard { epsilon_ppm: DEFAULT_EPSILON_PPM },
+            "combinatorial" => MechanismSpec::Combinatorial { budget: DEFAULT_NODE_BUDGET },
+            "divisible" => MechanismSpec::Divisible { reserve: Money::ZERO },
+            other => {
+                return Err(err(format!(
+                    "unknown mechanism `{other}` \
+                     (expected double, standard, combinatorial, or divisible)"
+                )))
+            }
+        };
+        for part in parts {
+            let part = part.trim();
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(err(format!("expected key=value, got `{part}`")));
+            };
+            match (&mut spec, key) {
+                (MechanismSpec::Standard { epsilon_ppm }, "eps") => {
+                    *epsilon_ppm =
+                        value.parse().map_err(|e| err(format!("eps must be ppm: {e}")))?;
+                    if *epsilon_ppm >= 1_000_000 {
+                        return Err(err("eps must be below 1000000 ppm".to_string()));
+                    }
+                }
+                (MechanismSpec::Combinatorial { budget }, "budget") => {
+                    *budget =
+                        value.parse().map_err(|e| err(format!("budget must be nodes: {e}")))?;
+                    if *budget == 0 {
+                        return Err(err("budget must be at least 1 node".to_string()));
+                    }
+                }
+                (MechanismSpec::Divisible { reserve }, "beta") => {
+                    let beta: f64 =
+                        value.parse().map_err(|e| err(format!("beta must be a price: {e}")))?;
+                    if !beta.is_finite() || beta < 0.0 {
+                        return Err(err("beta must be a finite nonnegative price".to_string()));
+                    }
+                    *reserve = Money::from_f64(beta);
+                }
+                (_, key) => {
+                    return Err(err(format!("mechanism `{kind}` takes no parameter `{key}`")))
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_round_trips() {
+        for text in [
+            "double",
+            "standard",
+            "standard,eps=25000",
+            "combinatorial",
+            "combinatorial,budget=5000",
+            "divisible",
+            "divisible,beta=0.250000",
+        ] {
+            let spec: MechanismSpec = text.parse().expect(text);
+            assert_eq!(spec.to_string(), text, "canonical text must round-trip");
+            let again: MechanismSpec = spec.to_string().parse().expect(text);
+            assert_eq!(again, spec);
+        }
+    }
+
+    #[test]
+    fn defaults_display_without_parameters() {
+        assert_eq!(
+            MechanismSpec::Standard { epsilon_ppm: DEFAULT_EPSILON_PPM }.to_string(),
+            "standard"
+        );
+        assert_eq!(
+            MechanismSpec::Combinatorial { budget: DEFAULT_NODE_BUDGET }.to_string(),
+            "combinatorial"
+        );
+        assert_eq!(MechanismSpec::Divisible { reserve: Money::ZERO }.to_string(), "divisible");
+    }
+
+    #[test]
+    fn parses_parameters_and_whitespace() {
+        assert_eq!(
+            "standard, eps=5000".parse::<MechanismSpec>().unwrap(),
+            MechanismSpec::Standard { epsilon_ppm: 5000 }
+        );
+        assert_eq!(
+            "combinatorial,budget=123".parse::<MechanismSpec>().unwrap(),
+            MechanismSpec::Combinatorial { budget: 123 }
+        );
+        assert_eq!(
+            "divisible,beta=0.5".parse::<MechanismSpec>().unwrap(),
+            MechanismSpec::Divisible { reserve: Money::from_f64(0.5) }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs_with_typed_errors() {
+        for bad in [
+            "vickrey",
+            "standard,eps=nope",
+            "standard,eps=1000000",
+            "standard,budget=10",
+            "combinatorial,budget=0",
+            "combinatorial,eps=10",
+            "divisible,beta=-1",
+            "divisible,beta=inf",
+            "double,eps=10",
+            "combinatorial,10",
+        ] {
+            let parsed = bad.parse::<MechanismSpec>();
+            assert!(
+                matches!(parsed, Err(MarketError::MechanismSpec { .. })),
+                "`{bad}` must be a typed spec error, got {parsed:?}"
+            );
+            let msg = parsed.unwrap_err().to_string();
+            assert!(msg.contains(bad), "error must quote the offending spec: {msg}");
+        }
+    }
+
+    #[test]
+    fn names_mirror_the_mechanisms() {
+        assert_eq!(MechanismSpec::Double.name(), "double-auction");
+        assert_eq!(MechanismSpec::Standard { epsilon_ppm: 0 }.name(), "standard-auction");
+        assert_eq!(MechanismSpec::Combinatorial { budget: 1 }.name(), "combinatorial-auction");
+        assert_eq!(MechanismSpec::Divisible { reserve: Money::ZERO }.name(), "divisible-auction");
+    }
+
+    #[test]
+    fn built_programs_report_the_spec_name() {
+        let caps = vec![Bw::from_f64(1.0); 3];
+        for text in ["double", "standard", "combinatorial", "divisible"] {
+            let spec: MechanismSpec = text.parse().unwrap();
+            assert_eq!(spec.build_program(caps.clone()).name(), spec.name(), "{text}");
+        }
+    }
+
+    #[test]
+    fn capacities_come_from_asks_or_default_to_unit() {
+        use dauctioneer_types::ProviderAsk;
+        let cfg = MarketConfig::new(3, 1, 8, 0);
+        assert_eq!(market_capacities(&cfg), vec![Bw::from_f64(1.0); 3]);
+        let ask = ProviderAsk::new(Money::from_f64(0.2), Bw::from_f64(2.5));
+        let cfg = MarketConfig::new(3, 1, 8, 1).with_asks(vec![ask]);
+        assert_eq!(market_capacities(&cfg), vec![Bw::from_f64(2.5)]);
+    }
+}

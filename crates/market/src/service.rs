@@ -86,6 +86,10 @@ pub struct EpochOutcome {
     pub outcome: Outcome,
     /// Epoch close → unanimous outcome latency.
     pub latency: Duration,
+    /// The mechanism the epoch cleared under (the program's
+    /// `AllocatorProgram::name`) — the same provenance string sealed
+    /// into the journal's settlement chain.
+    pub mechanism: &'static str,
 }
 
 /// What [`MarketService::start`] reconstructed from a recovered journal
@@ -331,6 +335,9 @@ impl MarketService {
         let shards = config.shards.max(1);
         let framework = config.framework();
         let telemetry = Telemetry::new(&config);
+        // Provenance: stamped on every outcome and sealed into the
+        // journal's settlement chain.
+        let mechanism = program.name();
 
         // Durability comes up before the mesh: a market that cannot
         // journal must not open for business at all. Recovery reads the
@@ -342,6 +349,18 @@ impl MarketService {
             Some(jc) if jc.recover => {
                 let (journal, log) =
                     Journal::recover(&jc.path, jc.fsync).map_err(MarketError::Journal)?;
+                // A journal sealed under a different mechanism must not
+                // be extended: re-clearing its in-flight epochs would
+                // produce outcomes the crashed process could never have
+                // sealed, forking the settlement history.
+                if let Some(journaled) = &log.mechanism {
+                    if journaled != mechanism {
+                        return Err(MarketError::MechanismMismatch {
+                            journaled: journaled.clone(),
+                            configured: mechanism.to_string(),
+                        });
+                    }
+                }
                 (Some(Arc::new(journal)), Some(log))
             }
             Some(jc) => {
@@ -383,7 +402,7 @@ impl MarketService {
         };
 
         let queue = Arc::new(IngressQueue::new(config.ingress_capacity, config.backpressure));
-        let stats = Arc::new(StatsShared::new(pool.threads_spawned()));
+        let stats = Arc::new(StatsShared::new(pool.threads_spawned(), mechanism));
         let worker_ids = pool.worker_ids().to_vec();
         let subscribed = Arc::new(AtomicBool::new(false));
         let (outcomes_tx, outcomes_rx) = unbounded();
@@ -429,6 +448,7 @@ impl MarketService {
                             seed,
                             accepted as u64,
                             bids.clone(),
+                            mechanism,
                             outcome.clone(),
                         )
                         .map_err(MarketError::Journal)?;
@@ -451,6 +471,7 @@ impl MarketService {
                         outcomes,
                         outcome,
                         latency,
+                        mechanism,
                     });
                 }
                 telemetry.flight.record(
@@ -493,6 +514,7 @@ impl MarketService {
                         telemetry,
                         start_epoch,
                         pending_asks,
+                        mechanism,
                     )
                 })
                 .expect("spawn market scheduler thread")
@@ -510,6 +532,22 @@ impl MarketService {
             recovery,
             telemetry,
         })
+    }
+
+    /// [`MarketService::start`] with the program built from
+    /// `config.mechanism` — the spec-driven entry point behind the
+    /// `--mechanism` flag. The program sells [`market_capacities`]:
+    /// the configured default asks' capacities, or one unit per
+    /// provider when no asks are configured.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`MarketService::start`] rejects, plus
+    /// [`MarketError::MechanismMismatch`] when recovering a journal
+    /// sealed under a different mechanism.
+    pub fn start_from_spec(config: MarketConfig) -> Result<MarketService, MarketError> {
+        let program = Arc::new(crate::mechanism::build_program(&config));
+        MarketService::start(config, program)
     }
 
     /// A cloneable submitter handle. Any number of threads may hold one.
@@ -644,6 +682,7 @@ fn run_scheduler(
     telemetry: Telemetry,
     start_epoch: u64,
     pending_asks: Vec<(u64, ProviderAsk)>,
+    mechanism: &'static str,
 ) {
     // One clearer thread per shard, spawned once alongside the workers:
     // a closed epoch is handed to its session's shard-clearer, so epochs
@@ -688,6 +727,7 @@ fn run_scheduler(
                             &telemetry,
                             shard,
                             job,
+                            mechanism,
                         );
                     }
                 })
@@ -976,6 +1016,7 @@ fn clear_epoch(
     telemetry: &Telemetry,
     shard: usize,
     job: ClearJob,
+    mechanism: &'static str,
 ) {
     let drive_started = Instant::now();
     let (outcomes, outcome, timings) =
@@ -995,6 +1036,7 @@ fn clear_epoch(
             job.seed,
             job.accepted as u64,
             job.bids.clone(),
+            mechanism,
             outcome.clone(),
         ) {
             journal_fail_stop(telemetry, stats, "epoch seal", &err);
@@ -1054,6 +1096,7 @@ fn clear_epoch(
             outcomes,
             outcome,
             latency,
+            mechanism,
         });
     }
 }

@@ -41,10 +41,13 @@ pub(crate) struct StatsShared {
     /// both are bumped in [`StatsShared::record_epoch`].
     aborted_by_reason: [AtomicU64; AbortReason::ALL.len()],
     worker_threads: usize,
+    /// The mechanism the market clears with; labels
+    /// `market_epochs_cleared_total` on the scrape endpoint.
+    pub(crate) mechanism: &'static str,
 }
 
 impl StatsShared {
-    pub(crate) fn new(worker_threads: usize) -> StatsShared {
+    pub(crate) fn new(worker_threads: usize, mechanism: &'static str) -> StatsShared {
         StatsShared {
             started: Instant::now(),
             epochs_cleared: AtomicU64::new(0),
@@ -59,6 +62,7 @@ impl StatsShared {
             close_latency_us: Histogram::new(),
             aborted_by_reason: std::array::from_fn(|_| AtomicU64::new(0)),
             worker_threads,
+            mechanism,
         }
     }
 
@@ -116,6 +120,7 @@ impl StatsShared {
         let uptime = self.started.elapsed();
         MarketStats {
             uptime,
+            mechanism: self.mechanism,
             epochs_closed,
             epochs_cleared,
             epochs_aborted,
@@ -192,6 +197,9 @@ impl AbortBreakdown {
 pub struct MarketStats {
     /// Time since the service started.
     pub uptime: Duration,
+    /// The mechanism this market clears epochs with (the program's
+    /// `AllocatorProgram::name`).
+    pub mechanism: &'static str,
     /// Epochs closed and dispatched as sessions so far
     /// (`epochs_cleared + epochs_aborted`).
     pub epochs_closed: u64,
@@ -278,7 +286,7 @@ mod tests {
 
     #[test]
     fn snapshot_reports_counters() {
-        let s = StatsShared::new(6);
+        let s = StatsShared::new(6, "double-auction");
         s.bids_accepted.store(10, Ordering::Relaxed);
         s.record_epoch(Duration::from_millis(5), None);
         s.record_epoch(Duration::from_millis(7), Some(AbortReason::Deadline));
@@ -306,7 +314,7 @@ mod tests {
 
     #[test]
     fn abort_breakdown_attributes_every_reason() {
-        let s = StatsShared::new(1);
+        let s = StatsShared::new(1, "double-auction");
         for reason in AbortReason::ALL {
             s.record_epoch(Duration::from_millis(1), Some(reason));
         }
@@ -323,7 +331,7 @@ mod tests {
 
     #[test]
     fn latency_window_is_bounded() {
-        let s = StatsShared::new(1);
+        let s = StatsShared::new(1, "double-auction");
         for i in 0..(LATENCY_WINDOW as u64 + 500) {
             s.record_epoch(Duration::from_micros(i), None);
         }

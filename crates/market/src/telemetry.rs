@@ -68,12 +68,16 @@ fn market_families(stats: &MarketStats) -> Vec<Family> {
             MetricKind::Gauge,
             seconds(stats.uptime),
         ),
-        Family::single(
-            "market_epochs_cleared_total",
-            "Epochs whose session reached a unanimous non-bottom outcome.",
-            MetricKind::Counter,
-            stats.epochs_cleared as f64,
-        ),
+        Family {
+            name: "market_epochs_cleared_total".into(),
+            help: "Epochs whose session reached a unanimous non-bottom outcome.".into(),
+            kind: MetricKind::Counter,
+            samples: vec![Sample::labelled(
+                "mechanism",
+                stats.mechanism,
+                stats.epochs_cleared as f64,
+            )],
+        },
         Family {
             name: "market_epochs_aborted_total".into(),
             help: "Epochs that aborted, by classified reason.".into(),

@@ -13,7 +13,7 @@ use dauctioneer_core::{
 };
 use dauctioneer_market::{
     crc32, scan, verify_log, Backpressure, EpochOutcome, EpochPolicy, FsyncPolicy, JournalConfig,
-    MarketConfig, MarketService, SubmitError,
+    MarketConfig, MarketError, MarketService, MechanismSpec, SubmitError,
 };
 use dauctioneer_net::{wire_encode, FaultPlan};
 use dauctioneer_types::{Bw, Encode, JournalRecord, Money, ProviderAsk, UserBid, UserId};
@@ -343,6 +343,7 @@ fn assert_byte_identical(live: &EpochOutcome, replayed: &EpochOutcome) {
     assert_eq!(live.epoch, replayed.epoch);
     assert_eq!(live.session, replayed.session);
     assert_eq!(live.seed, replayed.seed);
+    assert_eq!(live.mechanism, replayed.mechanism, "epoch {}: mechanism provenance", live.epoch);
     assert_eq!(live.accepted_bids, replayed.accepted_bids);
     assert_eq!(
         live.bids.encode_to_bytes(),
@@ -408,6 +409,60 @@ fn recovered_inproc_market_replays_byte_identical_outcomes() {
 #[test]
 fn recovered_tcp_market_replays_byte_identical_outcomes() {
     replay_equivalence(TransportKind::Tcp, "tcp");
+}
+
+/// Replay equivalence for the NP-hard mechanism: the combinatorial
+/// winner determination is budgeted in search **nodes**, not wall-clock,
+/// so a recovered market re-running the same branch-and-bound (fallback
+/// and all) re-clears stripped epochs byte-identically — and the journal
+/// seals every epoch under the mechanism's name.
+#[test]
+fn recovered_combinatorial_market_replays_byte_identical_outcomes() {
+    let path = temp_journal("combinatorial");
+    let spec: MechanismSpec = "combinatorial,budget=5000".parse().unwrap();
+    let mut config = market_config(TransportKind::InProc, 1).with_mechanism(spec);
+    config.journal = Some(JournalConfig::new(&path).with_fsync(FsyncPolicy::Never));
+    let mut live = MarketService::start_from_spec(config).expect("live market");
+    let lived = drive_epochs(&mut live, 3);
+    live.shutdown();
+    let summary = verify_log(&path).expect("live journal verifies");
+    assert_eq!(summary.seals, 3, "live run sealed every epoch");
+    assert_eq!(
+        summary.mechanism.as_deref(),
+        Some("combinatorial-auction"),
+        "seals carry the clearing mechanism's name"
+    );
+
+    strip_seals(&path, &[1, 2]);
+
+    let mut config = market_config(TransportKind::InProc, 1).with_mechanism(spec);
+    config.journal = Some(JournalConfig::new(&path).recovering());
+    let recovered = MarketService::start_from_spec(config).expect("recovered market");
+    let report = recovered.recovery_report().expect("recovery happened").clone();
+    assert_eq!(report.replayed.len(), 2, "epochs 1 and 2 re-cleared");
+    for (live_epoch, replayed) in lived[1..].iter().zip(&report.replayed) {
+        assert_eq!(live_epoch.mechanism, "combinatorial-auction");
+        assert!(!live_epoch.outcome.is_abort(), "the combinatorial epochs really cleared");
+        assert_byte_identical(live_epoch, replayed);
+    }
+    recovered.shutdown();
+    assert_eq!(verify_log(&path).unwrap().seals, 3, "replayed epochs re-sealed");
+
+    // Mechanism provenance is load-bearing: the same journal refuses to
+    // recover under any other mechanism rather than silently re-clearing
+    // history with different rules.
+    strip_seals(&path, &[1, 2]);
+    let mut config = market_config(TransportKind::InProc, 1);
+    config.journal = Some(JournalConfig::new(&path).recovering());
+    match MarketService::start_from_spec(config) {
+        Err(MarketError::MechanismMismatch { journaled, configured }) => {
+            assert_eq!(journaled, "combinatorial-auction");
+            assert_eq!(configured, "double-auction");
+        }
+        Err(other) => panic!("expected a mechanism mismatch, got {other}"),
+        Ok(_) => panic!("recovery under a different mechanism must be refused"),
+    }
+    std::fs::remove_file(&path).unwrap();
 }
 
 /// Replay equivalence under chaos: a corrupt-only fault plan (faults

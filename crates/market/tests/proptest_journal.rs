@@ -86,6 +86,7 @@ fn arb_seal() -> impl Strategy<Value = SealRecord> {
                 seed,
                 accepted,
                 bids,
+                mechanism: "double-auction".to_string(),
                 outcome,
                 prev,
                 digest,
@@ -245,6 +246,7 @@ proptest! {
                     BidVector::builder(1, 0)
                         .user_bid(0, UserBid::new(Money::from_micro(1), Bw::from_micro(1)))
                         .build(),
+                    "double-auction",
                     Outcome::Abort,
                 )
                 .unwrap();

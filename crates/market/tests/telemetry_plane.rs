@@ -157,8 +157,8 @@ fn registry_exports_every_market_family() {
         assert!(text.contains(family), "scrape output missing {family:?}:\n{text}");
     }
     assert!(
-        text.contains("market_epochs_cleared_total 1"),
-        "live value must flow through the collector"
+        text.contains("market_epochs_cleared_total{mechanism=\"double-auction\"} 1"),
+        "live value must flow through the collector, labelled with its mechanism"
     );
     assert!(text.contains("market_bids_total{verdict=\"accepted\"} 2"));
     assert!(text.contains("market_epochs_aborted_total{reason=\"deadline\"} 0"));

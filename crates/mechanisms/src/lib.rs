@@ -25,7 +25,21 @@
 //!   additional NP-hard solve per winner, which is what the distributed
 //!   framework parallelises across provider groups (Algorithm 1, Task 2).
 //!
-//! Both mechanisms implement the [`Mechanism`] trait, so the distributed
+//! Two further production mechanisms grow the layer beyond the paper's
+//! case study (ROADMAP item 2):
+//!
+//! * [`CombinatorialAuction`] — multi-unit XOR-bundle clearing after Yen &
+//!   Sun's decentralized combinatorial auctions. Winner determination is a
+//!   node-budgeted branch-and-bound ([`solver::bundle`]) whose greedy
+//!   fallback reports a certified bound on its result when the budget
+//!   exhausts; payments are pay-as-bid on the winning option.
+//!
+//! * [`DivisibleAuction`] — fractional allocation by descending-β
+//!   water-filling with exact Clarke-pivot VCG payments, one cheap
+//!   re-solve per winner, parallelised across provider groups like the
+//!   standard auction's Task 2.
+//!
+//! All mechanisms implement the [`Mechanism`] trait, so the distributed
 //! framework in `dauctioneer-core` and the centralised baseline execute
 //! byte-identical allocation code. All randomness is drawn from a
 //! [`SharedRng`] expanded deterministically from agreed coin material, so
@@ -48,6 +62,8 @@
 //! ```
 
 pub mod baselines;
+pub mod combinatorial;
+pub mod divisible;
 pub mod double;
 pub mod props;
 pub mod shared;
@@ -55,6 +71,8 @@ pub mod solver;
 pub mod standard;
 pub mod traits;
 
+pub use combinatorial::{CombinatorialAuction, CombinatorialAuctionConfig};
+pub use divisible::{DivisibleAuction, DivisibleAuctionConfig};
 pub use double::DoubleAuction;
 pub use shared::SharedRng;
 pub use standard::{StandardAuction, StandardAuctionConfig};

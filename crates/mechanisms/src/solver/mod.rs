@@ -8,15 +8,23 @@
 //! [`branch_bound`] reproduces that dial with an ε early-stop on an exact
 //! branch-and-bound search, [`greedy`] provides the fast incumbent /
 //! baseline, and [`exhaustive`] the ground truth for small instances used
-//! by the property tests.
+//! by the property tests. The [`bundle`] module carries the same trio
+//! (branch-and-bound, greedy incumbent, exhaustive reference) over to
+//! multi-unit XOR-bundle winner determination for the combinatorial
+//! auction.
 
 pub mod branch_bound;
+pub mod bundle;
 pub mod exhaustive;
 pub mod greedy;
 
 use dauctioneer_types::{BidVector, Bw, Money, UserId};
 
 pub use branch_bound::{solve_branch_bound, BranchBoundConfig, SolveStats};
+pub use bundle::{
+    solve_bundle_branch_bound, solve_bundle_exhaustive, solve_bundle_greedy, BundleInstance,
+    BundleSolution, BundleSolveStats,
+};
 pub use exhaustive::solve_exhaustive;
 pub use greedy::solve_greedy;
 

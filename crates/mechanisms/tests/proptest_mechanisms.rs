@@ -7,12 +7,17 @@ use dauctioneer_mechanisms::props::{
     feasibility_violations, find_profitable_lie, rationality_violations,
 };
 use dauctioneer_mechanisms::solver::{
-    solve_branch_bound, solve_exhaustive, solve_greedy, BranchBoundConfig, Instance,
+    solve_branch_bound, solve_bundle_branch_bound, solve_bundle_exhaustive, solve_exhaustive,
+    solve_greedy, BranchBoundConfig, BundleInstance, Instance,
 };
 use dauctioneer_mechanisms::{
+    CombinatorialAuction, CombinatorialAuctionConfig, DivisibleAuction, DivisibleAuctionConfig,
     DoubleAuction, Mechanism, SharedRng, StandardAuction, StandardAuctionConfig,
 };
-use dauctioneer_types::{BidEntry, BidVector, Bw, Money, ProviderAsk, ProviderId, UserBid, UserId};
+use dauctioneer_types::{
+    BidEntry, BidVector, BundleBid, BundleOption, Bw, Money, ProviderAsk, ProviderId, UserBid,
+    UserId,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,6 +53,26 @@ fn arb_standard_instance() -> impl Strategy<Value = (BidVector, Vec<Bw>)> {
                 BidVector::from_parts(users, Vec::new()),
                 caps.into_iter().map(Bw::from_micro).collect(),
             )
+        })
+}
+
+fn arb_bundle_option() -> impl Strategy<Value = BundleOption> {
+    (1u64..=5, 100_000i64..=5_000_000)
+        .prop_map(|(units, price)| BundleOption::new(units, Money::from_micro(price)))
+}
+
+fn arb_bundle_instance() -> impl Strategy<Value = BundleInstance> {
+    (
+        proptest::collection::vec(proptest::collection::vec(arb_bundle_option(), 1..3), 1..6),
+        proptest::collection::vec(1u64..=8, 1..3),
+    )
+        .prop_map(|(option_sets, caps)| {
+            let bids: Vec<BundleBid> = option_sets
+                .into_iter()
+                .enumerate()
+                .map(|(i, options)| BundleBid::new(UserId(i as u32), options))
+                .collect();
+            BundleInstance::new(&bids, &caps)
         })
 }
 
@@ -157,5 +182,71 @@ proptest! {
         let shared = SharedRng::from_material(b"q");
         let lie = find_profitable_lie(&auction, &bids, &shared, &[0.5, 0.9, 1.2, 3.0], Money::ZERO);
         prop_assert_eq!(lie, None);
+    }
+
+    /// Bundle branch-and-bound with ε = 0 and no budget equals exhaustive
+    /// enumeration, and multi-unit capacity is never exceeded.
+    #[test]
+    fn bundle_branch_bound_is_exact(inst in arb_bundle_instance()) {
+        let (sol, stats) = solve_bundle_branch_bound(
+            &inst,
+            BranchBoundConfig::default(),
+            &mut StdRng::seed_from_u64(0),
+        );
+        let best = solve_bundle_exhaustive(&inst);
+        prop_assert!(stats.complete);
+        prop_assert_eq!(sol.welfare, best.welfare);
+        prop_assert!(sol.is_feasible(&inst));
+        prop_assert_eq!(sol.compute_welfare(&inst), sol.welfare);
+        prop_assert!(stats.root_bound >= best.welfare);
+    }
+
+    /// Budgeted winner determination: the greedy fallback stays feasible
+    /// and its *reported* bound is honest — the returned welfare is at
+    /// least `bound_ppm` of the true optimum on exhaustively-solvable
+    /// instances.
+    #[test]
+    fn bundle_fallback_honors_its_reported_bound(inst in arb_bundle_instance()) {
+        // A 1-node budget stops the search immediately: pure greedy fallback.
+        let cfg = BranchBoundConfig { max_nodes: 1, ..Default::default() };
+        let (sol, stats) = solve_bundle_branch_bound(&inst, cfg, &mut StdRng::seed_from_u64(1));
+        prop_assert!(sol.is_feasible(&inst));
+        let best = solve_bundle_exhaustive(&inst);
+        let floor = (best.welfare.micro() as i128 * stats.bound_ppm as i128 / 1_000_000) as i64;
+        prop_assert!(
+            sol.welfare.micro() >= floor,
+            "welfare {} below reported bound {} ppm of optimum {}",
+            sol.welfare, stats.bound_ppm, best.welfare
+        );
+    }
+
+    /// The full combinatorial mechanism on arbitrary market bids:
+    /// feasibility (capacity and demand), individual rationality of the
+    /// pay-as-bid payments against the declared linear valuation, and
+    /// budget balance.
+    #[test]
+    fn combinatorial_auction_invariants((bids, caps) in arb_standard_instance()) {
+        let auction = CombinatorialAuction::new(CombinatorialAuctionConfig::new(caps.clone()));
+        let result = auction.run(&bids, &SharedRng::from_material(b"c"));
+        prop_assert!(feasibility_violations(&bids, &result, Some(&caps)).is_empty());
+        prop_assert!(rationality_violations(&bids, &result).is_empty());
+        prop_assert!(result.payments.is_budget_balanced());
+    }
+
+    /// Divisible VCG: Clarke payments nonnegative, individually rational,
+    /// and the water-fill allocates exactly min(total demand, capacity).
+    #[test]
+    fn divisible_auction_invariants((bids, caps) in arb_standard_instance()) {
+        let auction = DivisibleAuction::new(DivisibleAuctionConfig::new(caps.clone()));
+        let result = auction.run(&bids, &SharedRng::from_material(b"d"));
+        prop_assert!(feasibility_violations(&bids, &result, Some(&caps)).is_empty());
+        prop_assert!(rationality_violations(&bids, &result).is_empty());
+        prop_assert!(result.payments.is_budget_balanced());
+        for (user, _) in bids.valid_user_bids() {
+            prop_assert!(result.payments.user_payment(user) >= Money::ZERO);
+        }
+        let demand: Bw = bids.valid_user_bids().map(|(_, b)| b.demand()).sum();
+        let capacity: Bw = caps.iter().copied().sum();
+        prop_assert_eq!(result.allocation.total(), demand.min(capacity));
     }
 }

@@ -390,6 +390,21 @@ impl Decode for Bytes {
     }
 }
 
+impl Encode for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_len_prefixed(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let bytes = r.get_len_prefixed()?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| CodecError::Invalid { what: "string is not valid UTF-8" })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +429,22 @@ mod tests {
         assert_eq!(roundtrip(&(1u8, 2u16, 3u32)).unwrap(), (1, 2, 3));
         let b = Bytes::from_static(b"payload");
         assert_eq!(roundtrip(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn string_roundtrips_and_rejects_bad_utf8() {
+        assert_eq!(roundtrip(&String::from("double-auction")).unwrap(), "double-auction");
+        assert_eq!(roundtrip(&String::new()).unwrap(), "");
+        // Same bytes as a len-prefixed slice, so the format stays canonical.
+        assert_eq!(
+            String::from("abc").encode_to_bytes(),
+            Bytes::from_static(b"abc").encode_to_bytes()
+        );
+        let mut w = Writer::new();
+        w.put_len_prefixed(&[0xFF, 0xFE]);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(String::decode(&mut r), Err(CodecError::Invalid { .. })));
     }
 
     #[test]

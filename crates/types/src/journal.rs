@@ -26,6 +26,10 @@ use crate::outcome::Outcome;
 /// scheduler applied them, except that [`JournalRecord::Sealed`] records
 /// are appended by the (possibly concurrent) epoch clearers — every
 /// record names its epoch, so interleaving across epochs is harmless.
+// `Sealed` dwarfs the other variants, but records are decoded one at a
+// time and handed off; nothing holds accept-heavy `Vec<JournalRecord>`s
+// on a hot path, so boxing the seal would buy indirection, not memory.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JournalRecord {
     /// A bid was accepted into epoch `epoch`'s collector. Written (and
@@ -122,6 +126,11 @@ pub struct SealRecord {
     pub accepted: u64,
     /// The closed bid vector every provider received.
     pub bids: BidVector,
+    /// Name of the mechanism that cleared the epoch (from
+    /// `Mechanism::name`, e.g. `"double-auction"`). Part of the signed
+    /// content so a journal re-cleared under a different mechanism is
+    /// detectable offline and refused by recovery.
+    pub mechanism: String,
     /// The unanimous Definition-1 outcome.
     pub outcome: Outcome,
     /// Digest of the previous seal (chain genesis for the first).
@@ -143,6 +152,7 @@ impl SealRecord {
         self.seed.encode(&mut w);
         self.accepted.encode(&mut w);
         self.bids.encode(&mut w);
+        self.mechanism.encode(&mut w);
         self.outcome.encode(&mut w);
         w.finish()
     }
@@ -155,6 +165,7 @@ impl Encode for SealRecord {
         self.seed.encode(w);
         self.accepted.encode(w);
         self.bids.encode(w);
+        self.mechanism.encode(w);
         self.outcome.encode(w);
         w.put_slice(&self.prev);
         w.put_slice(&self.digest);
@@ -168,12 +179,13 @@ impl Decode for SealRecord {
         let seed = u64::decode(r)?;
         let accepted = u64::decode(r)?;
         let bids = BidVector::decode(r)?;
+        let mechanism = String::decode(r)?;
         let outcome = Outcome::decode(r)?;
         let mut prev = [0u8; 32];
         prev.copy_from_slice(r.get_slice(32)?);
         let mut digest = [0u8; 32];
         digest.copy_from_slice(r.get_slice(32)?);
-        Ok(SealRecord { epoch, session, seed, accepted, bids, outcome, prev, digest })
+        Ok(SealRecord { epoch, session, seed, accepted, bids, mechanism, outcome, prev, digest })
     }
 }
 
@@ -198,6 +210,7 @@ mod tests {
                 .user_bid(1, bid(0.9))
                 .provider_ask(0, ProviderAsk::new(Money::from_f64(0.2), Bw::from_f64(2.0)))
                 .build(),
+            mechanism: "double-auction".to_string(),
             outcome: Outcome::Abort,
             prev: [7u8; 32],
             digest: [9u8; 32],
@@ -239,6 +252,11 @@ mod tests {
         let mut c = a.clone();
         c.seed += 1;
         assert_ne!(a.content_bytes(), c.content_bytes(), "content fields are content");
+        // Mechanism provenance is signed content: re-clearing the same
+        // epoch under another mechanism must change the digest input.
+        let mut d = a.clone();
+        d.mechanism = "standard-auction".to_string();
+        assert_ne!(a.content_bytes(), d.content_bytes(), "mechanism is content");
     }
 
     #[test]

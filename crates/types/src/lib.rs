@@ -35,6 +35,7 @@
 
 pub mod allocation;
 pub mod bids;
+pub mod bundle;
 pub mod codec;
 pub mod error;
 pub mod ids;
@@ -45,6 +46,7 @@ pub mod quantity;
 
 pub use allocation::Allocation;
 pub use bids::{BidEntry, BidVector, BidVectorBuilder, ProviderAsk, UserBid};
+pub use bundle::{BundleBid, BundleOption};
 pub use codec::{Decode, Encode, Reader, Writer};
 pub use error::CodecError;
 pub use ids::{BidderId, ProviderId, SessionId, UserId};

@@ -14,17 +14,24 @@
 //!   JSON a SIGUSR1 or a fail-stop journal error writes).
 //!
 //! ```text
-//! dauction [--auction double|standard] [--n USERS] [--m PROVIDERS] [--k COALITION]
-//!          [--seed SEED] [--runtime threads|des] [--latency zero|community]
+//! dauction [--auction double|standard] [--mechanism SPEC] [--n USERS] [--m PROVIDERS]
+//!          [--k COALITION] [--seed SEED] [--runtime threads|des] [--latency zero|community]
 //!          [--epsilon PPM] [--budget NODES]
-//! dauction serve [--rate BIDS_PER_SEC] [--epochs E] [--epoch-bids N] [--epoch-ms D]
-//!          [--n USERS] [--m PROVIDERS] [--k COALITION] [--seed SEED]
+//! dauction serve [--mechanism SPEC] [--rate BIDS_PER_SEC] [--epochs E] [--epoch-bids N]
+//!          [--epoch-ms D] [--n USERS] [--m PROVIDERS] [--k COALITION] [--seed SEED]
 //!          [--transport inproc|tcp] [--shards S] [--chaos SPEC]
 //!          [--journal PATH] [--fsync always|never|every=N] [--recover]
 //!          [--metrics-addr HOST:PORT] [--flight-path PATH] [--heartbeat-ms D]
 //! dauction verify-log <PATH>
 //! dauction flight-dump <PATH>
 //! ```
+//!
+//! `--mechanism` selects the clearing mechanism by spec:
+//! `double | standard[,eps=PPM] | combinatorial[,budget=NODES] |
+//! divisible[,beta=PRICE]`. In one-shot mode it supersedes `--auction`;
+//! in `serve` it decides what every epoch clears with, is stamped on
+//! every epoch outcome and journal seal, and `--recover` refuses a
+//! journal sealed under a different mechanism.
 //!
 //! `--chaos` injects seeded link faults into the persistent mesh; the
 //! spec is the `key=value` format of `FaultPlan` (e.g.
@@ -51,12 +58,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dauctioneer::core::{
-    run_session, DoubleAuctionProgram, FrameworkConfig, RunOptions, StandardAuctionProgram,
-    TransportKind,
+    run_session, DoubleAuctionProgram, DynProgram, FrameworkConfig, RunOptions,
+    StandardAuctionProgram, TransportKind,
 };
 use dauctioneer::market::{
     register_market_metrics, verify_log, EpochPolicy, FsyncPolicy, JournalConfig, MarketConfig,
-    MarketService,
+    MarketService, MechanismSpec,
 };
 use dauctioneer::mechanisms::solver::BranchBoundConfig;
 use dauctioneer::mechanisms::{StandardAuction, StandardAuctionConfig};
@@ -71,6 +78,7 @@ use dauctioneer::workload::{
 #[derive(Debug, Clone)]
 struct Args {
     auction: String,
+    mechanism: Option<String>,
     n: usize,
     m: usize,
     k: usize,
@@ -85,6 +93,7 @@ impl Args {
     fn parse() -> Result<Args, String> {
         let mut args = Args {
             auction: "double".into(),
+            mechanism: None,
             n: 50,
             m: 3,
             k: 1,
@@ -104,6 +113,7 @@ impl Args {
             let value = argv.get(i + 1).ok_or_else(|| format!("missing value for {flag}"))?;
             match flag {
                 "--auction" => args.auction = value.clone(),
+                "--mechanism" => args.mechanism = Some(value.clone()),
                 "--n" => args.n = value.parse().map_err(|e| format!("--n: {e}"))?,
                 "--m" => args.m = value.parse().map_err(|e| format!("--m: {e}"))?,
                 "--k" => args.k = value.parse().map_err(|e| format!("--k: {e}"))?,
@@ -122,14 +132,17 @@ impl Args {
     }
 }
 
-const HELP: &str = "usage: dauction [--auction double|standard] [--n USERS] [--m PROVIDERS] \
-[--k COALITION] [--seed SEED] [--runtime threads|des] [--latency zero|community] \
-[--epsilon PPM] [--budget NODES]\n       dauction serve [--rate BIDS_PER_SEC] [--epochs E] \
+const HELP: &str = "usage: dauction [--auction double|standard] [--mechanism SPEC] [--n USERS] \
+[--m PROVIDERS] [--k COALITION] [--seed SEED] [--runtime threads|des] \
+[--latency zero|community] [--epsilon PPM] [--budget NODES]\n       dauction serve \
+[--mechanism SPEC] [--rate BIDS_PER_SEC] [--epochs E] \
 [--epoch-bids N] [--epoch-ms D] [--n USERS] [--m PROVIDERS] [--k COALITION] [--seed SEED] \
 [--transport inproc|tcp] [--shards S] [--deadline-ms D] [--chaos drop=P,dup=P,reorder=P,\
 delay=P,delay-ms=A..B,corrupt=P,seed=S,hold-ms=H] [--journal PATH] \
 [--fsync always|never|every=N] [--recover] [--metrics-addr HOST:PORT] [--flight-path PATH] \
-[--heartbeat-ms D]\n       dauction verify-log PATH\n       dauction flight-dump PATH";
+[--heartbeat-ms D]\n       dauction verify-log PATH\n       dauction flight-dump PATH\n\
+mechanism SPEC: double | standard[,eps=PPM] | combinatorial[,budget=NODES] | \
+divisible[,beta=PRICE]";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -156,22 +169,42 @@ fn main() {
         }
     };
 
+    // `--mechanism SPEC` supersedes the legacy `--auction` selector and
+    // reaches all four mechanisms through the same grammar `serve` uses.
+    let spec: Option<MechanismSpec> = match &args.mechanism {
+        Some(text) => match text.parse() {
+            Ok(spec) => Some(spec),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+
     println!(
         "dauction: {} auction, n={} users, m={} providers, k={} (p={})",
-        args.auction,
+        spec.as_ref().map_or(args.auction.as_str(), |s| s.name()),
         args.n,
         args.m,
         args.k,
         args.m / (args.k + 1)
     );
 
-    let (outcome, elapsed_label, elapsed) = match args.auction.as_str() {
-        "double" => {
+    let (outcome, elapsed_label, elapsed) = match (spec, args.auction.as_str()) {
+        (Some(MechanismSpec::Double), _) | (None, "double") => {
             let bids = DoubleAuctionWorkload::new(args.n, args.m, args.seed).generate();
             let cfg = FrameworkConfig::new(args.m, args.k, args.n, args.m);
             run(&args, cfg, Arc::new(DoubleAuctionProgram::new()), vec![bids; args.m])
         }
-        "standard" => {
+        (Some(spec), _) => {
+            let (bids, capacities) =
+                StandardAuctionWorkload::new(args.n, args.m, args.seed).generate();
+            let program = DynProgram::new(spec.build_program(capacities));
+            let cfg = FrameworkConfig::new(args.m, args.k, args.n, 0);
+            run(&args, cfg, Arc::new(program), vec![bids; args.m])
+        }
+        (None, "standard") => {
             let (bids, capacities) =
                 StandardAuctionWorkload::new(args.n, args.m, args.seed).generate();
             let auction = StandardAuction::new(StandardAuctionConfig {
@@ -185,8 +218,11 @@ fn main() {
             let cfg = FrameworkConfig::new(args.m, args.k, args.n, 0);
             run(&args, cfg, Arc::new(StandardAuctionProgram::new(auction)), vec![bids; args.m])
         }
-        other => {
-            eprintln!("unknown auction kind `{other}` (double|standard)");
+        (None, other) => {
+            eprintln!(
+                "unknown auction kind `{other}` (double|standard); \
+                       or use --mechanism SPEC"
+            );
             std::process::exit(2);
         }
     };
@@ -239,10 +275,12 @@ fn verify_log_main(argv: &[String]) -> i32 {
     match verify_log(std::path::Path::new(path)) {
         Ok(summary) => {
             println!(
-                "verify-log: OK — {} records, {} sealed epochs, {} accepted bids, chain tip {}",
+                "verify-log: OK — {} records, {} sealed epochs, {} accepted bids, \
+                 mechanism {}, chain tip {}",
                 summary.records,
                 summary.seals,
                 summary.accepted,
+                summary.mechanism.as_deref().unwrap_or("(none sealed)"),
                 summary.tip.to_hex()
             );
             0
@@ -342,6 +380,7 @@ mod usr1 {
 /// seeded Poisson arrival stream, printing each epoch as it closes and a
 /// stats summary at the end. Bounded by `--epochs`.
 fn serve_main(argv: &[String]) -> Result<(), String> {
+    let mut mechanism = MechanismSpec::default();
     let mut rate = 400.0f64;
     let mut epochs = 5u64;
     let mut epoch_bids: Option<usize> = None;
@@ -375,6 +414,7 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
         }
         let value = argv.get(i + 1).ok_or_else(|| format!("missing value for {flag}"))?;
         match flag {
+            "--mechanism" => mechanism = value.parse().map_err(|e| format!("{e}"))?,
             "--rate" => rate = value.parse().map_err(|e| format!("--rate: {e}"))?,
             "--epochs" => epochs = value.parse().map_err(|e| format!("--epochs: {e}"))?,
             "--epoch-bids" => {
@@ -427,8 +467,10 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
         EpochPolicy::ByCount(c) | EpochPolicy::Hybrid { count: c, .. } => c as f64,
         EpochPolicy::ByTime(d) => (rate * d.as_secs_f64()).max(2.0),
     };
-    let mut config =
-        MarketConfig::new(m, k, n, m).with_epoch(policy).with_transport(transport, shards);
+    let mut config = MarketConfig::new(m, k, n, m)
+        .with_epoch(policy)
+        .with_transport(transport, shards)
+        .with_mechanism(mechanism);
     config.asks = epoch_supply(m, expected_bids);
     config.seed = seed;
     config.chaos = chaos;
@@ -454,9 +496,10 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
     config.telemetry.flight_dump_path = flight_path.clone();
 
     println!(
-        "dauction serve: continuous double auction, m={m} providers (k={k}), {n} user \
-         slots/epoch, {rate} bids/s Poisson, {policy:?}, {transport:?}×{shards} shard(s); \
-         stopping after {epochs} epochs"
+        "dauction serve: continuous {} market (spec `{mechanism}`), m={m} providers (k={k}), \
+         {n} user slots/epoch, {rate} bids/s Poisson, {policy:?}, {transport:?}×{shards} \
+         shard(s); stopping after {epochs} epochs",
+        mechanism.name()
     );
     if let Some(plan) = &config.chaos {
         println!("chaos plane armed: {plan} (replay any epoch from this spec)");
@@ -471,8 +514,8 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
         );
     }
 
-    let mut market = MarketService::start(config, Arc::new(DoubleAuctionProgram::new()))
-        .map_err(|e| format!("cannot start market: {e}"))?;
+    let mut market =
+        MarketService::start_from_spec(config).map_err(|e| format!("cannot start market: {e}"))?;
     if let Some(report) = market.recovery_report() {
         println!(
             "recovered: {} sealed epochs intact, {} in-flight epoch(s) re-cleared, {} torn \

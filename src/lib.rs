@@ -9,12 +9,19 @@
 //! |---|---|---|
 //! | [`types`] | `dauctioneer-types` | bids, allocations, payments, wire codec |
 //! | [`crypto`] | `dauctioneer-crypto` | SHA-256, commitments, seed derivation |
-//! | [`mechanisms`] | `dauctioneer-mechanisms` | double auction, (1−ε)-VCG standard auction |
+//! | [`mechanisms`] | `dauctioneer-mechanisms` | double auction, (1−ε)-VCG standard auction, multi-unit XOR-bundle combinatorial auction (node-budgeted branch-and-bound with a bound-reporting greedy fallback), divisible-resource water-filling auction with Clarke-pivot payments |
 //! | [`net`] | `dauctioneer-net` | threaded transport, latency models, traffic metrics |
 //! | [`core`] | `dauctioneer-core` | the framework: bid agreement, coin, allocator, auctioneer |
 //! | [`sim`] | `dauctioneer-sim` | game-theoretic simulator, deviations, utilities |
 //! | [`workload`] | `dauctioneer-workload` | the paper's §6 workload generators |
+//! | [`market`] | `dauctioneer-market` | continuous epochs, journal + recovery, runtime [`market::MechanismSpec`] selection |
 //! | [`telemetry`] | `dauctioneer-telemetry` | metrics registry, scrape endpoint, epoch traces, flight recorder |
+//!
+//! All four production mechanisms run behind the same replicated
+//! pipeline and can be selected at runtime from a spec string — see
+//! [`market::MechanismSpec`] and the `--mechanism` flag of the
+//! `dauction` binary (`double | standard[,eps=PPM] |
+//! combinatorial[,budget=NODES] | divisible[,beta=PRICE]`).
 //!
 //! ## Quick start: one session
 //!

@@ -14,12 +14,14 @@ use proptest::prelude::*;
 
 use dauctioneer::core::{
     run_batch_with, AdversaryKind, BatchConfig, BatchReport, BatchSession, DoubleAuctionProgram,
-    FrameworkConfig, RunOptions, TransportKind,
+    DynProgram, FrameworkConfig, RunOptions, TransportKind,
 };
-use dauctioneer::market::{AbortReason, EpochPolicy, MarketConfig, MarketService};
+use dauctioneer::market::{AbortReason, EpochPolicy, MarketConfig, MarketService, MechanismSpec};
 use dauctioneer::net::FaultPlan;
 use dauctioneer::types::{Bw, Money, Outcome, ProviderAsk, ProviderId, SessionId, UserBid, UserId};
-use dauctioneer::workload::{chaos_suite, ChaosScenario, DoubleAuctionWorkload, Expectation};
+use dauctioneer::workload::{
+    chaos_suite, ChaosScenario, DoubleAuctionWorkload, Expectation, StandardAuctionWorkload,
+};
 
 const M: usize = 3;
 const N_USERS: usize = 4;
@@ -199,6 +201,104 @@ fn benign_plan_is_outcome_identical_to_the_unwrapped_transport() {
         );
         assert!(wrapped.all_agreed());
         assert_eq!(outcome_matrix(&unwrapped), outcome_matrix(&wrapped), "{transport:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// The mechanism matrix: the chaos contract is mechanism-independent.
+//
+// The combinatorial program replicates an NP-hard node-budgeted search
+// and the divisible program runs Algorithm-1-style payment groups, yet
+// under every chaos scenario both must read exactly like the double
+// auction: the identical honest outcome at every provider, or ⊥ —
+// never a divergent clearing, never a hang.
+// ---------------------------------------------------------------------
+
+/// The two new mechanism specs the matrix covers; the double and
+/// standard auctions are exercised by the tests above and the core
+/// suites.
+fn mechanism_matrix() -> [MechanismSpec; 2] {
+    ["combinatorial,budget=20000".parse().unwrap(), "divisible,beta=0.05".parse().unwrap()]
+}
+
+/// Sessions carrying §6.3-shaped user bids (providers hold capacity but
+/// do not bid), plus the capacity vector the mechanism program is built
+/// around.
+fn mechanism_specs(seed: u64) -> (Vec<BatchSession>, Vec<Bw>) {
+    let (_, capacities) = StandardAuctionWorkload::new(N_USERS, M, seed).generate();
+    let sessions = (0..SESSIONS)
+        .map(|s| {
+            let (bids, _) = StandardAuctionWorkload::new(N_USERS, M, seed + s as u64).generate();
+            BatchSession::uniform(SessionId(s as u64), bids, M, seed + 977 * s as u64)
+        })
+        .collect();
+    (sessions, capacities)
+}
+
+fn run_mechanism(
+    spec: MechanismSpec,
+    scenario: &ChaosScenario,
+    transport: TransportKind,
+    seed: u64,
+) -> BatchReport {
+    let (sessions, capacities) = mechanism_specs(seed);
+    let (chaos, adversaries) = scenario.faults(seed, M);
+    // No ask slots: §6.3-style providers publish capacity out of band
+    // (baked into the program) instead of bidding.
+    run_batch_with(
+        &FrameworkConfig::new(M, 1, N_USERS, 0),
+        Arc::new(DynProgram::new(spec.build_program(capacities))),
+        sessions,
+        &options(),
+        &BatchConfig { shards: 1, transport, chaos, adversaries },
+    )
+}
+
+#[test]
+fn combinatorial_and_divisible_terminate_honest_or_bottom_under_chaos() {
+    let seed = 0xC0DE;
+    for spec in mechanism_matrix() {
+        let baseline = run_mechanism(spec, &chaos_suite()[0], TransportKind::InProc, seed);
+        assert!(baseline.all_agreed(), "{spec}: fault-free baseline must clear everything");
+        let honest: Vec<Outcome> = baseline.sessions.iter().map(|s| s.unanimous()).collect();
+
+        for scenario in chaos_suite() {
+            for transport in [TransportKind::InProc, TransportKind::Tcp] {
+                let report = run_mechanism(spec, &scenario, transport, seed);
+                assert_eq!(report.sessions.len(), SESSIONS);
+                assert_honest_or_bottom(scenario.name, &format!("{spec}"), &report, &honest);
+                if scenario.expect == Expectation::HonestOnly {
+                    assert!(
+                        report.all_agreed(),
+                        "{}/{spec}: faults within the model's assumptions must still clear",
+                        scenario.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mechanism_outcomes_replay_identically_across_backends() {
+    // The budget is counted in search *nodes*, so the combinatorial
+    // clearing — fallback and all — and the randomness-free divisible
+    // clearing are pure functions of (seed, bids): InProc and TCP runs
+    // of the same seeded scenario must agree outcome-for-outcome.
+    let seed = 0xD05E;
+    for spec in mechanism_matrix() {
+        for scenario in chaos_suite().iter().filter(|s| s.replayable_outcomes()) {
+            let inproc =
+                outcome_matrix(&run_mechanism(spec, scenario, TransportKind::InProc, seed));
+            let again = outcome_matrix(&run_mechanism(spec, scenario, TransportKind::InProc, seed));
+            assert_eq!(inproc, again, "{}/{spec}: same seed, same outcomes", scenario.name);
+            let tcp = outcome_matrix(&run_mechanism(spec, scenario, TransportKind::Tcp, seed));
+            assert_eq!(
+                inproc, tcp,
+                "{}/{spec}: InProc and TCP must agree for one seed",
+                scenario.name
+            );
+        }
     }
 }
 

@@ -83,6 +83,109 @@ fn wait_for_file(path: &Path, timeout: Duration) {
     }
 }
 
+/// The NP-hard mechanism under the same harness: kill a journaled
+/// `--mechanism combinatorial` daemon at a seeded point, then recover
+/// the durable prefix **twice** (two independent processes over two
+/// copies of the same torn journal). Because the winner-determination
+/// budget is counted in search nodes — never wall-clock — both
+/// recoveries must re-clear every unsealed epoch to byte-identical
+/// journals, seal them under the mechanism's name, and refuse to
+/// recover under any other mechanism.
+#[test]
+fn combinatorial_recovery_re_clears_byte_identically() {
+    let bin = env!("CARGO_BIN_EXE_dauction");
+    let seed = crash_seed();
+    println!("crash harness seed: {seed} (export CRASH_SEED={seed} to reproduce)");
+    let mut rng = Rng(seed | 1);
+    let spec = "combinatorial,budget=20000";
+    let path = temp_journal("combinatorial");
+    let delay = Duration::from_millis(150 + rng.next() % 350);
+
+    let child = Command::new(bin)
+        .args([
+            "serve",
+            "--transport",
+            "tcp",
+            "--rate",
+            "1500",
+            "--seed",
+            "7",
+            "--epochs",
+            "1000000",
+            "--fsync",
+            "always",
+            "--mechanism",
+            spec,
+            "--journal",
+        ])
+        .arg(&path)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dauction serve --mechanism combinatorial");
+    let mut child = Reaper(child);
+    wait_for_file(&path, Duration::from_secs(10));
+    std::thread::sleep(delay);
+    child.0.kill().expect("SIGKILL the daemon");
+    child.0.wait().expect("reap the daemon");
+    drop(child);
+
+    let durable = accepted_records(&read_scan(&path));
+
+    // Two independent recoveries of the same durable prefix.
+    let twin = temp_journal("combinatorial-twin");
+    std::fs::copy(&path, &twin).expect("copy the torn journal");
+    for journal in [&path, &twin] {
+        let recovery = Command::new(bin)
+            .args(["serve", "--recover", "--epochs", "0", "--seed", "7", "--mechanism", spec])
+            .arg("--journal")
+            .arg(journal)
+            .output()
+            .expect("run recovery");
+        assert!(
+            recovery.status.success(),
+            "recovery of {} failed (delay {delay:?}):\n{}\n{}",
+            journal.display(),
+            String::from_utf8_lossy(&recovery.stdout),
+            String::from_utf8_lossy(&recovery.stderr)
+        );
+    }
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        std::fs::read(&twin).unwrap(),
+        "two independent recoveries re-cleared the same epochs differently — the \
+         node-budgeted search must be a pure function of (seed, bids)"
+    );
+
+    if !durable.is_empty() {
+        let summary = verify_log(&path).expect("recovered journal verifies");
+        assert!(summary.seals >= 1, "recovery sealed the replayed epochs");
+        assert_eq!(summary.accepted, durable.len() as u64, "zero accepted-bid loss");
+        assert_eq!(
+            summary.mechanism.as_deref(),
+            Some("combinatorial-auction"),
+            "seals carry the mechanism that cleared them"
+        );
+
+        // Provenance is enforced, not decorative: the same journal under
+        // a different mechanism must be refused.
+        let refused = Command::new(bin)
+            .args(["serve", "--recover", "--epochs", "0", "--mechanism", "divisible"])
+            .arg("--journal")
+            .arg(&path)
+            .output()
+            .expect("run cross-mechanism recovery");
+        assert!(!refused.status.success(), "recovery under a different mechanism must be refused");
+        assert!(
+            String::from_utf8_lossy(&refused.stderr).contains("refusing to re-clear"),
+            "the refusal must name the mechanism conflict:\n{}",
+            String::from_utf8_lossy(&refused.stderr)
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&twin).unwrap();
+}
+
 #[test]
 fn kill_dash_nine_loses_no_accepted_bid() {
     let bin = env!("CARGO_BIN_EXE_dauction");
