@@ -22,7 +22,13 @@ Fails (exit 1) when, for any row present in both baseline and current:
     certified optimality bound (bound_ppm_min) collapses below 90% of
     the baseline's certification. The fallback rate is reported per
     size so a budget-accounting bug (fallback never engaging at 10^4
-    bids) is visible in the summary.
+    bids) is visible in the summary, or
+  * the deployment loses its outage bounds: BENCH_ha.json (written by
+    the process-kill harness) reports the outage-window epoch-close
+    p99 and the kill-to-rejoin-to-clear time; either growing beyond 2x
+    baseline means epochs touching a dead peer stopped resolving by
+    detection, or the reconnect path (backoff reset, re-handshake,
+    epoch-boundary rejoin) got stuck.
 
 Rows only present on one side are reported but never fail the gate, so
 adding a sweep point does not require touching the baseline in the same
@@ -32,8 +38,10 @@ commit. Regenerate baselines with:
     cargo run --release -p dauctioneer-bench --bin batch_throughput -- --quick --rounds 1 --json
     cargo run --release -p dauctioneer-bench --bin winner_determination -- --quick --json
     cargo bench -p dauctioneer-bench --bench wire_hot_path -- --json
+    BENCH_HA_OUT=BENCH_ha.json cargo test --release --test process_kill
     mv BENCH_market_soak.json BENCH_journal.json BENCH_telemetry.json \
-       BENCH_batch_throughput.json BENCH_wire.json BENCH_wd.json BENCH_baseline/
+       BENCH_batch_throughput.json BENCH_wire.json BENCH_wd.json \
+       BENCH_ha.json BENCH_baseline/
 """
 
 import argparse
@@ -295,6 +303,45 @@ def compare_telemetry(base, cur, failures, lines):
         failures.append(f"{name} [on]: zero scrapes served — the metrics endpoint never answered")
 
 
+def compare_ha(base, cur, failures, lines):
+    name = "ha"
+    base_rows = index_rows(base.get("runs", []), ("scenario",))
+    cur_rows = index_rows(cur.get("runs", []), ("scenario",))
+    for key, brow in base_rows.items():
+        crow = cur_rows.get(key)
+        label = f"scenario={key[0]}"
+        if crow is None:
+            lines.append(f"  {name} [{label}]: row missing in current run (skipped)")
+            continue
+        # The outage window must stay detection-bound: a relapse to
+        # deadline-bound closes shows up as seconds, not milliseconds.
+        check_latency(
+            name,
+            label,
+            brow["outage_epoch_p99_s"],
+            crow["outage_epoch_p99_s"],
+            failures,
+            lines,
+            metric="outage-window epoch p99",
+        )
+        # Rejoin-to-clear: restart instant to the first cleared epoch.
+        # Dominated by the epoch period plus the redial backoff, so the
+        # 2x ceiling catches a broken backoff reset or a stuck rejoin.
+        check_latency(
+            name,
+            label,
+            brow["reconnect_s"],
+            crow["reconnect_s"],
+            failures,
+            lines,
+            metric="reconnect time",
+        )
+        if crow.get("outage_epochs", 0) < 1:
+            failures.append(
+                f"{name} [{label}]: the kill produced no peer_down-aborted epoch"
+            )
+
+
 def compare_wd(base, cur, failures, lines):
     name = "winner_determination"
     base_rows = index_rows(base.get("runs", []), ("bids",))
@@ -343,6 +390,22 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, default=Path("BENCH_baseline"))
     parser.add_argument("--current", type=Path, default=Path("."))
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="compare only these BENCH files (repeatable); CI jobs that "
+        "produce a single file use this so the other baselines do not "
+        "count as missing",
+    )
+    parser.add_argument(
+        "--skip",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="exclude these BENCH files from the gate (repeatable)",
+    )
     args = parser.parse_args()
 
     comparisons = [
@@ -352,7 +415,17 @@ def main():
         ("BENCH_telemetry.json", compare_telemetry),
         ("BENCH_wire.json", compare_wire),
         ("BENCH_wd.json", compare_wd),
+        ("BENCH_ha.json", compare_ha),
     ]
+    known = {filename for filename, _ in comparisons}
+    for selected in args.only + args.skip:
+        if selected not in known:
+            print(f"FAIL: unknown bench file {selected!r} (known: {sorted(known)})")
+            return 1
+    if args.only:
+        comparisons = [(f, fn) for f, fn in comparisons if f in args.only]
+    if args.skip:
+        comparisons = [(f, fn) for f, fn in comparisons if f not in args.skip]
     failures, lines = [], []
     compared = 0
     for filename, compare in comparisons:

@@ -63,6 +63,7 @@
 
 #![deny(missing_docs)]
 
+pub mod cluster;
 pub mod config;
 pub mod ingress;
 pub mod journal;
@@ -71,6 +72,10 @@ pub mod service;
 pub mod stats;
 pub mod telemetry;
 
+pub use cluster::{
+    run_provider, ClusterConfig, ClusterEpoch, ClusterError, ClusterReport, ControlMsg,
+    Coordinator, PeerInfo, ProviderConfig, ProviderReport,
+};
 pub use config::{
     Backpressure, EpochPolicy, JournalConfig, MarketConfig, MarketError, TelemetryConfig,
 };
@@ -83,4 +88,4 @@ pub use journal::{
 pub use mechanism::{build_program, market_capacities, MechanismSpec, DEFAULT_EPSILON_PPM};
 pub use service::{EpochOutcome, MarketHandle, MarketService, MarketWatch, RecoveryReport};
 pub use stats::{AbortBreakdown, MarketStats};
-pub use telemetry::register_market_metrics;
+pub use telemetry::{register_liveness_metrics, register_market_metrics};

@@ -536,7 +536,7 @@ impl MarketService {
 
     /// [`MarketService::start`] with the program built from
     /// `config.mechanism` — the spec-driven entry point behind the
-    /// `--mechanism` flag. The program sells [`market_capacities`]:
+    /// `--mechanism` flag. The program sells [`market_capacities`](crate::market_capacities):
     /// the configured default asks' capacities, or one unit per
     /// provider when no asks are configured.
     ///

@@ -8,6 +8,7 @@
 //! registration call makes them scrapeable — no subsystem grows a
 //! metrics dependency on its hot path.
 
+use dauctioneer_net::LivenessMetrics;
 use dauctioneer_telemetry::{Family, MetricKind, Registry, Sample};
 
 use crate::service::MarketWatch;
@@ -55,6 +56,33 @@ pub fn register_market_metrics(registry: &Registry, watch: MarketWatch) {
     let net_watch = watch.clone();
     registry.register_collector(move || net_families(&net_watch));
     registry.register_collector(move || flight_families(&watch));
+}
+
+/// Register the peer liveness families on `registry`, backed by the
+/// shared counters of a [`dauctioneer_net::LivenessTracker`].
+///
+/// Exports `net_peers_up` (how many peers the liveness layer currently
+/// considers reachable — Up or Suspect) and `net_peer_reconnects_total`
+/// (rejoins after a declared death). The coordinator role registers
+/// this next to [`register_market_metrics`]-style families so a scrape
+/// during an outage shows the dip and the subsequent reconnect.
+pub fn register_liveness_metrics(registry: &Registry, metrics: LivenessMetrics) {
+    registry.register_collector(move || {
+        vec![
+            Family::single(
+                "net_peers_up",
+                "Peers the liveness layer currently considers reachable (Up or Suspect).",
+                MetricKind::Gauge,
+                metrics.peers_up() as f64,
+            ),
+            Family::single(
+                "net_peer_reconnects_total",
+                "Peer rejoins after the liveness layer declared them Down.",
+                MetricKind::Counter,
+                metrics.reconnects_total() as f64,
+            ),
+        ]
+    });
 }
 
 /// The snapshot-derived families: market counters, abort breakdown,
@@ -157,6 +185,7 @@ fn market_families(stats: &MarketStats) -> Vec<Family> {
                 Sample::labelled("kind", "reordered", stats.chaos.reordered as f64),
                 Sample::labelled("kind", "delayed", stats.chaos.delayed as f64),
                 Sample::labelled("kind", "corrupted", stats.chaos.corrupted as f64),
+                Sample::labelled("kind", "partitioned", stats.chaos.partitioned as f64),
             ],
         },
         Family::single(

@@ -10,9 +10,10 @@ use std::time::Duration;
 
 use dauctioneer_core::{AdversaryKind, DoubleAuctionProgram, TransportKind};
 use dauctioneer_market::{
-    register_market_metrics, AbortReason, EpochPolicy, MarketConfig, MarketService,
+    register_liveness_metrics, register_market_metrics, AbortReason, EpochPolicy, MarketConfig,
+    MarketService,
 };
-use dauctioneer_net::FaultPlan;
+use dauctioneer_net::{FaultPlan, LivenessConfig, LivenessTracker};
 use dauctioneer_telemetry::{EpochTrace, FlightDump, Registry};
 use dauctioneer_types::{Bw, Money, ProviderAsk, ProviderId, UserBid, UserId};
 
@@ -139,6 +140,19 @@ fn registry_exports_every_market_family() {
 
     let registry = Registry::new();
     register_market_metrics(&registry, market.watch());
+
+    // The deployment roles register the liveness families next to the
+    // market ones; a mid-outage scrape shows the dip and the rejoin.
+    let mut tracker = LivenessTracker::new(M, LivenessConfig::default());
+    register_liveness_metrics(&registry, tracker.metrics());
+    let now = std::time::Instant::now();
+    for p in 0..M {
+        tracker.join(p, now);
+    }
+    tracker.disconnect(2);
+    tracker.begin_reconnect(2);
+    tracker.join(2, now); // one kill/rejoin cycle: reconnects_total = 1
+
     let text = registry.render();
     market.shutdown();
 
@@ -152,6 +166,8 @@ fn registry_exports_every_market_family() {
         "# TYPE chaos_faults_injected_total counter",
         "# TYPE net_messages_total counter",
         "# TYPE net_io_threads gauge",
+        "# TYPE net_peers_up gauge",
+        "# TYPE net_peer_reconnects_total counter",
         "# TYPE flight_events_recorded_total counter",
     ] {
         assert!(text.contains(family), "scrape output missing {family:?}:\n{text}");
@@ -162,6 +178,19 @@ fn registry_exports_every_market_family() {
     );
     assert!(text.contains("market_bids_total{verdict=\"accepted\"} 2"));
     assert!(text.contains("market_epochs_aborted_total{reason=\"deadline\"} 0"));
+    assert!(
+        text.contains("market_epochs_aborted_total{reason=\"peer_down\"} 0"),
+        "the peer_down abort reason must be a first-class breakdown row"
+    );
+    assert!(
+        text.contains("chaos_faults_injected_total{kind=\"partitioned\"} 0"),
+        "partition faults must be a first-class chaos counter row"
+    );
+    assert!(text.contains("net_peers_up 3"), "all three peers are up after the rejoin:\n{text}");
+    assert!(
+        text.contains("net_peer_reconnects_total 1"),
+        "the kill/rejoin cycle counts exactly one reconnect:\n{text}"
+    );
     assert!(text.contains("market_epoch_close_latency_us_bucket{le=\"+Inf\"} 1"));
 }
 

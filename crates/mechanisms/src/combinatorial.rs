@@ -12,7 +12,7 @@
 //! `bound_ppm` optimality fraction — the "reports its bound on the
 //! result" contract.
 //!
-//! The market submits plain [`UserBid`]s, so the mechanism *lifts* each
+//! The market submits plain [`UserBid`](dauctioneer_types::UserBid)s, so the mechanism *lifts* each
 //! valid bid into an XOR bundle deterministically (no randomness, no
 //! iteration-order dependence — every replica lifts identically):
 //!

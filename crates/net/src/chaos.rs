@@ -81,6 +81,16 @@ pub struct FaultPlan {
     pub delay: f64,
     /// Probability one payload byte is flipped.
     pub corrupt: f64,
+    /// Probability a directed link is **partitioned**: a total seeded
+    /// blackout of that link — every message on it is swallowed. Decided
+    /// once per link (not per message), so a partitioned link stays
+    /// black, modelling a network partition rather than loss.
+    pub partition: f64,
+    /// When set, a partitioned link heals after this many messages have
+    /// been attempted on it: message indices `< heal_after` are
+    /// swallowed, later ones pass to the ordinary fault lanes. `None`
+    /// means the partition never heals within the run.
+    pub heal_after: Option<u64>,
     /// Inclusive bounds the extra delay is sampled from.
     pub delay_range: (Duration, Duration),
     /// How long a reorder-held message waits for a successor before
@@ -110,6 +120,8 @@ impl FaultPlan {
             reorder: 0.0,
             delay: 0.0,
             corrupt: 0.0,
+            partition: 0.0,
+            heal_after: None,
             delay_range: (Duration::from_millis(1), Duration::from_millis(20)),
             reorder_hold: Duration::from_millis(50),
         }
@@ -146,6 +158,14 @@ impl FaultPlan {
         self
     }
 
+    /// Set the per-link partition probability and (optionally) the
+    /// message index at which a partitioned link heals.
+    pub fn with_partition(mut self, p: f64, heal_after: Option<u64>) -> FaultPlan {
+        self.partition = p;
+        self.heal_after = heal_after;
+        self
+    }
+
     /// Replace the seed, keeping every probability.
     pub fn reseeded(mut self, seed: u64) -> FaultPlan {
         self.seed = seed;
@@ -160,6 +180,7 @@ impl FaultPlan {
             && self.reorder == 0.0
             && self.delay == 0.0
             && self.corrupt == 0.0
+            && self.partition == 0.0
     }
 
     /// Reject impossible plans up front.
@@ -175,6 +196,7 @@ impl FaultPlan {
             ("reorder", self.reorder),
             ("delay", self.delay),
             ("corrupt", self.corrupt),
+            ("partition", self.partition),
         ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(FaultPlanError::BadProbability { knob: name, value: p });
@@ -199,10 +221,16 @@ impl FaultPlan {
                 ^ ((from.0 as u64) << 32 | to.0 as u64),
         );
         let roll = |lane: u64| unit_f64(prf(link, index, lane));
-        let drop = roll(0) < self.drop;
-        let duplicate = !drop && roll(1) < self.duplicate;
-        let reorder = !drop && roll(2) < self.reorder;
-        let delay = if !drop && !reorder && roll(3) < self.delay {
+        // Partition is a property of the *link*, not the message: one
+        // roll at index 0 on its own lane decides the link's fate, and
+        // an unhealed partition swallows every message before
+        // `heal_after` (all of them when `None`).
+        let partitioned = unit_f64(prf(link, 0, 7)) < self.partition
+            && self.heal_after.map_or(true, |heal| index < heal);
+        let drop = !partitioned && roll(0) < self.drop;
+        let duplicate = !partitioned && !drop && roll(1) < self.duplicate;
+        let reorder = !partitioned && !drop && roll(2) < self.reorder;
+        let delay = if !partitioned && !drop && !reorder && roll(3) < self.delay {
             let (min, max) = self.delay_range;
             let span = max.saturating_sub(min);
             Some(
@@ -213,8 +241,16 @@ impl FaultPlan {
         } else {
             None
         };
-        let corrupt = !drop && roll(5) < self.corrupt;
-        FaultDecision { drop, duplicate, reorder, delay, corrupt, entropy: prf(link, index, 6) }
+        let corrupt = !partitioned && !drop && roll(5) < self.corrupt;
+        FaultDecision {
+            partitioned,
+            drop,
+            duplicate,
+            reorder,
+            delay,
+            corrupt,
+            entropy: prf(link, index, 6),
+        }
     }
 
     /// Apply this decision's corruption to `payload` (one byte flipped
@@ -234,8 +270,9 @@ impl FaultPlan {
 /// `FaultPlan` parses from and serialises to a compact
 /// `key=value,key=value` spec, the format `dauction serve --chaos`
 /// takes: `seed=7,drop=0.1,dup=0.05,reorder=0.1,delay=0.05,`
-/// `delay-ms=1..20,corrupt=0.01,hold-ms=50`. Absent keys keep the
-/// [`FaultPlan::seeded`] defaults.
+/// `delay-ms=1..20,corrupt=0.01,partition=0.3,heal_after=40,hold-ms=50`.
+/// Absent keys keep the [`FaultPlan::seeded`] defaults; `heal_after`
+/// only matters alongside a non-zero `partition`.
 impl std::str::FromStr for FaultPlan {
     type Err = FaultPlanError;
 
@@ -256,6 +293,13 @@ impl std::str::FromStr for FaultPlan {
                 "delay" => plan.delay = value.parse().map_err(|e| bad(format!("delay: {e}")))?,
                 "corrupt" => {
                     plan.corrupt = value.parse().map_err(|e| bad(format!("corrupt: {e}")))?
+                }
+                "partition" => {
+                    plan.partition = value.parse().map_err(|e| bad(format!("partition: {e}")))?
+                }
+                "heal_after" => {
+                    plan.heal_after =
+                        Some(value.parse().map_err(|e| bad(format!("heal_after: {e}")))?)
                 }
                 "delay-ms" => {
                     let (lo, hi) = value
@@ -290,7 +334,7 @@ impl fmt::Display for FaultPlan {
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
         write!(
             f,
-            "seed={},drop={},dup={},reorder={},delay={},delay-ms={}..{},corrupt={},hold-ms={}",
+            "seed={},drop={},dup={},reorder={},delay={},delay-ms={}..{},corrupt={},partition={}",
             self.seed,
             self.drop,
             self.duplicate,
@@ -299,8 +343,12 @@ impl fmt::Display for FaultPlan {
             ms(self.delay_range.0),
             ms(self.delay_range.1),
             self.corrupt,
-            ms(self.reorder_hold),
-        )
+            self.partition,
+        )?;
+        if let Some(heal) = self.heal_after {
+            write!(f, ",heal_after={heal}")?;
+        }
+        write!(f, ",hold-ms={}", ms(self.reorder_hold))
     }
 }
 
@@ -347,6 +395,9 @@ impl std::error::Error for FaultPlanError {}
 /// The fate of one message, as decided by [`FaultPlan::decide`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultDecision {
+    /// Swallowed by a link partition (a blackout, counted separately
+    /// from probabilistic drops).
+    pub partitioned: bool,
     /// Never delivered.
     pub drop: bool,
     /// Delivered twice.
@@ -364,7 +415,12 @@ pub struct FaultDecision {
 impl FaultDecision {
     /// `true` when the message passes through untouched.
     pub fn is_clean(&self) -> bool {
-        !self.drop && !self.duplicate && !self.reorder && !self.corrupt && self.delay.is_none()
+        !self.partitioned
+            && !self.drop
+            && !self.duplicate
+            && !self.reorder
+            && !self.corrupt
+            && self.delay.is_none()
     }
 }
 
@@ -383,12 +439,19 @@ pub struct ChaosStats {
     pub delayed: u64,
     /// Messages delivered with a flipped byte.
     pub corrupted: u64,
+    /// Messages swallowed by a link partition.
+    pub partitioned: u64,
 }
 
 impl ChaosStats {
     /// Total fault events injected.
     pub fn total(&self) -> u64 {
-        self.dropped + self.duplicated + self.reordered + self.delayed + self.corrupted
+        self.dropped
+            + self.duplicated
+            + self.reordered
+            + self.delayed
+            + self.corrupted
+            + self.partitioned
     }
 
     /// Add `other`'s counters into this snapshot (used to aggregate the
@@ -399,6 +462,7 @@ impl ChaosStats {
         self.reordered += other.reordered;
         self.delayed += other.delayed;
         self.corrupted += other.corrupted;
+        self.partitioned += other.partitioned;
     }
 }
 
@@ -422,6 +486,7 @@ struct ChaosCells {
     reordered: std::sync::atomic::AtomicU64,
     delayed: std::sync::atomic::AtomicU64,
     corrupted: std::sync::atomic::AtomicU64,
+    partitioned: std::sync::atomic::AtomicU64,
 }
 
 impl ChaosMetrics {
@@ -444,6 +509,7 @@ impl ChaosMetrics {
             reordered: self.cells.reordered.load(Relaxed),
             delayed: self.cells.delayed.load(Relaxed),
             corrupted: self.cells.corrupted.load(Relaxed),
+            partitioned: self.cells.partitioned.load(Relaxed),
         }
     }
 }
@@ -584,6 +650,16 @@ impl<T: Transport> ChaosTransport<T> {
         self.indices[slot] = index + 1;
         let decision = self.plan.decide(self.salt, from, self.inner.me(), index);
 
+        if decision.partitioned {
+            // A blacked-out link: the message vanishes, counted under
+            // its own reason so a partition is distinguishable from
+            // probabilistic loss.
+            self.stats.partitioned += 1;
+            if let Some(m) = &self.metrics {
+                m.bump(&m.cells.partitioned);
+            }
+            return;
+        }
         if decision.drop {
             // The held message (if any) keeps waiting for the next
             // *delivered* successor or its hold bound.
@@ -983,5 +1059,77 @@ mod tests {
     fn benign_detection() {
         assert!(FaultPlan::none().is_benign());
         assert!(!FaultPlan::none().with_drop(0.01).is_benign());
+        assert!(!FaultPlan::none().with_partition(0.01, None).is_benign());
+    }
+
+    #[test]
+    fn partition_spec_round_trips() {
+        let plan: FaultPlan = "seed=3,partition=0.4,heal_after=25".parse().unwrap();
+        assert_eq!(plan.partition, 0.4);
+        assert_eq!(plan.heal_after, Some(25));
+        let round: FaultPlan = plan.to_string().parse().unwrap();
+        assert_eq!(plan, round);
+        // Without heal_after the key must not be printed at all, and the
+        // spec still round-trips.
+        let forever: FaultPlan = "partition=1".parse().unwrap();
+        assert!(!forever.to_string().contains("heal_after"));
+        let round: FaultPlan = forever.to_string().parse().unwrap();
+        assert_eq!(forever, round);
+        assert!("partition=1.5".parse::<FaultPlan>().is_err(), "probability out of range");
+        assert!("heal_after=-1".parse::<FaultPlan>().is_err(), "negative heal index");
+    }
+
+    #[test]
+    fn partition_is_per_link_and_heals_at_the_configured_index() {
+        let plan = FaultPlan::seeded(13).with_partition(0.5, Some(10));
+        // Find one blacked-out link and one clear link: the decision is
+        // a property of the link, so every message before the heal index
+        // agrees with message 0.
+        let linked = |from: u32, to: u32| plan.decide(0, ProviderId(from), ProviderId(to), 0);
+        let dead = (0..64u32)
+            .flat_map(|a| (0..64u32).map(move |b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .find(|&(a, b)| linked(a, b).partitioned)
+            .expect("some link is partitioned at p=0.5");
+        let alive = (0..64u32)
+            .flat_map(|a| (0..64u32).map(move |b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .find(|&(a, b)| !linked(a, b).partitioned)
+            .expect("some link is clear at p=0.5");
+        for index in 0..10 {
+            let d = plan.decide(0, ProviderId(dead.0), ProviderId(dead.1), index);
+            assert!(d.partitioned, "dead link swallows message {index}");
+            assert!(!d.is_clean() && !d.drop && !d.corrupt, "partition suppresses lanes");
+            assert!(!plan.decide(0, ProviderId(alive.0), ProviderId(alive.1), index).partitioned);
+        }
+        for index in 10..20 {
+            let d = plan.decide(0, ProviderId(dead.0), ProviderId(dead.1), index);
+            assert!(!d.partitioned, "link heals at heal_after: message {index} passes");
+        }
+        // An unhealing partition stays black forever.
+        let forever = FaultPlan::seeded(13).with_partition(0.5, None);
+        for index in 0..100 {
+            assert!(
+                forever.decide(0, ProviderId(dead.0), ProviderId(dead.1), index).partitioned,
+                "unhealed partition swallows message {index}"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_link_counts_and_delivers_nothing() {
+        let (a, b) = pair();
+        let mut chaos = ChaosTransport::new(b, FaultPlan::seeded(3).with_partition(1.0, Some(3)));
+        for i in 0..5u8 {
+            a.send(ProviderId(1), Bytes::copy_from_slice(&[i]));
+        }
+        // Messages 0..3 are swallowed by the blackout; 3 and 4 arrive
+        // after the heal, in order.
+        let (_, first) = chaos.recv_timeout(Duration::from_secs(1)).unwrap();
+        let (_, second) = chaos.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(first[0], 3, "first post-heal message");
+        assert_eq!(second[0], 4);
+        assert_eq!(chaos.stats().partitioned, 3);
+        assert_eq!(chaos.stats().dropped, 0, "partition is not a drop");
     }
 }

@@ -116,8 +116,11 @@ pub enum WireError {
     /// never finished their hello, or kept refusing dials. Reported once
     /// at the deadline instead of silent per-peer retries.
     BringUpExpired {
-        /// Peer connections still missing when the budget expired.
-        missing: usize,
+        /// Identity of each peer connection still missing when the
+        /// budget expired, as `"provider <id> @ <addr>"` — so an
+        /// operator (or the cluster supervisor) can tell *which* peer
+        /// never arrived, not just how many.
+        missing: Vec<String>,
     },
 }
 
@@ -130,7 +133,9 @@ impl fmt::Display for WireError {
             WireError::BringUpExpired { missing } => {
                 write!(
                     f,
-                    "mesh bring-up budget expired with {missing} peer connection(s) outstanding"
+                    "mesh bring-up budget expired with {} peer connection(s) outstanding: {}",
+                    missing.len(),
+                    missing.join(", ")
                 )
             }
         }

@@ -1,0 +1,112 @@
+//! The mesh bring-up hello: the fixed 12-byte identity frame a dialling
+//! provider presents before any wire traffic flows.
+//!
+//! ```text
+//! [magic: u32 LE] [peer: u32 LE] [incarnation: u32 LE]
+//! ```
+//!
+//! The original hello was the bare 4-byte peer id. Two fields were added
+//! for the multi-process deployment:
+//!
+//! * **magic** — strays (port scanners, misdirected clients, a debugger
+//!   poking the port) are rejected on the first 4 bytes instead of being
+//!   admitted as whatever provider id their garbage happens to spell;
+//! * **incarnation** — each restart of a provider process joins the
+//!   cluster under a strictly larger incarnation number (assigned by the
+//!   coordinator). The accept side of mesh bring-up knows the minimum
+//!   incarnation it will honour per peer, so a connection from a killed
+//!   provider's *previous life* — a socket that was mid-dial when the
+//!   process died, or a stale frame source — is dropped at the hello and
+//!   never reaches a session. Frames of a dead incarnation are thereby
+//!   rejected at admission, not filtered downstream.
+//!
+//! The functions here are pure (no sockets), so the admission rule is
+//! testable — and property-tested — in isolation.
+
+/// Byte length of the hello frame.
+pub const HELLO_LEN: usize = 12;
+
+/// First 4 bytes of every valid hello (`"dah1"`: distributed-auctioneer
+/// hello, version 1).
+pub const HELLO_MAGIC: u32 = 0x3168_6164;
+
+/// A decoded hello: who is dialling, and which life of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// The dialling provider's id.
+    pub peer: u32,
+    /// The dialling provider's current incarnation number (0 for
+    /// processes that never died; the cluster coordinator hands out
+    /// strictly increasing values across restarts).
+    pub incarnation: u32,
+}
+
+impl Hello {
+    /// Encode the hello into its 12-byte wire form.
+    pub fn encode(&self) -> [u8; HELLO_LEN] {
+        let mut buf = [0u8; HELLO_LEN];
+        buf[0..4].copy_from_slice(&HELLO_MAGIC.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.peer.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.incarnation.to_le_bytes());
+        buf
+    }
+
+    /// Decode a 12-byte hello. `None` if the magic does not match — the
+    /// sender is a stray, not a provider.
+    pub fn decode(buf: &[u8; HELLO_LEN]) -> Option<Hello> {
+        let magic = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        if magic != HELLO_MAGIC {
+            return None;
+        }
+        Some(Hello {
+            peer: u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            incarnation: u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]),
+        })
+    }
+
+    /// The admission rule the accept side of mesh bring-up applies to a
+    /// decoded hello: the peer id must be a real provider of the
+    /// `m`-mesh, and the incarnation must be at least the minimum this
+    /// node honours for that peer (`min_incarnations[peer]`, 0 when the
+    /// table is shorter than `m` — single-process meshes never restart).
+    ///
+    /// A `false` verdict means the connection is dropped as a stray (or
+    /// as a previous life of a restarted peer) and accepting continues;
+    /// it is never an error.
+    pub fn admissible(&self, m: usize, min_incarnations: &[u32]) -> bool {
+        let peer = self.peer as usize;
+        peer < m && self.incarnation >= min_incarnations.get(peer).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_round_trips() {
+        let h = Hello { peer: 3, incarnation: 17 };
+        assert_eq!(Hello::decode(&h.encode()), Some(h));
+    }
+
+    #[test]
+    fn bad_magic_is_a_stray() {
+        let mut buf = Hello { peer: 0, incarnation: 0 }.encode();
+        buf[0] ^= 0xFF;
+        assert_eq!(Hello::decode(&buf), None);
+    }
+
+    #[test]
+    fn stale_incarnations_are_inadmissible() {
+        let mins = [0, 2, 0];
+        assert!(Hello { peer: 1, incarnation: 2 }.admissible(3, &mins));
+        assert!(Hello { peer: 1, incarnation: 5 }.admissible(3, &mins));
+        assert!(!Hello { peer: 1, incarnation: 1 }.admissible(3, &mins), "previous life");
+        assert!(!Hello { peer: 7, incarnation: 9 }.admissible(3, &mins), "id out of range");
+    }
+
+    #[test]
+    fn empty_minimum_table_admits_any_incarnation() {
+        assert!(Hello { peer: 2, incarnation: 0 }.admissible(3, &[]));
+    }
+}

@@ -57,8 +57,10 @@
 
 pub mod chaos;
 pub mod frame;
+pub mod hello;
 pub mod hub;
 pub mod latency;
+pub mod liveness;
 pub mod metrics;
 mod reactor;
 pub mod shard;
@@ -73,9 +75,11 @@ pub use frame::{
     wire_decode, wire_encode, wire_encode_into, FrameAssembler, FrameError, WireError,
     MAX_WIRE_FRAME, MUX_LANE_BITS, MUX_MAX_LANES, MUX_RAW_TAG, MUX_SESSION_BITS,
 };
+pub use hello::{Hello, HELLO_LEN, HELLO_MAGIC};
 pub use hub::{Endpoint, RecvError, ThreadedHub};
 pub use latency::LatencyModel;
+pub use liveness::{Backoff, LivenessConfig, LivenessMetrics, LivenessTracker, PeerState};
 pub use metrics::{ProviderTraffic, TrafficMetrics, TrafficSnapshot};
 pub use shard::{shard_for, ShardedHub};
-pub use tcp::{MuxEndpoint, MuxMesh, TcpEndpoint, TcpMesh};
+pub use tcp::{MeshOptions, MuxEndpoint, MuxMesh, TcpEndpoint, TcpMesh};
 pub use transport::Transport;

@@ -24,13 +24,16 @@
 //!
 //! * **one TCP connection per provider pair**, used bidirectionally.
 //!   Provider `i` dials every peer `j < i` and accepts from every
-//!   `j > i`; a 4-byte hello identifies the dialler, so the mesh comes up
-//!   regardless of start order. Bring-up is fully event-driven:
+//!   `j > i`; a 12-byte [`Hello`] (magic, peer id, incarnation number)
+//!   identifies the dialler — and which *life* of it, so a restarted
+//!   provider's previous incarnation is rejected at admission — and the
+//!   mesh comes up regardless of start order. Bring-up is fully
+//!   event-driven:
 //!   nonblocking `connect` completion, accept readiness and hello bytes
 //!   are all observed through an epoll poller — no dial-retry or
 //!   accept-poll sleep loops — under one bounded budget
-//!   (`DIAL_TIMEOUT`) whose expiry reports a
-//!   [`WireError::BringUpExpired`] naming the missing peer count.
+//!   (`DIAL_TIMEOUT`, or [`MeshOptions::budget`]) whose expiry reports
+//!   a [`WireError::BringUpExpired`] naming each missing peer.
 //!   [`MuxMesh::loopback`] skips the hello dance entirely and wires the
 //!   pairs up through one ephemeral listener. `TCP_NODELAY` is set on
 //!   every stream, dialled or accepted — the protocol's frames are small
@@ -87,6 +90,7 @@ use polling::{connect_nonblocking, Events, Interest, PollMode, Poller};
 use dauctioneer_types::ProviderId;
 
 use crate::frame::{WireError, MAX_WIRE_FRAME, MUX_MAX_LANES};
+use crate::hello::{Hello, HELLO_LEN};
 use crate::hub::RecvError;
 use crate::metrics::TrafficMetrics;
 use crate::reactor::{self, ConnTx, NodeCloser, NodeIo, NodeSpec, ReactorHandle, WireFormat};
@@ -101,9 +105,33 @@ const DIAL_TIMEOUT: Duration = Duration::from_secs(10);
 /// (accepts, other dials) is still processed while a redial is pending.
 const DIAL_RETRY: Duration = Duration::from_millis(5);
 
-/// How long an accepted connection gets to present its 4-byte hello
-/// before it is dropped as a stray.
+/// How long an accepted connection gets to present its hello before it
+/// is dropped as a stray.
 const HELLO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Knobs for one mesh bring-up ([`MuxEndpoint::establish_with_options`]).
+///
+/// The defaults reproduce the classic single-deployment behaviour:
+/// incarnation 0 (a process that never died), no per-peer incarnation
+/// floor (anything is admissible), and the standard `DIAL_TIMEOUT`
+/// budget.
+#[derive(Debug, Clone)]
+pub struct MeshOptions {
+    /// The incarnation number this provider presents in its hellos.
+    pub incarnation: u32,
+    /// Per-peer minimum incarnation this node honours on accept
+    /// (`min_incarnations[j]` for peer `j`); hellos below the floor are
+    /// dropped as a previous life. Missing entries default to 0.
+    pub min_incarnations: Vec<u32>,
+    /// Total bring-up budget (dials, accepts and hellos together).
+    pub budget: Duration,
+}
+
+impl Default for MeshOptions {
+    fn default() -> MeshOptions {
+        MeshOptions { incarnation: 0, min_incarnations: Vec::new(), budget: DIAL_TIMEOUT }
+    }
+}
 
 /// High-water mark for the coalescing write batches: the reactor refills
 /// a connection's write buffer from its ring up to this size and issues
@@ -157,9 +185,9 @@ impl TcpEndpoint {
     ///
     /// Any socket-level failure, or peers that cannot be reached (dial)
     /// or do not connect (accept) within the bring-up budget — the
-    /// timeout error wraps [`WireError::BringUpExpired`] with the number
-    /// of connections still outstanding, so a peer whose own bring-up
-    /// failed leaves this call with a diagnosis, never blocked forever.
+    /// timeout error wraps [`WireError::BringUpExpired`] naming each
+    /// peer still outstanding, so a peer whose own bring-up failed
+    /// leaves this call with a diagnosis, never blocked forever.
     pub fn establish(
         me: ProviderId,
         listener: TcpListener,
@@ -309,7 +337,7 @@ impl Drop for TcpEndpoint {
 enum Dial {
     /// Nonblocking connect in flight; writability delivers the verdict.
     Connecting(TcpStream),
-    /// Connected; the 4-byte hello is partially written.
+    /// Connected; the hello is partially written.
     Hello { stream: TcpStream, sent: usize },
     /// Last attempt failed (listener not up yet); redial at `retry_at`.
     Backoff { retry_at: Instant },
@@ -317,11 +345,11 @@ enum Dial {
     Done,
 }
 
-/// One accepted connection waiting to present its 4-byte hello.
+/// One accepted connection waiting to present its hello.
 #[derive(Debug)]
 struct PendingHello {
     stream: TcpStream,
-    buf: [u8; 4],
+    buf: [u8; HELLO_LEN],
     got: usize,
     deadline: Instant,
 }
@@ -347,6 +375,18 @@ fn establish_streams(
     listener: TcpListener,
     addrs: &[SocketAddr],
 ) -> io::Result<Vec<Option<TcpStream>>> {
+    establish_streams_with(me, listener, addrs, &MeshOptions::default())
+}
+
+/// [`establish_streams`] with explicit [`MeshOptions`]: the incarnation
+/// this node presents, the per-peer incarnation floor it honours on
+/// accept, and the bring-up budget.
+fn establish_streams_with(
+    me: ProviderId,
+    listener: TcpListener,
+    addrs: &[SocketAddr],
+    options: &MeshOptions,
+) -> io::Result<Vec<Option<TcpStream>>> {
     let m = addrs.len();
     assert!(me.index() < m, "provider {me} outside address table of {m}");
 
@@ -364,8 +404,8 @@ fn establish_streams(
     let mut next_pending_key = m + 1;
     let mut pending: HashMap<usize, PendingHello> = HashMap::new();
     let mut events = Events::new();
-    let deadline = Instant::now() + DIAL_TIMEOUT;
-    let hello = (me.index() as u32).to_le_bytes();
+    let deadline = Instant::now() + options.budget;
+    let hello = Hello { peer: me.index() as u32, incarnation: options.incarnation }.encode();
 
     listener.set_nonblocking(true)?;
     if expected_accepts > 0 {
@@ -380,7 +420,10 @@ fn establish_streams(
     while dials_done < dial_count || expected_accepts > 0 {
         let now = Instant::now();
         if now >= deadline {
-            let missing = (dial_count - dials_done) + expected_accepts;
+            let missing = (0..m)
+                .filter(|&peer| peer != me.index() && streams[peer].is_none())
+                .map(|peer| format!("provider {peer} @ {}", addrs[peer]))
+                .collect();
             return Err(io::Error::new(
                 io::ErrorKind::TimedOut,
                 WireError::BringUpExpired { missing },
@@ -422,7 +465,7 @@ fn establish_streams(
                                 let deadline = now + HELLO_TIMEOUT;
                                 pending.insert(
                                     key,
-                                    PendingHello { stream, buf: [0; 4], got: 0, deadline },
+                                    PendingHello { stream, buf: [0; HELLO_LEN], got: 0, deadline },
                                 );
                             }
                         }
@@ -432,10 +475,15 @@ fn establish_streams(
                     }
                 }
             } else if let Some(p) = pending.remove(&ev.key) {
-                if let Some((peer, stream)) = advance_hello(&poller, p, ev.key, &mut pending) {
-                    // A valid hello from a peer we are actually waiting
-                    // for; anything else was already dropped.
-                    if peer > me.index() && peer < m && streams[peer].is_none() {
+                if let Some((hello, stream)) = advance_hello(&poller, p, ev.key, &mut pending) {
+                    // A well-formed hello from a peer we are actually
+                    // waiting for, at an admissible incarnation; strays
+                    // and previous lives of restarted peers are dropped.
+                    let peer = hello.peer as usize;
+                    if peer > me.index()
+                        && hello.admissible(m, &options.min_incarnations)
+                        && streams[peer].is_none()
+                    {
                         let _ = stream.set_nodelay(true);
                         streams[peer] = Some(stream);
                         expected_accepts -= 1;
@@ -482,7 +530,7 @@ fn start_dial(poller: &Poller, peer: usize, addr: SocketAddr) -> io::Result<Dial
 fn advance_dial(
     poller: &Poller,
     dial: &mut Dial,
-    hello: &[u8; 4],
+    hello: &[u8; HELLO_LEN],
     now: Instant,
     complete: &mut dyn FnMut(TcpStream),
 ) {
@@ -528,14 +576,15 @@ fn advance_dial(
 }
 
 /// Readability on an accepted connection: read hello bytes. Returns the
-/// identified `(peer, stream)` once the hello is complete; re-inserts
-/// into `pending` on `WouldBlock`; drops torn or silent strays.
+/// decoded `(hello, stream)` once the hello is complete; re-inserts
+/// into `pending` on `WouldBlock`; drops torn or silent strays and
+/// connections whose magic does not decode as a [`Hello`].
 fn advance_hello(
     poller: &Poller,
     mut p: PendingHello,
     key: usize,
     pending: &mut HashMap<usize, PendingHello>,
-) -> Option<(usize, TcpStream)> {
+) -> Option<(Hello, TcpStream)> {
     loop {
         match (&p.stream).read(&mut p.buf[p.got..]) {
             Ok(0) => {
@@ -546,7 +595,7 @@ fn advance_hello(
                 p.got += n;
                 if p.got == p.buf.len() {
                     let _ = poller.delete(&p.stream);
-                    return Some((u32::from_le_bytes(p.buf) as usize, p.stream));
+                    return Hello::decode(&p.buf).map(|hello| (hello, p.stream));
                 }
             }
             Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
@@ -733,8 +782,32 @@ impl MuxEndpoint {
         listener: TcpListener,
         addrs: &[SocketAddr],
     ) -> io::Result<Vec<MuxEndpoint>> {
+        MuxEndpoint::establish_with_options(me, lanes, listener, addrs, &MeshOptions::default())
+    }
+
+    /// [`MuxEndpoint::establish`] with explicit [`MeshOptions`] — the
+    /// multi-process deployment's entry point: the provider presents its
+    /// coordinator-assigned incarnation in every hello, refuses hellos
+    /// below each peer's incarnation floor (stale dials from a killed
+    /// peer's previous life), and bounds bring-up by the caller's
+    /// budget rather than the default `DIAL_TIMEOUT`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MuxEndpoint::establish`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`MuxEndpoint::establish`].
+    pub fn establish_with_options(
+        me: ProviderId,
+        lanes: usize,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+        options: &MeshOptions,
+    ) -> io::Result<Vec<MuxEndpoint>> {
         let m = addrs.len();
-        let streams = establish_streams(me, listener, addrs)?;
+        let streams = establish_streams_with(me, listener, addrs, options)?;
         let metrics = TrafficMetrics::new(m);
         let (lane_txs, lane_rxs) = make_lane_channels(lanes);
         let spec = NodeSpec {

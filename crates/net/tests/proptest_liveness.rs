@@ -1,0 +1,157 @@
+//! Property tests for the incarnation handshake and the liveness state
+//! machine: a returning peer's new life must always be admitted, every
+//! frame from a previous life must always be rejected, and the
+//! Suspect → Down demotion must take the full configured timeout with
+//! no flapping in between.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use dauctioneer_net::{Hello, LivenessConfig, LivenessTracker, PeerState, HELLO_LEN, HELLO_MAGIC};
+
+fn arb_floors() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..64, 1..12)
+}
+
+proptest! {
+    #[test]
+    fn hello_roundtrips(peer in any::<u32>(), incarnation in any::<u32>()) {
+        let hello = Hello { peer, incarnation };
+        let decoded = Hello::decode(&hello.encode()).expect("own encoding decodes");
+        prop_assert_eq!(decoded.peer, peer);
+        prop_assert_eq!(decoded.incarnation, incarnation);
+    }
+
+    #[test]
+    fn hello_rejects_every_wrong_magic(
+        magic in any::<u32>(),
+        peer in any::<u32>(),
+        incarnation in any::<u32>(),
+    ) {
+        prop_assume!(magic != HELLO_MAGIC);
+        let mut buf = [0u8; HELLO_LEN];
+        buf[0..4].copy_from_slice(&magic.to_le_bytes());
+        buf[4..8].copy_from_slice(&peer.to_le_bytes());
+        buf[8..12].copy_from_slice(&incarnation.to_le_bytes());
+        prop_assert_eq!(Hello::decode(&buf), None);
+    }
+
+    /// The core rejoin safety property: relative to any incarnation
+    /// floor vector, a hello is admissible iff the peer id is in range
+    /// AND its incarnation has caught up with the floor — so no frame
+    /// from a previous life (incarnation below the floor the tracker
+    /// advanced past) is ever admitted, and no fresh life (at or above
+    /// the floor) is ever turned away.
+    #[test]
+    fn stale_incarnations_are_never_admissible(
+        floors in arb_floors(),
+        peer in 0u32..16,
+        incarnation in 0u32..128,
+    ) {
+        let hello = Hello { peer, incarnation };
+        let m = floors.len();
+        let fresh = (peer as usize) < m && incarnation >= floors[peer as usize];
+        prop_assert_eq!(hello.admissible(m, &floors), fresh);
+    }
+
+    /// Each rejoin bumps the incarnation, and the tracker's published
+    /// floor vector always rejects every prior life while admitting the
+    /// current one — across any number of kill/rejoin rounds.
+    #[test]
+    fn every_prior_life_is_fenced_after_rejoins(
+        m in 2usize..8,
+        victim_seed in any::<u32>(),
+        rejoins in 1usize..12,
+    ) {
+        let victim = victim_seed as usize % m;
+        let mut tracker = LivenessTracker::new(m, LivenessConfig::default());
+        let now = Instant::now();
+        let mut lives = Vec::new();
+        for p in 0..m {
+            lives.push(tracker.join(p, now));
+        }
+        for round in 0..rejoins {
+            tracker.disconnect(victim);
+            tracker.begin_reconnect(victim);
+            let life = tracker.join(victim, now);
+            prop_assert!(life > lives[victim], "round {round}: incarnation did not advance");
+            lives[victim] = life;
+        }
+        let floors = tracker.min_incarnations();
+        // Every previous life of the victim is fenced out...
+        for stale in 0..lives[victim] {
+            let ghost = Hello { peer: victim as u32, incarnation: stale };
+            prop_assert!(
+                !ghost.admissible(m, &floors),
+                "stale incarnation {stale} admitted after {rejoins} rejoins"
+            );
+        }
+        // ...while every peer's current life is admitted.
+        for (p, &life) in lives.iter().enumerate() {
+            let current = Hello { peer: p as u32, incarnation: life };
+            prop_assert!(current.admissible(m, &floors), "live incarnation rejected");
+        }
+    }
+
+    /// No flapping: a silent peer is demoted Up → Suspect → Down at
+    /// exactly the configured thresholds — never earlier, never
+    /// skipping Suspect, and never oscillating back without a
+    /// heartbeat. Checked against arbitrary (ordered) timeout pairs by
+    /// sweeping ticks across the whole timeline.
+    #[test]
+    fn demotion_takes_the_full_timeout_and_never_flaps(
+        suspect_ms in 1u64..200,
+        extra_ms in 1u64..200,
+        steps in 4usize..32,
+    ) {
+        let config = LivenessConfig {
+            suspect_after: Duration::from_millis(suspect_ms),
+            down_after: Duration::from_millis(suspect_ms + extra_ms),
+        };
+        let down_ms = suspect_ms + extra_ms;
+        let mut tracker = LivenessTracker::new(1, config);
+        let start = Instant::now();
+        tracker.join(0, start);
+        prop_assert_eq!(tracker.state(0), PeerState::Up);
+
+        let mut previous_rank = 0u8;
+        for step in 0..=steps {
+            let elapsed_ms = down_ms * 2 * step as u64 / steps as u64;
+            tracker.tick(start + Duration::from_millis(elapsed_ms));
+            let state = tracker.state(0);
+            let expected = if elapsed_ms < suspect_ms {
+                PeerState::Up
+            } else if elapsed_ms < down_ms {
+                PeerState::Suspect
+            } else {
+                PeerState::Down
+            };
+            prop_assert_eq!(
+                state, expected,
+                "at {}ms (suspect {}ms, down {}ms)", elapsed_ms, suspect_ms, down_ms
+            );
+            // Monotone decay: silence never promotes a peer.
+            let rank = match state {
+                PeerState::Up => 0u8,
+                PeerState::Suspect => 1,
+                PeerState::Down | PeerState::Reconnecting => 2,
+            };
+            prop_assert!(rank >= previous_rank, "state flapped upward without a heartbeat");
+            previous_rank = rank;
+        }
+
+        // One heartbeat restores Up from Suspect, and the demotion
+        // clock restarts from the heartbeat instant.
+        let mut tracker = LivenessTracker::new(1, config);
+        tracker.join(0, start);
+        let mid_suspect = start + Duration::from_millis(suspect_ms + extra_ms / 2);
+        tracker.tick(mid_suspect);
+        prop_assert_eq!(tracker.state(0), PeerState::Suspect);
+        tracker.heartbeat(0, mid_suspect);
+        tracker.tick(mid_suspect);
+        prop_assert_eq!(tracker.state(0), PeerState::Up);
+        tracker.tick(mid_suspect + Duration::from_millis(suspect_ms - 1));
+        prop_assert_eq!(tracker.state(0), PeerState::Up, "heartbeat did not restart the clock");
+    }
+}

@@ -33,6 +33,9 @@ pub enum AbortReason {
     Adversary,
     /// The write-ahead journal fail-stopped mid-epoch.
     JournalFailStop,
+    /// A peer process was declared Down by the liveness layer (missed
+    /// heartbeats or a severed control link) while the epoch touched it.
+    PeerDown,
     /// Classification was impossible (only in decoded foreign dumps).
     Unknown,
 }
@@ -40,12 +43,13 @@ pub enum AbortReason {
 impl AbortReason {
     /// All reasons, in display order — the scrape output emits one
     /// labelled row per reason so the set is fixed, not data-driven.
-    pub const ALL: [AbortReason; 6] = [
+    pub const ALL: [AbortReason; 7] = [
         AbortReason::Deadline,
         AbortReason::Divergence,
         AbortReason::ChaosFault,
         AbortReason::Adversary,
         AbortReason::JournalFailStop,
+        AbortReason::PeerDown,
         AbortReason::Unknown,
     ];
 
@@ -57,6 +61,7 @@ impl AbortReason {
             AbortReason::ChaosFault => "chaos_fault",
             AbortReason::Adversary => "adversary",
             AbortReason::JournalFailStop => "journal_fail_stop",
+            AbortReason::PeerDown => "peer_down",
             AbortReason::Unknown => "unknown",
         }
     }

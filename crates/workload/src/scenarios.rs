@@ -160,6 +160,16 @@ pub fn chaos_suite() -> Vec<ChaosScenario> {
             expect: Expectation::HonestOrAbort,
         },
         ChaosScenario {
+            // A seeded blackout of ~a third of the directed links,
+            // healing after 40 messages: sessions whose rounds cross a
+            // dead link ⊥ (or clear late, after the heal); nothing may
+            // hang or diverge.
+            name: "partitioned",
+            plan: Some(base.with_partition(0.35, Some(40))),
+            adversary: None,
+            expect: Expectation::HonestOrAbort,
+        },
+        ChaosScenario {
             name: "crash-provider",
             plan: None,
             adversary: Some(AdversaryKind::Silent { after: 0 }),
@@ -255,7 +265,9 @@ mod tests {
         for name in ["baseline", "jitter", "late-provider", "crash-provider"] {
             assert!(scenario_by_name(name).unwrap().replayable_outcomes(), "{name}");
         }
-        for name in ["lossy", "corruptor", "equivocator", "flaky-net", "perfect-storm"] {
+        for name in
+            ["lossy", "corruptor", "equivocator", "flaky-net", "perfect-storm", "partitioned"]
+        {
             assert!(!scenario_by_name(name).unwrap().replayable_outcomes(), "{name}");
         }
     }

@@ -7,6 +7,10 @@
 //! * **`serve`**: run the continuous market daemon — a persistent
 //!   provider mesh clearing epoch after epoch from a seeded open-world
 //!   arrival stream, printing each epoch's outcome as it closes.
+//! * **`coordinator`** / **`provider`**: the real multi-process
+//!   deployment — an m-provider market as m+1 OS processes over real
+//!   sockets, with peer liveness, `PeerDown` epoch aborts, and
+//!   rejoin-at-epoch-boundary for restarted providers.
 //! * **`verify-log`**: walk a journal's hash-chained settlement log
 //!   offline and certify it (exit 1 naming the first divergent seal on
 //!   tamper).
@@ -22,6 +26,13 @@
 //!          [--transport inproc|tcp] [--shards S] [--chaos SPEC]
 //!          [--journal PATH] [--fsync always|never|every=N] [--recover]
 //!          [--metrics-addr HOST:PORT] [--flight-path PATH] [--heartbeat-ms D]
+//! dauction coordinator --listen HOST:PORT --providers M [--k COALITION] [--n USERS]
+//!          [--epochs E] [--seed SEED] [--deadline-ms D] [--mesh-budget-ms D]
+//!          [--join-timeout-ms D] [--epoch-ms D] [--journal PATH]
+//!          [--fsync always|never|every=N] [--metrics-addr HOST:PORT]
+//! dauction provider --id K --join HOST:PORT [--mesh-listen HOST:PORT]
+//!          [--heartbeat-ms D] [--backoff-base-ms D] [--backoff-cap-ms D]
+//!          [--reconnect-budget N]
 //! dauction verify-log <PATH>
 //! dauction flight-dump <PATH>
 //! ```
@@ -140,7 +151,12 @@ const HELP: &str = "usage: dauction [--auction double|standard] [--mechanism SPE
 [--transport inproc|tcp] [--shards S] [--deadline-ms D] [--chaos drop=P,dup=P,reorder=P,\
 delay=P,delay-ms=A..B,corrupt=P,seed=S,hold-ms=H] [--journal PATH] \
 [--fsync always|never|every=N] [--recover] [--metrics-addr HOST:PORT] [--flight-path PATH] \
-[--heartbeat-ms D]\n       dauction verify-log PATH\n       dauction flight-dump PATH\n\
+[--heartbeat-ms D]\n       dauction coordinator --listen HOST:PORT --providers M [--k COALITION] \
+[--n USERS] [--epochs E] [--seed SEED] [--deadline-ms D] [--mesh-budget-ms D] \
+[--join-timeout-ms D] [--epoch-ms D] [--journal PATH] [--fsync always|never|every=N] \
+[--metrics-addr HOST:PORT]\n       dauction provider --id K --join HOST:PORT \
+[--mesh-listen HOST:PORT] [--heartbeat-ms D] [--backoff-base-ms D] [--backoff-cap-ms D] \
+[--reconnect-budget N]\n       dauction verify-log PATH\n       dauction flight-dump PATH\n\
 mechanism SPEC: double | standard[,eps=PPM] | combinatorial[,budget=NODES] | \
 divisible[,beta=PRICE]";
 
@@ -149,6 +165,24 @@ fn main() {
     if argv.first().map(String::as_str) == Some("serve") {
         match serve_main(&argv[1..]) {
             Ok(()) => return,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if argv.first().map(String::as_str) == Some("coordinator") {
+        match coordinator_main(&argv[1..]) {
+            Ok(code) => std::process::exit(code),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if argv.first().map(String::as_str) == Some("provider") {
+        match provider_main(&argv[1..]) {
+            Ok(code) => std::process::exit(code),
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(2);
@@ -259,6 +293,213 @@ fn main() {
                 }
             }
             let _ = UserId(0);
+        }
+    }
+}
+
+/// The `coordinator` subcommand: the control-plane half of the
+/// multi-process deployment. Binds the control listener, waits for all
+/// `--providers` processes to join, clears `--epochs` epochs (sealing
+/// every one onto the journal when armed), and prints each epoch plus a
+/// survivability summary. Exit 0 on a completed run, 1 on bring-up
+/// expiry or a journal fault.
+fn coordinator_main(argv: &[String]) -> Result<i32, String> {
+    use dauctioneer::market::{register_liveness_metrics, ClusterConfig, Coordinator};
+
+    let mut listen: Option<String> = None;
+    let mut m: Option<usize> = None;
+    let mut k: Option<usize> = None;
+    let mut n = 16usize;
+    let mut epochs = 8u64;
+    let mut seed = 42u64;
+    let mut deadline_ms = 5000u64;
+    let mut mesh_budget_ms = 2000u64;
+    let mut join_timeout_ms = 30_000u64;
+    let mut epoch_ms = 0u64;
+    let mut journal_path: Option<std::path::PathBuf> = None;
+    let mut fsync = FsyncPolicy::Always;
+    let mut metrics_addr: Option<String> = None;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return Err(HELP.to_string());
+        }
+        let value = argv.get(i + 1).ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag {
+            "--listen" => listen = Some(value.clone()),
+            "--providers" => m = Some(value.parse().map_err(|e| format!("--providers: {e}"))?),
+            "--k" => k = Some(value.parse().map_err(|e| format!("--k: {e}"))?),
+            "--n" => n = value.parse().map_err(|e| format!("--n: {e}"))?,
+            "--epochs" => epochs = value.parse().map_err(|e| format!("--epochs: {e}"))?,
+            "--seed" => seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--deadline-ms" => {
+                deadline_ms = value.parse().map_err(|e| format!("--deadline-ms: {e}"))?
+            }
+            "--mesh-budget-ms" => {
+                mesh_budget_ms = value.parse().map_err(|e| format!("--mesh-budget-ms: {e}"))?
+            }
+            "--join-timeout-ms" => {
+                join_timeout_ms = value.parse().map_err(|e| format!("--join-timeout-ms: {e}"))?
+            }
+            "--epoch-ms" => epoch_ms = value.parse().map_err(|e| format!("--epoch-ms: {e}"))?,
+            "--journal" => journal_path = Some(std::path::PathBuf::from(value)),
+            "--fsync" => fsync = value.parse().map_err(|e| format!("--fsync: {e}"))?,
+            "--metrics-addr" => metrics_addr = Some(value.clone()),
+            other => return Err(format!("unknown coordinator flag {other}\n{HELP}")),
+        }
+        i += 2;
+    }
+    let listen = listen.ok_or("coordinator requires --listen HOST:PORT")?;
+    let m = m.ok_or("coordinator requires --providers M")?;
+    let k = k.unwrap_or(m.saturating_sub(1) / 2);
+
+    let mut config = ClusterConfig::new(m, k, n);
+    config.epochs = epochs;
+    config.seed = seed;
+    config.session_deadline = Duration::from_millis(deadline_ms);
+    config.mesh_budget = Duration::from_millis(mesh_budget_ms);
+    config.join_timeout = Duration::from_millis(join_timeout_ms);
+    config.epoch_period = Duration::from_millis(epoch_ms);
+    config.journal = journal_path.clone();
+    config.fsync = fsync;
+
+    let listener =
+        std::net::TcpListener::bind(&listen).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let coordinator =
+        Coordinator::new(listener, config).map_err(|e| format!("cannot start coordinator: {e}"))?;
+    println!(
+        "dauction coordinator: control plane on {}, m={m} providers (k={k}), {n} user \
+         slots/epoch, {epochs} epochs, seed {seed}",
+        coordinator.local_addr()
+    );
+    if let Some(path) = &journal_path {
+        println!("journal armed: {} (fsync {fsync})", path.display());
+    }
+    let metrics_server = match &metrics_addr {
+        Some(addr) => {
+            let registry = Registry::new();
+            register_liveness_metrics(&registry, coordinator.metrics());
+            let server = MetricsServer::bind(addr, registry)
+                .map_err(|e| format!("cannot bind metrics endpoint {addr}: {e}"))?;
+            println!("metrics up: http://{}/metrics (Prometheus text format)", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
+
+    let result = coordinator.run(|epoch| match &epoch.outcome {
+        Outcome::Abort => println!(
+            "epoch {:>3} (session {}): {} bids, outcome ⊥ ({}), {:?}",
+            epoch.epoch,
+            epoch.session,
+            epoch.accepted,
+            epoch.reason.map_or("unknown", |r| r.label()),
+            epoch.latency
+        ),
+        Outcome::Agreed(result) => println!(
+            "epoch {:>3} (session {}): {} bids → {} winners, volume {}, cleared in {:?}",
+            epoch.epoch,
+            epoch.session,
+            epoch.accepted,
+            result.allocation.winners().len(),
+            result.allocation.total(),
+            epoch.latency
+        ),
+    });
+    if let Some(mut server) = metrics_server {
+        server.shutdown();
+    }
+    match result {
+        Ok(report) => {
+            println!(
+                "survivability: {} epochs cleared, {} ⊥-aborted ({} peer_down), {} provider \
+                 reconnect(s)",
+                report.cleared(),
+                report.aborted(),
+                report.peer_down_aborts(),
+                report.reconnects
+            );
+            Ok(0)
+        }
+        Err(e) => {
+            eprintln!("coordinator failed: {e}");
+            Ok(1)
+        }
+    }
+}
+
+/// The `provider` subcommand: one provider process of the
+/// multi-process deployment. Joins the coordinator (redialling under a
+/// jittered exponential backoff), clears every work order over a fresh
+/// per-epoch mesh, and exits when the coordinator says shutdown. Exit 0
+/// on a clean shutdown, 1 on an exhausted reconnect budget.
+fn provider_main(argv: &[String]) -> Result<i32, String> {
+    use dauctioneer::market::{run_provider, ProviderConfig};
+
+    let mut id: Option<usize> = None;
+    let mut join: Option<String> = None;
+    let mut mesh_listen: Option<String> = None;
+    let mut heartbeat_ms = 150u64;
+    let mut backoff_base_ms = 50u64;
+    let mut backoff_cap_ms = 2000u64;
+    let mut reconnect_budget = 40u32;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return Err(HELP.to_string());
+        }
+        let value = argv.get(i + 1).ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag {
+            "--id" => id = Some(value.parse().map_err(|e| format!("--id: {e}"))?),
+            "--join" => join = Some(value.clone()),
+            "--mesh-listen" => mesh_listen = Some(value.clone()),
+            "--heartbeat-ms" => {
+                heartbeat_ms = value.parse().map_err(|e| format!("--heartbeat-ms: {e}"))?
+            }
+            "--backoff-base-ms" => {
+                backoff_base_ms = value.parse().map_err(|e| format!("--backoff-base-ms: {e}"))?
+            }
+            "--backoff-cap-ms" => {
+                backoff_cap_ms = value.parse().map_err(|e| format!("--backoff-cap-ms: {e}"))?
+            }
+            "--reconnect-budget" => {
+                reconnect_budget = value.parse().map_err(|e| format!("--reconnect-budget: {e}"))?
+            }
+            other => return Err(format!("unknown provider flag {other}\n{HELP}")),
+        }
+        i += 2;
+    }
+    let id = id.ok_or("provider requires --id K")?;
+    let join = join.ok_or("provider requires --join HOST:PORT")?;
+
+    let mut config = ProviderConfig::new(id, join.clone());
+    if let Some(addr) = mesh_listen {
+        config.mesh_listen = addr;
+    }
+    config.heartbeat = Duration::from_millis(heartbeat_ms);
+    config.backoff_base = Duration::from_millis(backoff_base_ms);
+    config.backoff_cap = Duration::from_millis(backoff_cap_ms);
+    config.reconnect_budget = reconnect_budget;
+    // De-synchronize restart herds: jitter differs per process life.
+    config.backoff_seed =
+        (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(std::process::id());
+
+    println!("dauction provider {id}: joining coordinator at {join}");
+    match run_provider(config) {
+        Ok(report) => {
+            println!(
+                "provider {id} done: {} epochs ({} cleared, {} ⊥), {} rejoin(s)",
+                report.epochs, report.cleared, report.aborted, report.rejoins
+            );
+            Ok(0)
+        }
+        Err(e) => {
+            eprintln!("provider {id} failed: {e}");
+            Ok(1)
         }
     }
 }
@@ -696,12 +937,14 @@ fn serve_main(argv: &[String]) -> Result<(), String> {
     );
     if stats.chaos.total() > 0 {
         println!(
-            "chaos injected: {} dropped, {} duplicated, {} reordered, {} delayed, {} corrupted",
+            "chaos injected: {} dropped, {} duplicated, {} reordered, {} delayed, {} corrupted, \
+             {} partitioned",
             stats.chaos.dropped,
             stats.chaos.duplicated,
             stats.chaos.reordered,
             stats.chaos.delayed,
             stats.chaos.corrupted,
+            stats.chaos.partitioned,
         );
     }
     println!(
